@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark runs its experiment exactly once per pytest-benchmark round
+(``pedantic`` mode with one round): the interesting output is the
+reproduction of the paper's figure/table, not the wall-clock time of the
+harness itself.  Each benchmark prints the paper-style table so that
+``pytest benchmarks/ --benchmark-only -s`` shows the reproduced results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

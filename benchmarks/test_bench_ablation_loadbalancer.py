@@ -1,0 +1,29 @@
+"""Ablation E6 (DESIGN.md): load-balancing policy comparison.
+
+§2.4.3 lists round robin, weighted round robin and least pending requests
+first.  This ablation runs the *real* middleware over in-memory backends with
+one backend given a lower weight and checks how each policy distributes the
+read load.
+"""
+
+from __future__ import annotations
+
+from repro.bench import run_loadbalancer_ablation
+
+
+def test_ablation_load_balancing_policies(benchmark, once, capsys):
+    fractions = once(benchmark, run_loadbalancer_ablation, requests=1500, backends=3)
+    with capsys.disabled():
+        print()
+        print("Fraction of reads sent to the low-weight backend (3 backends)")
+        for policy, fraction in fractions.items():
+            print(f"  {policy:5}: {fraction:.2%}")
+
+    # round robin ignores weights: the slow backend gets its full 1/3 share
+    assert abs(fractions["rr"] - 1 / 3) < 0.05
+    # weighted round robin shifts load away from the low-weight backend
+    assert fractions["wrr"] < fractions["rr"]
+    assert fractions["wrr"] < 0.25
+    # LPRF balances on queue length; with uniform service times it stays close
+    # to fair but must never overload a single backend
+    assert fractions["lprf"] < 0.5

@@ -1,0 +1,36 @@
+"""Ablation E5 (DESIGN.md): early response to updates/commits on vs off.
+
+The paper's TPC-W experiments run with "parallel transactions and early
+response to updates and commits" (§6.2).  This ablation quantifies what the
+early-response optimisation buys on the write-heavy ordering mix: client
+response time drops because a write returns as soon as the first backend has
+executed it, while throughput stays comparable (the backends still execute
+every write).
+"""
+
+from __future__ import annotations
+
+from repro.bench import run_optimization_ablation
+
+
+def test_ablation_early_response(benchmark, once, capsys):
+    results = once(benchmark, run_optimization_ablation, "ordering", backends=6, clients=500)
+    early = results["early_response"]
+    wait_all = results["wait_all"]
+    with capsys.disabled():
+        print()
+        print("Early-response ablation (TPC-W ordering mix, 6 backends, full replication)")
+        print(
+            f"  early response : {early.sql_requests_per_minute:8.0f} rq/min, "
+            f"{early.avg_response_time_ms:7.1f} ms avg interaction response"
+        )
+        print(
+            f"  wait for all   : {wait_all.sql_requests_per_minute:8.0f} rq/min, "
+            f"{wait_all.avg_response_time_ms:7.1f} ms avg interaction response"
+        )
+
+    # early response never worsens latency, and usually improves it
+    assert early.avg_response_time_ms <= wait_all.avg_response_time_ms * 1.02
+    # total work is the same: throughput within 15% of each other
+    ratio = early.sql_requests_per_minute / wait_all.sql_requests_per_minute
+    assert 0.85 <= ratio <= 1.25

@@ -1,0 +1,66 @@
+"""Micro-benchmark E7 (DESIGN.md): middleware overhead on the read path.
+
+Compares point reads issued directly on the backend engine against the same
+reads issued through the full C-JDBC stack (driver → controller → request
+manager → load balancer → backend).  The paper argues the middleware overhead
+is small relative to database work; here we simply check it stays within an
+order of magnitude for the cheapest possible queries (the worst case for
+relative overhead).
+"""
+
+from __future__ import annotations
+
+from repro.bench import run_overhead_microbenchmark
+
+
+def test_middleware_overhead(benchmark, once, capsys):
+    result = once(benchmark, run_overhead_microbenchmark, statements=2000)
+    with capsys.disabled():
+        print()
+        print(
+            f"direct: {result.direct_seconds * 1000:.1f} ms, "
+            f"through C-JDBC: {result.middleware_seconds * 1000:.1f} ms "
+            f"({result.overhead_factor:.2f}x) for {result.statements} point reads"
+        )
+    assert result.overhead_factor < 20
+
+
+def test_cached_reads_are_cheaper_than_backend_reads(benchmark, once, capsys):
+    """With the query result cache enabled, repeated reads bypass the backend."""
+    from repro.core import (
+        BackendConfig,
+        Controller,
+        VirtualDatabaseConfig,
+        build_virtual_database,
+        connect,
+    )
+    from repro.sql import DatabaseEngine
+
+    def run():
+        engine = DatabaseEngine("cache-overhead")
+        vdb = build_virtual_database(
+            VirtualDatabaseConfig(
+                name="cachedb",
+                backends=[BackendConfig(name="b0", engine=engine)],
+                replication="single",
+                cache_enabled=True,
+                recovery_log="none",
+            )
+        )
+        controller = Controller("cache-overhead")
+        controller.add_virtual_database(vdb)
+        connection = connect(controller, "cachedb", "bench", "bench")
+        cursor = connection.cursor()
+        cursor.execute("CREATE TABLE kv (k INT PRIMARY KEY, v VARCHAR(20))")
+        for key in range(50):
+            cursor.execute("INSERT INTO kv (k, v) VALUES (?, ?)", (key, f"v{key}"))
+        for _ in range(2000):
+            cursor.execute("SELECT v FROM kv WHERE k = 7")
+            cursor.fetchall()
+        return vdb.request_manager.result_cache.statistics
+
+    stats = once(benchmark, run)
+    with capsys.disabled():
+        print()
+        print(f"cache statistics after 2000 identical reads: {stats.as_dict()}")
+    assert stats.hits >= 1999

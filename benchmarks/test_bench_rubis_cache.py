@@ -1,0 +1,38 @@
+"""Table 1: RUBiS bidding mix with query result caching on a single backend.
+
+Paper numbers (450 clients): throughput 3892 / 4184 / 4215 rq/min, average
+response time 801 / 284 / 134 ms, database CPU load 100 % / 85 % / 20 % and
+C-JDBC CPU load - / 15 % / 7 % for no cache / coherent cache / relaxed cache
+(1-minute staleness).
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_rubis_table, run_rubis_cache_experiment
+
+
+def test_table_1_rubis_query_result_caching(benchmark, once, capsys):
+    results = once(benchmark, run_rubis_cache_experiment, clients=450)
+    with capsys.disabled():
+        print()
+        print(format_rubis_table(results))
+
+    none, coherent, relaxed = results["none"], results["coherent"], results["relaxed"]
+
+    # throughput: caching never hurts and relaxed >= coherent >= none (within noise)
+    assert coherent.sql_requests_per_minute >= none.sql_requests_per_minute * 0.98
+    assert relaxed.sql_requests_per_minute >= coherent.sql_requests_per_minute * 0.98
+
+    # response time: coherent cache cuts it substantially, relaxed even more
+    assert coherent.avg_response_time_ms < none.avg_response_time_ms * 0.7
+    assert relaxed.avg_response_time_ms < coherent.avg_response_time_ms
+
+    # database CPU: saturated without cache, substantially relieved by the
+    # relaxed cache (paper: 100% -> 85% -> 20%)
+    assert none.backend_cpu_utilization > 0.9
+    assert coherent.backend_cpu_utilization <= none.backend_cpu_utilization
+    assert relaxed.backend_cpu_utilization < 0.5
+
+    # the controller pays a visible but small CPU cost for serving cache hits
+    assert relaxed.controller_cpu_utilization < 0.5
+    assert relaxed.cache_hit_ratio > coherent.cache_hit_ratio > 0.0

@@ -1,0 +1,39 @@
+"""Figure 10: TPC-W browsing mix — throughput vs number of backends.
+
+Paper numbers: single DB saturates at 129 requests/minute; full replication
+reaches 628 rq/min with 6 nodes (speedup 4.9, sub-linear because every
+backend builds the best-seller temporary table); partial replication improves
+full replication by ~25 % and scales linearly.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_scalability_table, run_tpcw_scalability
+from repro.bench.harness import tpcw_speedups
+
+BACKEND_COUNTS = [1, 2, 3, 4, 5, 6]
+
+
+def test_figure_10_browsing_mix(benchmark, once, capsys):
+    series = once(
+        benchmark,
+        run_tpcw_scalability,
+        "browsing",
+        backend_counts=BACKEND_COUNTS,
+        clients_per_backend=110,
+    )
+    with capsys.disabled():
+        print()
+        print(format_scalability_table("browsing", series))
+
+    single = series["single"][0].sql_requests_per_minute
+    speedups = tpcw_speedups(series)
+    # Shape checks against the paper: sub-linear full replication, partial
+    # replication better than full and close to linear.
+    assert single > 0
+    assert 3.5 <= speedups["full"] <= 6.0
+    assert speedups["partial"] > speedups["full"]
+    assert speedups["partial"] >= 5.0
+    # throughput grows monotonically (within noise) with the number of backends
+    full_curve = [r.sql_requests_per_minute for r in series["full"]]
+    assert all(later >= earlier * 0.95 for earlier, later in zip(full_curve, full_curve[1:]))

@@ -1,0 +1,39 @@
+"""Figure 12: TPC-W ordering mix — throughput vs number of backends.
+
+Paper numbers: full replication peaks at 2623 rq/min with 6 nodes and partial
+replication at 2839 rq/min; speedups over the single backend are 5.3 and 5.7
+respectively.  Even with 50 % read-write interactions good scalability is
+achieved.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_scalability_table, run_tpcw_scalability
+from repro.bench.harness import tpcw_speedups
+
+BACKEND_COUNTS = [1, 2, 3, 4, 5, 6]
+
+
+def test_figure_12_ordering_mix(benchmark, once, capsys):
+    series = once(
+        benchmark,
+        run_tpcw_scalability,
+        "ordering",
+        backend_counts=BACKEND_COUNTS,
+        clients_per_backend=130,
+    )
+    with capsys.disabled():
+        print()
+        print(format_scalability_table("ordering", series))
+
+    speedups = tpcw_speedups(series)
+    # paper: 5.3x (full) and 5.7x (partial) at 6 backends
+    assert 4.3 <= speedups["full"] <= 6.2
+    assert speedups["partial"] >= speedups["full"]
+    # partial replication's advantage is smaller than on the browsing mix
+    # (fewer best-seller queries to confine), but it still wins
+    partial_over_full = (
+        series["partial"][-1].sql_requests_per_minute
+        / series["full"][-1].sql_requests_per_minute
+    )
+    assert 1.0 <= partial_over_full <= 1.3

@@ -1,0 +1,37 @@
+"""Figure 11: TPC-W shopping mix — throughput vs number of backends.
+
+Paper numbers: single DB 235 rq/min; full replication 1188 rq/min at 6 nodes;
+partial replication 1367 rq/min.  The shopping mix scales better than the
+browsing mix because it issues fewer best-seller queries.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_scalability_table, run_tpcw_scalability
+from repro.bench.harness import tpcw_speedups
+
+BACKEND_COUNTS = [1, 2, 3, 4, 5, 6]
+
+
+def test_figure_11_shopping_mix(benchmark, once, capsys):
+    series = once(
+        benchmark,
+        run_tpcw_scalability,
+        "shopping",
+        backend_counts=BACKEND_COUNTS,
+        clients_per_backend=110,
+    )
+    with capsys.disabled():
+        print()
+        print(format_scalability_table("shopping", series))
+
+    speedups = tpcw_speedups(series)
+    assert 4.0 <= speedups["full"] <= 6.2
+    assert speedups["partial"] > speedups["full"]
+
+    # the shopping mix scales at least as well as the browsing mix (paper §6.4)
+    browsing = run_tpcw_scalability(
+        "browsing", backend_counts=[6], clients_per_backend=110
+    )
+    browsing_speedup = tpcw_speedups(browsing)["full"]
+    assert speedups["full"] >= browsing_speedup * 0.95

@@ -1,0 +1,84 @@
+"""Flood alert system (paper §5.3, Figure 8): horizontal scalability.
+
+Three geographically distributed sites, each with its own controller and its
+own MySQL backend, all replicating the same virtual database through group
+communication.  The system must survive the loss of any node at any time —
+horizontal scalability with transparent failover is the key feature here.
+
+Run with:  python examples/flood_alert_horizontal.py
+"""
+
+from repro.core import (
+    BackendConfig,
+    Controller,
+    VirtualDatabaseConfig,
+    build_virtual_database,
+    connect,
+)
+from repro.distrib import ControllerReplicator
+from repro.sql import DatabaseEngine
+
+SITES = ("rice-university", "texas-medical-center", "offsite-300-miles")
+
+
+def build_site(replicator: ControllerReplicator, site: str):
+    """One site: a MySQL backend + a controller hosting the vdb replica."""
+    mysql = DatabaseEngine(f"mysql-{site}")
+    virtual_database = build_virtual_database(
+        VirtualDatabaseConfig(
+            name="floodalert",
+            backends=[BackendConfig(name=f"mysql-{site}", engine=mysql)],
+            replication="raidb1",
+        )
+    )
+    controller = Controller(f"controller-{site}")
+    controller.add_virtual_database(virtual_database)
+    replicator.add_replica(controller, virtual_database)
+    return controller, mysql
+
+
+def main() -> None:
+    replicator = ControllerReplicator()
+    sites = {site: build_site(replicator, site) for site in SITES}
+    controllers = [controller for controller, _ in sites.values()]
+
+    # The JBoss application connects to its local controller but knows the others.
+    connection = connect(controllers, "floodalert", "sensors", "sensors")
+    cursor = connection.cursor()
+    cursor.execute(
+        "CREATE TABLE water_level (id INT PRIMARY KEY AUTO_INCREMENT,"
+        " sensor VARCHAR(30), level_cm FLOAT, alert BOOLEAN)"
+    )
+    for sensor, level in (("bayou-1", 82.0), ("bayou-2", 120.5), ("campus-3", 40.0)):
+        cursor.execute(
+            "INSERT INTO water_level (sensor, level_cm, alert) VALUES (?, ?, ?)",
+            (sensor, level, level > 100),
+        )
+
+    print("every site has the full data set:")
+    for site, (_, mysql) in sites.items():
+        count = mysql.execute("SELECT COUNT(*) FROM water_level").scalar()
+        print(f"  {site:24} {count} readings")
+
+    # A flood takes out the first site entirely (controller + backend).
+    print("\n--- losing site", SITES[0], "---")
+    lost_controller, _ = sites[SITES[0]]
+    lost_controller.shutdown()
+    replicator.transport.fail_member(lost_controller.name)
+
+    # Readings keep flowing through the surviving sites.
+    cursor.execute(
+        "INSERT INTO water_level (sensor, level_cm, alert) VALUES ('bayou-1', 145.0, TRUE)"
+    )
+    cursor.execute("SELECT COUNT(*) FROM water_level WHERE alert = TRUE")
+    print("alerts visible after failover:", cursor.scalar())
+    print("driver failovers:", connection.failovers)
+
+    for site in SITES[1:]:
+        _, mysql = sites[site]
+        count = mysql.execute("SELECT COUNT(*) FROM water_level").scalar()
+        print(f"  {site:24} {count} readings (still consistent)")
+
+
+if __name__ == "__main__":
+    main()

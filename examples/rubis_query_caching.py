@@ -1,0 +1,73 @@
+"""RUBiS with query result caching on a single backend (paper §6.6, Table 1).
+
+Even with a single database backend it pays off to put C-JDBC in front of it
+just for the query result cache.  This example loads a small RUBiS auction
+database, runs the bidding mix through three configurations (no cache,
+coherent cache, relaxed cache with a 60 s staleness limit) and prints the
+cache statistics, then regenerates the paper's Table 1 with the calibrated
+performance model.
+
+Run with:  python examples/rubis_query_caching.py
+"""
+
+from repro.bench import format_rubis_table, run_rubis_cache_experiment
+from repro.core import (
+    BackendConfig,
+    Controller,
+    VirtualDatabaseConfig,
+    build_virtual_database,
+    connect,
+)
+from repro.core.cache import RelaxationRule
+from repro.sql import DatabaseEngine
+from repro.workloads.rubis import BIDDING_MIX, RUBISDataGenerator, RUBiSInteractions
+from repro.workloads.rubis.schema import RUBISScale, create_schema
+
+
+def run_functional(cache_enabled: bool, relaxed: bool, interactions_to_run: int = 150) -> dict:
+    """Run the bidding mix through the real middleware and return cache stats."""
+    engine = DatabaseEngine("mysql-single")
+    rules = [RelaxationRule(staleness_seconds=60.0)] if relaxed else []
+    virtual_database = build_virtual_database(
+        VirtualDatabaseConfig(
+            name="rubis",
+            backends=[BackendConfig(name="mysql", engine=engine)],
+            replication="single",
+            cache_enabled=cache_enabled,
+            cache_relaxation_rules=rules,
+            recovery_log="none",
+        )
+    )
+    controller = Controller("rubis-controller")
+    controller.add_virtual_database(virtual_database)
+    connection = connect(controller, "rubis", "rubis", "rubis")
+
+    create_schema(connection)
+    scale = RUBISScale(users=60, items=40, bids_per_item=4)
+    RUBISDataGenerator(scale, seed=9).populate(connection)
+    for backend in virtual_database.backends:
+        backend.refresh_schema()
+
+    client = RUBiSInteractions(connection, users=scale.users, items=scale.items, seed=4)
+    stream = BIDDING_MIX.interaction_stream(seed=8)
+    for _ in range(interactions_to_run):
+        client.run(next(stream))
+
+    if virtual_database.request_manager.result_cache is None:
+        return {"cache": "disabled"}
+    return virtual_database.request_manager.result_cache.statistics.as_dict()
+
+
+def main() -> None:
+    print("functional run through the real middleware (150 bidding-mix interactions):")
+    print("  no cache       :", run_functional(cache_enabled=False, relaxed=False))
+    print("  coherent cache :", run_functional(cache_enabled=True, relaxed=False))
+    print("  relaxed cache  :", run_functional(cache_enabled=True, relaxed=True))
+
+    print("\nregenerating Table 1 with the calibrated performance model (450 clients)...")
+    results = run_rubis_cache_experiment(clients=450, warmup=60, measurement=300)
+    print(format_rubis_table(results))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Vertical scalability: a tree of nested controllers (paper §4.2, Figure 4).
+
+A top-level controller is configured with partial replication over three
+"backends", two of which are actually whole virtual databases hosted by
+lower-level controllers (the C-JDBC driver is re-injected as the native
+driver).  This is how C-JDBC scales to large numbers of backends without
+exhausting the connection capacity of a single JVM.
+
+Run with:  python examples/vertical_scaling_tree.py
+"""
+
+from repro.core import (
+    BackendConfig,
+    Controller,
+    VirtualDatabaseConfig,
+    build_virtual_database,
+    connect,
+)
+from repro.distrib import nested_backend_config
+from repro.sql import DatabaseEngine
+
+
+def build_leaf_cluster(name: str, backend_count: int):
+    """A lower-level controller with its own fully replicated backends."""
+    engines = [DatabaseEngine(f"{name}-db{i}") for i in range(backend_count)]
+    virtual_database = build_virtual_database(
+        VirtualDatabaseConfig(
+            name=name,
+            backends=[
+                BackendConfig(name=f"{name}-db{i}", engine=engine)
+                for i, engine in enumerate(engines)
+            ],
+            replication="raidb1",
+        )
+    )
+    controller = Controller(f"{name}-controller")
+    controller.add_virtual_database(virtual_database)
+    return controller, engines
+
+
+def main() -> None:
+    # Two lower-level clusters, each hiding several real databases.
+    left_controller, left_engines = build_leaf_cluster("left-cluster", 2)
+    right_controller, right_engines = build_leaf_cluster("right-cluster", 3)
+
+    # One local backend directly attached to the top controller.
+    local_engine = DatabaseEngine("top-local-db")
+
+    top_vdb = build_virtual_database(
+        VirtualDatabaseConfig(
+            name="bigstore",
+            backends=[
+                BackendConfig(name="local", engine=local_engine),
+                nested_backend_config("left-cluster", left_controller, "left-cluster"),
+                nested_backend_config("right-cluster", right_controller, "right-cluster"),
+            ],
+            replication="raidb1",
+        )
+    )
+    top_controller = Controller("top-controller")
+    top_controller.add_virtual_database(top_vdb)
+
+    connection = connect(top_controller, "bigstore", "app", "app")
+    cursor = connection.cursor()
+    cursor.execute("CREATE TABLE inventory (sku INT PRIMARY KEY, qty INT)")
+    cursor.executemany(
+        "INSERT INTO inventory (sku, qty) VALUES (?, ?)", [(i, 10 * i) for i in range(1, 21)]
+    )
+
+    # Every leaf database of the tree received the writes.
+    leaf_counts = [engine.row_count("inventory") for engine in left_engines + right_engines]
+    print("rows on the 5 leaf databases:", leaf_counts)
+    print("rows on the top-level local backend:", local_engine.row_count("inventory"))
+
+    # Reads are spread over the three top-level "backends"; when they hit a
+    # nested cluster they are balanced again over its leaves.
+    served_by = {}
+    for sku in range(1, 21):
+        cursor.execute("SELECT qty FROM inventory WHERE sku = ?", (sku,))
+        cursor.fetchall()
+        served_by[cursor.backend_name] = served_by.get(cursor.backend_name, 0) + 1
+    print("reads served by top-level backend:", served_by)
+
+    # Total backends reachable through one connection, JVM-connection-friendly.
+    print(
+        "a single client connection reaches",
+        1 + len(left_engines) + len(right_engines),
+        "real databases through the controller tree",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Reproduction of "C-JDBC: Flexible Database Clustering Middleware" (USENIX 2004).
+
+The package is organised as follows:
+
+* :mod:`repro.sql` — in-memory SQL engine substrate (the "backend RDBMS");
+* :mod:`repro.core` — the C-JDBC middleware itself: controller, virtual
+  databases, client driver, request manager (scheduler, load balancer, query
+  result cache), recovery log and checkpointing, management;
+* :mod:`repro.groupcomm` — group-communication substrate (JGroups stand-in);
+* :mod:`repro.distrib` — horizontal (replicated controllers) and vertical
+  (nested controllers) scalability;
+* :mod:`repro.workloads` — TPC-W and RUBiS workload generators;
+* :mod:`repro.simulation` — discrete-event cluster performance model;
+* :mod:`repro.bench` — measurement harness used by the benchmarks.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,29 @@
+"""Benchmark harness: experiment drivers and report formatting.
+
+Each function in :mod:`repro.bench.harness` regenerates one of the paper's
+figures or tables (or one of the ablations listed in DESIGN.md) and returns
+plain data structures; :mod:`repro.bench.report` renders them in the same
+rows/series the paper reports.  The pytest-benchmark targets in
+``benchmarks/`` are thin wrappers around these functions.
+"""
+
+from repro.bench.harness import (
+    OverheadResult,
+    run_loadbalancer_ablation,
+    run_optimization_ablation,
+    run_overhead_microbenchmark,
+    run_rubis_cache_experiment,
+    run_tpcw_scalability,
+)
+from repro.bench.report import format_rubis_table, format_scalability_table
+
+__all__ = [
+    "OverheadResult",
+    "format_rubis_table",
+    "format_scalability_table",
+    "run_loadbalancer_ablation",
+    "run_optimization_ablation",
+    "run_overhead_microbenchmark",
+    "run_rubis_cache_experiment",
+    "run_tpcw_scalability",
+]

@@ -1,0 +1,299 @@
+"""Experiment drivers for every figure and table of the paper.
+
+* :func:`run_tpcw_scalability` — Figures 10, 11 and 12: maximum throughput in
+  SQL requests per minute as a function of the number of backends, for the
+  single-database baseline, full replication and partial replication;
+* :func:`run_rubis_cache_experiment` — Table 1: RUBiS bidding mix with 450
+  clients on a single backend, without cache / with a coherent cache / with a
+  relaxed (60 s staleness) cache;
+* :func:`run_optimization_ablation` — ablation of the §2.4.4 optimisations
+  (early response, lazy transaction begin is exercised functionally in the
+  test suite);
+* :func:`run_loadbalancer_ablation` — round robin vs weighted round robin vs
+  least pending requests first under heterogeneous backend speeds;
+* :func:`run_overhead_microbenchmark` — functional (wall-clock) comparison of
+  direct backend access vs access through the C-JDBC controller.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core import (
+    BackendConfig,
+    Controller,
+    VirtualDatabaseConfig,
+    build_virtual_database,
+)
+from repro.core import connect as cjdbc_connect
+from repro.simulation import ClusterSimulation, SimulationConfig, SimulationResult
+from repro.simulation.cluster import tpcw_partial_placement
+from repro.simulation.costmodel import RUBIS_COST_MODEL, TPCW_COST_MODEL, CostModel
+from repro.sql import DatabaseEngine, dbapi
+from repro.workloads.rubis import BIDDING_MIX, RUBIS_INTERACTIONS
+from repro.workloads.tpcw import INTERACTIONS
+from repro.workloads.tpcw.mixes import mix_by_name
+
+# Default simulated durations: long enough for stable averages at the
+# paper-scale request rates, short enough that the whole figure regenerates
+# in seconds of wall-clock time.
+DEFAULT_WARMUP = 120.0
+DEFAULT_MEASUREMENT = 600.0
+
+
+# ---------------------------------------------------------------------------
+# Figures 10-12: TPC-W throughput scalability
+# ---------------------------------------------------------------------------
+
+
+def run_tpcw_scalability(
+    mix_name: str,
+    backend_counts: Optional[List[int]] = None,
+    clients_per_backend: int = 130,
+    cost_model: Optional[CostModel] = None,
+    warmup: float = DEFAULT_WARMUP,
+    measurement: float = DEFAULT_MEASUREMENT,
+) -> Dict[str, List[SimulationResult]]:
+    """Reproduce one TPC-W figure (browsing/shopping/ordering).
+
+    Returns three series keyed ``"single"``, ``"full"`` and ``"partial"``.
+    The single-database baseline bypasses the middleware entirely (one
+    backend, no replication); full and partial replication sweep the backend
+    counts.  The client population grows with the cluster size, the same way
+    the paper increases the offered load until each configuration saturates.
+    """
+    mix = mix_by_name(mix_name)
+    counts = backend_counts or [1, 2, 3, 4, 5, 6]
+    model = cost_model or TPCW_COST_MODEL
+    series: Dict[str, List[SimulationResult]] = {"single": [], "full": [], "partial": []}
+
+    baseline = ClusterSimulation(
+        SimulationConfig(
+            interactions=INTERACTIONS,
+            mix=mix,
+            backends=1,
+            replication="single",
+            clients=clients_per_backend,
+            warmup=warmup,
+            measurement=measurement,
+            cost_model=model,
+        ),
+        label=f"tpcw-{mix_name}-single-1",
+    ).run()
+    series["single"].append(baseline)
+
+    for replication in ("full", "partial"):
+        for backends in counts:
+            placement = tpcw_partial_placement(backends) if replication == "partial" else {}
+            result = ClusterSimulation(
+                SimulationConfig(
+                    interactions=INTERACTIONS,
+                    mix=mix,
+                    backends=backends,
+                    replication=replication,
+                    table_placement=placement,
+                    clients=clients_per_backend * backends,
+                    warmup=warmup,
+                    measurement=measurement,
+                    cost_model=model,
+                ),
+                label=f"tpcw-{mix_name}-{replication}-{backends}",
+            ).run()
+            series[replication].append(result)
+    return series
+
+
+def tpcw_speedups(series: Dict[str, List[SimulationResult]]) -> Dict[str, float]:
+    """Speedup of the largest full/partial configuration over the single DB."""
+    baseline = series["single"][0].sql_requests_per_minute
+    return {
+        replication: series[replication][-1].sql_requests_per_minute / baseline
+        for replication in ("full", "partial")
+        if series.get(replication)
+    }
+
+
+# ---------------------------------------------------------------------------
+# Table 1: RUBiS query result caching
+# ---------------------------------------------------------------------------
+
+
+def run_rubis_cache_experiment(
+    clients: int = 450,
+    staleness_seconds: float = 60.0,
+    cost_model: Optional[CostModel] = None,
+    warmup: float = DEFAULT_WARMUP,
+    measurement: float = DEFAULT_MEASUREMENT,
+) -> Dict[str, SimulationResult]:
+    """Reproduce Table 1: no cache vs coherent cache vs relaxed cache."""
+    model = cost_model or RUBIS_COST_MODEL
+    results: Dict[str, SimulationResult] = {}
+    for cache_mode in ("none", "coherent", "relaxed"):
+        results[cache_mode] = ClusterSimulation(
+            SimulationConfig(
+                interactions=RUBIS_INTERACTIONS,
+                mix=BIDDING_MIX,
+                backends=1,
+                replication="single",
+                cache_mode=cache_mode,
+                cache_staleness_seconds=staleness_seconds,
+                clients=clients,
+                warmup=warmup,
+                measurement=measurement,
+                cost_model=model,
+            ),
+            label=f"rubis-{cache_mode}",
+        ).run()
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Ablations
+# ---------------------------------------------------------------------------
+
+
+def run_optimization_ablation(
+    mix_name: str = "ordering",
+    backends: int = 6,
+    clients: int = 600,
+    warmup: float = DEFAULT_WARMUP,
+    measurement: float = DEFAULT_MEASUREMENT,
+) -> Dict[str, SimulationResult]:
+    """Early response on/off for a write-heavy mix (ablation E5 of DESIGN.md)."""
+    mix = mix_by_name(mix_name)
+    results = {}
+    for early_response in (True, False):
+        label = "early_response" if early_response else "wait_all"
+        results[label] = ClusterSimulation(
+            SimulationConfig(
+                interactions=INTERACTIONS,
+                mix=mix,
+                backends=backends,
+                replication="full",
+                clients=clients,
+                warmup=warmup,
+                measurement=measurement,
+                cost_model=TPCW_COST_MODEL,
+                early_response=early_response,
+            ),
+            label=f"ablation-{label}",
+        ).run()
+    return results
+
+
+def run_loadbalancer_ablation(
+    requests: int = 4000,
+    backends: int = 3,
+    slow_backend_factor: float = 3.0,
+) -> Dict[str, float]:
+    """Compare RR / WRR / LPRF on the real middleware with a slow backend.
+
+    This ablation runs *functionally* (real middleware, real in-memory
+    engines): one backend is made ``slow_backend_factor`` times slower by
+    wrapping its connection factory with a busy-wait, and we measure how many
+    requests each policy sends to the slow backend (fewer is better for LPRF
+    and for a WRR that weights it down).  Returns the fraction of reads that
+    landed on the slow backend for each policy.
+    """
+    from repro.core.loadbalancer.policies import (
+        LeastPendingRequestsFirst,
+        RoundRobinPolicy,
+        WeightedRoundRobinPolicy,
+    )
+
+    fractions: Dict[str, float] = {}
+    for policy_name in ("rr", "wrr", "lprf"):
+        engines = [DatabaseEngine(f"lb-{policy_name}-{i}") for i in range(backends)]
+        configs = []
+        for index, engine in enumerate(engines):
+            weight = 1 if index == 0 else int(slow_backend_factor)
+            configs.append(BackendConfig(name=f"backend{index}", engine=engine, weight=weight))
+        vdb = build_virtual_database(
+            VirtualDatabaseConfig(
+                name="lbtest",
+                backends=configs,
+                replication="raidb1",
+                load_balancing_policy=policy_name,
+                recovery_log="none",
+            )
+        )
+        controller = Controller(f"lb-{policy_name}")
+        controller.add_virtual_database(vdb)
+        connection = cjdbc_connect(controller, "lbtest", "bench", "bench")
+        cursor = connection.cursor()
+        cursor.execute("CREATE TABLE kv (k INT PRIMARY KEY, v VARCHAR(20))")
+        for key in range(100):
+            cursor.execute("INSERT INTO kv (k, v) VALUES (?, ?)", (key, f"value{key}"))
+        for key in range(requests):
+            cursor.execute("SELECT v FROM kv WHERE k = ?", (key % 100,))
+            cursor.fetchall()
+        slow = vdb.get_backend("backend0")
+        total_reads = sum(backend.total_reads for backend in vdb.backends)
+        fractions[policy_name] = slow.total_reads / total_reads if total_reads else 0.0
+    return fractions
+
+
+# ---------------------------------------------------------------------------
+# Middleware overhead micro-benchmark (functional, wall clock)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class OverheadResult:
+    direct_seconds: float
+    middleware_seconds: float
+    statements: int
+
+    @property
+    def overhead_factor(self) -> float:
+        if self.direct_seconds == 0:
+            return 0.0
+        return self.middleware_seconds / self.direct_seconds
+
+
+def run_overhead_microbenchmark(statements: int = 2000) -> OverheadResult:
+    """Wall-clock cost of going through the controller vs hitting the engine.
+
+    This is the §6.1 sanity check that the middleware adds acceptable
+    overhead on the read path; it uses the real engine, controller, driver
+    and cache-less RAIDb-1 configuration with one backend.
+    """
+    engine = DatabaseEngine("overhead")
+    direct = dbapi.connect(engine)
+    cursor = direct.cursor()
+    cursor.execute("CREATE TABLE kv (k INT PRIMARY KEY, v VARCHAR(32))")
+    for key in range(200):
+        cursor.execute("INSERT INTO kv (k, v) VALUES (?, ?)", (key, f"value-{key}"))
+
+    start = time.perf_counter()
+    for index in range(statements):
+        cursor.execute("SELECT v FROM kv WHERE k = ?", (index % 200,))
+        cursor.fetchall()
+    direct_seconds = time.perf_counter() - start
+
+    vdb = build_virtual_database(
+        VirtualDatabaseConfig(
+            name="overheaddb",
+            backends=[BackendConfig(name="backend0", engine=engine)],
+            replication="single",
+            recovery_log="none",
+        )
+    )
+    controller = Controller("overhead-controller")
+    controller.add_virtual_database(vdb)
+    connection = cjdbc_connect(controller, "overheaddb", "bench", "bench")
+    virtual_cursor = connection.cursor()
+
+    start = time.perf_counter()
+    for index in range(statements):
+        virtual_cursor.execute("SELECT v FROM kv WHERE k = ?", (index % 200,))
+        virtual_cursor.fetchall()
+    middleware_seconds = time.perf_counter() - start
+
+    return OverheadResult(
+        direct_seconds=direct_seconds,
+        middleware_seconds=middleware_seconds,
+        statements=statements,
+    )

@@ -1,0 +1,186 @@
+"""Command-line interface.
+
+Two groups of commands, mirroring how the original project was driven:
+
+* experiment commands that regenerate the paper's figures and table from the
+  command line (``python -m repro figure10|figure11|figure12|table1 ...``);
+* a demo command that builds a small replicated virtual database and drops
+  into the text administration console (``python -m repro console``).
+
+The CLI is intentionally a thin shell over :mod:`repro.bench` and
+:mod:`repro.core.management`; everything it does can be done from Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import (
+    format_rubis_table,
+    format_scalability_table,
+    run_loadbalancer_ablation,
+    run_overhead_microbenchmark,
+    run_rubis_cache_experiment,
+    run_tpcw_scalability,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="C-JDBC reproduction: regenerate the paper's experiments or run a demo console",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    for figure, mix in (("figure10", "browsing"), ("figure11", "shopping"), ("figure12", "ordering")):
+        sub = subparsers.add_parser(
+            figure, help=f"TPC-W {mix} mix throughput vs number of backends"
+        )
+        sub.add_argument("--backends", type=int, default=6, help="largest backend count")
+        sub.add_argument(
+            "--clients-per-backend", type=int, default=110, help="emulated clients per backend"
+        )
+        sub.add_argument("--measurement", type=float, default=600.0, help="measured seconds")
+        sub.set_defaults(mix=mix)
+
+    table1 = subparsers.add_parser("table1", help="RUBiS query result caching (Table 1)")
+    table1.add_argument("--clients", type=int, default=450)
+    table1.add_argument("--staleness", type=float, default=60.0)
+    table1.add_argument("--measurement", type=float, default=600.0)
+
+    subparsers.add_parser("ablation-lb", help="load-balancing policy ablation")
+    subparsers.add_parser("overhead", help="middleware overhead micro-benchmark")
+
+    console = subparsers.add_parser(
+        "console", help="build a demo 2-backend virtual database and run admin commands"
+    )
+    console.add_argument(
+        "--execute",
+        action="append",
+        default=None,
+        metavar="CMD",
+        help="console command to execute (may be repeated); omit for an interactive session",
+    )
+    return parser
+
+
+def _run_figure(mix: str, args: argparse.Namespace) -> str:
+    counts = list(range(1, max(1, args.backends) + 1))
+    series = run_tpcw_scalability(
+        mix,
+        backend_counts=counts,
+        clients_per_backend=args.clients_per_backend,
+        measurement=args.measurement,
+    )
+    return format_scalability_table(mix, series)
+
+
+def _run_table1(args: argparse.Namespace) -> str:
+    results = run_rubis_cache_experiment(
+        clients=args.clients,
+        staleness_seconds=args.staleness,
+        measurement=args.measurement,
+    )
+    return format_rubis_table(results)
+
+
+def _run_ablation_lb() -> str:
+    fractions = run_loadbalancer_ablation()
+    lines = ["Fraction of reads sent to the low-weight backend:"]
+    for policy, fraction in fractions.items():
+        lines.append(f"  {policy:5}: {fraction:.2%}")
+    return "\n".join(lines)
+
+
+def _run_overhead() -> str:
+    result = run_overhead_microbenchmark()
+    return (
+        f"direct access: {result.direct_seconds:.3f}s, through C-JDBC: "
+        f"{result.middleware_seconds:.3f}s ({result.overhead_factor:.2f}x) "
+        f"for {result.statements} point reads"
+    )
+
+
+def _build_demo_console():
+    """A small replicated virtual database for the console command."""
+    from repro.core import (
+        BackendConfig,
+        Controller,
+        VirtualDatabaseConfig,
+        build_virtual_database,
+        connect,
+    )
+    from repro.core.management import AdminConsole
+    from repro.sql import DatabaseEngine
+
+    engines = [DatabaseEngine("demo-node-a"), DatabaseEngine("demo-node-b")]
+    virtual_database = build_virtual_database(
+        VirtualDatabaseConfig(
+            name="demodb",
+            backends=[
+                BackendConfig(name="node-a", engine=engines[0]),
+                BackendConfig(name="node-b", engine=engines[1]),
+            ],
+            replication="raidb1",
+            cache_enabled=True,
+        )
+    )
+    controller = Controller("demo-controller")
+    controller.add_virtual_database(virtual_database)
+    connection = connect(controller, "demodb", "demo", "demo")
+    cursor = connection.cursor()
+    cursor.execute("CREATE TABLE demo (id INT PRIMARY KEY AUTO_INCREMENT, label VARCHAR(30))")
+    cursor.executemany(
+        "INSERT INTO demo (label) VALUES (?)", [("alpha",), ("beta",), ("gamma",)]
+    )
+    return AdminConsole(controller)
+
+
+def _run_console(args: argparse.Namespace, stdin=None, stdout=None) -> int:
+    stdout = stdout or sys.stdout
+    console = _build_demo_console()
+    if args.execute:
+        for command in args.execute:
+            print(console.execute(command), file=stdout)
+        return 0
+    stdin = stdin or sys.stdin
+    print("C-JDBC demo console — type 'help' for commands, 'quit' to exit", file=stdout)
+    for line in stdin:
+        command = line.strip()
+        if command in ("quit", "exit"):
+            break
+        if command:
+            print(console.execute(command), file=stdout)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, stdout=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    stdout = stdout or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help(stdout)
+        return 2
+    if args.command in ("figure10", "figure11", "figure12"):
+        print(_run_figure(args.mix, args), file=stdout)
+        return 0
+    if args.command == "table1":
+        print(_run_table1(args), file=stdout)
+        return 0
+    if args.command == "ablation-lb":
+        print(_run_ablation_lb(), file=stdout)
+        return 0
+    if args.command == "overhead":
+        print(_run_overhead(), file=stdout)
+        return 0
+    if args.command == "console":
+        return _run_console(args, stdout=stdout)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""C-JDBC middleware core: controller, virtual databases, driver, request manager.
+
+The most common entry points are:
+
+* :func:`repro.core.config.build_virtual_database` with a
+  :class:`repro.core.config.VirtualDatabaseConfig` to assemble a virtual
+  database from backends and policies;
+* :class:`repro.core.controller.Controller` to host virtual databases;
+* :func:`repro.core.driver.connect` to obtain a DB-API connection to a
+  virtual database (with transparent controller failover).
+"""
+
+from repro.core.authentication import AuthenticationManager
+from repro.core.backend import BackendState, DatabaseBackend
+from repro.core.config import (
+    BackendConfig,
+    VirtualDatabaseConfig,
+    build_virtual_database,
+)
+from repro.core.controller import Controller
+from repro.core.driver import connect
+from repro.core.request import RequestResult
+from repro.core.request_manager import RequestManager
+from repro.core.virtualdb import VirtualDatabase
+
+__all__ = [
+    "AuthenticationManager",
+    "BackendConfig",
+    "BackendState",
+    "Controller",
+    "DatabaseBackend",
+    "RequestManager",
+    "RequestResult",
+    "VirtualDatabase",
+    "VirtualDatabaseConfig",
+    "build_virtual_database",
+    "connect",
+]

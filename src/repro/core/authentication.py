@@ -1,0 +1,94 @@
+"""Authentication manager: virtual logins and per-backend real logins.
+
+The C-JDBC controller authenticates clients against *virtual* login/password
+pairs defined per virtual database, then maps each virtual login to the real
+login/password used to open connections on each backend (paper Figure 1,
+"Authentication Manager").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import AuthenticationError
+
+
+@dataclass
+class VirtualUser:
+    """A login/password pair known to the virtual database."""
+
+    login: str
+    password: str
+    is_admin: bool = False
+
+
+@dataclass
+class RealLogin:
+    """Credentials used on a specific backend for a given virtual login."""
+
+    backend_name: str
+    login: str
+    password: str
+
+
+class AuthenticationManager:
+    """Checks virtual credentials and resolves real backend credentials."""
+
+    def __init__(self, transparent: bool = False):
+        #: when transparent is True any login/password is accepted and used
+        #: as-is on the backends (useful for tests and the quickstart).
+        self.transparent = transparent
+        self._virtual_users: Dict[str, VirtualUser] = {}
+        self._real_logins: Dict[Tuple[str, str], RealLogin] = {}
+
+    # -- configuration ---------------------------------------------------------
+
+    def add_virtual_user(self, login: str, password: str, is_admin: bool = False) -> None:
+        self._virtual_users[login] = VirtualUser(login, password, is_admin)
+
+    def add_real_login(
+        self, virtual_login: str, backend_name: str, login: str, password: str
+    ) -> None:
+        self._real_logins[(virtual_login, backend_name)] = RealLogin(
+            backend_name, login, password
+        )
+
+    @property
+    def virtual_logins(self) -> Tuple[str, ...]:
+        return tuple(self._virtual_users)
+
+    # -- authentication ----------------------------------------------------------
+
+    def authenticate(self, login: str, password: str) -> VirtualUser:
+        """Validate a virtual login; raises :class:`AuthenticationError`."""
+        if self.transparent:
+            return self._virtual_users.get(login) or VirtualUser(login, password)
+        user = self._virtual_users.get(login)
+        if user is None or user.password != password:
+            raise AuthenticationError(f"invalid virtual login {login!r}")
+        return user
+
+    def is_valid(self, login: str, password: str) -> bool:
+        try:
+            self.authenticate(login, password)
+            return True
+        except AuthenticationError:
+            return False
+
+    def real_login_for(self, virtual_login: str, backend_name: str) -> Optional[RealLogin]:
+        """Real credentials to use on ``backend_name`` for ``virtual_login``.
+
+        Falls back to the virtual credentials when no explicit mapping exists
+        (the common configuration in the paper's use cases, where all
+        backends share one login).
+        """
+        mapped = self._real_logins.get((virtual_login, backend_name))
+        if mapped is not None:
+            return mapped
+        user = self._virtual_users.get(virtual_login)
+        if user is not None:
+            return RealLogin(backend_name, user.login, user.password)
+        if self.transparent:
+            return RealLogin(backend_name, virtual_login, "")
+        return None

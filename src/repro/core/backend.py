@@ -1,0 +1,295 @@
+"""Database backend wrapper.
+
+A :class:`DatabaseBackend` is the controller-side representation of one real
+database (paper Figure 1, "Database Backend" + "Connection Manager").  It
+knows how to open connections through the backend's *native driver* (a
+connection factory — either :func:`repro.sql.dbapi.connect` for a local
+engine, or a C-JDBC driver connection for a nested controller), keeps the
+dynamically gathered schema used by partial-replication load balancers, maps
+in-flight transactions to connections (implementing *lazy transaction
+begin*, paper §2.4.4) and tracks the counters used by the
+least-pending-requests-first load balancer.
+"""
+
+from __future__ import annotations
+
+import threading
+from enum import Enum
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from repro.core.connection_manager import (
+    ConnectionManager,
+    VariablePoolConnectionManager,
+)
+from repro.core.request import AbstractRequest, RequestResult
+from repro.errors import BackendError, DatabaseError
+
+
+class BackendState(Enum):
+    ENABLED = "ENABLED"
+    DISABLED = "DISABLED"
+    RECOVERING = "RECOVERING"
+    DISABLING = "DISABLING"
+
+
+class DatabaseBackend:
+    """One backend database as seen by a virtual database."""
+
+    def __init__(
+        self,
+        name: str,
+        connection_factory: Callable[[], object],
+        connection_manager: Optional[ConnectionManager] = None,
+        weight: int = 1,
+        static_schema: Optional[Iterable[str]] = None,
+        metadata_factory: Optional[Callable[[], object]] = None,
+    ):
+        self.name = name
+        self.weight = weight
+        self._connection_factory = connection_factory
+        self.connection_manager = connection_manager or VariablePoolConnectionManager(
+            connection_factory
+        )
+        self._metadata_factory = metadata_factory
+        self._state = BackendState.DISABLED
+        self._state_lock = threading.RLock()
+        #: table names hosted by this backend (lower-cased)
+        self._tables: Set[str] = {t.lower() for t in (static_schema or ())}
+        self._static_schema = static_schema is not None
+        #: transaction id -> dedicated connection (lazy transaction begin)
+        self._transaction_connections: Dict[int, object] = {}
+        self._transaction_lock = threading.RLock()
+        # counters
+        self._pending_requests = 0
+        self._counters_lock = threading.Lock()
+        self.total_requests = 0
+        self.total_reads = 0
+        self.total_writes = 0
+        self.total_transactions_begun = 0
+        self.failures = 0
+        self.last_known_checkpoint: Optional[str] = None
+
+    # -- state --------------------------------------------------------------------
+
+    @property
+    def state(self) -> BackendState:
+        with self._state_lock:
+            return self._state
+
+    @property
+    def is_enabled(self) -> bool:
+        return self.state is BackendState.ENABLED
+
+    def enable(self) -> None:
+        with self._state_lock:
+            self._state = BackendState.ENABLED
+        if not self._static_schema:
+            self.refresh_schema()
+
+    def disable(self) -> None:
+        with self._state_lock:
+            self._state = BackendState.DISABLED
+        self.abort_all_transactions()
+
+    def set_recovering(self) -> None:
+        with self._state_lock:
+            self._state = BackendState.RECOVERING
+
+    # -- schema -------------------------------------------------------------------
+
+    def refresh_schema(self) -> None:
+        """Gather the backend schema through its metadata interface.
+
+        Mirrors the dynamic schema gathering of §2.4.3: "When a backend is
+        enabled, the appropriate methods are called on the JDBC
+        DatabaseMetaData information of the backend native driver."
+        """
+        if self._metadata_factory is None:
+            return
+        metadata = self._metadata_factory()
+        names = metadata.get_table_names()
+        with self._state_lock:
+            self._tables = {name.lower() for name in names}
+
+    def set_static_schema(self, tables: Iterable[str]) -> None:
+        with self._state_lock:
+            self._tables = {t.lower() for t in tables}
+            self._static_schema = True
+
+    def note_ddl(self, request: AbstractRequest) -> None:
+        """Update the known schema after a CREATE/DROP statement."""
+        sql = request.sql.lstrip().upper()
+        with self._state_lock:
+            if sql.startswith("CREATE TABLE") and request.tables:
+                self._tables.add(request.tables[0].lower())
+            elif sql.startswith("DROP TABLE") and request.tables:
+                self._tables.discard(request.tables[0].lower())
+
+    @property
+    def tables(self) -> Set[str]:
+        with self._state_lock:
+            return set(self._tables)
+
+    def has_tables(self, tables: Iterable[str]) -> bool:
+        """True when every table in ``tables`` is hosted by this backend."""
+        wanted = {t.lower() for t in tables}
+        with self._state_lock:
+            return wanted.issubset(self._tables) if wanted else True
+
+    def has_any_table(self, tables: Iterable[str]) -> bool:
+        wanted = {t.lower() for t in tables}
+        with self._state_lock:
+            return bool(wanted & self._tables)
+
+    # -- load metrics ---------------------------------------------------------------
+
+    @property
+    def pending_requests(self) -> int:
+        with self._counters_lock:
+            return self._pending_requests
+
+    def _request_started(self, is_read: bool) -> None:
+        with self._counters_lock:
+            self._pending_requests += 1
+            self.total_requests += 1
+            if is_read:
+                self.total_reads += 1
+            else:
+                self.total_writes += 1
+
+    def _request_finished(self) -> None:
+        with self._counters_lock:
+            self._pending_requests = max(0, self._pending_requests - 1)
+
+    # -- execution --------------------------------------------------------------------
+
+    def execute_request(self, request: AbstractRequest) -> RequestResult:
+        """Execute a read or write request on this backend.
+
+        Autocommit requests borrow a pooled connection for the duration of the
+        statement.  Requests inside a transaction run on the connection
+        dedicated to that transaction, which is only created (and the
+        transaction only begun) on the backend's first statement — lazy
+        transaction begin.
+        """
+        self._request_started(request.is_read_only)
+        try:
+            if request.transaction_id is None:
+                connection = self.connection_manager.get_connection()
+                try:
+                    return self._execute_on(connection, request)
+                finally:
+                    self.connection_manager.release_connection(connection)
+            connection = self._connection_for_transaction(request.transaction_id)
+            return self._execute_on(connection, request)
+        except DatabaseError as exc:
+            self.failures += 1
+            raise BackendError(f"backend {self.name!r}: {exc}") from exc
+        finally:
+            self._request_finished()
+
+    def _execute_on(self, connection, request: AbstractRequest) -> RequestResult:
+        cursor = connection.cursor()
+        cursor.execute(request.sql, request.parameters)
+        if cursor.description is None:
+            result = RequestResult(update_count=cursor.rowcount)
+        else:
+            result = RequestResult(
+                columns=[d[0] for d in cursor.description],
+                rows=[list(row) for row in cursor.fetchall()],
+                update_count=-1,
+            )
+        result.backend_name = self.name
+        return result
+
+    # -- transaction management ----------------------------------------------------------
+
+    def has_transaction(self, transaction_id: int) -> bool:
+        with self._transaction_lock:
+            return transaction_id in self._transaction_connections
+
+    def _connection_for_transaction(self, transaction_id: int):
+        with self._transaction_lock:
+            connection = self._transaction_connections.get(transaction_id)
+            if connection is None:
+                connection = self.connection_manager.get_connection()
+                connection.begin()
+                self._transaction_connections[transaction_id] = connection
+                self.total_transactions_begun += 1
+            return connection
+
+    def begin_transaction(self, transaction_id: int) -> None:
+        """Eagerly start a transaction (used when lazy begin is disabled)."""
+        self._connection_for_transaction(transaction_id)
+
+    def commit(self, transaction_id: int) -> bool:
+        """Commit ``transaction_id`` if it ever touched this backend.
+
+        Returns True when a transaction was actually committed here.
+        """
+        with self._transaction_lock:
+            connection = self._transaction_connections.pop(transaction_id, None)
+        if connection is None:
+            return False
+        try:
+            connection.commit()
+        except DatabaseError as exc:
+            self.failures += 1
+            raise BackendError(f"backend {self.name!r} commit failed: {exc}") from exc
+        finally:
+            self.connection_manager.release_connection(connection)
+        return True
+
+    def rollback(self, transaction_id: int) -> bool:
+        with self._transaction_lock:
+            connection = self._transaction_connections.pop(transaction_id, None)
+        if connection is None:
+            return False
+        try:
+            connection.rollback()
+        except DatabaseError as exc:
+            self.failures += 1
+            raise BackendError(f"backend {self.name!r} rollback failed: {exc}") from exc
+        finally:
+            self.connection_manager.release_connection(connection)
+        return True
+
+    def abort_all_transactions(self) -> None:
+        with self._transaction_lock:
+            connections = dict(self._transaction_connections)
+            self._transaction_connections.clear()
+        for connection in connections.values():
+            try:
+                connection.rollback()
+            except Exception:  # noqa: BLE001 - best effort during disable
+                pass
+            self.connection_manager.release_connection(connection)
+
+    @property
+    def active_transactions(self) -> List[int]:
+        with self._transaction_lock:
+            return sorted(self._transaction_connections)
+
+    # -- direct access (checkpointing / recovery) -----------------------------------------
+
+    def raw_connection(self):
+        """A connection outside of any pool bookkeeping, for admin tasks."""
+        return self._connection_factory()
+
+    def statistics(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "state": self.state.value,
+            "weight": self.weight,
+            "pending_requests": self.pending_requests,
+            "total_requests": self.total_requests,
+            "total_reads": self.total_reads,
+            "total_writes": self.total_writes,
+            "total_transactions": self.total_transactions_begun,
+            "failures": self.failures,
+            "tables": sorted(self.tables),
+            "last_known_checkpoint": self.last_known_checkpoint,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DatabaseBackend({self.name!r}, {self.state.value})"

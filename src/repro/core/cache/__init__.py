@@ -1,0 +1,29 @@
+"""Query result cache (paper §2.4.2).
+
+The cache stores the materialized result set of SELECT requests.  By default
+it provides *strong consistency*: any update invalidates every entry that
+may contain stale data.  Consistency can be relaxed per table with
+:class:`repro.core.cache.rules.RelaxationRule`, which keeps entries for a
+bounded staleness period regardless of updates (used by the RUBiS
+experiment, Table 1 of the paper).
+"""
+
+from repro.core.cache.granularity import (
+    CacheGranularity,
+    ColumnGranularity,
+    DatabaseGranularity,
+    TableGranularity,
+)
+from repro.core.cache.result_cache import CacheEntry, CacheStatistics, ResultCache
+from repro.core.cache.rules import RelaxationRule
+
+__all__ = [
+    "CacheEntry",
+    "CacheGranularity",
+    "CacheStatistics",
+    "ColumnGranularity",
+    "DatabaseGranularity",
+    "RelaxationRule",
+    "ResultCache",
+    "TableGranularity",
+]

@@ -1,0 +1,188 @@
+"""The query result cache itself.
+
+Entries are keyed by ``(sql, parameters)``.  A bounded number of entries is
+kept with LRU eviction.  Invalidation is delegated to a
+:class:`repro.core.cache.granularity.CacheGranularity`; relaxed-consistency
+rules may keep an entry alive for a staleness window after an invalidating
+write (the entry is then flagged stale and dropped once the window closes).
+
+The cache accepts an injectable ``clock`` so that the discrete-event
+simulator and the tests can control time deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from repro.core.cache.granularity import CacheGranularity, TableGranularity
+from repro.core.cache.rules import RelaxationRule, first_matching_rule
+from repro.core.request import AbstractRequest, RequestResult
+
+
+@dataclass
+class CacheEntry:
+    """One cached SELECT result."""
+
+    sql: str
+    parameters: Tuple
+    tables: Tuple[str, ...]
+    result: RequestResult
+    created_at: float
+    #: when set, the entry has been invalidated by a write but survives until
+    #: this deadline thanks to a relaxation rule
+    stale_deadline: Optional[float] = None
+    hits: int = 0
+
+    def is_expired(self, now: float) -> bool:
+        return self.stale_deadline is not None and now >= self.stale_deadline
+
+
+@dataclass
+class CacheStatistics:
+    hits: int = 0
+    misses: int = 0
+    inserts: int = 0
+    invalidations: int = 0
+    stale_hits: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "inserts": self.inserts,
+            "invalidations": self.invalidations,
+            "stale_hits": self.stale_hits,
+            "evictions": self.evictions,
+            "hit_ratio": round(self.hit_ratio, 4),
+        }
+
+
+class ResultCache:
+    """LRU query-result cache with pluggable invalidation granularity."""
+
+    def __init__(
+        self,
+        granularity: Optional[CacheGranularity] = None,
+        max_entries: int = 10000,
+        relaxation_rules: Iterable[RelaxationRule] = (),
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        self.granularity = granularity or TableGranularity()
+        self.max_entries = max_entries
+        self.relaxation_rules: List[RelaxationRule] = list(relaxation_rules)
+        self._clock = clock or time.monotonic
+        self._entries: "OrderedDict[Tuple[str, Tuple], CacheEntry]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.statistics = CacheStatistics()
+
+    # -- lookup / store ------------------------------------------------------------
+
+    def get(self, request: AbstractRequest) -> Optional[RequestResult]:
+        """Return a cached result for this SELECT, or None on miss."""
+        key = request.cache_key()
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.statistics.misses += 1
+                return None
+            if entry.is_expired(now):
+                del self._entries[key]
+                self.statistics.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            entry.hits += 1
+            self.statistics.hits += 1
+            if entry.stale_deadline is not None:
+                self.statistics.stale_hits += 1
+            result = entry.result.copy()
+            result.from_cache = True
+            return result
+
+    def put(self, request: AbstractRequest, result: RequestResult) -> None:
+        """Cache the result of a SELECT request."""
+        key = request.cache_key()
+        entry = CacheEntry(
+            sql=request.sql,
+            parameters=tuple(request.parameters),
+            tables=tuple(request.tables),
+            result=result.copy(),
+            created_at=self._clock(),
+        )
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            self.statistics.inserts += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.statistics.evictions += 1
+
+    # -- invalidation -----------------------------------------------------------------
+
+    def invalidate(self, write: AbstractRequest) -> int:
+        """Process a write: drop or mark-stale every affected entry.
+
+        Returns the number of entries dropped immediately.
+        """
+        now = self._clock()
+        dropped = 0
+        with self._lock:
+            for key, entry in list(self._entries.items()):
+                if entry.is_expired(now):
+                    del self._entries[key]
+                    dropped += 1
+                    continue
+                if not self.granularity.invalidates(write, entry):
+                    continue
+                rule = self._rule_for(entry)
+                if rule is not None and rule.keep_on_write:
+                    if entry.stale_deadline is None:
+                        entry.stale_deadline = now + rule.staleness_seconds
+                    continue
+                del self._entries[key]
+                dropped += 1
+            self.statistics.invalidations += dropped
+        return dropped
+
+    def _rule_for(self, entry: CacheEntry) -> Optional[RelaxationRule]:
+        if not self.relaxation_rules:
+            return None
+        # Build a lightweight request-like shim for rule matching.
+        shim = _EntryShim(entry.sql, entry.tables)
+        return first_matching_rule(self.relaxation_rules, shim)
+
+    def flush(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    # -- introspection ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def entries(self) -> List[CacheEntry]:
+        with self._lock:
+            return list(self._entries.values())
+
+
+class _EntryShim:
+    """Just enough of the request interface for rule matching."""
+
+    def __init__(self, sql: str, tables: Tuple[str, ...]):
+        self.sql = sql
+        self.tables = tables

@@ -1,0 +1,220 @@
+"""Configuration layer: build virtual databases from declarative descriptions.
+
+The real C-JDBC is configured through an XML file per virtual database.  The
+equivalent here is a plain dictionary (or keyword arguments) consumed by
+:class:`VirtualDatabaseConfig` / :func:`build_virtual_database`, covering the
+same knobs: replication level (RAIDb-0/1/2 or single), load-balancing
+policy, wait-for-completion (early response), scheduler, result cache and
+its granularity and relaxation rules, recovery log and authentication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.authentication import AuthenticationManager
+from repro.core.backend import DatabaseBackend
+from repro.core.cache import RelaxationRule, ResultCache
+from repro.core.cache.granularity import granularity_from_name
+from repro.core.connection_manager import (
+    FailFastPoolConnectionManager,
+    RandomWaitPoolConnectionManager,
+    SimpleConnectionManager,
+    VariablePoolConnectionManager,
+)
+from repro.core.loadbalancer import (
+    RAIDb0LoadBalancer,
+    RAIDb1LoadBalancer,
+    RAIDb2LoadBalancer,
+    SingleDBLoadBalancer,
+    WaitForCompletion,
+    policy_from_name,
+)
+from repro.core.recovery.recovery_log import FileRecoveryLog, MemoryRecoveryLog
+from repro.core.request_manager import RequestManager
+from repro.core.scheduler import (
+    OptimisticTransactionLevelScheduler,
+    PassThroughScheduler,
+    PessimisticTransactionLevelScheduler,
+)
+from repro.core.virtualdb import VirtualDatabase
+from repro.errors import ConfigurationError
+from repro.sql import dbapi
+from repro.sql.engine import DatabaseEngine
+from repro.sql.metadata import DatabaseMetaData
+
+
+@dataclass
+class BackendConfig:
+    """Description of one backend attached to a virtual database."""
+
+    name: str
+    #: an engine to create a local backend for, or None when a custom
+    #: connection factory is supplied
+    engine: Optional[DatabaseEngine] = None
+    connection_factory: Optional[Callable[[], object]] = None
+    metadata_factory: Optional[Callable[[], object]] = None
+    weight: int = 1
+    connection_manager: str = "variable"
+    pool_size: int = 10
+    static_schema: Optional[Sequence[str]] = None
+
+
+@dataclass
+class VirtualDatabaseConfig:
+    """Declarative description of a virtual database."""
+
+    name: str
+    backends: List[BackendConfig] = field(default_factory=list)
+    replication: str = "raidb1"            # single | raidb0 | raidb1 | raidb2
+    load_balancing_policy: str = "lprf"    # rr | wrr | lprf
+    wait_for_completion: str = "all"       # first | majority | all
+    scheduler: str = "optimistic"          # passthrough | optimistic | pessimistic
+    lazy_transaction_begin: bool = True
+    cache_enabled: bool = False
+    cache_granularity: str = "table"       # database | table | column
+    cache_max_entries: int = 10000
+    cache_relaxation_rules: List[RelaxationRule] = field(default_factory=list)
+    recovery_log: str = "memory"           # none | memory | file:<path>
+    users: Dict[str, str] = field(default_factory=dict)
+    transparent_authentication: bool = True
+    group_name: Optional[str] = None
+    #: table -> backend names, for RAIDb-2 DDL placement
+    replication_map: Dict[str, List[str]] = field(default_factory=dict)
+    #: table -> backend name, for RAIDb-0 DDL placement
+    partition_map: Dict[str, str] = field(default_factory=dict)
+
+
+def build_virtual_database(config: VirtualDatabaseConfig) -> VirtualDatabase:
+    """Instantiate a virtual database (and all its components) from a config."""
+    backends = []
+    engines: Dict[str, DatabaseEngine] = {}
+    for backend_config in config.backends:
+        backend = _build_backend(backend_config)
+        backends.append(backend)
+        if backend_config.engine is not None:
+            engines[backend_config.name] = backend_config.engine
+
+    scheduler = _build_scheduler(config.scheduler)
+    load_balancer = _build_load_balancer(config)
+    result_cache = _build_cache(config)
+    recovery_log = _build_recovery_log(config.recovery_log)
+
+    request_manager = RequestManager(
+        backends=backends,
+        scheduler=scheduler,
+        load_balancer=load_balancer,
+        result_cache=result_cache,
+        recovery_log=recovery_log,
+        lazy_transaction_begin=config.lazy_transaction_begin,
+    )
+    authentication = AuthenticationManager(transparent=config.transparent_authentication)
+    for login, password in config.users.items():
+        authentication.add_virtual_user(login, password)
+
+    virtual_database = VirtualDatabase(
+        name=config.name,
+        request_manager=request_manager,
+        authentication_manager=authentication,
+        group_name=config.group_name,
+    )
+    for backend in backends:
+        engine = engines.get(backend.name)
+        if engine is not None:
+            virtual_database._backend_engines[backend.name] = engine
+        backend.enable()
+    return virtual_database
+
+
+# ---------------------------------------------------------------------------
+# component builders
+# ---------------------------------------------------------------------------
+
+
+def _build_backend(config: BackendConfig) -> DatabaseBackend:
+    if config.connection_factory is not None:
+        factory = config.connection_factory
+        metadata_factory = config.metadata_factory
+    elif config.engine is not None:
+        engine = config.engine
+        factory = lambda: dbapi.connect(engine)  # noqa: E731 - closure over engine
+        metadata_factory = lambda: DatabaseMetaData(engine)  # noqa: E731
+    else:
+        raise ConfigurationError(
+            f"backend {config.name!r} needs either an engine or a connection factory"
+        )
+    manager_kind = config.connection_manager.lower()
+    if manager_kind == "simple":
+        manager = SimpleConnectionManager(factory)
+    elif manager_kind in ("failfast", "fail_fast"):
+        manager = FailFastPoolConnectionManager(factory, pool_size=config.pool_size)
+    elif manager_kind in ("randomwait", "random_wait"):
+        manager = RandomWaitPoolConnectionManager(factory, pool_size=config.pool_size)
+    elif manager_kind == "variable":
+        manager = VariablePoolConnectionManager(factory, initial_pool_size=config.pool_size)
+    else:
+        raise ConfigurationError(f"unknown connection manager {config.connection_manager!r}")
+    return DatabaseBackend(
+        name=config.name,
+        connection_factory=factory,
+        connection_manager=manager,
+        weight=config.weight,
+        static_schema=config.static_schema,
+        metadata_factory=metadata_factory,
+    )
+
+
+def _build_scheduler(name: str):
+    lowered = name.lower()
+    if lowered in ("passthrough", "pass_through", "singledb"):
+        return PassThroughScheduler()
+    if lowered == "optimistic":
+        return OptimisticTransactionLevelScheduler()
+    if lowered == "pessimistic":
+        return PessimisticTransactionLevelScheduler()
+    raise ConfigurationError(f"unknown scheduler {name!r}")
+
+
+def _build_load_balancer(config: VirtualDatabaseConfig):
+    policy = policy_from_name(config.load_balancing_policy)
+    wait = WaitForCompletion(config.wait_for_completion.lower())
+    replication = config.replication.lower()
+    if replication in ("single", "singledb"):
+        return SingleDBLoadBalancer(read_policy=policy, wait_for_completion=wait)
+    if replication in ("raidb0", "raidb-0", "partition"):
+        return RAIDb0LoadBalancer(
+            read_policy=policy,
+            wait_for_completion=wait,
+            partition_map=config.partition_map,
+        )
+    if replication in ("raidb1", "raidb-1", "full"):
+        return RAIDb1LoadBalancer(read_policy=policy, wait_for_completion=wait)
+    if replication in ("raidb2", "raidb-2", "partial"):
+        return RAIDb2LoadBalancer(
+            read_policy=policy,
+            wait_for_completion=wait,
+            replication_map={t: set(b) for t, b in config.replication_map.items()},
+        )
+    raise ConfigurationError(f"unknown replication level {config.replication!r}")
+
+
+def _build_cache(config: VirtualDatabaseConfig) -> Optional[ResultCache]:
+    if not config.cache_enabled:
+        return None
+    return ResultCache(
+        granularity=granularity_from_name(config.cache_granularity),
+        max_entries=config.cache_max_entries,
+        relaxation_rules=config.cache_relaxation_rules,
+    )
+
+
+def _build_recovery_log(spec: str):
+    lowered = spec.lower()
+    if lowered == "none":
+        return None
+    if lowered == "memory":
+        return MemoryRecoveryLog()
+    if lowered.startswith("file:"):
+        return FileRecoveryLog(spec[len("file:") :])
+    raise ConfigurationError(f"unknown recovery log specification {spec!r}")

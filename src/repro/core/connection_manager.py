@@ -1,0 +1,221 @@
+"""Connection managers for database backends.
+
+"If the native driver is not capable of connection pooling, C-JDBC can be
+configured to provide a connection manager for this purpose" (paper §2.2).
+C-JDBC shipped several pooling strategies; we implement the same family:
+
+* :class:`SimpleConnectionManager` — a new connection per checkout;
+* :class:`FailFastPoolConnectionManager` — fixed-size pool, error when empty;
+* :class:`RandomWaitPoolConnectionManager` — fixed-size pool, blocks until a
+  connection is returned (with timeout);
+* :class:`VariablePoolConnectionManager` — grows on demand up to an optional
+  maximum, shrinks back to the initial size when connections are idle.
+
+A *connection factory* is any zero-argument callable returning a DB-API
+connection; this is how the same code manages connections to a local engine
+(via :mod:`repro.sql.dbapi`) or to another controller (via
+:mod:`repro.core.driver`) for vertical scalability.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Deque, Optional, Set
+
+from repro.errors import OperationalError
+
+ConnectionFactory = Callable[[], object]
+
+
+class ConnectionManager:
+    """Base class: checkout / release / close-all over a connection factory."""
+
+    def __init__(self, connection_factory: ConnectionFactory):
+        self._factory = connection_factory
+        self._lock = threading.Lock()
+        self._active: Set[object] = set()
+        self.connections_created = 0
+        self.checkouts = 0
+
+    # -- interface ---------------------------------------------------------------
+
+    def get_connection(self):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def release_connection(self, connection) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close_all(self) -> None:
+        with self._lock:
+            active = list(self._active)
+            self._active.clear()
+        for connection in active:
+            _safe_close(connection)
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _create(self):
+        connection = self._factory()
+        with self._lock:
+            self.connections_created += 1
+            self._active.add(connection)
+        return connection
+
+    def _note_checkout(self) -> None:
+        with self._lock:
+            self.checkouts += 1
+
+    def _forget(self, connection) -> None:
+        with self._lock:
+            self._active.discard(connection)
+
+    @property
+    def active_connections(self) -> int:
+        with self._lock:
+            return len(self._active)
+
+
+class SimpleConnectionManager(ConnectionManager):
+    """Opens a fresh connection per checkout and closes it on release."""
+
+    def get_connection(self):
+        self._note_checkout()
+        return self._create()
+
+    def release_connection(self, connection) -> None:
+        self._forget(connection)
+        _safe_close(connection)
+
+
+class _PooledConnectionManager(ConnectionManager):
+    """Shared machinery for the pool-based managers."""
+
+    def __init__(self, connection_factory: ConnectionFactory, pool_size: int):
+        super().__init__(connection_factory)
+        if pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+        self.pool_size = pool_size
+        self._idle: Deque[object] = deque()
+        self._condition = threading.Condition()
+        self._checked_out = 0
+
+    def _prefill(self) -> None:
+        for _ in range(self.pool_size):
+            self._idle.append(self._create())
+
+    def release_connection(self, connection) -> None:
+        with self._condition:
+            self._checked_out = max(0, self._checked_out - 1)
+            self._idle.append(connection)
+            self._condition.notify()
+
+    def discard_connection(self, connection) -> None:
+        """Drop a broken connection instead of returning it to the pool."""
+        with self._condition:
+            self._checked_out = max(0, self._checked_out - 1)
+            self._condition.notify()
+        self._forget(connection)
+        _safe_close(connection)
+
+    @property
+    def idle_connections(self) -> int:
+        with self._condition:
+            return len(self._idle)
+
+
+class FailFastPoolConnectionManager(_PooledConnectionManager):
+    """Fixed-size pool that raises immediately when exhausted."""
+
+    def __init__(self, connection_factory: ConnectionFactory, pool_size: int = 10):
+        super().__init__(connection_factory, pool_size)
+        self._prefill()
+
+    def get_connection(self):
+        self._note_checkout()
+        with self._condition:
+            if not self._idle:
+                raise OperationalError(
+                    f"connection pool exhausted ({self.pool_size} connections in use)"
+                )
+            self._checked_out += 1
+            return self._idle.popleft()
+
+
+class RandomWaitPoolConnectionManager(_PooledConnectionManager):
+    """Fixed-size pool that blocks (up to ``timeout`` seconds) when exhausted."""
+
+    def __init__(
+        self,
+        connection_factory: ConnectionFactory,
+        pool_size: int = 10,
+        timeout: float = 10.0,
+    ):
+        super().__init__(connection_factory, pool_size)
+        self.timeout = timeout
+        self._prefill()
+
+    def get_connection(self):
+        self._note_checkout()
+        with self._condition:
+            if not self._idle:
+                self._condition.wait(self.timeout)
+            if not self._idle:
+                raise OperationalError(
+                    f"timed out after {self.timeout}s waiting for a pooled connection"
+                )
+            self._checked_out += 1
+            return self._idle.popleft()
+
+
+class VariablePoolConnectionManager(_PooledConnectionManager):
+    """Pool that grows on demand up to ``max_pool_size`` (None = unbounded)."""
+
+    def __init__(
+        self,
+        connection_factory: ConnectionFactory,
+        initial_pool_size: int = 5,
+        max_pool_size: Optional[int] = None,
+    ):
+        super().__init__(connection_factory, initial_pool_size)
+        self.initial_pool_size = initial_pool_size
+        self.max_pool_size = max_pool_size
+        self._prefill()
+
+    def get_connection(self):
+        self._note_checkout()
+        with self._condition:
+            if self._idle:
+                self._checked_out += 1
+                return self._idle.popleft()
+            total = self._checked_out + len(self._idle)
+            if self.max_pool_size is not None and total >= self.max_pool_size:
+                raise OperationalError(
+                    f"variable pool reached its maximum size ({self.max_pool_size})"
+                )
+            self._checked_out += 1
+        return self._create()
+
+    def release_connection(self, connection) -> None:
+        with self._condition:
+            self._checked_out = max(0, self._checked_out - 1)
+            if len(self._idle) >= self.initial_pool_size:
+                # shrink back: close surplus connections instead of pooling them
+                self._condition.notify()
+                surplus = connection
+            else:
+                self._idle.append(connection)
+                self._condition.notify()
+                return
+        self._forget(surplus)
+        _safe_close(surplus)
+
+
+def _safe_close(connection) -> None:
+    close = getattr(connection, "close", None)
+    if close is None:
+        return
+    try:
+        close()
+    except Exception:  # noqa: BLE001 - closing must never propagate
+        pass

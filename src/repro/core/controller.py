@@ -1,0 +1,104 @@
+"""The C-JDBC controller (paper §2.2).
+
+"The C-JDBC controller is a Java program that acts as a proxy between the
+C-JDBC driver and the database backends.  The controller exposes a single
+database view, called a virtual database, to the C-JDBC driver and thus to
+the application.  A controller can host multiple virtual databases."
+
+In this reproduction the controller is an in-process object; the C-JDBC
+driver talks to it through direct method calls (the serialization boundary
+of the real system is immaterial to the clustering logic being reproduced).
+Controllers can still be replicated (horizontal scalability, see
+:mod:`repro.distrib`) and nested (vertical scalability) exactly like in the
+paper.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from repro.core.management.registry import MBeanRegistry
+from repro.core.virtualdb import VirtualDatabase
+from repro.errors import ControllerError, UnknownVirtualDatabaseError
+
+
+class Controller:
+    """Hosts virtual databases and exposes them to C-JDBC drivers."""
+
+    def __init__(self, name: str = "controller", jmx_enabled: bool = True):
+        self.name = name
+        self._virtual_databases: Dict[str, VirtualDatabase] = {}
+        self._lock = threading.RLock()
+        self._shutdown = False
+        #: JMX-like registry for monitoring and administration (Figure 1)
+        self.mbean_registry = MBeanRegistry() if jmx_enabled else None
+        if self.mbean_registry is not None:
+            self.mbean_registry.register(f"controller:{self.name}", self)
+
+    # -- virtual database management ------------------------------------------------
+
+    def add_virtual_database(self, virtual_database: VirtualDatabase) -> None:
+        with self._lock:
+            if virtual_database.name.lower() in self._virtual_databases:
+                raise ControllerError(
+                    f"virtual database {virtual_database.name!r} already hosted"
+                )
+            self._virtual_databases[virtual_database.name.lower()] = virtual_database
+        if self.mbean_registry is not None:
+            self.mbean_registry.register(
+                f"virtualdatabase:{virtual_database.name}", virtual_database
+            )
+
+    def remove_virtual_database(self, name: str) -> None:
+        with self._lock:
+            self._virtual_databases.pop(name.lower(), None)
+        if self.mbean_registry is not None:
+            self.mbean_registry.unregister(f"virtualdatabase:{name}")
+
+    def get_virtual_database(self, name: str) -> VirtualDatabase:
+        if self._shutdown:
+            raise ControllerError(f"controller {self.name!r} is shut down")
+        with self._lock:
+            virtual_database = self._virtual_databases.get(name.lower())
+        if virtual_database is None:
+            raise UnknownVirtualDatabaseError(
+                f"controller {self.name!r} does not host virtual database {name!r}"
+            )
+        return virtual_database
+
+    def has_virtual_database(self, name: str) -> bool:
+        with self._lock:
+            return name.lower() in self._virtual_databases
+
+    @property
+    def virtual_database_names(self) -> List[str]:
+        with self._lock:
+            return sorted(vdb.name for vdb in self._virtual_databases.values())
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    @property
+    def is_shutdown(self) -> bool:
+        return self._shutdown
+
+    def shutdown(self) -> None:
+        """Stop accepting new work; used by fail-over tests and examples."""
+        self._shutdown = True
+
+    def restart(self) -> None:
+        self._shutdown = False
+
+    # -- monitoring ---------------------------------------------------------------------
+
+    def statistics(self) -> dict:
+        with self._lock:
+            virtual_databases = list(self._virtual_databases.values())
+        return {
+            "controller": self.name,
+            "shutdown": self._shutdown,
+            "virtual_databases": {vdb.name: vdb.statistics() for vdb in virtual_databases},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Controller({self.name!r}, vdbs={self.virtual_database_names})"

@@ -1,0 +1,349 @@
+"""The C-JDBC client driver (paper §2.3).
+
+"The client application uses a C-JDBC driver that replaces the
+database-specific JDBC driver but offers the same interface."  Here the
+"same interface" is DB-API 2.0, the Python equivalent: applications written
+against :mod:`repro.sql.dbapi` work unchanged when pointed at a virtual
+database through this module.
+
+The driver also implements transparent controller failover: it can be given
+several controllers hosting the same virtual database (horizontal
+scalability) and it re-routes a connection to the next controller when the
+current one fails (§2.3, §4.1).  A full result set is materialized on the
+controller and handed to the driver, so clients browse results locally.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+from repro.core.controller import Controller
+from repro.core.request import RequestResult
+from repro.core.virtualdb import VirtualDatabase
+from repro.errors import (
+    CJDBCError,
+    ControllerError,
+    DatabaseError,
+    InterfaceError,
+    NoMoreBackendError,
+)
+
+apilevel = "2.0"
+threadsafety = 1
+paramstyle = "qmark"
+
+
+def connect(
+    controllers: Union[Controller, Sequence[Controller]],
+    database: str,
+    user: str = "",
+    password: str = "",
+) -> "VirtualConnection":
+    """Open a connection to a virtual database.
+
+    ``controllers`` may be a single controller or an ordered list of
+    controllers hosting the same (distributed) virtual database; the driver
+    uses the first reachable one and transparently fails over to the others.
+    """
+    if isinstance(controllers, Controller):
+        controllers = [controllers]
+    if not controllers:
+        raise InterfaceError("at least one controller is required")
+    return VirtualConnection(list(controllers), database, user, password)
+
+
+class VirtualConnection:
+    """A DB-API connection to a virtual database through one or more controllers."""
+
+    def __init__(
+        self,
+        controllers: List[Controller],
+        database: str,
+        user: str,
+        password: str,
+    ):
+        self._controllers = controllers
+        self.database = database
+        self.user = user
+        self.password = password
+        self._lock = threading.RLock()
+        self._closed = False
+        self._autocommit = True
+        self._transaction_id: Optional[int] = None
+        self._controller_index = 0
+        self.failovers = 0
+        # Validate credentials against the first reachable controller now, the
+        # way the JDBC driver authenticates when the connection is opened.
+        self._virtual_database().check_credentials(user, password)
+
+    # -- controller selection / failover -------------------------------------------------
+
+    def _virtual_database(self) -> VirtualDatabase:
+        """Current controller's virtual database, failing over when needed."""
+        with self._lock:
+            attempts = 0
+            while attempts < len(self._controllers):
+                controller = self._controllers[self._controller_index]
+                try:
+                    return controller.get_virtual_database(self.database)
+                except ControllerError:
+                    self._controller_index = (self._controller_index + 1) % len(
+                        self._controllers
+                    )
+                    self.failovers += 1
+                    attempts += 1
+            raise ControllerError(
+                f"no controller can serve virtual database {self.database!r}"
+            )
+
+    @property
+    def current_controller(self) -> Controller:
+        with self._lock:
+            return self._controllers[self._controller_index]
+
+    # -- DB-API surface ------------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def autocommit(self) -> bool:
+        return self._autocommit
+
+    @autocommit.setter
+    def autocommit(self, value: bool) -> None:
+        self._check_open()
+        value = bool(value)
+        if value and self._transaction_id is not None:
+            self.commit()
+        self._autocommit = value
+
+    def begin(self) -> Optional[int]:
+        """Explicitly start a transaction.
+
+        The transaction ends at the next :meth:`commit` or :meth:`rollback`;
+        afterwards the connection returns to its ``autocommit`` setting (so a
+        ``begin()``/``commit()`` block on an autocommit connection does not
+        silently leave every later statement inside implicit transactions —
+        which would in particular make them ineligible for the query result
+        cache).
+        """
+        self._check_open()
+        with self._lock:
+            if self._transaction_id is None:
+                self._transaction_id = self._virtual_database().begin(self.user)
+            return self._transaction_id
+
+    def commit(self) -> None:
+        self._check_open()
+        with self._lock:
+            if self._transaction_id is None:
+                return
+            transaction_id, self._transaction_id = self._transaction_id, None
+        self._virtual_database().commit(transaction_id, self.user)
+
+    def rollback(self) -> None:
+        self._check_open()
+        with self._lock:
+            if self._transaction_id is None:
+                return
+            transaction_id, self._transaction_id = self._transaction_id, None
+        self._virtual_database().rollback(transaction_id, self.user)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        if self._transaction_id is not None:
+            try:
+                self.rollback()
+            except CJDBCError:
+                pass
+        self._closed = True
+
+    def cursor(self) -> "VirtualCursor":
+        self._check_open()
+        return VirtualCursor(self)
+
+    def execute(self, sql: str, parameters: Sequence[Any] = ()) -> "VirtualCursor":
+        cursor = self.cursor()
+        cursor.execute(sql, parameters)
+        return cursor
+
+    # -- internals ----------------------------------------------------------------------------
+
+    def _ensure_transaction(self) -> Optional[int]:
+        with self._lock:
+            if self._transaction_id is not None:
+                return self._transaction_id
+            if self._autocommit:
+                return None
+            self._transaction_id = self._virtual_database().begin(self.user)
+            return self._transaction_id
+
+    def _run(self, sql: str, parameters: Sequence[Any]) -> RequestResult:
+        self._check_open()
+        transaction_id = self._ensure_transaction()
+        last_error: Optional[Exception] = None
+        for _attempt in range(len(self._controllers)):
+            virtual_database = self._virtual_database()
+            try:
+                return virtual_database.execute(
+                    sql, parameters, login=self.user, transaction_id=transaction_id
+                )
+            except ControllerError as exc:
+                # Controller died mid-request: fail over.  In-flight
+                # transactions cannot be transparently migrated (the paper's
+                # driver aborts them), so surface an error in that case.
+                last_error = exc
+                with self._lock:
+                    self._controller_index = (self._controller_index + 1) % len(
+                        self._controllers
+                    )
+                    self.failovers += 1
+                if transaction_id is not None:
+                    self._transaction_id = None
+                    raise DatabaseError(
+                        "controller failed during a transaction; transaction aborted"
+                    ) from exc
+        raise DatabaseError(f"all controllers failed: {last_error}")
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("connection is closed")
+
+    def __enter__(self) -> "VirtualConnection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+        self.close()
+
+
+class VirtualCursor:
+    """DB-API cursor over a virtual connection; results are fully materialized."""
+
+    arraysize = 1
+
+    def __init__(self, connection: VirtualConnection):
+        self._connection = connection
+        self._result: Optional[RequestResult] = None
+        self._position = 0
+        self._closed = False
+
+    # -- metadata -------------------------------------------------------------------------
+
+    @property
+    def description(self) -> Optional[List[Tuple]]:
+        if self._result is None or not self._result.columns:
+            return None
+        return [(name, None, None, None, None, None, None) for name in self._result.columns]
+
+    @property
+    def rowcount(self) -> int:
+        if self._result is None:
+            return -1
+        if self._result.columns:
+            return len(self._result.rows)
+        return self._result.update_count
+
+    @property
+    def columns(self) -> List[str]:
+        return list(self._result.columns) if self._result else []
+
+    @property
+    def from_cache(self) -> bool:
+        """Extension: True when the last result came from the query result cache."""
+        return bool(self._result and self._result.from_cache)
+
+    @property
+    def backend_name(self) -> Optional[str]:
+        """Extension: name of the backend that served the last read."""
+        return self._result.backend_name if self._result else None
+
+    # -- execution -------------------------------------------------------------------------
+
+    def execute(self, sql: str, parameters: Sequence[Any] = ()) -> "VirtualCursor":
+        self._check_open()
+        self._result = self._connection._run(sql, tuple(parameters))
+        self._position = 0
+        return self
+
+    def executemany(self, sql: str, seq_of_parameters: Sequence[Sequence[Any]]) -> "VirtualCursor":
+        self._check_open()
+        total = 0
+        for parameters in seq_of_parameters:
+            self.execute(sql, parameters)
+            if self._result is not None and self._result.update_count > 0:
+                total += self._result.update_count
+        if self._result is not None:
+            self._result.update_count = total
+        return self
+
+    # -- fetching ---------------------------------------------------------------------------
+
+    def fetchone(self) -> Optional[Tuple[Any, ...]]:
+        self._check_has_result()
+        if self._position >= len(self._result.rows):
+            return None
+        row = tuple(self._result.rows[self._position])
+        self._position += 1
+        return row
+
+    def fetchmany(self, size: Optional[int] = None) -> List[Tuple[Any, ...]]:
+        self._check_has_result()
+        count = size if size is not None else self.arraysize
+        rows = []
+        for _ in range(count):
+            row = self.fetchone()
+            if row is None:
+                break
+            rows.append(row)
+        return rows
+
+    def fetchall(self) -> List[Tuple[Any, ...]]:
+        self._check_has_result()
+        rows = [tuple(row) for row in self._result.rows[self._position :]]
+        self._position = len(self._result.rows)
+        return rows
+
+    def fetchall_dicts(self) -> List[dict]:
+        self._check_has_result()
+        return self._result.as_dicts()
+
+    def scalar(self) -> Any:
+        self._check_has_result()
+        return self._result.scalar()
+
+    # -- misc --------------------------------------------------------------------------------
+
+    def setinputsizes(self, sizes) -> None:  # pragma: no cover - DB-API stub
+        return None
+
+    def setoutputsize(self, size, column=None) -> None:  # pragma: no cover
+        return None
+
+    def close(self) -> None:
+        self._closed = True
+        self._result = None
+
+    def __iter__(self):
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("cursor is closed")
+        self._connection._check_open()
+
+    def _check_has_result(self) -> None:
+        self._check_open()
+        if self._result is None:
+            raise InterfaceError("no statement executed yet")

@@ -1,0 +1,40 @@
+"""Load balancers (paper §2.4.3) and read-selection policies.
+
+C-JDBC names its replication levels after RAID: RAIDb-0 (partitioning,
+no replication), RAIDb-1 (full replication) and RAIDb-2 (partial
+replication).  The load balancer routes reads to one backend chosen by a
+policy (round robin, weighted round robin, least pending requests first)
+and broadcasts writes to every backend hosting the written tables, with the
+early-response optimisation of §2.4.4 controlling when the client gets its
+answer back.
+"""
+
+from repro.core.loadbalancer.base import (
+    AbstractLoadBalancer,
+    WaitForCompletion,
+    WriteOutcome,
+)
+from repro.core.loadbalancer.policies import (
+    LeastPendingRequestsFirst,
+    RoundRobinPolicy,
+    WeightedRoundRobinPolicy,
+    policy_from_name,
+)
+from repro.core.loadbalancer.raidb0 import RAIDb0LoadBalancer
+from repro.core.loadbalancer.raidb1 import RAIDb1LoadBalancer
+from repro.core.loadbalancer.raidb2 import RAIDb2LoadBalancer
+from repro.core.loadbalancer.single import SingleDBLoadBalancer
+
+__all__ = [
+    "AbstractLoadBalancer",
+    "LeastPendingRequestsFirst",
+    "RAIDb0LoadBalancer",
+    "RAIDb1LoadBalancer",
+    "RAIDb2LoadBalancer",
+    "RoundRobinPolicy",
+    "SingleDBLoadBalancer",
+    "WaitForCompletion",
+    "WeightedRoundRobinPolicy",
+    "WriteOutcome",
+    "policy_from_name",
+]

@@ -1,0 +1,224 @@
+"""Load balancer base class: read routing, write broadcast, early response.
+
+Writes, commits and aborts are sent to every backend concerned; the
+*wait-for-completion* policy (paper §2.4.4, "early response") decides when
+the result is returned to the client: after the first backend completes,
+after a majority, or after all of them.  When responding early the remaining
+executions continue on background threads, and the per-transaction
+connection mapping in :class:`repro.core.backend.DatabaseBackend` guarantees
+that a later statement of the same transaction executes after the earlier
+ones on each backend (the ordering guarantee called out in the paper).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.backend import DatabaseBackend
+from repro.core.loadbalancer.policies import LeastPendingRequestsFirst, ReadPolicy
+from repro.core.request import AbstractRequest, RequestResult
+from repro.errors import BackendError, NoMoreBackendError
+
+
+class WaitForCompletion(Enum):
+    """When to answer the client for a broadcast operation."""
+
+    FIRST = "first"
+    MAJORITY = "majority"
+    ALL = "all"
+
+
+@dataclass
+class WriteOutcome:
+    """Aggregate outcome of broadcasting a write to several backends."""
+
+    result: RequestResult
+    successes: List[str] = field(default_factory=list)
+    failures: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def backends_executed(self) -> int:
+        return len(self.successes)
+
+
+class AbstractLoadBalancer:
+    """Common machinery shared by the RAIDb levels."""
+
+    #: human-readable replication level, overridden by subclasses
+    raidb_level = "abstract"
+
+    def __init__(
+        self,
+        read_policy: Optional[ReadPolicy] = None,
+        wait_for_completion: WaitForCompletion = WaitForCompletion.ALL,
+        max_writer_threads: int = 16,
+    ):
+        self.read_policy = read_policy or LeastPendingRequestsFirst()
+        self.wait_for_completion = wait_for_completion
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_writer_threads, thread_name_prefix="cjdbc-writer"
+        )
+        #: called with (backend, exception) whenever a backend fails a write;
+        #: the request manager plugs backend disabling in here (paper §2.4.1)
+        self.on_backend_failure: Optional[Callable[[DatabaseBackend, Exception], None]] = None
+        self.reads_executed = 0
+        self.writes_executed = 0
+        self._stats_lock = threading.Lock()
+
+    # -- candidate selection (overridden per RAIDb level) -------------------------
+
+    def read_candidates(
+        self, request: AbstractRequest, backends: Sequence[DatabaseBackend]
+    ) -> List[DatabaseBackend]:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def write_targets(
+        self, request: AbstractRequest, backends: Sequence[DatabaseBackend]
+    ) -> List[DatabaseBackend]:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    # -- reads ---------------------------------------------------------------------
+
+    def execute_read_request(
+        self, request: AbstractRequest, backends: Sequence[DatabaseBackend]
+    ) -> RequestResult:
+        """Route a read to one backend chosen by the policy.
+
+        Inside a transaction, reads stick to a backend that already hosts the
+        transaction when possible so they observe the transaction's own
+        uncommitted writes.
+        """
+        candidates = self.read_candidates(request, backends)
+        if not candidates:
+            raise NoMoreBackendError(
+                f"no enabled backend hosts tables {list(request.tables)!r}"
+            )
+        if request.transaction_id is not None:
+            bound = [b for b in candidates if b.has_transaction(request.transaction_id)]
+            if bound:
+                candidates = bound
+        backend = self.read_policy.choose(candidates)
+        result = backend.execute_request(request)
+        with self._stats_lock:
+            self.reads_executed += 1
+        return result
+
+    # -- writes -----------------------------------------------------------------------
+
+    def execute_write_request(
+        self, request: AbstractRequest, backends: Sequence[DatabaseBackend]
+    ) -> WriteOutcome:
+        """Broadcast a write to every backend hosting the written tables."""
+        targets = self.write_targets(request, backends)
+        if not targets:
+            raise NoMoreBackendError(
+                f"no enabled backend hosts tables {list(request.tables)!r}"
+            )
+        outcome = self._broadcast(targets, lambda backend: backend.execute_request(request))
+        with self._stats_lock:
+            self.writes_executed += 1
+        return outcome
+
+    def broadcast_transaction_operation(
+        self,
+        backends: Sequence[DatabaseBackend],
+        operation: Callable[[DatabaseBackend], object],
+    ) -> WriteOutcome:
+        """Broadcast a commit/rollback/begin to the given backends."""
+        targets = [backend for backend in backends if backend.is_enabled]
+        if not targets:
+            raise NoMoreBackendError("no enabled backend left")
+        return self._broadcast(targets, operation)
+
+    # -- broadcast machinery --------------------------------------------------------------
+
+    def _broadcast(
+        self,
+        targets: Sequence[DatabaseBackend],
+        operation: Callable[[DatabaseBackend], object],
+    ) -> WriteOutcome:
+        outcome = WriteOutcome(result=RequestResult(update_count=0))
+        outcome_lock = threading.Lock()
+        first_result: List[RequestResult] = []
+
+        def run(backend: DatabaseBackend):
+            try:
+                result = operation(backend)
+            except Exception as exc:  # noqa: BLE001 - failure handling below
+                with outcome_lock:
+                    outcome.failures[backend.name] = str(exc)
+                if self.on_backend_failure is not None:
+                    self.on_backend_failure(backend, exc)
+                raise
+            with outcome_lock:
+                outcome.successes.append(backend.name)
+                if isinstance(result, RequestResult) and not first_result:
+                    first_result.append(result)
+            return result
+
+        if len(targets) == 1:
+            # Fast path: no thread hop for single-backend virtual databases.
+            try:
+                result = run(targets[0])
+            except Exception as exc:
+                raise BackendError(
+                    f"write failed on every backend: {outcome.failures}"
+                ) from exc
+            if isinstance(result, RequestResult):
+                outcome.result = result
+            outcome.result.backends_executed = 1
+            return outcome
+
+        futures: Dict[Future, DatabaseBackend] = {
+            self._executor.submit(run, backend): backend for backend in targets
+        }
+        required = self._required_successes(len(targets))
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            with outcome_lock:
+                successes = len(outcome.successes)
+                failures = len(outcome.failures)
+            if successes >= required:
+                break
+            if successes + (len(targets) - successes - failures) < required:
+                # Even if everything still pending succeeds we cannot reach
+                # the threshold: all backends failed.
+                break
+        with outcome_lock:
+            if not outcome.successes and outcome.failures:
+                raise BackendError(f"write failed on every backend: {outcome.failures}")
+            if first_result:
+                outcome.result = first_result[0]
+            outcome.result.backends_executed = len(outcome.successes)
+        return outcome
+
+    def _required_successes(self, target_count: int) -> int:
+        if self.wait_for_completion is WaitForCompletion.FIRST:
+            return 1
+        if self.wait_for_completion is WaitForCompletion.MAJORITY:
+            return target_count // 2 + 1
+        return target_count
+
+    # -- helpers -----------------------------------------------------------------------
+
+    @staticmethod
+    def enabled(backends: Sequence[DatabaseBackend]) -> List[DatabaseBackend]:
+        return [backend for backend in backends if backend.is_enabled]
+
+    def statistics(self) -> dict:
+        return {
+            "load_balancer": type(self).__name__,
+            "raidb_level": self.raidb_level,
+            "read_policy": self.read_policy.name,
+            "wait_for_completion": self.wait_for_completion.value,
+            "reads_executed": self.reads_executed,
+            "writes_executed": self.writes_executed,
+        }
+
+    def shutdown(self) -> None:
+        self._executor.shutdown(wait=False)

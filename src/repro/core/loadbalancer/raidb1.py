@@ -1,0 +1,33 @@
+"""RAIDb-1: full replication.
+
+Every backend holds the complete database, so any backend can serve any
+read and every write must be broadcast to all of them.  "Full replication is
+easy to handle.  It does not require request parsing since every database
+backend can handle any query.  Database updates, however, need to be sent to
+all nodes, and performance suffers from the need to broadcast updates when
+the number of backends increases" (paper §2.4.3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.backend import DatabaseBackend
+from repro.core.loadbalancer.base import AbstractLoadBalancer
+from repro.core.request import AbstractRequest
+
+
+class RAIDb1LoadBalancer(AbstractLoadBalancer):
+    """Full replication: read one, write all."""
+
+    raidb_level = "RAIDb-1"
+
+    def read_candidates(
+        self, request: AbstractRequest, backends: Sequence[DatabaseBackend]
+    ) -> List[DatabaseBackend]:
+        return self.enabled(backends)
+
+    def write_targets(
+        self, request: AbstractRequest, backends: Sequence[DatabaseBackend]
+    ) -> List[DatabaseBackend]:
+        return self.enabled(backends)

@@ -1,0 +1,30 @@
+"""Load balancer for a single-backend virtual database.
+
+Used for the "no C-JDBC clustering, just the cache" configurations (the
+RUBiS experiment of Table 1 runs C-JDBC with a single MySQL backend purely
+for its query result cache) and as the baseline in the TPC-W experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.backend import DatabaseBackend
+from repro.core.loadbalancer.base import AbstractLoadBalancer
+from repro.core.request import AbstractRequest
+
+
+class SingleDBLoadBalancer(AbstractLoadBalancer):
+    """Routes everything to the one enabled backend."""
+
+    raidb_level = "SingleDB"
+
+    def read_candidates(
+        self, request: AbstractRequest, backends: Sequence[DatabaseBackend]
+    ) -> List[DatabaseBackend]:
+        return self.enabled(backends)[:1]
+
+    def write_targets(
+        self, request: AbstractRequest, backends: Sequence[DatabaseBackend]
+    ) -> List[DatabaseBackend]:
+        return self.enabled(backends)[:1]

@@ -1,0 +1,16 @@
+"""Monitoring and administration (paper §2.1, Figure 1's JMX server).
+
+The real C-JDBC exposes its components through JMX MBeans and ships an
+administration console.  We provide the same capabilities in-process:
+
+* :class:`MBeanRegistry` — register/lookup of manageable components;
+* :class:`MonitoringService` — periodic snapshots of controller statistics;
+* :class:`AdminConsole` — text commands (enable/disable backend, checkpoint,
+  show statistics) used by the examples.
+"""
+
+from repro.core.management.console import AdminConsole
+from repro.core.management.monitor import MonitoringService
+from repro.core.management.registry import MBeanRegistry
+
+__all__ = ["AdminConsole", "MBeanRegistry", "MonitoringService"]

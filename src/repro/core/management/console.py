@@ -1,0 +1,116 @@
+"""Text administration console.
+
+A tiny command interpreter over a controller, mirroring the C-JDBC
+administration console operations used in the paper's deployment scenarios:
+listing virtual databases and backends, enabling/disabling backends, taking
+checkpoints and printing statistics.  Commands return strings so the console
+can be driven programmatically from tests and examples.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Callable, Dict, List
+
+from repro.errors import CJDBCError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.controller import Controller
+
+
+class AdminConsole:
+    """Programmatic administration console for one controller."""
+
+    def __init__(self, controller: "Controller"):
+        self.controller = controller
+        self._commands: Dict[str, Callable[[List[str]], str]] = {
+            "help": self._cmd_help,
+            "show": self._cmd_show,
+            "enable": self._cmd_enable,
+            "disable": self._cmd_disable,
+            "checkpoint": self._cmd_checkpoint,
+            "recover": self._cmd_recover,
+            "stats": self._cmd_stats,
+        }
+
+    def execute(self, command_line: str) -> str:
+        """Execute one console command and return its textual output."""
+        parts = command_line.strip().split()
+        if not parts:
+            return ""
+        command, args = parts[0].lower(), parts[1:]
+        handler = self._commands.get(command)
+        if handler is None:
+            return f"unknown command {command!r}; try 'help'"
+        try:
+            return handler(args)
+        except CJDBCError as exc:
+            return f"error: {exc}"
+
+    # -- commands ---------------------------------------------------------------------
+
+    def _cmd_help(self, args: List[str]) -> str:
+        return (
+            "commands:\n"
+            "  show databases | show backends <vdb>\n"
+            "  enable <vdb> <backend> [<checkpoint>]\n"
+            "  disable <vdb> <backend> [checkpoint]\n"
+            "  checkpoint <vdb> <backend> [<name>]\n"
+            "  recover <vdb> <backend> [<checkpoint>]\n"
+            "  stats <vdb>"
+        )
+
+    def _cmd_show(self, args: List[str]) -> str:
+        if not args or args[0] == "databases":
+            return "\n".join(self.controller.virtual_database_names)
+        if args[0] == "backends" and len(args) > 1:
+            vdb = self.controller.get_virtual_database(args[1])
+            lines = []
+            for backend in vdb.backends:
+                lines.append(
+                    f"{backend.name}: {backend.state.value}, "
+                    f"{backend.total_requests} requests, "
+                    f"{len(backend.tables)} tables"
+                )
+            return "\n".join(lines)
+        return "usage: show databases | show backends <vdb>"
+
+    def _cmd_enable(self, args: List[str]) -> str:
+        if len(args) < 2:
+            return "usage: enable <vdb> <backend> [<checkpoint>]"
+        vdb = self.controller.get_virtual_database(args[0])
+        checkpoint = args[2] if len(args) > 2 else None
+        vdb.enable_backend(args[1], from_checkpoint=checkpoint)
+        return f"backend {args[1]} enabled"
+
+    def _cmd_disable(self, args: List[str]) -> str:
+        if len(args) < 2:
+            return "usage: disable <vdb> <backend> [checkpoint]"
+        vdb = self.controller.get_virtual_database(args[0])
+        with_checkpoint = len(args) > 2 and args[2] == "checkpoint"
+        checkpoint_name = vdb.disable_backend(args[1], with_checkpoint=with_checkpoint)
+        if checkpoint_name:
+            return f"backend {args[1]} disabled (checkpoint {checkpoint_name})"
+        return f"backend {args[1]} disabled"
+
+    def _cmd_checkpoint(self, args: List[str]) -> str:
+        if len(args) < 2:
+            return "usage: checkpoint <vdb> <backend> [<name>]"
+        vdb = self.controller.get_virtual_database(args[0])
+        name = args[2] if len(args) > 2 else None
+        checkpoint_name = vdb.checkpoint_backend(args[1], name=name)
+        return f"checkpoint {checkpoint_name} taken on backend {args[1]}"
+
+    def _cmd_recover(self, args: List[str]) -> str:
+        if len(args) < 2:
+            return "usage: recover <vdb> <backend> [<checkpoint>]"
+        vdb = self.controller.get_virtual_database(args[0])
+        checkpoint = args[2] if len(args) > 2 else None
+        replayed = vdb.recover_backend(args[1], checkpoint_name=checkpoint)
+        return f"backend {args[1]} recovered ({replayed} log entries replayed)"
+
+    def _cmd_stats(self, args: List[str]) -> str:
+        if not args:
+            return json.dumps(self.controller.statistics(), indent=2, default=str)
+        vdb = self.controller.get_virtual_database(args[0])
+        return json.dumps(vdb.statistics(), indent=2, default=str)

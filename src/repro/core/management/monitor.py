@@ -1,0 +1,64 @@
+"""Monitoring service: periodic statistic snapshots of a controller."""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+
+class MonitoringService:
+    """Collects statistics snapshots, on demand or on a background interval.
+
+    The real C-JDBC exposes live counters through JMX; here the snapshots are
+    plain dictionaries that tests and the admin console can inspect, and an
+    optional background thread emulates the periodic monitoring collector.
+    """
+
+    def __init__(self, controller, interval: float = 1.0, max_history: int = 1000):
+        self.controller = controller
+        self.interval = interval
+        self.max_history = max_history
+        self._history: List[Dict] = []
+        self._lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- on-demand ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        """Take one snapshot of the controller statistics now."""
+        stats = self.controller.statistics()
+        stats["timestamp"] = time.time()
+        with self._lock:
+            self._history.append(stats)
+            if len(self._history) > self.max_history:
+                self._history.pop(0)
+        return stats
+
+    def history(self) -> List[Dict]:
+        with self._lock:
+            return list(self._history)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._history.clear()
+
+    # -- background collection ----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop_event.clear()
+        self._thread = threading.Thread(target=self._run, daemon=True, name="cjdbc-monitor")
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop_event.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self.interval * 2)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop_event.wait(self.interval):
+            self.snapshot()

@@ -1,0 +1,59 @@
+"""A minimal MBean-like registry.
+
+Components register themselves under hierarchical names
+(``controller:main``, ``virtualdatabase:tpcw``); management tools look them
+up by name or pattern and call their ``statistics()`` method, mirroring how
+the JMX console of the paper inspects a running controller.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class MBeanRegistry:
+    """Thread-safe name → managed object registry."""
+
+    def __init__(self):
+        self._beans: Dict[str, Any] = {}
+        self._lock = threading.RLock()
+
+    def register(self, name: str, bean: Any) -> None:
+        with self._lock:
+            self._beans[name] = bean
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            self._beans.pop(name, None)
+
+    def lookup(self, name: str) -> Optional[Any]:
+        with self._lock:
+            return self._beans.get(name)
+
+    def query(self, pattern: str = "*") -> List[Tuple[str, Any]]:
+        """Return (name, bean) pairs whose name matches the glob pattern."""
+        with self._lock:
+            return sorted(
+                (name, bean)
+                for name, bean in self._beans.items()
+                if fnmatch.fnmatch(name, pattern)
+            )
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._beans)
+
+    def statistics(self, pattern: str = "*") -> Dict[str, Any]:
+        """Collect ``statistics()`` from every matching bean that provides it."""
+        snapshot = {}
+        for name, bean in self.query(pattern):
+            stats = getattr(bean, "statistics", None)
+            if callable(stats):
+                snapshot[name] = stats()
+        return snapshot
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._beans)

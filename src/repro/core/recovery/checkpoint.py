@@ -1,0 +1,154 @@
+"""Checkpointing service and backend recovery (paper §3.1).
+
+The checkpoint procedure follows the paper exactly:
+
+1. insert a checkpoint marker in the recovery log;
+2. disable the backend so no updates reach it during the dump (the other
+   backends keep serving clients);
+3. dump the backend content with the Octopus-like ETL tool;
+4. replay from the recovery log the updates that occurred during the dump,
+   starting at the checkpoint marker;
+5. re-enable the backend.
+
+The same machinery recovers a failed backend or integrates a brand new one:
+restore the latest dump, then replay the log from the dump's checkpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.backend import DatabaseBackend
+from repro.core.recovery.octopus import Octopus, PortableDump
+from repro.core.recovery.recovery_log import LogEntry, RecoveryLog
+from repro.errors import CheckpointError
+from repro.sql.engine import DatabaseEngine
+
+
+@dataclass
+class Checkpoint:
+    """A named dump plus its position in the recovery log."""
+
+    name: str
+    dump: PortableDump
+    backend_name: str
+
+    @property
+    def row_count(self) -> int:
+        return self.dump.row_count()
+
+
+class CheckpointingService:
+    """Manages checkpoints ("database dumps management" box of Figure 1)."""
+
+    def __init__(self, recovery_log: RecoveryLog, octopus: Optional[Octopus] = None):
+        self.recovery_log = recovery_log
+        self.octopus = octopus or Octopus()
+        self._checkpoints: Dict[str, Checkpoint] = {}
+        self._lock = threading.Lock()
+        self._counter = 0
+
+    # -- checkpoint creation ------------------------------------------------------
+
+    def store_checkpoint(self, checkpoint: Checkpoint) -> None:
+        with self._lock:
+            self._checkpoints[checkpoint.name] = checkpoint
+
+    def get_checkpoint(self, name: str) -> Checkpoint:
+        with self._lock:
+            try:
+                return self._checkpoints[name]
+            except KeyError:
+                raise CheckpointError(f"unknown checkpoint {name!r}") from None
+
+    def checkpoint_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._checkpoints)
+
+    def last_checkpoint(self) -> Optional[Checkpoint]:
+        with self._lock:
+            if not self._checkpoints:
+                return None
+            latest = max(self._checkpoints)
+            return self._checkpoints[latest]
+
+    def next_checkpoint_name(self, prefix: str = "checkpoint") -> str:
+        with self._lock:
+            self._counter += 1
+            return f"{prefix}-{self._counter:04d}"
+
+    def checkpoint_backend(
+        self,
+        backend: DatabaseBackend,
+        engine: DatabaseEngine,
+        name: Optional[str] = None,
+        re_enable: bool = True,
+        replay: Optional[Callable[[DatabaseBackend, List[LogEntry]], None]] = None,
+    ) -> Checkpoint:
+        """Take a checkpoint of ``backend`` whose storage is ``engine``.
+
+        ``replay`` is a callback (provided by the virtual database) that
+        replays missed log entries on the backend once the dump is finished;
+        it is what makes the backend consistent again before re-enabling it.
+        """
+        checkpoint_name = name or self.next_checkpoint_name()
+        # 1. checkpoint marker first, so every later write is replayable
+        self.recovery_log.insert_checkpoint_marker(checkpoint_name)
+        # 2. disable the backend during the dump
+        was_enabled = backend.is_enabled
+        if was_enabled:
+            backend.disable()
+        backend.set_recovering()
+        try:
+            # 3. dump
+            dump = self.octopus.dump_engine(engine, dump_name=checkpoint_name)
+            checkpoint = Checkpoint(checkpoint_name, dump, backend.name)
+            self.store_checkpoint(checkpoint)
+            backend.last_known_checkpoint = checkpoint_name
+            # 4. replay what happened during the dump
+            if replay is not None:
+                missed = self.recovery_log.entries_since_checkpoint(checkpoint_name)
+                replay(backend, missed)
+        except Exception as exc:
+            backend.disable()
+            raise CheckpointError(f"checkpoint of {backend.name!r} failed: {exc}") from exc
+        # 5. re-enable
+        if re_enable:
+            backend.enable()
+        else:
+            backend.disable()
+        return checkpoint
+
+    # -- backend recovery -----------------------------------------------------------
+
+    def recover_backend(
+        self,
+        backend: DatabaseBackend,
+        engine: DatabaseEngine,
+        checkpoint_name: Optional[str] = None,
+        replay: Optional[Callable[[DatabaseBackend, List[LogEntry]], None]] = None,
+        enable: bool = True,
+    ) -> int:
+        """Restore ``backend`` from a checkpoint and replay the log tail.
+
+        Returns the number of log entries replayed.  This is the
+        "automatically re-integrate failed backends into a virtual database"
+        tool referred to in §2.4.1.
+        """
+        if checkpoint_name is None:
+            last = self.last_checkpoint()
+            if last is None:
+                raise CheckpointError("no checkpoint available to recover from")
+            checkpoint_name = last.name
+        checkpoint = self.get_checkpoint(checkpoint_name)
+        backend.set_recovering()
+        self.octopus.restore_engine(checkpoint.dump, engine, truncate=True)
+        missed = self.recovery_log.entries_since_checkpoint(checkpoint_name)
+        if replay is not None and missed:
+            replay(backend, missed)
+        backend.last_known_checkpoint = checkpoint_name
+        if enable:
+            backend.enable()
+        return len(missed)

@@ -1,0 +1,270 @@
+"""Recovery log (paper §3.2).
+
+"C-JDBC implements a recovery log that records a log entry for each begin,
+commit, abort and update statement.  A log entry consists of the user
+identification, the transaction identifier, and the SQL statement.  The log
+can be stored in a flat file, but also in a database using JDBC."
+
+Three storage flavours are provided:
+
+* :class:`MemoryRecoveryLog` — in-process list, used by most tests;
+* :class:`FileRecoveryLog` — JSON-lines flat file;
+* :class:`DatabaseRecoveryLog` — stores entries through any DB-API
+  connection factory.  Handing it a connection factory that goes through the
+  C-JDBC driver to a fault-tolerant virtual database reproduces the
+  "fault-tolerant recovery log" configuration of Figure 2.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Iterable, List, Optional
+
+
+@dataclass
+class LogEntry:
+    """One recovery log record."""
+
+    log_id: int
+    login: str
+    transaction_id: Optional[int]
+    sql: str
+    parameters: tuple = ()
+    #: "begin" | "commit" | "rollback" | "write" | "checkpoint"
+    entry_type: str = "write"
+    #: checkpoint name for checkpoint markers
+    checkpoint_name: Optional[str] = None
+
+    def to_json(self) -> str:
+        payload = asdict(self)
+        payload["parameters"] = list(self.parameters)
+        return json.dumps(payload, default=str)
+
+    @classmethod
+    def from_json(cls, text: str) -> "LogEntry":
+        payload = json.loads(text)
+        payload["parameters"] = tuple(payload.get("parameters", ()))
+        return cls(**payload)
+
+
+class RecoveryLog:
+    """Interface + shared id allocation for recovery logs."""
+
+    def __init__(self):
+        self._id_lock = threading.Lock()
+        self._next_id = 1
+
+    # -- recording -------------------------------------------------------------
+
+    def _allocate_id(self) -> int:
+        with self._id_lock:
+            log_id = self._next_id
+            self._next_id += 1
+            return log_id
+
+    def log_request(
+        self,
+        sql: str,
+        parameters: tuple = (),
+        login: str = "",
+        transaction_id: Optional[int] = None,
+        entry_type: str = "write",
+    ) -> LogEntry:
+        entry = LogEntry(
+            log_id=self._allocate_id(),
+            login=login,
+            transaction_id=transaction_id,
+            sql=sql,
+            parameters=tuple(parameters),
+            entry_type=entry_type,
+        )
+        self._append(entry)
+        return entry
+
+    def log_begin(self, login: str, transaction_id: int) -> LogEntry:
+        return self.log_request("begin", (), login, transaction_id, entry_type="begin")
+
+    def log_commit(self, login: str, transaction_id: int) -> LogEntry:
+        return self.log_request("commit", (), login, transaction_id, entry_type="commit")
+
+    def log_rollback(self, login: str, transaction_id: int) -> LogEntry:
+        return self.log_request("rollback", (), login, transaction_id, entry_type="rollback")
+
+    def insert_checkpoint_marker(self, checkpoint_name: str) -> LogEntry:
+        entry = LogEntry(
+            log_id=self._allocate_id(),
+            login="",
+            transaction_id=None,
+            sql="",
+            entry_type="checkpoint",
+            checkpoint_name=checkpoint_name,
+        )
+        self._append(entry)
+        return entry
+
+    # -- reading -----------------------------------------------------------------
+
+    def entries(self) -> List[LogEntry]:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def entries_since_checkpoint(self, checkpoint_name: str) -> List[LogEntry]:
+        """All entries recorded after the named checkpoint marker."""
+        found = False
+        selected: List[LogEntry] = []
+        for entry in self.entries():
+            if found:
+                selected.append(entry)
+            elif entry.entry_type == "checkpoint" and entry.checkpoint_name == checkpoint_name:
+                found = True
+        if not found:
+            raise KeyError(f"unknown checkpoint {checkpoint_name!r}")
+        return selected
+
+    def checkpoint_names(self) -> List[str]:
+        return [
+            entry.checkpoint_name
+            for entry in self.entries()
+            if entry.entry_type == "checkpoint" and entry.checkpoint_name
+        ]
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    # -- storage hook -----------------------------------------------------------------
+
+    def _append(self, entry: LogEntry) -> None:
+        raise NotImplementedError  # pragma: no cover - interface
+
+
+class MemoryRecoveryLog(RecoveryLog):
+    """Keeps log entries in memory."""
+
+    def __init__(self):
+        super().__init__()
+        self._entries: List[LogEntry] = []
+        self._lock = threading.Lock()
+
+    def _append(self, entry: LogEntry) -> None:
+        with self._lock:
+            self._entries.append(entry)
+
+    def entries(self) -> List[LogEntry]:
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+class FileRecoveryLog(RecoveryLog):
+    """Appends JSON-lines entries to a flat file."""
+
+    def __init__(self, path: str):
+        super().__init__()
+        self.path = path
+        self._lock = threading.Lock()
+        # Resume id allocation after existing entries.
+        existing = self.entries()
+        if existing:
+            self._next_id = max(entry.log_id for entry in existing) + 1
+
+    def _append(self, entry: LogEntry) -> None:
+        with self._lock:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(entry.to_json() + "\n")
+
+    def entries(self) -> List[LogEntry]:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                return [LogEntry.from_json(line) for line in handle if line.strip()]
+        except FileNotFoundError:
+            return []
+
+
+class DatabaseRecoveryLog(RecoveryLog):
+    """Stores entries in a database reached through a DB-API connection factory.
+
+    The factory may produce connections to a plain engine or to a C-JDBC
+    virtual database (through :mod:`repro.core.driver`), which is how the
+    paper builds a fault-tolerant recovery log (Figure 2).
+    """
+
+    TABLE = "recovery_log"
+
+    def __init__(self, connection_factory: Callable[[], object]):
+        super().__init__()
+        self._factory = connection_factory
+        self._lock = threading.Lock()
+        self._ensure_table()
+        existing = self.entries()
+        if existing:
+            self._next_id = max(entry.log_id for entry in existing) + 1
+
+    def _ensure_table(self) -> None:
+        connection = self._factory()
+        try:
+            cursor = connection.cursor()
+            cursor.execute(
+                f"CREATE TABLE IF NOT EXISTS {self.TABLE} ("
+                " log_id INT PRIMARY KEY,"
+                " login VARCHAR(64),"
+                " transaction_id BIGINT,"
+                " sql_text TEXT,"
+                " parameters TEXT,"
+                " entry_type VARCHAR(16),"
+                " checkpoint_name VARCHAR(128))"
+            )
+            connection.commit()
+        finally:
+            connection.close()
+
+    def _append(self, entry: LogEntry) -> None:
+        with self._lock:
+            connection = self._factory()
+            try:
+                cursor = connection.cursor()
+                cursor.execute(
+                    f"INSERT INTO {self.TABLE} (log_id, login, transaction_id, sql_text,"
+                    " parameters, entry_type, checkpoint_name) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        entry.log_id,
+                        entry.login,
+                        entry.transaction_id,
+                        entry.sql,
+                        json.dumps(list(entry.parameters), default=str),
+                        entry.entry_type,
+                        entry.checkpoint_name,
+                    ),
+                )
+                connection.commit()
+            finally:
+                connection.close()
+
+    def entries(self) -> List[LogEntry]:
+        connection = self._factory()
+        try:
+            cursor = connection.cursor()
+            cursor.execute(
+                f"SELECT log_id, login, transaction_id, sql_text, parameters,"
+                f" entry_type, checkpoint_name FROM {self.TABLE} ORDER BY log_id"
+            )
+            rows = cursor.fetchall()
+        finally:
+            connection.close()
+        entries = []
+        for row in rows:
+            entries.append(
+                LogEntry(
+                    log_id=row[0],
+                    login=row[1] or "",
+                    transaction_id=row[2],
+                    sql=row[3] or "",
+                    parameters=tuple(json.loads(row[4] or "[]")),
+                    entry_type=row[5] or "write",
+                    checkpoint_name=row[6],
+                )
+            )
+        return entries

@@ -1,0 +1,354 @@
+"""The request manager: the core of the C-JDBC controller (paper §2.4).
+
+"The request manager contains the core functionality of the C-JDBC
+controller.  It is composed of a scheduler, a load balancer and two optional
+components: a recovery log and a query result cache.  Each of these
+components can be superseded by a user-specified implementation."
+
+The flow implemented here follows the paper:
+
+* reads: scheduler → query result cache (on miss) → load balancer;
+* writes / commits / aborts: scheduler (total order) → recovery log →
+  load balancer broadcast → cache invalidation;
+* a backend failing a write, commit or abort is disabled (no 2-phase
+  commit); re-integration goes through the recovery subsystem;
+* optimizations: parallel transactions (per-transaction backend
+  connections), early response to update/commit/abort (wait-for-completion
+  policy in the load balancer) and lazy transaction begin.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.backend import DatabaseBackend
+from repro.core.cache import ResultCache
+from repro.core.loadbalancer.base import AbstractLoadBalancer, WriteOutcome
+from repro.core.recovery.recovery_log import RecoveryLog
+from repro.core.request import (
+    AbstractRequest,
+    BeginRequest,
+    CommitRequest,
+    RequestResult,
+    RollbackRequest,
+    SelectRequest,
+)
+from repro.core.requestparser import RequestFactory
+from repro.core.scheduler import AbstractScheduler, OptimisticTransactionLevelScheduler
+from repro.errors import CJDBCError, NoMoreBackendError
+
+
+@dataclass
+class TransactionContext:
+    """Controller-side state of one client transaction."""
+
+    transaction_id: int
+    login: str
+    begun: bool = False
+    #: backends that have started this transaction (lazy transaction begin)
+    participating_backends: List[str] = field(default_factory=list)
+
+
+class RequestManager:
+    """Schedules, caches, balances, logs and executes client requests."""
+
+    def __init__(
+        self,
+        backends: Sequence[DatabaseBackend],
+        scheduler: Optional[AbstractScheduler] = None,
+        load_balancer: Optional[AbstractLoadBalancer] = None,
+        result_cache: Optional[ResultCache] = None,
+        recovery_log: Optional[RecoveryLog] = None,
+        request_factory: Optional[RequestFactory] = None,
+        lazy_transaction_begin: bool = True,
+    ):
+        from repro.core.loadbalancer import RAIDb1LoadBalancer  # avoid import cycle
+
+        self._backends = list(backends)
+        self.scheduler = scheduler or OptimisticTransactionLevelScheduler()
+        self.load_balancer = load_balancer or RAIDb1LoadBalancer()
+        self.result_cache = result_cache
+        self.recovery_log = recovery_log
+        self.request_factory = request_factory or RequestFactory()
+        self.lazy_transaction_begin = lazy_transaction_begin
+        self._transactions: Dict[int, TransactionContext] = {}
+        self._transactions_lock = threading.RLock()
+        self._transaction_ids = itertools.count(1)
+        self.load_balancer.on_backend_failure = self._handle_backend_failure
+        #: optional listener invoked with the disabled backend (used by the
+        #: virtual database to log and by tests to observe failover)
+        self.on_backend_disabled: Optional[Callable[[DatabaseBackend, Exception], None]] = None
+        # statistics
+        self.requests_executed = 0
+        self.transactions_started = 0
+        self.transactions_committed = 0
+        self.transactions_aborted = 0
+        self._stats_lock = threading.Lock()
+
+    # -- backend management ----------------------------------------------------------
+
+    @property
+    def backends(self) -> List[DatabaseBackend]:
+        return list(self._backends)
+
+    def add_backend(self, backend: DatabaseBackend) -> None:
+        if any(b.name == backend.name for b in self._backends):
+            raise CJDBCError(f"backend {backend.name!r} already registered")
+        self._backends.append(backend)
+
+    def remove_backend(self, backend_name: str) -> None:
+        self._backends = [b for b in self._backends if b.name != backend_name]
+
+    def get_backend(self, backend_name: str) -> DatabaseBackend:
+        for backend in self._backends:
+            if backend.name == backend_name:
+                return backend
+        raise CJDBCError(f"unknown backend {backend_name!r}")
+
+    def enabled_backends(self) -> List[DatabaseBackend]:
+        return [backend for backend in self._backends if backend.is_enabled]
+
+    def _handle_backend_failure(self, backend: DatabaseBackend, exc: Exception) -> None:
+        """Disable a backend that failed a write/commit/abort (paper §2.4.1)."""
+        backend.disable()
+        if self.on_backend_disabled is not None:
+            self.on_backend_disabled(backend, exc)
+
+    # -- statement entry point ----------------------------------------------------------
+
+    def execute(
+        self,
+        sql: str,
+        parameters: Sequence[object] = (),
+        login: str = "",
+        transaction_id: Optional[int] = None,
+    ) -> RequestResult:
+        """Parse and execute one SQL statement."""
+        request = self.request_factory.create_request(
+            sql, parameters, login=login, transaction_id=transaction_id
+        )
+        return self.execute_request(request)
+
+    def execute_request(self, request: AbstractRequest) -> RequestResult:
+        with self._stats_lock:
+            self.requests_executed += 1
+        if isinstance(request, BeginRequest):
+            transaction_id = self.begin(request.login)
+            return RequestResult(update_count=0, transaction_id=transaction_id)
+        if isinstance(request, CommitRequest):
+            if request.transaction_id is None:
+                raise CJDBCError("COMMIT outside of a transaction")
+            self.commit(request.transaction_id, request.login)
+            return RequestResult(update_count=0)
+        if isinstance(request, RollbackRequest):
+            if request.transaction_id is None:
+                raise CJDBCError("ROLLBACK outside of a transaction")
+            self.rollback(request.transaction_id, request.login)
+            return RequestResult(update_count=0)
+        if request.is_read_only:
+            return self._execute_read(request)
+        return self._execute_write(request)
+
+    # -- reads -------------------------------------------------------------------------
+
+    def _execute_read(self, request: SelectRequest) -> RequestResult:
+        ticket = self.scheduler.schedule_read(request)
+        try:
+            cacheable = self.result_cache is not None and request.transaction_id is None
+            if cacheable:
+                cached = self.result_cache.get(request)
+                if cached is not None:
+                    return cached
+            result = self.load_balancer.execute_read_request(request, self._backends)
+            if cacheable:
+                self.result_cache.put(request, result)
+            self._note_transaction_participant(request)
+            return result
+        finally:
+            ticket.release()
+
+    # -- writes -------------------------------------------------------------------------
+
+    def _execute_write(self, request: AbstractRequest) -> RequestResult:
+        ticket = self.scheduler.schedule_write(request)
+        try:
+            if self.recovery_log is not None:
+                self.recovery_log.log_request(
+                    request.sql,
+                    request.parameters,
+                    login=request.login,
+                    transaction_id=request.transaction_id,
+                )
+            outcome = self.load_balancer.execute_write_request(request, self._backends)
+            if request.alters_schema:
+                for backend in self.enabled_backends():
+                    if backend.name in outcome.successes:
+                        backend.note_ddl(request)
+            if self.result_cache is not None:
+                self.result_cache.invalidate(request)
+            self._note_transaction_participant(request)
+            result = outcome.result
+            result.backends_executed = outcome.backends_executed
+            return result
+        finally:
+            ticket.release()
+
+    def _note_transaction_participant(self, request: AbstractRequest) -> None:
+        if request.transaction_id is None:
+            return
+        with self._transactions_lock:
+            context = self._transactions.get(request.transaction_id)
+            if context is None:
+                return
+            for backend in self._backends:
+                if (
+                    backend.has_transaction(request.transaction_id)
+                    and backend.name not in context.participating_backends
+                ):
+                    context.participating_backends.append(backend.name)
+
+    # -- transaction demarcation -------------------------------------------------------------
+
+    def begin(self, login: str = "", transaction_id: Optional[int] = None) -> int:
+        """Start a transaction and return its identifier.
+
+        With lazy transaction begin (default), no backend work happens here:
+        each backend will open its transaction when it executes the first
+        statement of this transaction (paper §2.4.4).  When the optimization
+        is disabled, the begin is broadcast to every enabled backend
+        immediately, as described in §2.4.1.
+
+        ``transaction_id`` may be supplied by a distributed request manager so
+        that every controller of a replicated virtual database uses the same
+        identifier for a given client transaction (paper §4.1).
+        """
+        if transaction_id is None:
+            transaction_id = next(self._transaction_ids)
+        context = TransactionContext(transaction_id=transaction_id, login=login, begun=True)
+        with self._transactions_lock:
+            self._transactions[transaction_id] = context
+        with self._stats_lock:
+            self.transactions_started += 1
+        if self.recovery_log is not None:
+            self.recovery_log.log_begin(login, transaction_id)
+        if not self.lazy_transaction_begin:
+            request = BeginRequest(sql="begin", login=login, transaction_id=transaction_id)
+            ticket = self.scheduler.schedule_write(request)
+            try:
+                self.load_balancer.broadcast_transaction_operation(
+                    self.enabled_backends(),
+                    lambda backend: backend.begin_transaction(transaction_id),
+                )
+            finally:
+                ticket.release()
+        return transaction_id
+
+    def commit(self, transaction_id: int, login: str = "") -> None:
+        """Commit on every backend that participated in the transaction."""
+        context = self._pop_transaction(transaction_id)
+        request = CommitRequest(sql="commit", login=login, transaction_id=transaction_id)
+        ticket = self.scheduler.schedule_write(request)
+        try:
+            if self.recovery_log is not None:
+                self.recovery_log.log_commit(login, transaction_id)
+            participants = self._participants(transaction_id)
+            if participants:
+                self.load_balancer.broadcast_transaction_operation(
+                    participants, lambda backend: backend.commit(transaction_id)
+                )
+            with self._stats_lock:
+                self.transactions_committed += 1
+        finally:
+            ticket.release()
+
+    def rollback(self, transaction_id: int, login: str = "") -> None:
+        """Abort on every backend that participated in the transaction."""
+        self._pop_transaction(transaction_id)
+        request = RollbackRequest(sql="rollback", login=login, transaction_id=transaction_id)
+        ticket = self.scheduler.schedule_write(request)
+        try:
+            if self.recovery_log is not None:
+                self.recovery_log.log_rollback(login, transaction_id)
+            participants = self._participants(transaction_id)
+            if participants:
+                self.load_balancer.broadcast_transaction_operation(
+                    participants, lambda backend: backend.rollback(transaction_id)
+                )
+            with self._stats_lock:
+                self.transactions_aborted += 1
+        finally:
+            ticket.release()
+
+    def _participants(self, transaction_id: int) -> List[DatabaseBackend]:
+        return [
+            backend
+            for backend in self._backends
+            if backend.is_enabled and backend.has_transaction(transaction_id)
+        ]
+
+    def _pop_transaction(self, transaction_id: int) -> Optional[TransactionContext]:
+        with self._transactions_lock:
+            return self._transactions.pop(transaction_id, None)
+
+    @property
+    def active_transactions(self) -> List[int]:
+        with self._transactions_lock:
+            return sorted(self._transactions)
+
+    # -- recovery support -------------------------------------------------------------------
+
+    def replay_log_entries(self, backend: DatabaseBackend, entries) -> None:
+        """Replay recovery-log entries on one backend (used by recovery).
+
+        Transactions are replayed faithfully: begin/commit/rollback entries
+        drive per-transaction connections on the backend; entries belonging
+        to transactions that never committed are rolled back at the end.
+        """
+        open_transactions = set()
+        for entry in entries:
+            if entry.entry_type == "checkpoint":
+                continue
+            if entry.entry_type == "begin":
+                if entry.transaction_id is not None:
+                    backend.begin_transaction(entry.transaction_id)
+                    open_transactions.add(entry.transaction_id)
+                continue
+            if entry.entry_type == "commit":
+                if entry.transaction_id is not None:
+                    backend.commit(entry.transaction_id)
+                    open_transactions.discard(entry.transaction_id)
+                continue
+            if entry.entry_type == "rollback":
+                if entry.transaction_id is not None:
+                    backend.rollback(entry.transaction_id)
+                    open_transactions.discard(entry.transaction_id)
+                continue
+            request = self.request_factory.create_request(
+                entry.sql,
+                entry.parameters,
+                login=entry.login,
+                transaction_id=entry.transaction_id if entry.transaction_id in open_transactions else None,
+            )
+            backend.execute_request(request)
+        for transaction_id in open_transactions:
+            backend.rollback(transaction_id)
+
+    # -- statistics ---------------------------------------------------------------------------
+
+    def statistics(self) -> dict:
+        stats = {
+            "requests_executed": self.requests_executed,
+            "transactions_started": self.transactions_started,
+            "transactions_committed": self.transactions_committed,
+            "transactions_aborted": self.transactions_aborted,
+            "active_transactions": len(self.active_transactions),
+            "scheduler": self.scheduler.statistics(),
+            "load_balancer": self.load_balancer.statistics(),
+            "backends": [backend.statistics() for backend in self._backends],
+        }
+        if self.result_cache is not None:
+            stats["cache"] = self.result_cache.statistics.as_dict()
+        return stats

@@ -1,0 +1,166 @@
+"""SQL request parsing for the controller.
+
+Load balancers supporting partial replication "must parse the incoming
+queries and need to know the database schema of each backend" (paper
+§2.4.3).  This module classifies a SQL statement (read / write / DDL /
+transaction marker), extracts the tables it references and rewrites
+non-deterministic macros, producing the request objects of
+:mod:`repro.core.request`.
+
+Parsing uses the SQL substrate's tokenizer only (not the full parser), so the
+controller accepts any backend dialect as long as the statement shape is
+recognisable — the same trade-off made by C-JDBC, which did lightweight
+parsing of the SQL strings.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.macros import rewrite_macros
+from repro.core.request import (
+    AbstractRequest,
+    BeginRequest,
+    CommitRequest,
+    DDLRequest,
+    RollbackRequest,
+    SelectRequest,
+    WriteRequest,
+)
+from repro.errors import SQLSyntaxError
+from repro.sql.lexer import TokenType, tokenize
+
+
+class RequestFactory:
+    """Builds request objects from raw SQL strings.
+
+    ``rewrite_write_macros`` mirrors the scheduler behaviour described in the
+    paper: only statements that modify the database need deterministic
+    rewriting (reads can evaluate NOW()/RAND() wherever they run).
+    """
+
+    def __init__(self, rewrite_write_macros: bool = True):
+        self.rewrite_write_macros = rewrite_write_macros
+
+    def create_request(
+        self,
+        sql: str,
+        parameters: Sequence[object] = (),
+        login: str = "",
+        transaction_id: Optional[int] = None,
+    ) -> AbstractRequest:
+        """Parse ``sql`` and wrap it in the appropriate request object."""
+        stripped = sql.strip()
+        if not stripped:
+            raise SQLSyntaxError("empty SQL statement")
+        first_word = _first_word(stripped)
+        common = dict(
+            parameters=tuple(parameters),
+            login=login,
+            transaction_id=transaction_id,
+        )
+        if first_word in ("BEGIN", "START"):
+            return BeginRequest(sql=stripped, **common)
+        if first_word == "COMMIT":
+            return CommitRequest(sql=stripped, **common)
+        if first_word == "ROLLBACK":
+            return RollbackRequest(sql=stripped, **common)
+        if first_word == "SELECT":
+            tables = tuple(extract_tables(stripped))
+            return SelectRequest(sql=stripped, tables=tables, **common)
+        if first_word in ("INSERT", "UPDATE", "DELETE"):
+            rewritten, changed = (
+                rewrite_macros(stripped) if self.rewrite_write_macros else (stripped, False)
+            )
+            tables = tuple(extract_tables(rewritten))
+            return WriteRequest(
+                sql=rewritten, tables=tables, macros_rewritten=changed, **common
+            )
+        if first_word in ("CREATE", "DROP", "ALTER"):
+            tables = tuple(extract_tables(stripped))
+            return DDLRequest(sql=stripped, tables=tables, **common)
+        raise SQLSyntaxError(f"unsupported SQL statement: {stripped[:80]!r}")
+
+
+def _first_word(sql: str) -> str:
+    for token in tokenize(sql):
+        if token.type in (TokenType.KEYWORD, TokenType.IDENTIFIER):
+            return token.value.upper()
+        break
+    return ""
+
+
+def extract_tables(sql: str) -> List[str]:
+    """Extract the table names referenced by a statement.
+
+    Handles ``FROM x [AS a] [, y]``, ``JOIN y``, ``INSERT INTO x``,
+    ``UPDATE x``, ``DELETE FROM x``, ``CREATE/DROP TABLE x``,
+    ``CREATE INDEX i ON x`` and ``ALTER TABLE x``.  Subqueries contribute
+    their tables too because the whole token stream is scanned.
+    """
+    tokens = tokenize(sql)
+    tables: List[str] = []
+    seen = set()
+
+    def add(name: str) -> None:
+        key = name.lower()
+        if key not in seen:
+            seen.add(key)
+            tables.append(name)
+
+    index = 0
+    while index < len(tokens):
+        token = tokens[index]
+        if token.type is TokenType.KEYWORD:
+            keyword = token.value
+            if keyword in ("FROM", "JOIN"):
+                index = _collect_table_list(tokens, index + 1, add, allow_list=(keyword == "FROM"))
+                continue
+            if keyword == "INTO" or keyword == "UPDATE":
+                index = _collect_table_list(tokens, index + 1, add, allow_list=False)
+                continue
+            if keyword == "TABLE":
+                index = _collect_table_list(tokens, index + 1, add, allow_list=False)
+                continue
+            if keyword == "INDEX":
+                # CREATE INDEX name ON table / DROP INDEX name ON table
+                on_index = index + 1
+                while on_index < len(tokens) and not tokens[on_index].matches(
+                    TokenType.KEYWORD, "ON"
+                ):
+                    if tokens[on_index].type is TokenType.EOF:
+                        break
+                    on_index += 1
+                if on_index < len(tokens) and tokens[on_index].matches(TokenType.KEYWORD, "ON"):
+                    index = _collect_table_list(tokens, on_index + 1, add, allow_list=False)
+                    continue
+        index += 1
+    return tables
+
+
+def _collect_table_list(tokens, index: int, add, allow_list: bool) -> int:
+    """Collect ``table [alias] [, table [alias]]*`` starting at ``index``."""
+    while True:
+        # skip IF NOT EXISTS / IF EXISTS between TABLE and the name
+        while index < len(tokens) and tokens[index].type is TokenType.KEYWORD and tokens[
+            index
+        ].value in ("IF", "NOT", "EXISTS"):
+            index += 1
+        if index >= len(tokens) or tokens[index].type is not TokenType.IDENTIFIER:
+            return index
+        add(tokens[index].value)
+        index += 1
+        # optional alias: IDENTIFIER or AS IDENTIFIER (but stop at '(' which
+        # means the previous identifier was actually a function call)
+        if index < len(tokens) and tokens[index].matches(TokenType.KEYWORD, "AS"):
+            index += 1
+            if index < len(tokens) and tokens[index].type is TokenType.IDENTIFIER:
+                index += 1
+        elif index < len(tokens) and tokens[index].type is TokenType.IDENTIFIER:
+            index += 1
+        if allow_list and index < len(tokens) and tokens[index].matches(
+            TokenType.PUNCTUATION, ","
+        ):
+            index += 1
+            continue
+        return index

@@ -1,0 +1,29 @@
+"""Request schedulers (paper §2.4.1).
+
+The scheduler decides when a request may proceed and guarantees that all
+backends see updates, commits and aborts in the same order.  Three
+implementations are provided, matching the C-JDBC distribution:
+
+* :class:`PassThroughScheduler` — no synchronisation, for single-backend
+  virtual databases;
+* :class:`OptimisticTransactionLevelScheduler` — writes are serialised with
+  respect to each other but reads never block;
+* :class:`PessimisticTransactionLevelScheduler` — writes are exclusive even
+  with respect to reads (reads wait while a write is in flight).
+"""
+
+from repro.core.scheduler.base import (
+    AbstractScheduler,
+    OptimisticTransactionLevelScheduler,
+    PassThroughScheduler,
+    PessimisticTransactionLevelScheduler,
+    SchedulerTicket,
+)
+
+__all__ = [
+    "AbstractScheduler",
+    "SchedulerTicket",
+    "PassThroughScheduler",
+    "OptimisticTransactionLevelScheduler",
+    "PessimisticTransactionLevelScheduler",
+]

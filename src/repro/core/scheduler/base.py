@@ -1,0 +1,183 @@
+"""Scheduler implementations.
+
+The contract is small: the request manager calls :meth:`schedule_read` /
+:meth:`schedule_write` before handing the request to the cache / load
+balancer and calls :meth:`SchedulerTicket.release` when the operation has
+completed on every backend involved.  Write tickets carry a monotonically
+increasing *write order* identifier; because the ticket is acquired while
+holding the scheduler's write mutex, ticket order equals execution order on
+every backend — the total order property of §2.4.1.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.core.request import AbstractRequest
+
+
+class SchedulerTicket:
+    """Handle returned by the scheduler; must be released after execution."""
+
+    def __init__(self, scheduler: "AbstractScheduler", request: AbstractRequest, order: int):
+        self._scheduler = scheduler
+        self.request = request
+        #: global ordering number; meaningful for writes/commits/aborts
+        self.order = order
+        self._released = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._scheduler._release(self)
+
+    def __enter__(self) -> "SchedulerTicket":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+
+class AbstractScheduler:
+    """Base scheduler: bookkeeping shared by every implementation."""
+
+    def __init__(self):
+        self._order_counter = itertools.count(1)
+        self._order_lock = threading.Lock()
+        self.reads_scheduled = 0
+        self.writes_scheduled = 0
+        self.pending_writes = 0
+
+    # -- public API -----------------------------------------------------------
+
+    def schedule_read(self, request: AbstractRequest) -> SchedulerTicket:
+        self._acquire_read(request)
+        with self._order_lock:
+            self.reads_scheduled += 1
+        return SchedulerTicket(self, request, order=0)
+
+    def schedule_write(self, request: AbstractRequest) -> SchedulerTicket:
+        """Schedule a write / commit / abort.  Blocks until it may proceed."""
+        self._acquire_write(request)
+        with self._order_lock:
+            self.writes_scheduled += 1
+            self.pending_writes += 1
+            order = next(self._order_counter)
+        return SchedulerTicket(self, request, order=order)
+
+    # -- hooks ------------------------------------------------------------------
+
+    def _acquire_read(self, request: AbstractRequest) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _acquire_write(self, request: AbstractRequest) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _release_read(self, request: AbstractRequest) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _release_write(self, request: AbstractRequest) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _release(self, ticket: SchedulerTicket) -> None:
+        if ticket.order:
+            with self._order_lock:
+                self.pending_writes = max(0, self.pending_writes - 1)
+            self._release_write(ticket.request)
+        else:
+            self._release_read(ticket.request)
+
+    # -- statistics ----------------------------------------------------------------
+
+    def statistics(self) -> dict:
+        return {
+            "scheduler": type(self).__name__,
+            "reads_scheduled": self.reads_scheduled,
+            "writes_scheduled": self.writes_scheduled,
+            "pending_writes": self.pending_writes,
+        }
+
+
+class PassThroughScheduler(AbstractScheduler):
+    """No synchronisation at all: suitable for a single backend.
+
+    With one backend there is nothing to keep consistent across replicas,
+    so the backend's own concurrency control is enough.
+    """
+
+    def _acquire_read(self, request: AbstractRequest) -> None:
+        return None
+
+    def _acquire_write(self, request: AbstractRequest) -> None:
+        return None
+
+    def _release_read(self, request: AbstractRequest) -> None:
+        return None
+
+    def _release_write(self, request: AbstractRequest) -> None:
+        return None
+
+
+class OptimisticTransactionLevelScheduler(AbstractScheduler):
+    """Writes are mutually exclusive; reads proceed concurrently with anything.
+
+    This matches §2.4.1: "At any given time only a single update, commit or
+    abort is in progress on a particular virtual database.  Multiple reads
+    from different transactions can be going on at the same time."
+    """
+
+    def __init__(self):
+        super().__init__()
+        self._write_mutex = threading.Lock()
+
+    def _acquire_read(self, request: AbstractRequest) -> None:
+        return None
+
+    def _acquire_write(self, request: AbstractRequest) -> None:
+        self._write_mutex.acquire()
+
+    def _release_read(self, request: AbstractRequest) -> None:
+        return None
+
+    def _release_write(self, request: AbstractRequest) -> None:
+        self._write_mutex.release()
+
+
+class PessimisticTransactionLevelScheduler(AbstractScheduler):
+    """Writes are exclusive with respect to both reads and other writes.
+
+    Reads use a shared lock; a write drains readers before executing.  This
+    provides the strongest scheduling guarantee (no read ever observes a
+    half-propagated write on any backend) at the cost of read concurrency.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self._condition = threading.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+
+    def _acquire_read(self, request: AbstractRequest) -> None:
+        with self._condition:
+            while self._writer_active:
+                self._condition.wait()
+            self._active_readers += 1
+
+    def _acquire_write(self, request: AbstractRequest) -> None:
+        with self._condition:
+            while self._writer_active or self._active_readers > 0:
+                self._condition.wait()
+            self._writer_active = True
+
+    def _release_read(self, request: AbstractRequest) -> None:
+        with self._condition:
+            self._active_readers = max(0, self._active_readers - 1)
+            self._condition.notify_all()
+
+    def _release_write(self, request: AbstractRequest) -> None:
+        with self._condition:
+            self._writer_active = False
+            self._condition.notify_all()

@@ -1,0 +1,188 @@
+"""Virtual database: the single database view exposed to clients (paper §2.2).
+
+A virtual database groups an authentication manager, a request manager
+(scheduler + load balancer + optional cache and recovery log) and a set of
+database backends.  It also owns the checkpointing service used to take
+backend snapshots and to re-integrate failed or new backends.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.authentication import AuthenticationManager
+from repro.core.backend import DatabaseBackend
+from repro.core.recovery.checkpoint import CheckpointingService
+from repro.core.recovery.recovery_log import MemoryRecoveryLog, RecoveryLog
+from repro.core.request import RequestResult
+from repro.core.request_manager import RequestManager
+from repro.errors import AuthenticationError, CheckpointError, CJDBCError
+from repro.sql.engine import DatabaseEngine
+
+
+class VirtualDatabase:
+    """A single virtual database hosted by a controller."""
+
+    def __init__(
+        self,
+        name: str,
+        request_manager: RequestManager,
+        authentication_manager: Optional[AuthenticationManager] = None,
+        checkpointing_service: Optional[CheckpointingService] = None,
+        group_name: Optional[str] = None,
+    ):
+        self.name = name
+        self.request_manager = request_manager
+        self.authentication_manager = authentication_manager or AuthenticationManager(
+            transparent=True
+        )
+        recovery_log = (
+            request_manager.recovery_log
+            if request_manager.recovery_log is not None
+            else MemoryRecoveryLog()
+        )
+        self.checkpointing_service = checkpointing_service or CheckpointingService(recovery_log)
+        #: group name used for horizontal scalability (JGroups group in the paper)
+        self.group_name = group_name
+        #: engines backing each backend, registered so the checkpointing
+        #: service can dump/restore them (only meaningful for local backends)
+        self._backend_engines: Dict[str, DatabaseEngine] = {}
+        self._lock = threading.RLock()
+        self.total_connections = 0
+
+    # -- backend management -----------------------------------------------------------
+
+    @property
+    def backends(self) -> List[DatabaseBackend]:
+        return self.request_manager.backends
+
+    def add_backend(
+        self,
+        backend: DatabaseBackend,
+        engine: Optional[DatabaseEngine] = None,
+        enable: bool = True,
+    ) -> None:
+        """Register a backend; ``engine`` enables checkpoint/restore for it."""
+        self.request_manager.add_backend(backend)
+        if engine is not None:
+            with self._lock:
+                self._backend_engines[backend.name] = engine
+        if enable:
+            backend.enable()
+
+    def get_backend(self, backend_name: str) -> DatabaseBackend:
+        return self.request_manager.get_backend(backend_name)
+
+    def backend_engine(self, backend_name: str) -> Optional[DatabaseEngine]:
+        with self._lock:
+            return self._backend_engines.get(backend_name)
+
+    def enable_backend(self, backend_name: str, from_checkpoint: Optional[str] = None) -> None:
+        """Enable a backend, optionally recovering it from a checkpoint first."""
+        backend = self.get_backend(backend_name)
+        if from_checkpoint is not None:
+            engine = self.backend_engine(backend_name)
+            if engine is None:
+                raise CheckpointError(
+                    f"backend {backend_name!r} has no registered engine to restore into"
+                )
+            self.checkpointing_service.recover_backend(
+                backend,
+                engine,
+                checkpoint_name=from_checkpoint,
+                replay=self.request_manager.replay_log_entries,
+                enable=True,
+            )
+            return
+        backend.enable()
+
+    def disable_backend(self, backend_name: str, with_checkpoint: bool = False) -> Optional[str]:
+        """Disable a backend; optionally take a checkpoint of it first.
+
+        Returns the checkpoint name when one was taken.
+        """
+        backend = self.get_backend(backend_name)
+        if with_checkpoint:
+            engine = self.backend_engine(backend_name)
+            if engine is None:
+                raise CheckpointError(
+                    f"backend {backend_name!r} has no registered engine to dump"
+                )
+            checkpoint = self.checkpointing_service.checkpoint_backend(
+                backend,
+                engine,
+                re_enable=False,
+                replay=self.request_manager.replay_log_entries,
+            )
+            return checkpoint.name
+        backend.disable()
+        return None
+
+    def checkpoint_backend(self, backend_name: str, name: Optional[str] = None) -> str:
+        """Take an online checkpoint of one backend (it is re-enabled after)."""
+        backend = self.get_backend(backend_name)
+        engine = self.backend_engine(backend_name)
+        if engine is None:
+            raise CheckpointError(f"backend {backend_name!r} has no registered engine to dump")
+        checkpoint = self.checkpointing_service.checkpoint_backend(
+            backend,
+            engine,
+            name=name,
+            re_enable=True,
+            replay=self.request_manager.replay_log_entries,
+        )
+        return checkpoint.name
+
+    def recover_backend(self, backend_name: str, checkpoint_name: Optional[str] = None) -> int:
+        """Re-integrate a failed or new backend from a checkpoint + log replay."""
+        backend = self.get_backend(backend_name)
+        engine = self.backend_engine(backend_name)
+        if engine is None:
+            raise CheckpointError(f"backend {backend_name!r} has no registered engine to restore")
+        return self.checkpointing_service.recover_backend(
+            backend,
+            engine,
+            checkpoint_name=checkpoint_name,
+            replay=self.request_manager.replay_log_entries,
+            enable=True,
+        )
+
+    # -- client entry points ----------------------------------------------------------------
+
+    def check_credentials(self, login: str, password: str) -> None:
+        self.authentication_manager.authenticate(login, password)
+        with self._lock:
+            self.total_connections += 1
+
+    def execute(
+        self,
+        sql: str,
+        parameters: Sequence[object] = (),
+        login: str = "",
+        transaction_id: Optional[int] = None,
+    ) -> RequestResult:
+        return self.request_manager.execute(
+            sql, parameters, login=login, transaction_id=transaction_id
+        )
+
+    def begin(self, login: str = "", transaction_id: Optional[int] = None) -> int:
+        return self.request_manager.begin(login, transaction_id=transaction_id)
+
+    def commit(self, transaction_id: int, login: str = "") -> None:
+        self.request_manager.commit(transaction_id, login)
+
+    def rollback(self, transaction_id: int, login: str = "") -> None:
+        self.request_manager.rollback(transaction_id, login)
+
+    # -- monitoring -----------------------------------------------------------------------------
+
+    def statistics(self) -> dict:
+        stats = self.request_manager.statistics()
+        stats["virtual_database"] = self.name
+        stats["total_connections"] = self.total_connections
+        stats["checkpoints"] = self.checkpointing_service.checkpoint_names()
+        return stats
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualDatabase({self.name!r}, backends={[b.name for b in self.backends]})"

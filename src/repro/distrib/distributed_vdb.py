@@ -1,0 +1,268 @@
+"""Horizontal scalability: replicated controllers sharing a virtual database.
+
+Paper §4.1: "We use the JGroups group communication library to synchronize
+the schedulers of the virtual databases that are distributed over several
+controllers. [...] C-JDBC relies on JGroups' reliable and ordered message
+delivery to synchronize write requests and demarcate transactions.  Only the
+request managers contain the distribution logic and use group communication.
+All other C-JDBC components (scheduler, cache, and load balancer) remain the
+same."
+
+A :class:`DistributedVirtualDatabase` wraps the local
+:class:`repro.core.virtualdb.VirtualDatabase` of one controller.  Reads run
+locally; writes, begins, commits and aborts are multicast through a
+:class:`repro.groupcomm.GroupChannel` and applied by every member in total
+order.  At join time members exchange their backend configurations so that a
+surviving controller knows what the failed one was hosting (used by the
+recovery procedure of §4.1).
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.request import RequestResult
+from repro.core.requestparser import RequestFactory
+from repro.core.virtualdb import VirtualDatabase
+from repro.errors import GroupCommunicationError
+from repro.groupcomm.channel import GroupChannel
+from repro.groupcomm.message import GroupMessage, ViewChange
+from repro.groupcomm.transport import GroupTransport
+
+
+@dataclass
+class _WriteCommand:
+    """Payload multicast for a write statement."""
+
+    kind: str  # "execute" | "begin" | "commit" | "rollback"
+    sql: str = ""
+    parameters: tuple = ()
+    login: str = ""
+    transaction_id: Optional[int] = None
+    origin: str = ""
+
+
+@dataclass
+class _BackendAdvertisement:
+    """Backend configuration exchanged between controllers at join time."""
+
+    controller: str
+    backends: List[dict] = field(default_factory=list)
+
+
+class DistributedVirtualDatabase:
+    """One controller's replica of a distributed virtual database."""
+
+    def __init__(
+        self,
+        virtual_database: VirtualDatabase,
+        transport: GroupTransport,
+        controller_name: str,
+        group_name: Optional[str] = None,
+    ):
+        self.local = virtual_database
+        self.controller_name = controller_name
+        self.group_name = group_name or virtual_database.group_name or virtual_database.name
+        self.channel = GroupChannel(transport, controller_name)
+        self.channel.set_message_handler(self._on_message)
+        self.channel.set_view_handler(self._on_view_change)
+        self._request_factory = RequestFactory()
+        self._lock = threading.RLock()
+        #: results of locally applied commands, keyed by message id, so the
+        #: originating controller can return its own execution result
+        self._local_results: Dict[int, RequestResult] = {}
+        #: backend configurations advertised by the other controllers
+        self.peer_backends: Dict[str, List[dict]] = {}
+        #: counter namespace for globally unique transaction ids
+        self._transaction_base = (zlib.crc32(controller_name.encode()) % 90000 + 1) * 100000
+        self._transaction_counter = 0
+        self.view_changes: List[ViewChange] = []
+
+    # -- membership -----------------------------------------------------------------
+
+    def join_group(self) -> List[str]:
+        """Join the controller group and advertise our backend configuration."""
+        view = self.channel.connect(self.group_name)
+        advertisement = _BackendAdvertisement(
+            controller=self.controller_name,
+            backends=[backend.statistics() for backend in self.local.backends],
+        )
+        self.channel.multicast(advertisement)
+        return view
+
+    def leave_group(self) -> None:
+        self.channel.disconnect()
+
+    @property
+    def group_members(self) -> List[str]:
+        return self.channel.members()
+
+    # -- client entry points (same surface the driver uses on VirtualDatabase) -----------
+
+    @property
+    def name(self) -> str:
+        return self.local.name
+
+    @property
+    def backends(self):
+        """Backends of the local replica (used by nested-controller metadata)."""
+        return self.local.backends
+
+    def get_backend(self, backend_name: str):
+        return self.local.get_backend(backend_name)
+
+    def check_credentials(self, login: str, password: str) -> None:
+        self.local.check_credentials(login, password)
+
+    def execute(
+        self,
+        sql: str,
+        parameters: Sequence[Any] = (),
+        login: str = "",
+        transaction_id: Optional[int] = None,
+    ) -> RequestResult:
+        request = self._request_factory.create_request(
+            sql, parameters, login=login, transaction_id=transaction_id
+        )
+        if request.is_read_only:
+            # Reads stay local: each controller load-balances over its own backends.
+            return self.local.execute(sql, parameters, login=login, transaction_id=transaction_id)
+        command = _WriteCommand(
+            kind="execute",
+            sql=request.sql,
+            parameters=tuple(parameters),
+            login=login,
+            transaction_id=transaction_id,
+            origin=self.controller_name,
+        )
+        return self._multicast_command(command)
+
+    def begin(self, login: str = "", transaction_id: Optional[int] = None) -> int:
+        with self._lock:
+            self._transaction_counter += 1
+            allocated = transaction_id or (self._transaction_base + self._transaction_counter)
+        command = _WriteCommand(
+            kind="begin", login=login, transaction_id=allocated, origin=self.controller_name
+        )
+        self._multicast_command(command)
+        return allocated
+
+    def commit(self, transaction_id: int, login: str = "") -> None:
+        command = _WriteCommand(
+            kind="commit", login=login, transaction_id=transaction_id, origin=self.controller_name
+        )
+        self._multicast_command(command)
+
+    def rollback(self, transaction_id: int, login: str = "") -> None:
+        command = _WriteCommand(
+            kind="rollback", login=login, transaction_id=transaction_id, origin=self.controller_name
+        )
+        self._multicast_command(command)
+
+    # -- statistics -------------------------------------------------------------------
+
+    def statistics(self) -> dict:
+        stats = self.local.statistics()
+        stats["distributed"] = {
+            "controller": self.controller_name,
+            "group": self.group_name,
+            "members": self.group_members,
+            "peer_backends": {peer: len(b) for peer, b in self.peer_backends.items()},
+            "view_changes": len(self.view_changes),
+        }
+        return stats
+
+    # -- group delivery -----------------------------------------------------------------
+
+    def _multicast_command(self, command: _WriteCommand) -> RequestResult:
+        if not self.channel.connected:
+            raise GroupCommunicationError(
+                f"controller {self.controller_name!r} has not joined group {self.group_name!r}"
+            )
+        message = self.channel.multicast(command)
+        with self._lock:
+            result = self._local_results.pop(message.message_id, None)
+        return result if result is not None else RequestResult(update_count=0)
+
+    def _on_message(self, message: GroupMessage) -> None:
+        payload = message.payload
+        if isinstance(payload, _BackendAdvertisement):
+            if payload.controller != self.controller_name:
+                is_new_peer = payload.controller not in self.peer_backends
+                self.peer_backends[payload.controller] = payload.backends
+                if is_new_peer and self.channel.connected:
+                    # Reply with our own configuration so that controllers that
+                    # joined earlier also learn about late joiners (the paper's
+                    # "controllers exchange their respective backend
+                    # configurations" at initialization time).
+                    reply = _BackendAdvertisement(
+                        controller=self.controller_name,
+                        backends=[backend.statistics() for backend in self.local.backends],
+                    )
+                    try:
+                        self.channel.send_to(payload.controller, reply)
+                    except GroupCommunicationError:
+                        pass
+            return
+        if not isinstance(payload, _WriteCommand):
+            return
+        result = self._apply_command(payload)
+        if payload.origin == self.controller_name and result is not None:
+            with self._lock:
+                self._local_results[message.message_id] = result
+
+    def _apply_command(self, command: _WriteCommand) -> Optional[RequestResult]:
+        if command.kind == "begin":
+            self.local.begin(command.login, transaction_id=command.transaction_id)
+            return RequestResult(update_count=0, transaction_id=command.transaction_id)
+        if command.kind == "commit":
+            self.local.commit(command.transaction_id, command.login)
+            return RequestResult(update_count=0)
+        if command.kind == "rollback":
+            self.local.rollback(command.transaction_id, command.login)
+            return RequestResult(update_count=0)
+        return self.local.execute(
+            command.sql,
+            command.parameters,
+            login=command.login,
+            transaction_id=command.transaction_id,
+        )
+
+    def _on_view_change(self, view: ViewChange) -> None:
+        self.view_changes.append(view)
+
+
+class ControllerReplicator:
+    """Convenience helper wiring N controllers into one distributed virtual database.
+
+    Used by tests and examples to build the Figure 3 topology: every
+    controller hosts a replica of the virtual database (each with its own
+    backends) and clients can connect to any of them.
+    """
+
+    def __init__(self, transport: Optional[GroupTransport] = None):
+        self.transport = transport or GroupTransport()
+        self.replicas: List[DistributedVirtualDatabase] = []
+
+    def add_replica(
+        self, controller, virtual_database: VirtualDatabase, replace_in_controller: bool = True
+    ) -> DistributedVirtualDatabase:
+        """Wrap ``virtual_database`` and register the wrapper on ``controller``.
+
+        When ``replace_in_controller`` is True the controller serves the
+        distributed wrapper to drivers (so writes through any controller are
+        propagated to all replicas).
+        """
+        replica = DistributedVirtualDatabase(
+            virtual_database, self.transport, controller_name=controller.name
+        )
+        replica.join_group()
+        if replace_in_controller:
+            if controller.has_virtual_database(virtual_database.name):
+                controller.remove_virtual_database(virtual_database.name)
+            controller.add_virtual_database(replica)  # duck-typed: same surface
+        self.replicas.append(replica)
+        return replica

@@ -1,0 +1,87 @@
+"""Vertical scalability: nesting C-JDBC controllers (paper §4.2).
+
+"It is possible to nest C-JDBC controllers by re-injecting the C-JDBC driver
+into the C-JDBC controller. [...] The C-JDBC driver is used as the backend
+native driver to access the underlying controller."
+
+:func:`nested_backend_config` builds a :class:`repro.core.config.BackendConfig`
+whose connection factory opens C-JDBC driver connections to another
+controller's virtual database, so a whole lower-level cluster appears as a
+single backend of the upper-level controller.  Arbitrary controller trees
+can be composed this way (Figure 4/5 topologies).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.core import driver as cjdbc_driver
+from repro.core.config import BackendConfig
+from repro.core.controller import Controller
+
+
+class NestedVirtualDatabaseMetaData:
+    """Schema introspection for a backend that is itself a virtual database.
+
+    The upper-level controller needs the table list of the nested virtual
+    database for partial replication; the natural definition is the union of
+    the tables hosted by the nested database's enabled backends.
+    """
+
+    def __init__(self, controllers: Sequence[Controller], database: str):
+        self._controllers = list(controllers)
+        self._database = database
+
+    def _virtual_database(self):
+        last_error: Optional[Exception] = None
+        for controller in self._controllers:
+            try:
+                return controller.get_virtual_database(self._database)
+            except Exception as exc:  # noqa: BLE001 - try next controller
+                last_error = exc
+        raise last_error if last_error else RuntimeError("no controller available")
+
+    def get_table_names(self) -> List[str]:
+        virtual_database = self._virtual_database()
+        tables = set()
+        for backend in virtual_database.backends:
+            if backend.is_enabled:
+                tables.update(backend.tables)
+        return sorted(tables)
+
+    def get_tables(self, table_name_pattern: Optional[str] = None) -> List[dict]:
+        return [{"TABLE_NAME": name, "TABLE_TYPE": "TABLE"} for name in self.get_table_names()]
+
+
+def nested_backend_config(
+    name: str,
+    controllers: Union[Controller, Sequence[Controller]],
+    database: str,
+    user: str = "nested",
+    password: str = "",
+    weight: int = 1,
+    connection_manager: str = "variable",
+    pool_size: int = 10,
+) -> BackendConfig:
+    """Backend configuration whose "native driver" is the C-JDBC driver.
+
+    ``controllers`` may list several controllers hosting the nested virtual
+    database; the driver's transparent failover then protects the upper
+    level from the failure of one lower-level controller (the mixed
+    horizontal + vertical topology of Figure 5).
+    """
+    if isinstance(controllers, Controller):
+        controllers = [controllers]
+    controller_list = list(controllers)
+
+    def connection_factory():
+        return cjdbc_driver.connect(controller_list, database, user, password)
+
+    return BackendConfig(
+        name=name,
+        connection_factory=connection_factory,
+        metadata_factory=lambda: NestedVirtualDatabaseMetaData(controller_list, database),
+        weight=weight,
+        connection_manager=connection_manager,
+        pool_size=pool_size,
+    )

@@ -1,0 +1,131 @@
+"""Exception hierarchy shared by the whole reproduction.
+
+The hierarchy mirrors both sides of the system:
+
+* the SQL engine substrate raises :class:`SQLError` subclasses, playing the
+  role of the backend RDBMS errors surfaced through a native JDBC driver;
+* the C-JDBC middleware raises :class:`CJDBCError` subclasses for
+  controller/virtual-database level failures (no backend available,
+  authentication failure, ...).
+
+Both families derive from :class:`ReproError` so applications can catch a
+single base class, and from :class:`Exception` only (never ``BaseException``)
+so they never swallow keyboard interrupts.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# SQL engine (backend substrate) errors
+# ---------------------------------------------------------------------------
+
+
+class SQLError(ReproError):
+    """Base class for errors raised by the in-memory SQL engine."""
+
+
+class SQLSyntaxError(SQLError):
+    """The SQL text could not be tokenized or parsed."""
+
+
+class SQLTypeError(SQLError):
+    """A value had an unexpected type or an illegal coercion was attempted."""
+
+
+class CatalogError(SQLError):
+    """Schema-level problem: unknown/duplicate table, column or index."""
+
+
+class ConstraintViolation(SQLError):
+    """A NOT NULL, PRIMARY KEY or UNIQUE constraint was violated."""
+
+
+class TransactionError(SQLError):
+    """Illegal transaction state transition (e.g. commit without begin)."""
+
+
+class LockTimeoutError(TransactionError):
+    """A lock could not be acquired within the configured timeout."""
+
+
+class DeadlockError(TransactionError):
+    """The lock manager detected a deadlock and chose this victim."""
+
+
+# ---------------------------------------------------------------------------
+# DB-API style errors (PEP 249 naming, used by both drivers)
+# ---------------------------------------------------------------------------
+
+
+class InterfaceError(ReproError):
+    """Misuse of the driver interface (closed connection/cursor, ...)."""
+
+
+class DatabaseError(ReproError):
+    """Error reported by the database while executing a statement."""
+
+
+class OperationalError(DatabaseError):
+    """Error related to the database operation, e.g. lost connection."""
+
+
+class IntegrityError(DatabaseError):
+    """Relational integrity violated, surfaced through the driver."""
+
+
+class ProgrammingError(DatabaseError):
+    """Programming error, e.g. SQL syntax error surfaced through the driver."""
+
+
+class NotSupportedError(DatabaseError):
+    """A method or feature is not supported by the backend."""
+
+
+# ---------------------------------------------------------------------------
+# C-JDBC middleware errors
+# ---------------------------------------------------------------------------
+
+
+class CJDBCError(ReproError):
+    """Base class for controller / virtual database level errors."""
+
+
+class AuthenticationError(CJDBCError):
+    """The virtual login/password pair was rejected."""
+
+
+class NoMoreBackendError(CJDBCError):
+    """No backend is left enabled to execute the request."""
+
+
+class BackendError(CJDBCError):
+    """A backend failed while executing a request."""
+
+
+class UnknownVirtualDatabaseError(CJDBCError):
+    """The requested virtual database is not hosted by the controller."""
+
+
+class NotReplicatedError(CJDBCError):
+    """A table needed by the request is missing from every backend."""
+
+
+class ControllerError(CJDBCError):
+    """Controller-level failure (shutdown, unreachable, misconfigured)."""
+
+
+class CheckpointError(CJDBCError):
+    """Checkpointing or backend recovery failed."""
+
+
+class ConfigurationError(CJDBCError):
+    """Invalid virtual database / controller configuration."""
+
+
+class GroupCommunicationError(CJDBCError):
+    """Failure in the group communication layer (horizontal scalability)."""

@@ -1,0 +1,18 @@
+"""Group communication substrate (JGroups stand-in, paper §4.1).
+
+C-JDBC relies on JGroups' "reliable and ordered message delivery to
+synchronize write requests and demarcate transactions" between replicated
+controllers.  This package provides the same guarantees for in-process
+groups:
+
+* :class:`GroupChannel` — join/leave a named group, send totally ordered
+  multicasts, receive view-change notifications;
+* :class:`GroupTransport` — the shared medium implementing total order (a
+  sequencer), reliable delivery and failure injection for tests.
+"""
+
+from repro.groupcomm.channel import GroupChannel
+from repro.groupcomm.message import GroupMessage, ViewChange
+from repro.groupcomm.transport import GroupTransport
+
+__all__ = ["GroupChannel", "GroupMessage", "GroupTransport", "ViewChange"]

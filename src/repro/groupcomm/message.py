@@ -1,0 +1,47 @@
+"""Messages exchanged over the group communication layer."""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+_sequence = itertools.count(1)
+_sequence_lock = threading.Lock()
+
+
+def _next_message_id() -> int:
+    with _sequence_lock:
+        return next(_sequence)
+
+
+@dataclass
+class GroupMessage:
+    """A totally ordered multicast message.
+
+    ``sequence`` is assigned by the transport's sequencer: every member
+    delivers messages in increasing sequence order, which is the total order
+    the distributed request managers rely on.
+    """
+
+    group: str
+    sender: str
+    payload: Any
+    message_id: int = field(default_factory=_next_message_id)
+    sequence: Optional[int] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = type(self.payload).__name__
+        return f"GroupMessage(seq={self.sequence}, from={self.sender}, {kind})"
+
+
+@dataclass
+class ViewChange:
+    """Membership change notification delivered to surviving members."""
+
+    group: str
+    members: List[str]
+    joined: List[str] = field(default_factory=list)
+    left: List[str] = field(default_factory=list)
+    view_id: int = 0

@@ -1,0 +1,183 @@
+"""In-process group transport: membership, total order, failure injection.
+
+The transport is the shared medium all channels of one "network" attach to.
+Total order is obtained with a per-group sequencer (a lock around sequence
+assignment + synchronous delivery in sequence order), the approach JGroups'
+SEQUENCER protocol uses.  Delivery is synchronous and reliable: a multicast
+returns once every live member has processed the message, which mirrors the
+blocking group RPC the C-JDBC distributed request manager performs before
+acknowledging a write.
+
+Failure injection: a member can be killed (``fail_member``), which removes
+it from every group and triggers view changes, or the transport can drop
+messages to specific members (``partition``) to simulate network failures in
+tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.errors import GroupCommunicationError
+from repro.groupcomm.message import GroupMessage, ViewChange
+
+
+class GroupTransport:
+    """Shared medium connecting group channels."""
+
+    def __init__(self, name: str = "transport"):
+        self.name = name
+        self._lock = threading.RLock()
+        #: group name -> member name -> delivery callback
+        self._groups: Dict[str, Dict[str, Callable[[GroupMessage], None]]] = {}
+        #: group name -> member name -> view-change callback
+        self._view_listeners: Dict[str, Dict[str, Callable[[ViewChange], None]]] = {}
+        #: per-group sequence counters (the sequencer)
+        self._sequences: Dict[str, int] = {}
+        self._view_ids: Dict[str, int] = {}
+        #: members considered dead (failure injection)
+        self._failed_members: Set[str] = set()
+        #: (sender, receiver) pairs whose messages are dropped
+        self._partitions: Set[tuple] = set()
+        self.messages_sent = 0
+        self.messages_delivered = 0
+
+    # -- membership ----------------------------------------------------------------
+
+    def join(
+        self,
+        group: str,
+        member: str,
+        on_message: Callable[[GroupMessage], None],
+        on_view_change: Optional[Callable[[ViewChange], None]] = None,
+    ) -> List[str]:
+        """Add ``member`` to ``group``; returns the new membership view."""
+        with self._lock:
+            if member in self._failed_members:
+                self._failed_members.discard(member)
+            members = self._groups.setdefault(group, {})
+            if member in members:
+                raise GroupCommunicationError(
+                    f"member {member!r} already joined group {group!r}"
+                )
+            members[member] = on_message
+            if on_view_change is not None:
+                self._view_listeners.setdefault(group, {})[member] = on_view_change
+            view = sorted(members)
+            self._notify_view_change(group, joined=[member], left=[])
+            return view
+
+    def leave(self, group: str, member: str) -> None:
+        with self._lock:
+            members = self._groups.get(group, {})
+            if member in members:
+                del members[member]
+                self._view_listeners.get(group, {}).pop(member, None)
+                self._notify_view_change(group, joined=[], left=[member])
+
+    def members(self, group: str) -> List[str]:
+        with self._lock:
+            return sorted(self._groups.get(group, {}))
+
+    # -- failure injection --------------------------------------------------------------
+
+    def fail_member(self, member: str) -> None:
+        """Simulate the crash of ``member``: drop it from every group."""
+        with self._lock:
+            self._failed_members.add(member)
+            for group, members in self._groups.items():
+                if member in members:
+                    del members[member]
+                    self._view_listeners.get(group, {}).pop(member, None)
+                    self._notify_view_change(group, joined=[], left=[member])
+
+    def heal_member(self, member: str) -> None:
+        with self._lock:
+            self._failed_members.discard(member)
+
+    def partition(self, sender: str, receiver: str) -> None:
+        """Drop messages from ``sender`` to ``receiver`` (one direction)."""
+        with self._lock:
+            self._partitions.add((sender, receiver))
+
+    def heal_partition(self, sender: str, receiver: str) -> None:
+        with self._lock:
+            self._partitions.discard((sender, receiver))
+
+    # -- messaging ---------------------------------------------------------------------
+
+    def multicast(self, group: str, sender: str, payload: Any) -> GroupMessage:
+        """Send a totally ordered message to every member of ``group``.
+
+        Delivery is synchronous: the call returns after every live member's
+        callback has run.  The sender receives its own message too (JGroups
+        default), which the distributed request manager relies on to apply
+        writes locally in the same total order as everywhere else.
+        """
+        with self._lock:
+            members = self._groups.get(group)
+            if not members or sender not in members:
+                raise GroupCommunicationError(
+                    f"sender {sender!r} is not a member of group {group!r}"
+                )
+            sequence = self._sequences.get(group, 0) + 1
+            self._sequences[group] = sequence
+            message = GroupMessage(group=group, sender=sender, payload=payload, sequence=sequence)
+            self.messages_sent += 1
+            # Snapshot the delivery targets while holding the sequencer lock so
+            # concurrent multicasts deliver in sequence order at every member.
+            targets = [
+                (name, callback)
+                for name, callback in sorted(members.items())
+                if (sender, name) not in self._partitions
+            ]
+            errors = []
+            for name, callback in targets:
+                try:
+                    callback(message)
+                    self.messages_delivered += 1
+                except Exception as exc:  # noqa: BLE001 - collect member failures
+                    errors.append((name, exc))
+            if errors:
+                raise GroupCommunicationError(
+                    f"delivery failed at members {[name for name, _ in errors]}: {errors[0][1]}"
+                )
+            return message
+
+    def send_to(self, group: str, sender: str, receiver: str, payload: Any) -> Any:
+        """Point-to-point message within a group (used for state transfer)."""
+        with self._lock:
+            members = self._groups.get(group, {})
+            callback = members.get(receiver)
+            if callback is None:
+                raise GroupCommunicationError(
+                    f"member {receiver!r} is not in group {group!r}"
+                )
+            if (sender, receiver) in self._partitions:
+                raise GroupCommunicationError(
+                    f"network partition between {sender!r} and {receiver!r}"
+                )
+            message = GroupMessage(group=group, sender=sender, payload=payload, sequence=None)
+            self.messages_sent += 1
+        callback(message)
+        self.messages_delivered += 1
+        return message
+
+    # -- internals --------------------------------------------------------------------------
+
+    def _notify_view_change(self, group: str, joined: List[str], left: List[str]) -> None:
+        view_id = self._view_ids.get(group, 0) + 1
+        self._view_ids[group] = view_id
+        view = ViewChange(
+            group=group,
+            members=sorted(self._groups.get(group, {})),
+            joined=joined,
+            left=left,
+            view_id=view_id,
+        )
+        for listener in list(self._view_listeners.get(group, {}).values()):
+            try:
+                listener(view)
+            except Exception:  # noqa: BLE001 - view listeners must not break membership
+                pass

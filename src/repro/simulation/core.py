@@ -1,0 +1,61 @@
+"""Discrete-event simulation core: event queue and simulator clock."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+
+class Simulator:
+    """A minimal discrete-event simulator.
+
+    Events are callbacks scheduled at absolute simulated times; ties are
+    broken by scheduling order so runs are fully deterministic.
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay`` simulated seconds from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule an event in the past")
+        heapq.heappush(self._queue, (self._now + delay, next(self._sequence), callback))
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        if time < self._now:
+            raise ValueError("cannot schedule an event in the past")
+        heapq.heappush(self._queue, (time, next(self._sequence), callback))
+
+    def run_until(self, end_time: float) -> None:
+        """Process events in time order until the clock reaches ``end_time``."""
+        while self._queue and self._queue[0][0] <= end_time:
+            time, _seq, callback = heapq.heappop(self._queue)
+            self._now = time
+            self.events_processed += 1
+            callback()
+        self._now = max(self._now, end_time)
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Process every pending event (optionally bounded by ``max_events``)."""
+        processed = 0
+        while self._queue:
+            time, _seq, callback = heapq.heappop(self._queue)
+            self._now = time
+            self.events_processed += 1
+            callback()
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                return
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,69 @@
+"""Queueing resources used by the cluster model."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from repro.simulation.core import Simulator
+
+
+class Server:
+    """A FIFO queueing server with ``cpus`` parallel execution units.
+
+    Work items are (service_time, completion_callback) pairs.  ``busy_time``
+    accumulates CPU-seconds consumed, so utilisation over a window is
+    ``busy_time_delta / (cpus * window)`` — this is how the benchmark reports
+    the "database CPU load" and "C-JDBC CPU load" rows of Table 1.
+    """
+
+    def __init__(self, simulator: Simulator, name: str, cpus: int = 1, speed: float = 1.0):
+        if cpus <= 0:
+            raise ValueError("a server needs at least one CPU")
+        self.simulator = simulator
+        self.name = name
+        self.cpus = cpus
+        self.speed = speed
+        self._queue: Deque[Tuple[float, Callable[[], None]]] = deque()
+        self._busy_cpus = 0
+        self.busy_time = 0.0
+        self.jobs_completed = 0
+        self.jobs_submitted = 0
+
+    # -- submission --------------------------------------------------------------------
+
+    def submit(self, service_time: float, on_complete: Optional[Callable[[], None]] = None) -> None:
+        """Queue a job requiring ``service_time`` CPU-seconds."""
+        self.jobs_submitted += 1
+        self._queue.append((service_time / self.speed, on_complete))
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self._busy_cpus < self.cpus and self._queue:
+            service_time, on_complete = self._queue.popleft()
+            self._busy_cpus += 1
+            self.busy_time += service_time
+            self.simulator.schedule(
+                service_time, lambda cb=on_complete: self._job_done(cb)
+            )
+
+    def _job_done(self, on_complete: Optional[Callable[[], None]]) -> None:
+        self._busy_cpus -= 1
+        self.jobs_completed += 1
+        self._dispatch()
+        if on_complete is not None:
+            on_complete()
+
+    # -- introspection ------------------------------------------------------------------
+
+    @property
+    def queue_length(self) -> int:
+        """Jobs waiting or in service (the "pending requests" of LPRF)."""
+        return len(self._queue) + self._busy_cpus
+
+    def utilization(self, window: float, busy_time_at_window_start: float = 0.0) -> float:
+        """CPU utilisation over a window of simulated time."""
+        if window <= 0:
+            return 0.0
+        used = self.busy_time - busy_time_at_window_start
+        return min(1.0, used / (self.cpus * window))

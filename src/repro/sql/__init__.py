@@ -1,0 +1,23 @@
+"""In-memory SQL database engine: the backend substrate.
+
+This package stands in for the MySQL / PostgreSQL / Firebird backends of the
+paper.  Public entry points:
+
+* :class:`repro.sql.engine.DatabaseEngine` — one backend database server;
+* :func:`repro.sql.dbapi.connect` — its "native driver" (DB-API 2.0);
+* :class:`repro.sql.metadata.DatabaseMetaData` — schema introspection used by
+  the middleware's partial-replication load balancers.
+"""
+
+from repro.sql.engine import DatabaseEngine
+from repro.sql.executor import ResultSet
+from repro.sql.metadata import DatabaseMetaData
+from repro.sql.parser import parse, parse_expression
+
+__all__ = [
+    "DatabaseEngine",
+    "DatabaseMetaData",
+    "ResultSet",
+    "parse",
+    "parse_expression",
+]

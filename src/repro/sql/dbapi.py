@@ -1,0 +1,274 @@
+"""PEP 249 (DB-API 2.0) driver for the in-memory engine.
+
+This module plays the role of the *native JDBC driver* in the paper: the
+C-JDBC controller accesses each database backend through its native driver,
+and our middleware accesses each :class:`repro.sql.engine.DatabaseEngine`
+through this module.  The interface is the standard DB-API:
+
+>>> from repro.sql import dbapi
+>>> connection = dbapi.connect(engine)
+>>> cursor = connection.cursor()
+>>> cursor.execute("SELECT 1")
+
+The same interface is implemented by the C-JDBC client driver
+(:mod:`repro.core.driver`), which is what allows controllers to be nested
+for vertical scalability: a controller cannot tell whether its "native
+driver" talks to a real engine or to another controller.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    DatabaseError,
+    InterfaceError,
+    ProgrammingError,
+    SQLError,
+    SQLSyntaxError,
+)
+from repro.sql.engine import DatabaseEngine, Session
+from repro.sql.executor import ResultSet
+
+apilevel = "2.0"
+threadsafety = 1
+paramstyle = "qmark"
+
+
+def connect(engine: DatabaseEngine, user: str = "", password: str = "") -> "Connection":
+    """Open a connection to ``engine``.
+
+    ``user``/``password`` are accepted for interface parity with real
+    drivers; the in-memory engine itself does not enforce authentication
+    (the middleware's authentication manager does).
+    """
+    return Connection(engine, user=user)
+
+
+class Connection:
+    """A DB-API connection bound to one engine session."""
+
+    def __init__(self, engine: DatabaseEngine, user: str = ""):
+        self._engine = engine
+        self._session: Optional[Session] = engine.create_session()
+        self.user = user
+        self._lock = threading.RLock()
+        self._autocommit = True
+
+    # -- properties -------------------------------------------------------------
+
+    @property
+    def engine(self) -> DatabaseEngine:
+        return self._engine
+
+    @property
+    def closed(self) -> bool:
+        return self._session is None
+
+    @property
+    def autocommit(self) -> bool:
+        return self._autocommit
+
+    @autocommit.setter
+    def autocommit(self, value: bool) -> None:
+        self._check_open()
+        self._autocommit = bool(value)
+        if not value:
+            self._session.begin()
+        else:
+            # Turning autocommit back on commits any open transaction, the
+            # behaviour mandated by JDBC's setAutoCommit(true).
+            self._session.commit()
+
+    # -- transaction control -----------------------------------------------------
+
+    def begin(self) -> None:
+        self._check_open()
+        self._autocommit = False
+        self._session.begin()
+
+    def commit(self) -> None:
+        self._check_open()
+        self._session.commit()
+        if not self._autocommit:
+            self._session.begin()
+
+    def rollback(self) -> None:
+        self._check_open()
+        self._session.rollback()
+        if not self._autocommit:
+            self._session.begin()
+
+    def close(self) -> None:
+        if self._session is not None:
+            self._session.close()
+            self._session = None
+
+    # -- cursors ------------------------------------------------------------------
+
+    def cursor(self) -> "Cursor":
+        self._check_open()
+        return Cursor(self)
+
+    def execute(self, sql: str, parameters: Sequence[Any] = ()) -> "Cursor":
+        """Convenience: create a cursor, execute, and return it."""
+        cursor = self.cursor()
+        cursor.execute(sql, parameters)
+        return cursor
+
+    # -- internals ------------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._session is None:
+            raise InterfaceError("connection is closed")
+
+    def _run(self, sql: str, parameters: Sequence[Any]) -> ResultSet:
+        self._check_open()
+        with self._lock:
+            try:
+                result = self._session.execute(sql, parameters)
+            except SQLSyntaxError as exc:
+                raise ProgrammingError(str(exc)) from exc
+            except SQLError as exc:
+                raise DatabaseError(str(exc)) from exc
+            self._engine.note_statement(sql)
+            return result
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            try:
+                self.commit()
+            except InterfaceError:
+                pass
+        else:
+            try:
+                self.rollback()
+            except InterfaceError:
+                pass
+        self.close()
+
+
+class Cursor:
+    """A DB-API cursor; also doubles as the JDBC ResultSet equivalent."""
+
+    arraysize = 1
+
+    def __init__(self, connection: Connection):
+        self._connection = connection
+        self._result: Optional[ResultSet] = None
+        self._position = 0
+        self._closed = False
+
+    # -- metadata ---------------------------------------------------------------
+
+    @property
+    def description(self) -> Optional[List[Tuple]]:
+        if self._result is None or not self._result.columns:
+            return None
+        return [
+            (name, None, None, None, None, None, None)
+            for name in self._result.columns
+        ]
+
+    @property
+    def rowcount(self) -> int:
+        if self._result is None:
+            return -1
+        if self._result.columns:
+            return len(self._result.rows)
+        return self._result.update_count
+
+    @property
+    def columns(self) -> List[str]:
+        return list(self._result.columns) if self._result else []
+
+    # -- execution -----------------------------------------------------------------
+
+    def execute(self, sql: str, parameters: Sequence[Any] = ()) -> "Cursor":
+        self._check_open()
+        self._result = self._connection._run(sql, parameters)
+        self._position = 0
+        return self
+
+    def executemany(self, sql: str, seq_of_parameters: Sequence[Sequence[Any]]) -> "Cursor":
+        self._check_open()
+        total = 0
+        for parameters in seq_of_parameters:
+            self.execute(sql, parameters)
+            if self._result is not None and self._result.update_count > 0:
+                total += self._result.update_count
+        if self._result is not None:
+            self._result.update_count = total
+        return self
+
+    # -- fetching -------------------------------------------------------------------
+
+    def fetchone(self) -> Optional[Tuple[Any, ...]]:
+        self._check_has_result()
+        if self._position >= len(self._result.rows):
+            return None
+        row = tuple(self._result.rows[self._position])
+        self._position += 1
+        return row
+
+    def fetchmany(self, size: Optional[int] = None) -> List[Tuple[Any, ...]]:
+        self._check_has_result()
+        count = size if size is not None else self.arraysize
+        rows = []
+        for _ in range(count):
+            row = self.fetchone()
+            if row is None:
+                break
+            rows.append(row)
+        return rows
+
+    def fetchall(self) -> List[Tuple[Any, ...]]:
+        self._check_has_result()
+        rows = [tuple(row) for row in self._result.rows[self._position :]]
+        self._position = len(self._result.rows)
+        return rows
+
+    def fetchall_dicts(self) -> List[dict]:
+        """Extension: rows as dicts keyed by column name."""
+        self._check_has_result()
+        return self._result.as_dicts()
+
+    def scalar(self) -> Any:
+        """Extension: first column of first row (None when empty)."""
+        self._check_has_result()
+        return self._result.scalar()
+
+    # -- misc ---------------------------------------------------------------------
+
+    def setinputsizes(self, sizes) -> None:  # pragma: no cover - DB-API stub
+        return None
+
+    def setoutputsize(self, size, column=None) -> None:  # pragma: no cover
+        return None
+
+    def close(self) -> None:
+        self._closed = True
+        self._result = None
+
+    def __iter__(self):
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    # -- internals -------------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("cursor is closed")
+        self._connection._check_open()
+
+    def _check_has_result(self) -> None:
+        self._check_open()
+        if self._result is None:
+            raise InterfaceError("no statement executed yet")

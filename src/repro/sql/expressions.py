@@ -1,0 +1,344 @@
+"""Expression evaluation over row contexts.
+
+The evaluator implements SQL three-valued logic: comparisons involving NULL
+yield UNKNOWN (represented as ``None``), ``AND``/``OR``/``NOT`` propagate
+UNKNOWN, and a WHERE clause only keeps rows whose predicate is strictly
+TRUE.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import SQLError, SQLSyntaxError
+from repro.sql import ast
+from repro.sql.functions import call_scalar, is_aggregate
+from repro.sql.types import compare_values
+
+
+class RowContext:
+    """Resolves column references against one (possibly joined) row.
+
+    The row is a mapping from exposed table name (alias or table name) to a
+    column->value dict.  Unqualified column names are resolved by searching
+    every table; ambiguity raises :class:`SQLError`.
+    """
+
+    def __init__(
+        self,
+        tables: Dict[str, Dict[str, Any]],
+        parameters: Sequence[Any] = (),
+        outer: Optional["RowContext"] = None,
+    ):
+        self.tables = tables
+        self.parameters = list(parameters)
+        self.outer = outer
+
+    def resolve(self, column: ast.ColumnRef) -> Any:
+        if column.table is not None:
+            for exposed, row in self.tables.items():
+                if exposed.lower() == column.table.lower():
+                    return _get_case_insensitive(row, column.name)
+            if self.outer is not None:
+                return self.outer.resolve(column)
+            raise SQLError(f"unknown table or alias {column.table!r}")
+        matches = []
+        for exposed, row in self.tables.items():
+            if _has_case_insensitive(row, column.name):
+                matches.append(row)
+        if len(matches) == 1:
+            return _get_case_insensitive(matches[0], column.name)
+        if len(matches) > 1:
+            raise SQLError(f"ambiguous column reference {column.name!r}")
+        if self.outer is not None:
+            return self.outer.resolve(column)
+        raise SQLError(f"unknown column {column.name!r}")
+
+    def parameter(self, index: int) -> Any:
+        try:
+            return self.parameters[index]
+        except IndexError:
+            raise SQLError(
+                f"missing parameter #{index + 1}: only {len(self.parameters)} bound"
+            ) from None
+
+
+def _get_case_insensitive(row: Dict[str, Any], name: str) -> Any:
+    if name in row:
+        return row[name]
+    lowered = name.lower()
+    for key, value in row.items():
+        if key.lower() == lowered:
+            return value
+    raise SQLError(f"unknown column {name!r}")
+
+
+def _has_case_insensitive(row: Dict[str, Any], name: str) -> bool:
+    if name in row:
+        return True
+    lowered = name.lower()
+    return any(key.lower() == lowered for key in row)
+
+
+class ExpressionEvaluator:
+    """Evaluates AST expressions against a :class:`RowContext`.
+
+    ``subquery_executor`` is an optional callback used for ``IN (SELECT
+    ...)``, ``EXISTS`` and scalar subqueries; the executor module injects a
+    closure that runs the nested select within the current transaction.
+    """
+
+    def __init__(
+        self,
+        subquery_executor: Optional[Callable[[ast.Select, RowContext], List[List[Any]]]] = None,
+    ):
+        self._subquery_executor = subquery_executor
+
+    # -- public API -----------------------------------------------------------
+
+    def evaluate(self, expression: ast.Expression, context: RowContext) -> Any:
+        method = getattr(self, f"_eval_{type(expression).__name__.lower()}", None)
+        if method is None:
+            raise SQLError(f"cannot evaluate expression node {type(expression).__name__}")
+        return method(expression, context)
+
+    def evaluate_predicate(self, expression: ast.Expression, context: RowContext) -> bool:
+        """Evaluate a WHERE/HAVING/ON predicate; UNKNOWN counts as False."""
+        return self.evaluate(expression, context) is True
+
+    # -- node handlers ---------------------------------------------------------
+
+    def _eval_literal(self, node: ast.Literal, context: RowContext) -> Any:
+        return node.value
+
+    def _eval_parameter(self, node: ast.Parameter, context: RowContext) -> Any:
+        return context.parameter(node.index)
+
+    def _eval_columnref(self, node: ast.ColumnRef, context: RowContext) -> Any:
+        return context.resolve(node)
+
+    def _eval_star(self, node: ast.Star, context: RowContext) -> Any:
+        raise SQLError("'*' is only allowed in a select list or COUNT(*)")
+
+    def _eval_unaryop(self, node: ast.UnaryOp, context: RowContext) -> Any:
+        value = self.evaluate(node.operand, context)
+        if node.operator == "NOT":
+            if value is None:
+                return None
+            return not _truthy(value)
+        if value is None:
+            return None
+        if node.operator == "-":
+            return -value
+        if node.operator == "+":
+            return +value
+        raise SQLError(f"unknown unary operator {node.operator!r}")
+
+    def _eval_binaryop(self, node: ast.BinaryOp, context: RowContext) -> Any:
+        operator = node.operator
+        if operator == "AND":
+            return _three_valued_and(
+                _as_bool(self.evaluate(node.left, context)),
+                lambda: _as_bool(self.evaluate(node.right, context)),
+            )
+        if operator == "OR":
+            return _three_valued_or(
+                _as_bool(self.evaluate(node.left, context)),
+                lambda: _as_bool(self.evaluate(node.right, context)),
+            )
+        left = self.evaluate(node.left, context)
+        right = self.evaluate(node.right, context)
+        if operator in ("=", "<>", "<", "<=", ">", ">="):
+            comparison = compare_values(left, right)
+            if comparison is None:
+                return None
+            return {
+                "=": comparison == 0,
+                "<>": comparison != 0,
+                "<": comparison < 0,
+                "<=": comparison <= 0,
+                ">": comparison > 0,
+                ">=": comparison >= 0,
+            }[operator]
+        if operator in ("LIKE", "NOT LIKE"):
+            if left is None or right is None:
+                return None
+            matched = _like_match(str(left), str(right))
+            return matched if operator == "LIKE" else not matched
+        if operator == "||":
+            if left is None or right is None:
+                return None
+            return str(left) + str(right)
+        if left is None or right is None:
+            return None
+        try:
+            if operator == "+":
+                return left + right
+            if operator == "-":
+                return left - right
+            if operator == "*":
+                return left * right
+            if operator == "/":
+                if right == 0:
+                    return None
+                result = left / right
+                return result
+            if operator == "%":
+                if right == 0:
+                    return None
+                return left % right
+        except TypeError as exc:
+            raise SQLError(
+                f"type error applying {operator!r} to {left!r} and {right!r}"
+            ) from exc
+        raise SQLError(f"unknown binary operator {operator!r}")
+
+    def _eval_isnull(self, node: ast.IsNull, context: RowContext) -> bool:
+        value = self.evaluate(node.operand, context)
+        is_null = value is None
+        return not is_null if node.negated else is_null
+
+    def _eval_inlist(self, node: ast.InList, context: RowContext) -> Optional[bool]:
+        value = self.evaluate(node.operand, context)
+        if value is None:
+            return None
+        saw_null = False
+        for item in node.items:
+            candidate = self.evaluate(item, context)
+            if candidate is None:
+                saw_null = True
+                continue
+            if compare_values(value, candidate) == 0:
+                return not node.negated
+        if saw_null:
+            return None
+        return node.negated
+
+    def _eval_insubquery(self, node: ast.InSubquery, context: RowContext) -> Optional[bool]:
+        rows = self._run_subquery(node.subquery, context)
+        value = self.evaluate(node.operand, context)
+        if value is None:
+            return None
+        saw_null = False
+        for row in rows:
+            candidate = row[0] if row else None
+            if candidate is None:
+                saw_null = True
+                continue
+            if compare_values(value, candidate) == 0:
+                return not node.negated
+        if saw_null:
+            return None
+        return node.negated
+
+    def _eval_between(self, node: ast.Between, context: RowContext) -> Optional[bool]:
+        value = self.evaluate(node.operand, context)
+        low = self.evaluate(node.low, context)
+        high = self.evaluate(node.high, context)
+        low_cmp = compare_values(value, low)
+        high_cmp = compare_values(value, high)
+        if low_cmp is None or high_cmp is None:
+            return None
+        result = low_cmp >= 0 and high_cmp <= 0
+        return not result if node.negated else result
+
+    def _eval_functioncall(self, node: ast.FunctionCall, context: RowContext) -> Any:
+        if is_aggregate(node.name):
+            # Aggregates are computed by the executor; if one leaks down here
+            # it means an aggregate was used outside of a select list/HAVING.
+            raise SQLError(
+                f"aggregate function {node.name!r} not allowed in this context"
+            )
+        args = [self.evaluate(argument, context) for argument in node.args]
+        return call_scalar(node.name, args)
+
+    def _eval_caseexpression(self, node: ast.CaseExpression, context: RowContext) -> Any:
+        for condition, value in node.whens:
+            if self.evaluate_predicate(condition, context):
+                return self.evaluate(value, context)
+        if node.default is not None:
+            return self.evaluate(node.default, context)
+        return None
+
+    def _eval_existssubquery(self, node: ast.ExistsSubquery, context: RowContext) -> bool:
+        rows = self._run_subquery(node.subquery, context)
+        exists = len(rows) > 0
+        return not exists if node.negated else exists
+
+    def _eval_scalarsubquery(self, node: ast.ScalarSubquery, context: RowContext) -> Any:
+        rows = self._run_subquery(node.subquery, context)
+        if not rows:
+            return None
+        if len(rows) > 1:
+            raise SQLError("scalar subquery returned more than one row")
+        return rows[0][0] if rows[0] else None
+
+    def _run_subquery(self, subquery: ast.Select, context: RowContext) -> List[List[Any]]:
+        if self._subquery_executor is None:
+            raise SQLError("subqueries are not supported in this context")
+        return self._subquery_executor(subquery, context)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _truthy(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    return bool(value)
+
+
+def _as_bool(value: Any) -> Optional[bool]:
+    if value is None:
+        return None
+    return _truthy(value)
+
+
+def _three_valued_and(left: Optional[bool], right_thunk: Callable[[], Optional[bool]]):
+    if left is False:
+        return False
+    right = right_thunk()
+    if left is True:
+        return right
+    # left is UNKNOWN
+    if right is False:
+        return False
+    return None
+
+
+def _three_valued_or(left: Optional[bool], right_thunk: Callable[[], Optional[bool]]):
+    if left is True:
+        return True
+    right = right_thunk()
+    if left is False:
+        return right
+    if right is True:
+        return True
+    return None
+
+
+_LIKE_CACHE: Dict[str, "re.Pattern[str]"] = {}
+
+
+def _like_match(value: str, pattern: str) -> bool:
+    """SQL LIKE with ``%`` and ``_`` wildcards, case-insensitive like MySQL."""
+    compiled = _LIKE_CACHE.get(pattern)
+    if compiled is None:
+        regex_parts = ["^"]
+        for char in pattern:
+            if char == "%":
+                regex_parts.append(".*")
+            elif char == "_":
+                regex_parts.append(".")
+            else:
+                regex_parts.append(re.escape(char))
+        regex_parts.append("$")
+        compiled = re.compile("".join(regex_parts), re.IGNORECASE | re.DOTALL)
+        if len(_LIKE_CACHE) < 4096:
+            _LIKE_CACHE[pattern] = compiled
+    return compiled.match(value) is not None

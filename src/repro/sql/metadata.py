@@ -1,0 +1,76 @@
+"""DatabaseMetaData equivalent for the in-memory engine.
+
+In the paper (§2.4.3), load balancers supporting partial replication learn
+each backend's schema dynamically by calling the JDBC ``DatabaseMetaData``
+methods of the backend's native driver when the backend is enabled.  This
+module provides the same introspection surface for our engine so the
+middleware's schema-gathering code path is exercised for real.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.sql.engine import DatabaseEngine
+
+
+class DatabaseMetaData:
+    """Schema introspection over one engine, JDBC-method-named."""
+
+    def __init__(self, engine: DatabaseEngine):
+        self._engine = engine
+
+    def get_tables(self, table_name_pattern: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Like ``DatabaseMetaData.getTables``: one dict per table."""
+        tables = []
+        for name in self._engine.catalog.table_names():
+            if table_name_pattern and not _pattern_match(name, table_name_pattern):
+                continue
+            tables.append(self._engine.catalog.get_table(name).schema.describe())
+        return tables
+
+    def get_table_names(self) -> List[str]:
+        return self._engine.catalog.table_names()
+
+    def get_columns(self, table_name: str) -> List[Dict[str, Any]]:
+        """Like ``DatabaseMetaData.getColumns`` for one table."""
+        schema = self._engine.catalog.get_table(table_name).schema
+        columns = []
+        for position, column in enumerate(schema.columns, start=1):
+            info = column.describe()
+            info["TABLE_NAME"] = schema.name
+            info["ORDINAL_POSITION"] = position
+            columns.append(info)
+        return columns
+
+    def get_primary_keys(self, table_name: str) -> List[str]:
+        """Like ``DatabaseMetaData.getPrimaryKeys``."""
+        return list(self._engine.catalog.get_table(table_name).schema.primary_key)
+
+    def get_indexes(self, table_name: str) -> List[Dict[str, Any]]:
+        """Like ``DatabaseMetaData.getIndexInfo``."""
+        schema = self._engine.catalog.get_table(table_name).schema
+        return [
+            {
+                "INDEX_NAME": index.name,
+                "COLUMNS": list(index.columns),
+                "NON_UNIQUE": not index.unique,
+            }
+            for index in schema.indexes.values()
+        ]
+
+    def get_database_product_name(self) -> str:
+        return "repro-sql"
+
+    def get_database_product_version(self) -> str:
+        return "1.0"
+
+
+def _pattern_match(name: str, pattern: str) -> bool:
+    """SQL metadata patterns use ``%`` and ``_`` wildcards."""
+    import re
+
+    regex = "^" + "".join(
+        ".*" if c == "%" else "." if c == "_" else re.escape(c) for c in pattern
+    ) + "$"
+    return re.match(regex, name, re.IGNORECASE) is not None

@@ -1,0 +1,208 @@
+"""Schema objects: columns, indexes and table definitions.
+
+These are the catalog objects of the in-memory engine.  They are also what
+the middleware's ``DatabaseMetaData`` equivalent exposes so that the C-JDBC
+partial-replication load balancer can discover which tables live on which
+backend (paper §2.4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import CatalogError
+from repro.sql.types import SQLType, coerce_value, type_from_name
+
+
+@dataclass
+class Column:
+    """A table column."""
+
+    name: str
+    sql_type: SQLType
+    length: Optional[int] = None
+    not_null: bool = False
+    primary_key: bool = False
+    unique: bool = False
+    auto_increment: bool = False
+    default: Any = None
+
+    @classmethod
+    def from_definition(
+        cls,
+        name: str,
+        type_name: str,
+        length: Optional[int] = None,
+        **flags: Any,
+    ) -> "Column":
+        return cls(name=name, sql_type=type_from_name(type_name), length=length, **flags)
+
+    def coerce(self, value: Any) -> Any:
+        return coerce_value(value, self.sql_type)
+
+    def describe(self) -> Dict[str, Any]:
+        """Column description in DatabaseMetaData.getColumns() spirit."""
+        return {
+            "COLUMN_NAME": self.name,
+            "TYPE_NAME": self.sql_type.value,
+            "COLUMN_SIZE": self.length,
+            "NULLABLE": not self.not_null,
+            "IS_AUTOINCREMENT": self.auto_increment,
+            "COLUMN_DEF": self.default,
+        }
+
+
+@dataclass
+class Index:
+    """A (hash) index over one or more columns."""
+
+    name: str
+    table: str
+    columns: List[str]
+    unique: bool = False
+
+    def key_for(self, row: Dict[str, Any]):
+        return tuple(row.get(column) for column in self.columns)
+
+
+class TableSchema:
+    """Definition of a table: ordered columns, primary key and indexes."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        primary_key: Optional[Sequence[str]] = None,
+        temporary: bool = False,
+    ):
+        self.name = name
+        self.columns: List[Column] = list(columns)
+        self.temporary = temporary
+        self._columns_by_name = {c.name.lower(): c for c in self.columns}
+        if len(self._columns_by_name) != len(self.columns):
+            raise CatalogError(f"duplicate column name in table {name!r}")
+        declared_pk = [c.name for c in self.columns if c.primary_key]
+        self.primary_key: List[str] = list(primary_key or declared_pk)
+        for key_column in self.primary_key:
+            column = self.column(key_column)
+            column.primary_key = True
+            column.not_null = True
+        self.indexes: Dict[str, Index] = {}
+        self.unique_constraints: List[List[str]] = []
+        if self.primary_key:
+            self.unique_constraints.append(list(self.primary_key))
+        for column in self.columns:
+            if column.unique and [column.name] not in self.unique_constraints:
+                self.unique_constraints.append([column.name])
+
+    # -- lookups -------------------------------------------------------------
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._columns_by_name[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"unknown column {name!r} in table {self.name!r}"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._columns_by_name
+
+    @property
+    def column_names(self) -> List[str]:
+        return [column.name for column in self.columns]
+
+    # -- mutation ------------------------------------------------------------
+
+    def add_column(self, column: Column) -> None:
+        if self.has_column(column.name):
+            raise CatalogError(
+                f"column {column.name!r} already exists in table {self.name!r}"
+            )
+        self.columns.append(column)
+        self._columns_by_name[column.name.lower()] = column
+
+    def add_index(self, index: Index) -> None:
+        if index.name.lower() in {name.lower() for name in self.indexes}:
+            raise CatalogError(f"index {index.name!r} already exists")
+        for column in index.columns:
+            self.column(column)
+        self.indexes[index.name] = index
+        if index.unique and index.columns not in self.unique_constraints:
+            self.unique_constraints.append(list(index.columns))
+
+    def drop_index(self, name: str) -> None:
+        for existing in list(self.indexes):
+            if existing.lower() == name.lower():
+                del self.indexes[existing]
+                return
+        raise CatalogError(f"unknown index {name!r} on table {self.name!r}")
+
+    # -- serialization (used by the Octopus-like ETL tool) --------------------
+
+    def to_portable(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "columns": [
+                {
+                    "name": c.name,
+                    "type": c.sql_type.value,
+                    "length": c.length,
+                    "not_null": c.not_null,
+                    "primary_key": c.primary_key,
+                    "unique": c.unique,
+                    "auto_increment": c.auto_increment,
+                    "default": c.default,
+                }
+                for c in self.columns
+            ],
+            "primary_key": list(self.primary_key),
+            "indexes": [
+                {
+                    "name": index.name,
+                    "columns": list(index.columns),
+                    "unique": index.unique,
+                }
+                for index in self.indexes.values()
+            ],
+        }
+
+    @classmethod
+    def from_portable(cls, data: Dict[str, Any]) -> "TableSchema":
+        columns = [
+            Column(
+                name=c["name"],
+                sql_type=SQLType(c["type"]),
+                length=c.get("length"),
+                not_null=c.get("not_null", False),
+                primary_key=c.get("primary_key", False),
+                unique=c.get("unique", False),
+                auto_increment=c.get("auto_increment", False),
+                default=c.get("default"),
+            )
+            for c in data["columns"]
+        ]
+        schema = cls(data["name"], columns, data.get("primary_key") or None)
+        for index_data in data.get("indexes", []):
+            schema.add_index(
+                Index(
+                    name=index_data["name"],
+                    table=data["name"],
+                    columns=list(index_data["columns"]),
+                    unique=index_data.get("unique", False),
+                )
+            )
+        return schema
+
+    def describe(self) -> Dict[str, Any]:
+        """Table description in DatabaseMetaData.getTables() spirit."""
+        return {
+            "TABLE_NAME": self.name,
+            "TABLE_TYPE": "TEMPORARY" if self.temporary else "TABLE",
+            "COLUMNS": [column.describe() for column in self.columns],
+            "PRIMARY_KEY": list(self.primary_key),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TableSchema({self.name!r}, {len(self.columns)} columns)"

@@ -1,0 +1,185 @@
+"""Transaction support for the in-memory engine.
+
+Each connection to the engine runs inside a :class:`Transaction`.  The engine
+uses per-table reader/writer locks with a wait-die style timeout and an undo
+log so that ``ROLLBACK`` restores the pre-transaction state.  This mirrors
+what the InnoDB backends give C-JDBC in the paper: the middleware itself
+never needs row-level detail, it only relies on the backend enforcing
+transactional semantics.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.errors import LockTimeoutError, TransactionError
+
+
+@dataclass
+class UndoRecord:
+    """One inverse operation recorded while a transaction executes."""
+
+    undo: Callable[[], None]
+    description: str = ""
+
+
+class TableLock:
+    """A reader/writer lock for one table with timeout support."""
+
+    def __init__(self, table_name: str):
+        self.table_name = table_name
+        self._condition = threading.Condition()
+        self._readers: Set[int] = set()
+        self._writer: Optional[int] = None
+        self._writer_depth = 0
+
+    def acquire_read(self, txn_id: int, timeout: float) -> None:
+        with self._condition:
+            deadline = _deadline(timeout)
+            while not self._can_read(txn_id):
+                if not self._wait(deadline):
+                    raise LockTimeoutError(
+                        f"transaction {txn_id} timed out waiting for read lock "
+                        f"on {self.table_name!r} (writer={self._writer})"
+                    )
+            self._readers.add(txn_id)
+
+    def acquire_write(self, txn_id: int, timeout: float) -> None:
+        with self._condition:
+            deadline = _deadline(timeout)
+            while not self._can_write(txn_id):
+                if not self._wait(deadline):
+                    raise LockTimeoutError(
+                        f"transaction {txn_id} timed out waiting for write lock "
+                        f"on {self.table_name!r} (writer={self._writer}, "
+                        f"readers={sorted(self._readers)})"
+                    )
+            self._writer = txn_id
+            self._writer_depth += 1
+            self._readers.discard(txn_id)
+
+    def release_all(self, txn_id: int) -> None:
+        with self._condition:
+            self._readers.discard(txn_id)
+            if self._writer == txn_id:
+                self._writer = None
+                self._writer_depth = 0
+            self._condition.notify_all()
+
+    def _can_read(self, txn_id: int) -> bool:
+        return self._writer is None or self._writer == txn_id
+
+    def _can_write(self, txn_id: int) -> bool:
+        if self._writer is not None and self._writer != txn_id:
+            return False
+        other_readers = self._readers - {txn_id}
+        return not other_readers
+
+    def _wait(self, deadline: Optional[float]) -> bool:
+        if deadline is None:
+            self._condition.wait()
+            return True
+        import time
+
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return False
+        self._condition.wait(remaining)
+        return True
+
+
+def _deadline(timeout: float) -> Optional[float]:
+    if timeout is None or timeout <= 0:
+        return None
+    import time
+
+    return time.monotonic() + timeout
+
+
+class LockManager:
+    """Hands out per-table locks and remembers which transaction holds what."""
+
+    def __init__(self, lock_timeout: float = 5.0):
+        self.lock_timeout = lock_timeout
+        self._locks: Dict[str, TableLock] = {}
+        self._held: Dict[int, Set[str]] = {}
+        self._mutex = threading.Lock()
+
+    def _lock_for(self, table_name: str) -> TableLock:
+        key = table_name.lower()
+        with self._mutex:
+            lock = self._locks.get(key)
+            if lock is None:
+                lock = TableLock(table_name)
+                self._locks[key] = lock
+            return lock
+
+    def lock_read(self, txn_id: int, table_name: str) -> None:
+        self._lock_for(table_name).acquire_read(txn_id, self.lock_timeout)
+        with self._mutex:
+            self._held.setdefault(txn_id, set()).add(table_name.lower())
+
+    def lock_write(self, txn_id: int, table_name: str) -> None:
+        self._lock_for(table_name).acquire_write(txn_id, self.lock_timeout)
+        with self._mutex:
+            self._held.setdefault(txn_id, set()).add(table_name.lower())
+
+    def release(self, txn_id: int) -> None:
+        with self._mutex:
+            held = self._held.pop(txn_id, set())
+            locks = [self._locks[name] for name in held if name in self._locks]
+        for lock in locks:
+            lock.release_all(txn_id)
+
+    def drop_table(self, table_name: str) -> None:
+        with self._mutex:
+            self._locks.pop(table_name.lower(), None)
+
+
+class Transaction:
+    """State of one in-flight transaction: undo log + statistics."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, autocommit: bool = True):
+        self.txn_id = next(Transaction._ids)
+        self.autocommit = autocommit
+        self.active = False
+        self.readonly_so_far = True
+        self.undo_log: List[UndoRecord] = []
+        self.statements_executed = 0
+
+    def begin(self) -> None:
+        if self.active:
+            raise TransactionError("transaction already started")
+        self.active = True
+        self.readonly_so_far = True
+        self.undo_log.clear()
+
+    def record_undo(self, undo: Callable[[], None], description: str = "") -> None:
+        if self.active:
+            self.undo_log.append(UndoRecord(undo, description))
+
+    def mark_write(self) -> None:
+        self.readonly_so_far = False
+
+    def commit(self) -> None:
+        if not self.active:
+            raise TransactionError("commit without an active transaction")
+        self.undo_log.clear()
+        self.active = False
+
+    def rollback(self) -> None:
+        if not self.active:
+            raise TransactionError("rollback without an active transaction")
+        for record in reversed(self.undo_log):
+            record.undo()
+        self.undo_log.clear()
+        self.active = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "active" if self.active else "idle"
+        return f"Transaction(id={self.txn_id}, {state}, undo={len(self.undo_log)})"

@@ -1,0 +1,238 @@
+"""SQL value types, coercions and NULL (three-valued logic) helpers.
+
+The engine stores Python values directly but tags every column with a
+:class:`SQLType` so that coercions (e.g. comparing an ``INT`` column with the
+string literal ``'42'``) behave like a conventional RDBMS and so that
+``DatabaseMetaData`` can report precise type information to the middleware.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from enum import Enum
+from typing import Any, Optional
+
+from repro.errors import SQLTypeError
+
+
+class SQLType(Enum):
+    """Supported SQL column types."""
+
+    INTEGER = "INTEGER"
+    BIGINT = "BIGINT"
+    FLOAT = "FLOAT"
+    DOUBLE = "DOUBLE"
+    DECIMAL = "DECIMAL"
+    VARCHAR = "VARCHAR"
+    CHAR = "CHAR"
+    TEXT = "TEXT"
+    BOOLEAN = "BOOLEAN"
+    DATE = "DATE"
+    TIMESTAMP = "TIMESTAMP"
+    BLOB = "BLOB"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in _NUMERIC_TYPES
+
+    @property
+    def is_character(self) -> bool:
+        return self in _CHARACTER_TYPES
+
+    @property
+    def is_temporal(self) -> bool:
+        return self in _TEMPORAL_TYPES
+
+
+_NUMERIC_TYPES = {
+    SQLType.INTEGER,
+    SQLType.BIGINT,
+    SQLType.FLOAT,
+    SQLType.DOUBLE,
+    SQLType.DECIMAL,
+}
+_CHARACTER_TYPES = {SQLType.VARCHAR, SQLType.CHAR, SQLType.TEXT}
+_TEMPORAL_TYPES = {SQLType.DATE, SQLType.TIMESTAMP}
+
+_TYPE_ALIASES = {
+    "INT": SQLType.INTEGER,
+    "INTEGER": SQLType.INTEGER,
+    "SMALLINT": SQLType.INTEGER,
+    "TINYINT": SQLType.INTEGER,
+    "MEDIUMINT": SQLType.INTEGER,
+    "BIGINT": SQLType.BIGINT,
+    "SERIAL": SQLType.INTEGER,
+    "FLOAT": SQLType.FLOAT,
+    "REAL": SQLType.FLOAT,
+    "DOUBLE": SQLType.DOUBLE,
+    "DOUBLE PRECISION": SQLType.DOUBLE,
+    "DECIMAL": SQLType.DECIMAL,
+    "NUMERIC": SQLType.DECIMAL,
+    "VARCHAR": SQLType.VARCHAR,
+    "CHARACTER VARYING": SQLType.VARCHAR,
+    "CHAR": SQLType.CHAR,
+    "CHARACTER": SQLType.CHAR,
+    "TEXT": SQLType.TEXT,
+    "CLOB": SQLType.TEXT,
+    "LONGTEXT": SQLType.TEXT,
+    "BOOLEAN": SQLType.BOOLEAN,
+    "BOOL": SQLType.BOOLEAN,
+    "BIT": SQLType.BOOLEAN,
+    "DATE": SQLType.DATE,
+    "DATETIME": SQLType.TIMESTAMP,
+    "TIMESTAMP": SQLType.TIMESTAMP,
+    "BLOB": SQLType.BLOB,
+    "LONGBLOB": SQLType.BLOB,
+    "BYTEA": SQLType.BLOB,
+    "VARBINARY": SQLType.BLOB,
+}
+
+
+def type_from_name(name: str) -> SQLType:
+    """Resolve a SQL type name (with aliases such as ``INT`` or ``DATETIME``).
+
+    Raises :class:`SQLTypeError` on unknown names.
+    """
+    key = name.strip().upper()
+    try:
+        return _TYPE_ALIASES[key]
+    except KeyError:
+        raise SQLTypeError(f"unknown SQL type: {name!r}") from None
+
+
+def coerce_value(value: Any, sql_type: SQLType) -> Any:
+    """Coerce ``value`` to the Python representation of ``sql_type``.
+
+    ``None`` (SQL NULL) is always passed through unchanged.
+    """
+    if value is None:
+        return None
+    try:
+        if sql_type in (SQLType.INTEGER, SQLType.BIGINT):
+            if isinstance(value, bool):
+                return int(value)
+            return int(value)
+        if sql_type in (SQLType.FLOAT, SQLType.DOUBLE, SQLType.DECIMAL):
+            return float(value)
+        if sql_type.is_character:
+            if isinstance(value, (bytes, bytearray)):
+                return value.decode("utf-8", "replace")
+            return str(value)
+        if sql_type is SQLType.BOOLEAN:
+            if isinstance(value, str):
+                lowered = value.strip().lower()
+                if lowered in ("true", "t", "1", "yes"):
+                    return True
+                if lowered in ("false", "f", "0", "no"):
+                    return False
+                raise SQLTypeError(f"cannot coerce {value!r} to BOOLEAN")
+            return bool(value)
+        if sql_type is SQLType.DATE:
+            if isinstance(value, _dt.datetime):
+                return value.date()
+            if isinstance(value, _dt.date):
+                return value
+            if isinstance(value, str):
+                return _dt.date.fromisoformat(value.strip())
+            raise SQLTypeError(f"cannot coerce {value!r} to DATE")
+        if sql_type is SQLType.TIMESTAMP:
+            if isinstance(value, _dt.datetime):
+                return value
+            if isinstance(value, _dt.date):
+                return _dt.datetime(value.year, value.month, value.day)
+            if isinstance(value, (int, float)):
+                return _dt.datetime.fromtimestamp(float(value))
+            if isinstance(value, str):
+                return _dt.datetime.fromisoformat(value.strip())
+            raise SQLTypeError(f"cannot coerce {value!r} to TIMESTAMP")
+        if sql_type is SQLType.BLOB:
+            if isinstance(value, (bytes, bytearray)):
+                return bytes(value)
+            if isinstance(value, str):
+                return value.encode("utf-8")
+            raise SQLTypeError(f"cannot coerce {value!r} to BLOB")
+    except (ValueError, TypeError) as exc:
+        raise SQLTypeError(
+            f"cannot coerce {value!r} to {sql_type.value}: {exc}"
+        ) from exc
+    raise SQLTypeError(f"unhandled SQL type {sql_type!r}")
+
+
+def compare_values(left: Any, right: Any) -> Optional[int]:
+    """Three-valued comparison used by WHERE evaluation and ORDER BY.
+
+    Returns ``None`` when either operand is NULL (SQL UNKNOWN), otherwise
+    -1, 0 or 1.  Numeric values compare numerically even across int/float;
+    strings compare lexicographically; temporal values chronologically.
+    """
+    if left is None or right is None:
+        return None
+    left, right = _normalize_pair(left, right)
+    if left < right:
+        return -1
+    if left > right:
+        return 1
+    return 0
+
+
+def _normalize_pair(left: Any, right: Any):
+    """Make two values comparable, mimicking permissive RDBMS coercion."""
+    if isinstance(left, bool):
+        left = int(left)
+    if isinstance(right, bool):
+        right = int(right)
+    if isinstance(left, (int, float)) and isinstance(right, str):
+        right = _string_to_number(right)
+    elif isinstance(right, (int, float)) and isinstance(left, str):
+        left = _string_to_number(left)
+    elif isinstance(left, _dt.datetime) and isinstance(right, _dt.date) and not isinstance(right, _dt.datetime):
+        right = _dt.datetime(right.year, right.month, right.day)
+    elif isinstance(right, _dt.datetime) and isinstance(left, _dt.date) and not isinstance(left, _dt.datetime):
+        left = _dt.datetime(left.year, left.month, left.day)
+    elif isinstance(left, (_dt.date, _dt.datetime)) and isinstance(right, str):
+        right = coerce_value(right, SQLType.TIMESTAMP if isinstance(left, _dt.datetime) else SQLType.DATE)
+    elif isinstance(right, (_dt.date, _dt.datetime)) and isinstance(left, str):
+        left = coerce_value(left, SQLType.TIMESTAMP if isinstance(right, _dt.datetime) else SQLType.DATE)
+    if type(left) is not type(right) and not (
+        isinstance(left, (int, float)) and isinstance(right, (int, float))
+    ):
+        # Fall back to string comparison rather than raising, like MySQL.
+        return str(left), str(right)
+    return left, right
+
+
+def _string_to_number(text: str):
+    """Coerce a string to a number for comparison, MySQL-style.
+
+    Non-numeric strings (including the empty string) compare as 0 instead of
+    raising, which is what MySQL does and keeps value comparison total.
+    """
+    stripped = text.strip()
+    if not stripped:
+        return 0
+    try:
+        if "." in stripped or "e" in stripped.lower():
+            return float(stripped)
+        return int(stripped)
+    except ValueError:
+        try:
+            return float(stripped)
+        except ValueError:
+            return 0
+
+
+def sort_key(value: Any):
+    """Key usable by ``sorted`` that groups NULLs first and mixes types safely."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, value)
+    if isinstance(value, _dt.datetime):
+        return (2, value.isoformat())
+    if isinstance(value, _dt.date):
+        return (2, value.isoformat())
+    if isinstance(value, bytes):
+        return (3, value.decode("utf-8", "replace"))
+    return (3, str(value))

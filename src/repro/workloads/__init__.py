@@ -1,0 +1,17 @@
+"""Workload generators: TPC-W and RUBiS.
+
+Each workload provides three things:
+
+* a schema + data generator that can populate any DB-API connection
+  (used to load the virtual database or the individual backends);
+* the benchmark interactions expressed as SQL transaction templates that run
+  against a DB-API connection (functional execution, used by examples and
+  integration tests);
+* a *statement profile* per interaction (statement class + tables touched)
+  consumed by the discrete-event performance model in
+  :mod:`repro.simulation`, which is what regenerates the paper's figures.
+"""
+
+from repro.workloads.profile import InteractionProfile, StatementClass, StatementProfile
+
+__all__ = ["InteractionProfile", "StatementClass", "StatementProfile"]

@@ -1,0 +1,297 @@
+"""RUBiS interactions (servlet version) as SQL templates and statement profiles.
+
+The bidding mix of the paper (Table 1) features 80 % read-only interactions
+(browse categories/regions, view items, view bid history, view user info)
+and 20 % read-write interactions (register user, register item, store bid,
+store buy-now, store comment).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.workloads.profile import InteractionProfile, StatementClass, StatementProfile
+
+_S = StatementProfile
+_C = StatementClass
+
+RUBIS_INTERACTIONS: Dict[str, InteractionProfile] = {
+    # read-only
+    "browse_categories": InteractionProfile(
+        "browse_categories", (_S(_C.READ_SIMPLE, ("categories",)),)
+    ),
+    "browse_regions": InteractionProfile(
+        "browse_regions", (_S(_C.READ_SIMPLE, ("regions",)),)
+    ),
+    "search_items_by_category": InteractionProfile(
+        "search_items_by_category",
+        (_S(_C.READ_COMPLEX, ("items",)),),
+    ),
+    "search_items_by_region": InteractionProfile(
+        "search_items_by_region",
+        (_S(_C.READ_COMPLEX, ("items", "users"), cost_factor=1.5),),
+    ),
+    "view_item": InteractionProfile(
+        "view_item",
+        (
+            _S(_C.READ_SIMPLE, ("items",)),
+            _S(_C.READ_SIMPLE, ("bids",)),
+        ),
+    ),
+    "view_user_info": InteractionProfile(
+        "view_user_info",
+        (
+            _S(_C.READ_SIMPLE, ("users",)),
+            _S(_C.READ_COMPLEX, ("comments", "users")),
+        ),
+    ),
+    "view_bid_history": InteractionProfile(
+        "view_bid_history",
+        (_S(_C.READ_COMPLEX, ("bids", "users", "items")),),
+    ),
+    # read-write
+    "register_user": InteractionProfile(
+        "register_user",
+        (
+            _S(_C.READ_SIMPLE, ("users",)),
+            _S(_C.WRITE_SIMPLE, ("users",)),
+        ),
+        transactional=True,
+    ),
+    "register_item": InteractionProfile(
+        "register_item",
+        (_S(_C.WRITE_SIMPLE, ("items",)),),
+        transactional=True,
+    ),
+    "store_bid": InteractionProfile(
+        "store_bid",
+        (
+            _S(_C.READ_SIMPLE, ("items",)),
+            _S(_C.WRITE_SIMPLE, ("bids",)),
+            _S(_C.WRITE_SIMPLE, ("items",)),
+        ),
+        transactional=True,
+    ),
+    "store_buy_now": InteractionProfile(
+        "store_buy_now",
+        (
+            _S(_C.READ_SIMPLE, ("items",)),
+            _S(_C.WRITE_SIMPLE, ("buy_now",)),
+            _S(_C.WRITE_SIMPLE, ("items",)),
+        ),
+        transactional=True,
+    ),
+    "store_comment": InteractionProfile(
+        "store_comment",
+        (
+            _S(_C.WRITE_SIMPLE, ("comments",)),
+            _S(_C.WRITE_SIMPLE, ("users",)),
+        ),
+        transactional=True,
+    ),
+}
+
+READ_ONLY_INTERACTIONS = (
+    "browse_categories",
+    "browse_regions",
+    "search_items_by_category",
+    "search_items_by_region",
+    "view_item",
+    "view_user_info",
+    "view_bid_history",
+)
+
+
+class RUBiSInteractions:
+    """Run RUBiS interactions against a DB-API connection."""
+
+    def __init__(self, connection, users: int, items: int, seed: int = 11):
+        self.connection = connection
+        self.users = users
+        self.items = items
+        self.random = random.Random(seed)
+
+    def run(self, name: str) -> int:
+        return getattr(self, name)()
+
+    def _user_id(self) -> int:
+        return self.random.randint(1, self.users)
+
+    def _item_id(self) -> int:
+        return self.random.randint(1, self.items)
+
+    # -- read-only ------------------------------------------------------------------
+
+    def browse_categories(self) -> int:
+        cursor = self.connection.cursor()
+        cursor.execute("SELECT id, name FROM categories ORDER BY name")
+        cursor.fetchall()
+        return 1
+
+    def browse_regions(self) -> int:
+        cursor = self.connection.cursor()
+        cursor.execute("SELECT id, name FROM regions ORDER BY name")
+        cursor.fetchall()
+        return 1
+
+    def search_items_by_category(self) -> int:
+        cursor = self.connection.cursor()
+        cursor.execute(
+            "SELECT id, name, initial_price, max_bid, nb_of_bids FROM items"
+            " WHERE category = ? ORDER BY id LIMIT 25",
+            (self.random.randint(1, 15),),
+        )
+        cursor.fetchall()
+        return 1
+
+    def search_items_by_region(self) -> int:
+        cursor = self.connection.cursor()
+        cursor.execute(
+            "SELECT items.id, items.name, items.max_bid FROM items, users"
+            " WHERE items.seller = users.id AND users.region = ? AND items.category = ?"
+            " ORDER BY items.id LIMIT 25",
+            (self.random.randint(1, 12), self.random.randint(1, 15)),
+        )
+        cursor.fetchall()
+        return 1
+
+    def view_item(self) -> int:
+        cursor = self.connection.cursor()
+        item = self._item_id()
+        cursor.execute(
+            "SELECT name, initial_price, max_bid, nb_of_bids, quantity, seller"
+            " FROM items WHERE id = ?",
+            (item,),
+        )
+        cursor.fetchall()
+        cursor.execute(
+            "SELECT MAX(bid) FROM bids WHERE item_id = ?", (item,)
+        )
+        cursor.fetchall()
+        return 2
+
+    def view_user_info(self) -> int:
+        cursor = self.connection.cursor()
+        user = self._user_id()
+        cursor.execute(
+            "SELECT nickname, rating, creation_date FROM users WHERE id = ?", (user,)
+        )
+        cursor.fetchall()
+        cursor.execute(
+            "SELECT comments.comment, comments.rating, users.nickname"
+            " FROM comments, users WHERE comments.to_user_id = ?"
+            " AND comments.from_user_id = users.id LIMIT 10",
+            (user,),
+        )
+        cursor.fetchall()
+        return 2
+
+    def view_bid_history(self) -> int:
+        cursor = self.connection.cursor()
+        cursor.execute(
+            "SELECT bids.bid, bids.date, users.nickname, items.name"
+            " FROM bids, users, items"
+            " WHERE bids.item_id = ? AND bids.user_id = users.id AND bids.item_id = items.id"
+            " ORDER BY bids.bid DESC LIMIT 20",
+            (self._item_id(),),
+        )
+        cursor.fetchall()
+        return 1
+
+    # -- read-write -------------------------------------------------------------------
+
+    def register_user(self) -> int:
+        connection = self.connection
+        connection.begin()
+        cursor = connection.cursor()
+        new_id = self.users + self.random.randint(10 ** 6, 2 * 10 ** 6)
+        cursor.execute("SELECT id FROM users WHERE nickname = ?", (f"nick{new_id}",))
+        cursor.fetchall()
+        cursor.execute(
+            "INSERT INTO users (id, firstname, lastname, nickname, password, email,"
+            " rating, balance, region) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (new_id, "New", "User", f"nick{new_id}", "pw", f"u{new_id}@rubis.com", 0, 0.0, 1),
+        )
+        connection.commit()
+        return 2
+
+    def register_item(self) -> int:
+        connection = self.connection
+        connection.begin()
+        cursor = connection.cursor()
+        price = round(self.random.uniform(1, 100), 2)
+        cursor.execute(
+            "INSERT INTO items (name, description, initial_price, quantity, reserve_price,"
+            " buy_now, nb_of_bids, max_bid, seller, category)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                "New item",
+                "description",
+                price,
+                1,
+                round(price * 1.2, 2),
+                round(price * 2, 2),
+                0,
+                price,
+                self._user_id(),
+                self.random.randint(1, 15),
+            ),
+        )
+        connection.commit()
+        return 1
+
+    def store_bid(self) -> int:
+        connection = self.connection
+        connection.begin()
+        cursor = connection.cursor()
+        item = self._item_id()
+        cursor.execute("SELECT max_bid, nb_of_bids FROM items WHERE id = ?", (item,))
+        row = cursor.fetchone()
+        current = (row[0] if row and row[0] else 1.0) + self.random.uniform(0.5, 5.0)
+        cursor.execute(
+            "INSERT INTO bids (user_id, item_id, qty, bid, max_bid, date)"
+            " VALUES (?, ?, ?, ?, ?, NOW())",
+            (self._user_id(), item, 1, round(current, 2), round(current * 1.1, 2)),
+        )
+        cursor.execute(
+            "UPDATE items SET max_bid = ?, nb_of_bids = nb_of_bids + 1 WHERE id = ?",
+            (round(current, 2), item),
+        )
+        connection.commit()
+        return 3
+
+    def store_buy_now(self) -> int:
+        connection = self.connection
+        connection.begin()
+        cursor = connection.cursor()
+        item = self._item_id()
+        cursor.execute("SELECT quantity FROM items WHERE id = ?", (item,))
+        cursor.fetchall()
+        cursor.execute(
+            "INSERT INTO buy_now (buyer_id, item_id, qty, date) VALUES (?, ?, ?, NOW())",
+            (self._user_id(), item, 1),
+        )
+        cursor.execute(
+            "UPDATE items SET quantity = quantity - 1 WHERE id = ? AND quantity > 0",
+            (item,),
+        )
+        connection.commit()
+        return 3
+
+    def store_comment(self) -> int:
+        connection = self.connection
+        connection.begin()
+        cursor = connection.cursor()
+        to_user = self._user_id()
+        rating = self.random.randint(-5, 5)
+        cursor.execute(
+            "INSERT INTO comments (from_user_id, to_user_id, item_id, rating, date, comment)"
+            " VALUES (?, ?, ?, ?, NOW(), ?)",
+            (self._user_id(), to_user, self._item_id(), rating, "nice"),
+        )
+        cursor.execute(
+            "UPDATE users SET rating = rating + ? WHERE id = ?", (rating, to_user)
+        )
+        connection.commit()
+        return 2

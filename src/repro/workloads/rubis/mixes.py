@@ -1,0 +1,94 @@
+"""RUBiS workload mixes.
+
+The paper's Table 1 uses the *bidding mix*: 80 % read-only interactions and
+20 % read-write interactions.  A browsing-only mix (100 % read-only) is also
+provided for cache experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.workloads.profile import InteractionProfile
+from repro.workloads.rubis.interactions import READ_ONLY_INTERACTIONS, RUBIS_INTERACTIONS
+
+
+@dataclass
+class RUBiSMix:
+    """A named interaction mix: interaction name -> stationary weight."""
+
+    name: str
+    weights: Dict[str, float]
+    mean_think_time: float = 7.0
+
+    def __post_init__(self):
+        unknown = set(self.weights) - set(RUBIS_INTERACTIONS)
+        if unknown:
+            raise ValueError(f"unknown interactions in mix {self.name!r}: {sorted(unknown)}")
+        total = sum(self.weights.values())
+        self.weights = {name: weight / total for name, weight in self.weights.items()}
+
+    @property
+    def read_only_fraction(self) -> float:
+        return sum(
+            weight
+            for name, weight in self.weights.items()
+            if name in READ_ONLY_INTERACTIONS
+        )
+
+    def interaction_items(self) -> List[Tuple[InteractionProfile, float]]:
+        return [(RUBIS_INTERACTIONS[name], weight) for name, weight in self.weights.items()]
+
+    def sample(self, rng: random.Random) -> str:
+        value = rng.random()
+        cumulative = 0.0
+        for name, weight in self.weights.items():
+            cumulative += weight
+            if value <= cumulative:
+                return name
+        return next(reversed(self.weights))
+
+    def sample_think_time(self, rng: random.Random) -> float:
+        think = rng.expovariate(1.0 / self.mean_think_time)
+        return min(think, self.mean_think_time * 10)
+
+    def interaction_stream(self, seed: int = 0) -> Iterator[str]:
+        rng = random.Random(seed)
+        while True:
+            yield self.sample(rng)
+
+
+#: Bidding mix: 80 % read-only / 20 % read-write interactions (Table 1).
+BIDDING_MIX = RUBiSMix(
+    "bidding",
+    {
+        "browse_categories": 8.0,
+        "browse_regions": 6.0,
+        "search_items_by_category": 22.0,
+        "search_items_by_region": 10.0,
+        "view_item": 20.0,
+        "view_user_info": 8.0,
+        "view_bid_history": 6.0,
+        "register_user": 1.5,
+        "register_item": 2.5,
+        "store_bid": 10.0,
+        "store_buy_now": 2.0,
+        "store_comment": 4.0,
+    },
+)
+
+#: Browsing-only mix: 100 % read-only (used by cache unit benches).
+BROWSING_ONLY_MIX = RUBiSMix(
+    "browsing_only",
+    {
+        "browse_categories": 12.0,
+        "browse_regions": 8.0,
+        "search_items_by_category": 30.0,
+        "search_items_by_region": 15.0,
+        "view_item": 20.0,
+        "view_user_info": 8.0,
+        "view_bid_history": 7.0,
+    },
+)

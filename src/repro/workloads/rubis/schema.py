@@ -1,0 +1,221 @@
+"""RUBiS schema and data generator (auction site)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+RUBIS_TABLES: Dict[str, str] = {
+    "regions": (
+        "CREATE TABLE regions ("
+        " id INT PRIMARY KEY,"
+        " name VARCHAR(25) NOT NULL)"
+    ),
+    "categories": (
+        "CREATE TABLE categories ("
+        " id INT PRIMARY KEY,"
+        " name VARCHAR(50) NOT NULL)"
+    ),
+    "users": (
+        "CREATE TABLE users ("
+        " id INT PRIMARY KEY AUTO_INCREMENT,"
+        " firstname VARCHAR(20),"
+        " lastname VARCHAR(20),"
+        " nickname VARCHAR(20) NOT NULL,"
+        " password VARCHAR(20) NOT NULL,"
+        " email VARCHAR(50) NOT NULL,"
+        " rating INT,"
+        " balance DOUBLE,"
+        " creation_date TIMESTAMP,"
+        " region INT NOT NULL)"
+    ),
+    "items": (
+        "CREATE TABLE items ("
+        " id INT PRIMARY KEY AUTO_INCREMENT,"
+        " name VARCHAR(100),"
+        " description TEXT,"
+        " initial_price DOUBLE NOT NULL,"
+        " quantity INT NOT NULL,"
+        " reserve_price DOUBLE,"
+        " buy_now DOUBLE,"
+        " nb_of_bids INT,"
+        " max_bid DOUBLE,"
+        " start_date TIMESTAMP,"
+        " end_date TIMESTAMP,"
+        " seller INT NOT NULL,"
+        " category INT NOT NULL)"
+    ),
+    "bids": (
+        "CREATE TABLE bids ("
+        " id INT PRIMARY KEY AUTO_INCREMENT,"
+        " user_id INT NOT NULL,"
+        " item_id INT NOT NULL,"
+        " qty INT,"
+        " bid DOUBLE NOT NULL,"
+        " max_bid DOUBLE,"
+        " date TIMESTAMP)"
+    ),
+    "comments": (
+        "CREATE TABLE comments ("
+        " id INT PRIMARY KEY AUTO_INCREMENT,"
+        " from_user_id INT NOT NULL,"
+        " to_user_id INT NOT NULL,"
+        " item_id INT NOT NULL,"
+        " rating INT,"
+        " date TIMESTAMP,"
+        " comment VARCHAR(255))"
+    ),
+    "buy_now": (
+        "CREATE TABLE buy_now ("
+        " id INT PRIMARY KEY AUTO_INCREMENT,"
+        " buyer_id INT NOT NULL,"
+        " item_id INT NOT NULL,"
+        " qty INT,"
+        " date TIMESTAMP)"
+    ),
+}
+
+RUBIS_INDEXES: Sequence[str] = (
+    "CREATE INDEX idx_users_nickname ON users (nickname)",
+    "CREATE INDEX idx_users_region ON users (region)",
+    "CREATE INDEX idx_items_category ON items (category)",
+    "CREATE INDEX idx_items_seller ON items (seller)",
+    "CREATE INDEX idx_bids_item ON bids (item_id)",
+    "CREATE INDEX idx_bids_user ON bids (user_id)",
+    "CREATE INDEX idx_comments_to ON comments (to_user_id)",
+    "CREATE INDEX idx_buy_now_item ON buy_now (item_id)",
+)
+
+REGIONS = (
+    "Arizona", "California", "Colorado", "Florida", "Georgia", "Illinois",
+    "Massachusetts", "New York", "Oregon", "Texas", "Virginia", "Washington",
+)
+
+CATEGORIES = (
+    "Antiques", "Books", "Business", "Clothing", "Computers", "Collectibles",
+    "Electronics", "Home", "Jewelry", "Movies", "Music", "Photo", "Sports",
+    "Toys", "Travel",
+)
+
+
+@dataclass
+class RUBISScale:
+    """Scaling parameters; RUBiS's standard database has ~1M users, 33k items."""
+
+    users: int = 1000
+    items: int = 300
+    bids_per_item: int = 10
+    comments_per_user: int = 2
+
+    @classmethod
+    def small(cls) -> "RUBISScale":
+        return cls(users=200, items=60, bids_per_item=5, comments_per_user=1)
+
+
+def create_schema(connection, with_indexes: bool = True) -> None:
+    cursor = connection.cursor()
+    for create_sql in RUBIS_TABLES.values():
+        cursor.execute(create_sql)
+    if with_indexes:
+        for index_sql in RUBIS_INDEXES:
+            cursor.execute(index_sql)
+    connection.commit()
+
+
+class RUBISDataGenerator:
+    """Deterministic (seeded) RUBiS data generator."""
+
+    def __init__(self, scale: RUBISScale = None, seed: int = 99):
+        self.scale = scale or RUBISScale.small()
+        self.random = random.Random(seed)
+
+    def populate(self, connection) -> Dict[str, int]:
+        counts = {}
+        cursor = connection.cursor()
+        for region_id, name in enumerate(REGIONS, start=1):
+            cursor.execute("INSERT INTO regions (id, name) VALUES (?, ?)", (region_id, name))
+        counts["regions"] = len(REGIONS)
+        for category_id, name in enumerate(CATEGORIES, start=1):
+            cursor.execute(
+                "INSERT INTO categories (id, name) VALUES (?, ?)", (category_id, name)
+            )
+        counts["categories"] = len(CATEGORIES)
+        for user_id in range(1, self.scale.users + 1):
+            cursor.execute(
+                "INSERT INTO users (id, firstname, lastname, nickname, password, email,"
+                " rating, balance, region) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    user_id,
+                    f"First{user_id}",
+                    f"Last{user_id}",
+                    f"nick{user_id}",
+                    f"password{user_id}",
+                    f"user{user_id}@rubis.com",
+                    self.random.randint(0, 10),
+                    0.0,
+                    self.random.randint(1, len(REGIONS)),
+                ),
+            )
+        counts["users"] = self.scale.users
+        bid_count = 0
+        for item_id in range(1, self.scale.items + 1):
+            initial_price = round(self.random.uniform(1, 100), 2)
+            cursor.execute(
+                "INSERT INTO items (id, name, description, initial_price, quantity,"
+                " reserve_price, buy_now, nb_of_bids, max_bid, seller, category)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    item_id,
+                    f"Item {item_id}",
+                    "description",
+                    initial_price,
+                    self.random.randint(1, 10),
+                    round(initial_price * 1.2, 2),
+                    round(initial_price * 2.0, 2),
+                    0,
+                    initial_price,
+                    self.random.randint(1, self.scale.users),
+                    self.random.randint(1, len(CATEGORIES)),
+                ),
+            )
+            current_bid = initial_price
+            for _ in range(self.random.randint(0, self.scale.bids_per_item)):
+                current_bid = round(current_bid + self.random.uniform(0.5, 5.0), 2)
+                bid_count += 1
+                cursor.execute(
+                    "INSERT INTO bids (user_id, item_id, qty, bid, max_bid)"
+                    " VALUES (?, ?, ?, ?, ?)",
+                    (
+                        self.random.randint(1, self.scale.users),
+                        item_id,
+                        1,
+                        current_bid,
+                        round(current_bid * 1.1, 2),
+                    ),
+                )
+            cursor.execute(
+                "UPDATE items SET nb_of_bids = ?, max_bid = ? WHERE id = ?",
+                (self.random.randint(0, self.scale.bids_per_item), current_bid, item_id),
+            )
+        counts["items"] = self.scale.items
+        counts["bids"] = bid_count
+        comment_count = 0
+        for user_id in range(1, self.scale.users + 1):
+            for _ in range(self.random.randint(0, self.scale.comments_per_user)):
+                comment_count += 1
+                cursor.execute(
+                    "INSERT INTO comments (from_user_id, to_user_id, item_id, rating, comment)"
+                    " VALUES (?, ?, ?, ?, ?)",
+                    (
+                        self.random.randint(1, self.scale.users),
+                        user_id,
+                        self.random.randint(1, self.scale.items),
+                        self.random.randint(-5, 5),
+                        "great seller",
+                    ),
+                )
+        counts["comments"] = comment_count
+        counts["buy_now"] = 0
+        connection.commit()
+        return counts

@@ -1,0 +1,386 @@
+"""TPC-W schema and data generator.
+
+The table set follows the TPC-W specification (the same one used by the
+University of Wisconsin servlet implementation the paper runs): country,
+address, customer, author, item, orders, order_line, cc_xacts,
+shopping_cart, shopping_cart_line.
+
+The paper's scaling parameters are 10,000 items and 288,000 customers
+(~350 MB).  The generator accepts a ``scale`` factor so tests and examples
+can run with a small database while keeping the 1:28.8 item:customer ratio.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+#: CREATE TABLE statements, keyed by table name (creation order preserved).
+TPCW_TABLES: Dict[str, str] = {
+    "country": (
+        "CREATE TABLE country ("
+        " co_id INT PRIMARY KEY,"
+        " co_name VARCHAR(50) NOT NULL,"
+        " co_exchange DOUBLE,"
+        " co_currency VARCHAR(18))"
+    ),
+    "address": (
+        "CREATE TABLE address ("
+        " addr_id INT PRIMARY KEY,"
+        " addr_street1 VARCHAR(40),"
+        " addr_street2 VARCHAR(40),"
+        " addr_city VARCHAR(30),"
+        " addr_state VARCHAR(20),"
+        " addr_zip VARCHAR(10),"
+        " addr_co_id INT)"
+    ),
+    "customer": (
+        "CREATE TABLE customer ("
+        " c_id INT PRIMARY KEY,"
+        " c_uname VARCHAR(20) NOT NULL,"
+        " c_passwd VARCHAR(20),"
+        " c_fname VARCHAR(17),"
+        " c_lname VARCHAR(17),"
+        " c_addr_id INT,"
+        " c_phone VARCHAR(18),"
+        " c_email VARCHAR(50),"
+        " c_since DATE,"
+        " c_last_login TIMESTAMP,"
+        " c_login TIMESTAMP,"
+        " c_expiration TIMESTAMP,"
+        " c_discount DOUBLE,"
+        " c_balance DOUBLE,"
+        " c_ytd_pmt DOUBLE,"
+        " c_birthdate DATE,"
+        " c_data VARCHAR(100))"
+    ),
+    "author": (
+        "CREATE TABLE author ("
+        " a_id INT PRIMARY KEY,"
+        " a_fname VARCHAR(20),"
+        " a_lname VARCHAR(20),"
+        " a_mname VARCHAR(20),"
+        " a_dob DATE,"
+        " a_bio VARCHAR(200))"
+    ),
+    "item": (
+        "CREATE TABLE item ("
+        " i_id INT PRIMARY KEY,"
+        " i_title VARCHAR(60) NOT NULL,"
+        " i_a_id INT,"
+        " i_pub_date DATE,"
+        " i_publisher VARCHAR(60),"
+        " i_subject VARCHAR(60),"
+        " i_desc VARCHAR(200),"
+        " i_related1 INT,"
+        " i_related2 INT,"
+        " i_related3 INT,"
+        " i_related4 INT,"
+        " i_related5 INT,"
+        " i_thumbnail VARCHAR(40),"
+        " i_image VARCHAR(40),"
+        " i_srp DOUBLE,"
+        " i_cost DOUBLE,"
+        " i_avail DATE,"
+        " i_stock INT,"
+        " i_isbn VARCHAR(13),"
+        " i_page INT,"
+        " i_backing VARCHAR(15),"
+        " i_dimensions VARCHAR(25))"
+    ),
+    "orders": (
+        "CREATE TABLE orders ("
+        " o_id INT PRIMARY KEY AUTO_INCREMENT,"
+        " o_c_id INT,"
+        " o_date TIMESTAMP,"
+        " o_sub_total DOUBLE,"
+        " o_tax DOUBLE,"
+        " o_total DOUBLE,"
+        " o_ship_type VARCHAR(10),"
+        " o_ship_date TIMESTAMP,"
+        " o_bill_addr_id INT,"
+        " o_ship_addr_id INT,"
+        " o_status VARCHAR(15))"
+    ),
+    "order_line": (
+        "CREATE TABLE order_line ("
+        " ol_id INT PRIMARY KEY AUTO_INCREMENT,"
+        " ol_o_id INT NOT NULL,"
+        " ol_i_id INT NOT NULL,"
+        " ol_qty INT,"
+        " ol_discount DOUBLE,"
+        " ol_comments VARCHAR(110))"
+    ),
+    "cc_xacts": (
+        "CREATE TABLE cc_xacts ("
+        " cx_o_id INT PRIMARY KEY,"
+        " cx_type VARCHAR(10),"
+        " cx_num VARCHAR(20),"
+        " cx_name VARCHAR(30),"
+        " cx_expire DATE,"
+        " cx_auth_id VARCHAR(15),"
+        " cx_xact_amt DOUBLE,"
+        " cx_xact_date TIMESTAMP,"
+        " cx_co_id INT)"
+    ),
+    "shopping_cart": (
+        "CREATE TABLE shopping_cart ("
+        " sc_id INT PRIMARY KEY AUTO_INCREMENT,"
+        " sc_time TIMESTAMP)"
+    ),
+    "shopping_cart_line": (
+        "CREATE TABLE shopping_cart_line ("
+        " scl_id INT PRIMARY KEY AUTO_INCREMENT,"
+        " scl_sc_id INT NOT NULL,"
+        " scl_i_id INT NOT NULL,"
+        " scl_qty INT)"
+    ),
+}
+
+#: secondary indexes created after loading
+TPCW_INDEXES: Sequence[str] = (
+    "CREATE INDEX idx_customer_uname ON customer (c_uname)",
+    "CREATE INDEX idx_item_subject ON item (i_subject)",
+    "CREATE INDEX idx_item_author ON item (i_a_id)",
+    "CREATE INDEX idx_item_title ON item (i_title)",
+    "CREATE INDEX idx_orders_customer ON orders (o_c_id)",
+    "CREATE INDEX idx_order_line_order ON order_line (ol_o_id)",
+    "CREATE INDEX idx_order_line_item ON order_line (ol_i_id)",
+    "CREATE INDEX idx_scl_cart ON shopping_cart_line (scl_sc_id)",
+    "CREATE INDEX idx_author_lname ON author (a_lname)",
+)
+
+SUBJECTS = (
+    "ARTS", "BIOGRAPHIES", "BUSINESS", "CHILDREN", "COMPUTERS", "COOKING",
+    "HEALTH", "HISTORY", "HOME", "HUMOR", "LITERATURE", "MYSTERY",
+    "NON-FICTION", "PARENTING", "POLITICS", "REFERENCE", "RELIGION",
+    "ROMANCE", "SELF-HELP", "SCIENCE-NATURE", "SCIENCE-FICTION", "SPORTS",
+    "YOUTH", "TRAVEL",
+)
+
+COUNTRIES = (
+    "United States", "United Kingdom", "Canada", "Germany", "France",
+    "Japan", "Netherlands", "Switzerland", "Australia", "Italy",
+)
+
+
+@dataclass
+class TPCWScale:
+    """Scaling parameters; the paper uses items=10000, customers=288000."""
+
+    items: int = 10000
+    customers: int = 288000
+
+    @classmethod
+    def scaled(cls, scale: float) -> "TPCWScale":
+        """A proportionally scaled-down database (scale=1.0 is the paper's size)."""
+        items = max(10, int(10000 * scale))
+        customers = max(20, int(288000 * scale))
+        return cls(items=items, customers=customers)
+
+    @property
+    def authors(self) -> int:
+        return max(5, self.items // 4)
+
+    @property
+    def addresses(self) -> int:
+        return self.customers * 2
+
+    @property
+    def orders(self) -> int:
+        return max(10, int(self.customers * 0.9))
+
+
+def create_schema(connection, with_indexes: bool = True) -> None:
+    """Create the TPC-W tables (and indexes) through a DB-API connection."""
+    cursor = connection.cursor()
+    for create_sql in TPCW_TABLES.values():
+        cursor.execute(create_sql)
+    if with_indexes:
+        for index_sql in TPCW_INDEXES:
+            cursor.execute(index_sql)
+    connection.commit()
+
+
+class TPCWDataGenerator:
+    """Deterministic (seeded) TPC-W data generator."""
+
+    def __init__(self, scale: TPCWScale = None, seed: int = 42):
+        self.scale = scale or TPCWScale.scaled(0.01)
+        self.random = random.Random(seed)
+
+    # -- population -------------------------------------------------------------------
+
+    def populate(self, connection, batch_size: int = 200) -> Dict[str, int]:
+        """Load every table; returns row counts per table."""
+        counts = {}
+        counts["country"] = self._load_countries(connection)
+        counts["address"] = self._load_addresses(connection, batch_size)
+        counts["customer"] = self._load_customers(connection, batch_size)
+        counts["author"] = self._load_authors(connection, batch_size)
+        counts["item"] = self._load_items(connection, batch_size)
+        counts["orders"], counts["order_line"], counts["cc_xacts"] = self._load_orders(
+            connection, batch_size
+        )
+        counts["shopping_cart"] = 0
+        counts["shopping_cart_line"] = 0
+        connection.commit()
+        return counts
+
+    def _load_countries(self, connection) -> int:
+        cursor = connection.cursor()
+        for co_id, name in enumerate(COUNTRIES, start=1):
+            cursor.execute(
+                "INSERT INTO country (co_id, co_name, co_exchange, co_currency)"
+                " VALUES (?, ?, ?, ?)",
+                (co_id, name, round(self.random.uniform(0.5, 2.0), 4), "USD"),
+            )
+        return len(COUNTRIES)
+
+    def _load_addresses(self, connection, batch_size: int) -> int:
+        cursor = connection.cursor()
+        for addr_id in range(1, self.scale.addresses + 1):
+            cursor.execute(
+                "INSERT INTO address (addr_id, addr_street1, addr_street2, addr_city,"
+                " addr_state, addr_zip, addr_co_id) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    addr_id,
+                    f"{self.random.randint(1, 999)} Main St",
+                    "",
+                    f"City{self.random.randint(1, 500)}",
+                    f"ST{self.random.randint(1, 50)}",
+                    f"{self.random.randint(10000, 99999)}",
+                    self.random.randint(1, len(COUNTRIES)),
+                ),
+            )
+        return self.scale.addresses
+
+    def _load_customers(self, connection, batch_size: int) -> int:
+        cursor = connection.cursor()
+        for c_id in range(1, self.scale.customers + 1):
+            cursor.execute(
+                "INSERT INTO customer (c_id, c_uname, c_passwd, c_fname, c_lname,"
+                " c_addr_id, c_phone, c_email, c_since, c_discount, c_balance,"
+                " c_ytd_pmt, c_data) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    c_id,
+                    f"user{c_id}",
+                    f"password{c_id}",
+                    f"First{c_id % 1000}",
+                    f"Last{c_id % 1000}",
+                    self.random.randint(1, self.scale.addresses),
+                    f"555-{self.random.randint(1000000, 9999999)}",
+                    f"user{c_id}@example.com",
+                    f"200{self.random.randint(0, 3)}-0{self.random.randint(1, 9)}-15",
+                    round(self.random.uniform(0.0, 0.5), 2),
+                    0.0,
+                    round(self.random.uniform(0, 1000), 2),
+                    "customer data",
+                ),
+            )
+        return self.scale.customers
+
+    def _load_authors(self, connection, batch_size: int) -> int:
+        cursor = connection.cursor()
+        for a_id in range(1, self.scale.authors + 1):
+            cursor.execute(
+                "INSERT INTO author (a_id, a_fname, a_lname, a_mname, a_bio)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (
+                    a_id,
+                    f"AuthorFirst{a_id}",
+                    f"AuthorLast{a_id % 100}",
+                    "",
+                    "bio",
+                ),
+            )
+        return self.scale.authors
+
+    def _load_items(self, connection, batch_size: int) -> int:
+        cursor = connection.cursor()
+        for i_id in range(1, self.scale.items + 1):
+            related = [
+                self.random.randint(1, self.scale.items) for _ in range(5)
+            ]
+            cursor.execute(
+                "INSERT INTO item (i_id, i_title, i_a_id, i_pub_date, i_publisher,"
+                " i_subject, i_desc, i_related1, i_related2, i_related3, i_related4,"
+                " i_related5, i_thumbnail, i_image, i_srp, i_cost, i_stock, i_isbn,"
+                " i_page, i_backing) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?,"
+                " ?, ?, ?, ?, ?, ?)",
+                (
+                    i_id,
+                    f"Book Title {i_id}",
+                    self.random.randint(1, self.scale.authors),
+                    f"19{self.random.randint(50, 99)}-01-01",
+                    f"Publisher {i_id % 50}",
+                    self.random.choice(SUBJECTS),
+                    "description",
+                    related[0], related[1], related[2], related[3], related[4],
+                    f"img/thumb_{i_id}.gif",
+                    f"img/image_{i_id}.gif",
+                    round(self.random.uniform(10, 100), 2),
+                    round(self.random.uniform(5, 90), 2),
+                    self.random.randint(10, 30),
+                    f"{self.random.randint(10 ** 12, 10 ** 13 - 1)}",
+                    self.random.randint(20, 9999),
+                    self.random.choice(("HARDBACK", "PAPERBACK", "AUDIO")),
+                ),
+            )
+        return self.scale.items
+
+    def _load_orders(self, connection, batch_size: int):
+        cursor = connection.cursor()
+        order_lines = 0
+        for o_id in range(1, self.scale.orders + 1):
+            customer = self.random.randint(1, self.scale.customers)
+            subtotal = round(self.random.uniform(10, 500), 2)
+            cursor.execute(
+                "INSERT INTO orders (o_id, o_c_id, o_date, o_sub_total, o_tax, o_total,"
+                " o_ship_type, o_bill_addr_id, o_ship_addr_id, o_status)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    o_id,
+                    customer,
+                    f"2003-0{self.random.randint(1, 9)}-1{self.random.randint(0, 9)} 12:00:00",
+                    subtotal,
+                    round(subtotal * 0.08, 2),
+                    round(subtotal * 1.08, 2),
+                    self.random.choice(("AIR", "UPS", "MAIL", "COURIER")),
+                    self.random.randint(1, self.scale.addresses),
+                    self.random.randint(1, self.scale.addresses),
+                    self.random.choice(("PENDING", "PROCESSING", "SHIPPED")),
+                ),
+            )
+            for _ in range(self.random.randint(1, 3)):
+                order_lines += 1
+                cursor.execute(
+                    "INSERT INTO order_line (ol_o_id, ol_i_id, ol_qty, ol_discount,"
+                    " ol_comments) VALUES (?, ?, ?, ?, ?)",
+                    (
+                        o_id,
+                        self.random.randint(1, self.scale.items),
+                        self.random.randint(1, 5),
+                        round(self.random.uniform(0, 0.3), 2),
+                        "",
+                    ),
+                )
+            cursor.execute(
+                "INSERT INTO cc_xacts (cx_o_id, cx_type, cx_num, cx_name, cx_xact_amt,"
+                " cx_co_id) VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    o_id,
+                    self.random.choice(("VISA", "MASTERCARD", "AMEX")),
+                    f"{self.random.randint(10 ** 15, 10 ** 16 - 1)}",
+                    f"Name {customer}",
+                    round(subtotal * 1.08, 2),
+                    self.random.randint(1, len(COUNTRIES)),
+                ),
+            )
+        return self.scale.orders, order_lines, self.scale.orders
+
+
+def table_names() -> List[str]:
+    """All TPC-W table names in creation order."""
+    return list(TPCW_TABLES)

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("figure10", "figure11", "figure12", "table1", "console", "overhead"):
+            assert command in text
+
+    def test_no_command_prints_help(self):
+        out = io.StringIO()
+        assert main([], stdout=out) == 2
+        assert "usage:" in out.getvalue()
+
+    def test_figure_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure10"])
+        assert args.mix == "browsing"
+        assert args.backends == 6
+
+
+class TestExperimentsViaCLI:
+    def test_figure10_small_run(self):
+        out = io.StringIO()
+        code = main(
+            ["figure10", "--backends", "2", "--clients-per-backend", "40", "--measurement", "120"],
+            stdout=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "browsing mix" in text
+        assert "measured speedups" in text
+
+    def test_table1_small_run(self):
+        out = io.StringIO()
+        code = main(["table1", "--clients", "120", "--measurement", "120"], stdout=out)
+        assert code == 0
+        assert "Throughput (rq/min)" in out.getvalue()
+
+    def test_overhead_command(self):
+        out = io.StringIO()
+        assert main(["overhead"], stdout=out) == 0
+        assert "through C-JDBC" in out.getvalue()
+
+
+class TestConsoleCommand:
+    def test_execute_console_commands(self):
+        out = io.StringIO()
+        code = main(
+            ["console", "--execute", "show databases", "--execute", "show backends demodb"],
+            stdout=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "demodb" in text
+        assert "node-a" in text and "ENABLED" in text
+
+    def test_console_stats_command(self):
+        out = io.StringIO()
+        code = main(["console", "--execute", "stats demodb"], stdout=out)
+        assert code == 0
+        assert "requests_executed" in out.getvalue()

@@ -1,0 +1,193 @@
+"""Tests for the query result cache: granularities, relaxation, LRU, stats."""
+
+import pytest
+
+from repro.core.cache import (
+    ColumnGranularity,
+    DatabaseGranularity,
+    RelaxationRule,
+    ResultCache,
+    TableGranularity,
+)
+from repro.core.request import RequestResult, SelectRequest, WriteRequest
+
+
+def select(sql="SELECT * FROM item WHERE i_id = 1", tables=("item",), params=()):
+    return SelectRequest(sql=sql, tables=tuple(tables), parameters=tuple(params))
+
+
+def write(sql="UPDATE item SET i_stock = 0", tables=("item",)):
+    return WriteRequest(sql=sql, tables=tuple(tables))
+
+
+def result(value=1):
+    return RequestResult(columns=["v"], rows=[[value]])
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestBasicCaching:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        request = select()
+        assert cache.get(request) is None
+        cache.put(request, result(42))
+        hit = cache.get(request)
+        assert hit is not None
+        assert hit.rows == [[42]]
+        assert hit.from_cache is True
+
+    def test_different_parameters_are_different_entries(self):
+        cache = ResultCache()
+        first = select(params=(1,))
+        second = select(params=(2,))
+        cache.put(first, result(1))
+        assert cache.get(second) is None
+
+    def test_cached_result_is_a_copy(self):
+        cache = ResultCache()
+        request = select()
+        cache.put(request, result(1))
+        hit = cache.get(request)
+        hit.rows[0][0] = 999
+        assert cache.get(request).rows == [[1]]
+
+    def test_lru_eviction(self):
+        cache = ResultCache(max_entries=2)
+        a, b, c = select("SELECT a", ("t",)), select("SELECT b", ("t",)), select("SELECT c", ("t",))
+        cache.put(a, result())
+        cache.put(b, result())
+        cache.get(a)  # a becomes most-recently used
+        cache.put(c, result())
+        assert cache.get(a) is not None
+        assert cache.get(b) is None
+        assert cache.statistics.evictions == 1
+
+    def test_flush(self):
+        cache = ResultCache()
+        cache.put(select(), result())
+        cache.flush()
+        assert len(cache) == 0
+
+    def test_statistics(self):
+        cache = ResultCache()
+        request = select()
+        cache.get(request)
+        cache.put(request, result())
+        cache.get(request)
+        stats = cache.statistics.as_dict()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["inserts"] == 1
+        assert 0 < stats["hit_ratio"] < 1
+
+
+class TestGranularities:
+    def test_database_granularity_drops_everything(self):
+        cache = ResultCache(granularity=DatabaseGranularity())
+        cache.put(select("SELECT * FROM item", ("item",)), result())
+        cache.put(select("SELECT * FROM author", ("author",)), result())
+        dropped = cache.invalidate(write(tables=("customer",)))
+        assert dropped == 2
+        assert len(cache) == 0
+
+    def test_table_granularity_keeps_unrelated_tables(self):
+        cache = ResultCache(granularity=TableGranularity())
+        item_request = select("SELECT * FROM item", ("item",))
+        author_request = select("SELECT * FROM author", ("author",))
+        cache.put(item_request, result())
+        cache.put(author_request, result())
+        cache.invalidate(write(tables=("item",)))
+        assert cache.get(item_request) is None
+        assert cache.get(author_request) is not None
+
+    def test_table_granularity_conservative_without_tables(self):
+        cache = ResultCache(granularity=TableGranularity())
+        request = select("SELECT * FROM item", ("item",))
+        cache.put(request, result())
+        cache.invalidate(write(sql="UPDATE something", tables=()))
+        assert cache.get(request) is None
+
+    def test_column_granularity_keeps_unrelated_columns(self):
+        cache = ResultCache(granularity=ColumnGranularity())
+        title_request = select("SELECT i_title FROM item WHERE i_id = 1", ("item",))
+        stock_request = select("SELECT i_stock FROM item WHERE i_id = 1", ("item",))
+        cache.put(title_request, result())
+        cache.put(stock_request, result())
+        cache.invalidate(write("UPDATE item SET i_stock = 5 WHERE i_id = 1", ("item",)))
+        assert cache.get(title_request) is not None
+        assert cache.get(stock_request) is None
+
+    def test_column_granularity_falls_back_for_inserts(self):
+        cache = ResultCache(granularity=ColumnGranularity())
+        request = select("SELECT i_title FROM item", ("item",))
+        cache.put(request, result())
+        cache.invalidate(write("INSERT INTO item (i_id) VALUES (9)", ("item",)))
+        assert cache.get(request) is None
+
+    def test_granularity_factory(self):
+        from repro.core.cache.granularity import granularity_from_name
+
+        assert isinstance(granularity_from_name("database"), DatabaseGranularity)
+        assert isinstance(granularity_from_name("table"), TableGranularity)
+        assert isinstance(granularity_from_name("column"), ColumnGranularity)
+        with pytest.raises(ValueError):
+            granularity_from_name("row")
+
+
+class TestRelaxedConsistency:
+    def test_stale_entry_survives_within_window(self):
+        clock = FakeClock()
+        cache = ResultCache(
+            relaxation_rules=[RelaxationRule(staleness_seconds=60.0)], clock=clock
+        )
+        request = select()
+        cache.put(request, result(1))
+        cache.invalidate(write())
+        assert cache.get(request) is not None  # stale but allowed
+        assert cache.statistics.stale_hits == 1
+
+    def test_stale_entry_expires_after_window(self):
+        clock = FakeClock()
+        cache = ResultCache(
+            relaxation_rules=[RelaxationRule(staleness_seconds=60.0)], clock=clock
+        )
+        request = select()
+        cache.put(request, result(1))
+        cache.invalidate(write())
+        clock.advance(61)
+        assert cache.get(request) is None
+
+    def test_rule_scoped_to_tables(self):
+        clock = FakeClock()
+        rule = RelaxationRule(staleness_seconds=60.0, tables=("item",))
+        cache = ResultCache(relaxation_rules=[rule], clock=clock)
+        item_request = select("SELECT * FROM item", ("item",))
+        customer_request = select("SELECT * FROM customer", ("customer",))
+        cache.put(item_request, result())
+        cache.put(customer_request, result())
+        cache.invalidate(write(tables=("item",)))
+        cache.invalidate(write("UPDATE customer SET c_balance = 0", ("customer",)))
+        assert cache.get(item_request) is not None
+        assert cache.get(customer_request) is None
+
+    def test_rule_with_sql_pattern(self):
+        rule = RelaxationRule(staleness_seconds=30.0, sql_pattern=r"best_?seller")
+        assert rule.matches(select("SELECT * FROM bestseller_view", ("item",)))
+        assert not rule.matches(select("SELECT * FROM item", ("item",)))
+
+    def test_strong_consistency_without_rules(self):
+        cache = ResultCache()
+        request = select()
+        cache.put(request, result())
+        cache.invalidate(write())
+        assert cache.get(request) is None

@@ -1,0 +1,217 @@
+"""Tests for the configuration builder and the management layer."""
+
+import pytest
+
+from tests.conftest import make_cluster
+
+from repro.core import (
+    BackendConfig,
+    Controller,
+    VirtualDatabaseConfig,
+    build_virtual_database,
+    connect,
+)
+from repro.core.cache import RelaxationRule
+from repro.core.loadbalancer import (
+    RAIDb0LoadBalancer,
+    RAIDb1LoadBalancer,
+    RAIDb2LoadBalancer,
+    SingleDBLoadBalancer,
+)
+from repro.core.management import AdminConsole, MBeanRegistry, MonitoringService
+from repro.core.recovery import FileRecoveryLog, MemoryRecoveryLog
+from repro.core.scheduler import (
+    OptimisticTransactionLevelScheduler,
+    PassThroughScheduler,
+    PessimisticTransactionLevelScheduler,
+)
+from repro.errors import ConfigurationError
+from repro.sql import DatabaseEngine
+
+
+class TestConfigurationBuilder:
+    def test_replication_levels(self):
+        for replication, expected in [
+            ("single", SingleDBLoadBalancer),
+            ("raidb0", RAIDb0LoadBalancer),
+            ("raidb1", RAIDb1LoadBalancer),
+            ("raidb2", RAIDb2LoadBalancer),
+        ]:
+            vdb = build_virtual_database(
+                VirtualDatabaseConfig(
+                    name=f"db-{replication}",
+                    backends=[BackendConfig(name="b0", engine=DatabaseEngine("e"))],
+                    replication=replication,
+                )
+            )
+            assert isinstance(vdb.request_manager.load_balancer, expected)
+
+    def test_schedulers(self):
+        for name, expected in [
+            ("passthrough", PassThroughScheduler),
+            ("optimistic", OptimisticTransactionLevelScheduler),
+            ("pessimistic", PessimisticTransactionLevelScheduler),
+        ]:
+            vdb = build_virtual_database(
+                VirtualDatabaseConfig(
+                    name=f"db-{name}",
+                    backends=[BackendConfig(name="b0", engine=DatabaseEngine("e"))],
+                    scheduler=name,
+                )
+            )
+            assert isinstance(vdb.request_manager.scheduler, expected)
+
+    def test_recovery_log_options(self, tmp_path):
+        vdb_memory = build_virtual_database(
+            VirtualDatabaseConfig(
+                name="mem",
+                backends=[BackendConfig(name="b0", engine=DatabaseEngine("e1"))],
+                recovery_log="memory",
+            )
+        )
+        assert isinstance(vdb_memory.request_manager.recovery_log, MemoryRecoveryLog)
+        vdb_none = build_virtual_database(
+            VirtualDatabaseConfig(
+                name="none",
+                backends=[BackendConfig(name="b0", engine=DatabaseEngine("e2"))],
+                recovery_log="none",
+            )
+        )
+        assert vdb_none.request_manager.recovery_log is None
+        path = str(tmp_path / "log.jsonl")
+        vdb_file = build_virtual_database(
+            VirtualDatabaseConfig(
+                name="file",
+                backends=[BackendConfig(name="b0", engine=DatabaseEngine("e3"))],
+                recovery_log=f"file:{path}",
+            )
+        )
+        assert isinstance(vdb_file.request_manager.recovery_log, FileRecoveryLog)
+
+    def test_cache_configuration(self):
+        vdb = build_virtual_database(
+            VirtualDatabaseConfig(
+                name="cached",
+                backends=[BackendConfig(name="b0", engine=DatabaseEngine("e"))],
+                cache_enabled=True,
+                cache_granularity="column",
+                cache_relaxation_rules=[RelaxationRule(staleness_seconds=30)],
+            )
+        )
+        cache = vdb.request_manager.result_cache
+        assert cache is not None
+        assert cache.relaxation_rules[0].staleness_seconds == 30
+
+    def test_connection_manager_kinds(self):
+        for kind in ("simple", "failfast", "randomwait", "variable"):
+            vdb = build_virtual_database(
+                VirtualDatabaseConfig(
+                    name=f"cm-{kind}",
+                    backends=[
+                        BackendConfig(
+                            name="b0", engine=DatabaseEngine("e"), connection_manager=kind
+                        )
+                    ],
+                )
+            )
+            assert vdb.backends[0].connection_manager is not None
+
+    def test_invalid_configurations_rejected(self):
+        base = dict(backends=[BackendConfig(name="b0", engine=DatabaseEngine("e"))])
+        with pytest.raises(ConfigurationError):
+            build_virtual_database(VirtualDatabaseConfig(name="x", replication="raidb9", **base))
+        with pytest.raises(ConfigurationError):
+            build_virtual_database(VirtualDatabaseConfig(name="x", scheduler="magic", **base))
+        with pytest.raises(ConfigurationError):
+            build_virtual_database(VirtualDatabaseConfig(name="x", recovery_log="redis:x", **base))
+        with pytest.raises(ValueError):
+            build_virtual_database(
+                VirtualDatabaseConfig(name="x", load_balancing_policy="bogus", **base)
+            )
+        with pytest.raises(ConfigurationError):
+            build_virtual_database(
+                VirtualDatabaseConfig(name="x", backends=[BackendConfig(name="nothing")])
+            )
+
+    def test_users_are_registered(self):
+        vdb = build_virtual_database(
+            VirtualDatabaseConfig(
+                name="users",
+                backends=[BackendConfig(name="b0", engine=DatabaseEngine("e"))],
+                users={"app": "pw"},
+                transparent_authentication=False,
+            )
+        )
+        assert vdb.authentication_manager.is_valid("app", "pw")
+        assert not vdb.authentication_manager.is_valid("app", "nope")
+
+
+class TestMBeanRegistry:
+    def test_register_lookup_query(self):
+        registry = MBeanRegistry()
+        registry.register("controller:main", object())
+        registry.register("virtualdatabase:tpcw", object())
+        assert registry.lookup("controller:main") is not None
+        assert len(registry.query("virtualdatabase:*")) == 1
+        assert len(registry) == 2
+        registry.unregister("controller:main")
+        assert registry.lookup("controller:main") is None
+
+    def test_statistics_collection(self, cluster):
+        controller, _, _ = cluster
+        stats = controller.mbean_registry.statistics("virtualdatabase:*")
+        assert "virtualdatabase:testdb" in stats
+
+
+class TestMonitoringService:
+    def test_snapshot_and_history(self, cluster):
+        controller, _, _ = cluster
+        monitor = MonitoringService(controller, interval=0.01)
+        snapshot = monitor.snapshot()
+        assert "virtual_databases" in snapshot
+        assert len(monitor.history()) == 1
+        monitor.clear()
+        assert monitor.history() == []
+
+    def test_background_collection(self, cluster):
+        import time
+
+        controller, _, _ = cluster
+        monitor = MonitoringService(controller, interval=0.01)
+        monitor.start()
+        time.sleep(0.08)
+        monitor.stop()
+        assert len(monitor.history()) >= 1
+
+
+class TestAdminConsole:
+    def test_show_and_stats(self, cluster):
+        controller, _, _ = cluster
+        console = AdminConsole(controller)
+        assert "testdb" in console.execute("show databases")
+        backends_output = console.execute("show backends testdb")
+        assert "backend0" in backends_output and "ENABLED" in backends_output
+        assert "requests_executed" in console.execute("stats testdb")
+
+    def test_disable_enable_backend(self, cluster):
+        controller, vdb, _ = cluster
+        console = AdminConsole(controller)
+        assert "disabled" in console.execute("disable testdb backend0")
+        assert not vdb.get_backend("backend0").is_enabled
+        assert "enabled" in console.execute("enable testdb backend0")
+        assert vdb.get_backend("backend0").is_enabled
+
+    def test_checkpoint_command(self):
+        controller, vdb, _ = make_cluster("consoledb")
+        connection = connect(controller, "consoledb", "u", "p")
+        connection.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        console = AdminConsole(controller)
+        output = console.execute("checkpoint consoledb backend0")
+        assert "checkpoint" in output
+
+    def test_unknown_command_and_help(self, cluster):
+        controller, _, _ = cluster
+        console = AdminConsole(controller)
+        assert "unknown command" in console.execute("frobnicate")
+        assert "commands:" in console.execute("help")
+        assert console.execute("") == ""

@@ -1,0 +1,173 @@
+"""Detailed driver-level tests: cursor surface, context managers, failover paths."""
+
+import pytest
+
+from tests.conftest import make_cluster
+
+from repro.core import Controller, connect
+from repro.errors import DatabaseError, InterfaceError
+
+
+@pytest.fixture
+def conn():
+    controller, vdb, engines = make_cluster("driverdb", backend_count=2)
+    connection = connect(controller, "driverdb", "app", "pw")
+    cursor = connection.cursor()
+    cursor.execute("CREATE TABLE numbers (n INT PRIMARY KEY, squared INT)")
+    cursor.executemany(
+        "INSERT INTO numbers (n, squared) VALUES (?, ?)", [(i, i * i) for i in range(1, 11)]
+    )
+    return connection
+
+
+class TestCursorSurface:
+    def test_fetchone_until_exhausted(self, conn):
+        cursor = conn.execute("SELECT n FROM numbers ORDER BY n LIMIT 3")
+        assert cursor.fetchone() == (1,)
+        assert cursor.fetchone() == (2,)
+        assert cursor.fetchone() == (3,)
+        assert cursor.fetchone() is None
+
+    def test_fetchmany_default_and_explicit_size(self, conn):
+        cursor = conn.execute("SELECT n FROM numbers ORDER BY n")
+        assert cursor.fetchmany() == [(1,)]
+        assert cursor.fetchmany(3) == [(2,), (3,), (4,)]
+        cursor.arraysize = 2
+        assert cursor.fetchmany() == [(5,), (6,)]
+
+    def test_iteration_protocol(self, conn):
+        cursor = conn.execute("SELECT n FROM numbers WHERE n <= 3 ORDER BY n")
+        assert [row[0] for row in cursor] == [1, 2, 3]
+
+    def test_fetchall_dicts_and_scalar(self, conn):
+        cursor = conn.execute("SELECT n, squared FROM numbers WHERE n = 4")
+        assert cursor.fetchall_dicts() == [{"n": 4, "squared": 16}]
+        assert conn.execute("SELECT MAX(squared) FROM numbers").scalar() == 100
+
+    def test_rowcount_semantics(self, conn):
+        select_cursor = conn.execute("SELECT * FROM numbers WHERE n > 5")
+        assert select_cursor.rowcount == 5
+        update_cursor = conn.execute("UPDATE numbers SET squared = 0 WHERE n > 8")
+        assert update_cursor.rowcount == 2
+        assert update_cursor.description is None
+
+    def test_description_column_names(self, conn):
+        cursor = conn.execute("SELECT n AS value, squared FROM numbers WHERE n = 1")
+        assert [d[0] for d in cursor.description] == ["value", "squared"]
+
+    def test_closed_cursor_rejects_use(self, conn):
+        cursor = conn.cursor()
+        cursor.close()
+        with pytest.raises(InterfaceError):
+            cursor.execute("SELECT 1")
+        with pytest.raises(InterfaceError):
+            cursor.fetchall()
+
+    def test_fetch_before_execute_rejected(self, conn):
+        cursor = conn.cursor()
+        with pytest.raises(InterfaceError):
+            cursor.fetchone()
+
+    def test_parameterized_reads_and_writes(self, conn):
+        cursor = conn.cursor()
+        cursor.execute("SELECT squared FROM numbers WHERE n = ?", (7,))
+        assert cursor.fetchone() == (49,)
+        cursor.execute("UPDATE numbers SET squared = ? WHERE n = ?", (123, 7))
+        cursor.execute("SELECT squared FROM numbers WHERE n = ?", (7,))
+        assert cursor.fetchone() == (123,)
+
+
+class TestConnectionContextManager:
+    def test_commit_on_clean_exit(self):
+        controller, _, engines = make_cluster("ctxdb", backend_count=1)
+        with connect(controller, "ctxdb", "u", "p") as connection:
+            connection.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+            connection.begin()
+            connection.execute("INSERT INTO t VALUES (1)")
+        assert engines[0].execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+    def test_rollback_on_exception(self):
+        controller, _, engines = make_cluster("ctxdb2", backend_count=1)
+        connection = connect(controller, "ctxdb2", "u", "p")
+        connection.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        with pytest.raises(RuntimeError):
+            with connection:
+                connection.begin()
+                connection.execute("INSERT INTO t VALUES (1)")
+                raise RuntimeError("boom")
+        assert engines[0].execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+    def test_close_rolls_back_open_transaction(self):
+        controller, _, engines = make_cluster("ctxdb3", backend_count=1)
+        connection = connect(controller, "ctxdb3", "u", "p")
+        connection.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        connection.begin()
+        connection.execute("INSERT INTO t VALUES (1)")
+        connection.close()
+        assert engines[0].execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+    def test_commit_without_transaction_is_noop(self, conn):
+        conn.commit()
+        conn.rollback()
+
+
+class TestExplicitTransactionSemantics:
+    def test_begin_returns_transaction_id_and_is_idempotent(self, conn):
+        first = conn.begin()
+        second = conn.begin()
+        assert first == second
+        conn.rollback()
+
+    def test_connection_returns_to_autocommit_after_commit(self, conn):
+        conn.begin()
+        conn.execute("UPDATE numbers SET squared = 1 WHERE n = 1")
+        conn.commit()
+        # next statement is autocommit again: a second connection sees it immediately
+        conn.execute("UPDATE numbers SET squared = 2 WHERE n = 1")
+        assert conn.execute("SELECT squared FROM numbers WHERE n = 1").scalar() == 2
+
+    def test_autocommit_false_reopens_transactions(self, conn):
+        conn.autocommit = False
+        conn.execute("UPDATE numbers SET squared = 5 WHERE n = 2")
+        conn.rollback()
+        assert conn.execute("SELECT squared FROM numbers WHERE n = 2").scalar() == 4
+        conn.autocommit = True
+
+
+class TestFailoverDetails:
+    def test_connection_validates_credentials_on_connect(self):
+        controller, _, _ = make_cluster(
+            "authdb2", transparent_authentication=False, users={"good": "pw"}
+        )
+        connect(controller, "authdb2", "good", "pw")
+
+    def test_failover_counts_and_round_robins_back(self):
+        controller_a, vdb, _ = make_cluster("fodb", backend_count=1)
+        controller_b = Controller("fodb-standby")
+        controller_b.add_virtual_database(vdb)
+        connection = connect([controller_a, controller_b], "fodb", "u", "p")
+        connection.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        controller_a.shutdown()
+        connection.execute("INSERT INTO t VALUES (1)")
+        assert connection.current_controller is controller_b
+        # bring the first controller back: the driver keeps using the current one
+        controller_a.restart()
+        connection.execute("INSERT INTO t VALUES (2)")
+        assert connection.execute("SELECT COUNT(*) FROM t").scalar() == 2
+
+    def test_transaction_survives_controller_failover_with_shared_vdb(self):
+        """With controllers sharing one virtual database (budget-HA setup), a
+        transaction keeps its state across a controller failover because the
+        transaction lives in the virtual database, not in the controller."""
+        controller_a, vdb, engines = make_cluster("fodb2", backend_count=1)
+        controller_b = Controller("fodb2-standby")
+        controller_b.add_virtual_database(vdb)
+        connection = connect([controller_a, controller_b], "fodb2", "u", "p")
+        connection.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        connection.begin()
+        connection.execute("INSERT INTO t VALUES (1)")
+        controller_a.shutdown()
+        connection.execute("INSERT INTO t VALUES (2)")
+        connection.commit()
+        assert connection.failovers >= 1
+        assert engines[0].execute("SELECT COUNT(*) FROM t").scalar() == 2

@@ -1,0 +1,243 @@
+"""Tests for load-balancing policies and the RAIDb load balancers."""
+
+import pytest
+
+from repro.core.backend import DatabaseBackend
+from repro.core.loadbalancer import (
+    LeastPendingRequestsFirst,
+    RAIDb0LoadBalancer,
+    RAIDb1LoadBalancer,
+    RAIDb2LoadBalancer,
+    RoundRobinPolicy,
+    SingleDBLoadBalancer,
+    WaitForCompletion,
+    WeightedRoundRobinPolicy,
+    policy_from_name,
+)
+from repro.core.requestparser import RequestFactory
+from repro.errors import BackendError, NoMoreBackendError, NotReplicatedError
+from repro.sql import DatabaseEngine, DatabaseMetaData, dbapi
+
+factory = RequestFactory()
+
+
+def make_backend(name, tables=(), weight=1):
+    engine = DatabaseEngine(f"engine-{name}")
+    for table in tables:
+        engine.execute(f"CREATE TABLE {table} (id INT PRIMARY KEY, v VARCHAR(20))")
+    backend = DatabaseBackend(
+        name=name,
+        connection_factory=lambda: dbapi.connect(engine),
+        metadata_factory=lambda: DatabaseMetaData(engine),
+        weight=weight,
+    )
+    backend.enable()
+    return backend, engine
+
+
+class TestPolicies:
+    def test_round_robin_cycles(self):
+        backends = [make_backend(f"b{i}")[0] for i in range(3)]
+        policy = RoundRobinPolicy()
+        chosen = [policy.choose(backends).name for _ in range(6)]
+        assert chosen == ["b0", "b1", "b2", "b0", "b1", "b2"]
+
+    def test_round_robin_requires_candidates(self):
+        with pytest.raises(NoMoreBackendError):
+            RoundRobinPolicy().choose([])
+
+    def test_weighted_round_robin_respects_weights(self):
+        heavy, _ = make_backend("heavy", weight=3)
+        light, _ = make_backend("light", weight=1)
+        policy = WeightedRoundRobinPolicy()
+        chosen = [policy.choose([heavy, light]).name for _ in range(8)]
+        assert chosen.count("heavy") == 6
+        assert chosen.count("light") == 2
+
+    def test_weighted_round_robin_adapts_to_candidate_changes(self):
+        a, _ = make_backend("a", weight=1)
+        b, _ = make_backend("b", weight=1)
+        policy = WeightedRoundRobinPolicy()
+        policy.choose([a, b])
+        # candidate set changes: should not raise and should still pick a member
+        assert policy.choose([a]).name == "a"
+
+    def test_least_pending_requests_first(self):
+        busy, _ = make_backend("busy")
+        idle, _ = make_backend("idle")
+        busy._request_started(True)  # simulate one in-flight request
+        policy = LeastPendingRequestsFirst()
+        assert policy.choose([busy, idle]).name == "idle"
+
+    def test_policy_factory(self):
+        assert isinstance(policy_from_name("rr"), RoundRobinPolicy)
+        assert isinstance(policy_from_name("weighted round robin"), WeightedRoundRobinPolicy)
+        assert isinstance(policy_from_name("LPRF"), LeastPendingRequestsFirst)
+        with pytest.raises(ValueError):
+            policy_from_name("random")
+
+
+class TestRAIDb1:
+    def test_read_one_write_all(self):
+        backends = []
+        engines = []
+        for i in range(3):
+            backend, engine = make_backend(f"b{i}", tables=("kv",))
+            backends.append(backend)
+            engines.append(engine)
+        balancer = RAIDb1LoadBalancer()
+        write = factory.create_request("INSERT INTO kv (id, v) VALUES (1, 'x')")
+        outcome = balancer.execute_write_request(write, backends)
+        assert outcome.backends_executed == 3
+        for engine in engines:
+            assert engine.execute("SELECT COUNT(*) FROM kv").scalar() == 1
+        read = factory.create_request("SELECT v FROM kv WHERE id = 1")
+        result = balancer.execute_read_request(read, backends)
+        assert result.rows == [["x"]]
+
+    def test_disabled_backends_are_skipped(self):
+        backends = [make_backend(f"b{i}", tables=("kv",))[0] for i in range(2)]
+        backends[0].disable()
+        balancer = RAIDb1LoadBalancer()
+        read = factory.create_request("SELECT * FROM kv")
+        result = balancer.execute_read_request(read, backends)
+        assert result.backend_name == "b1"
+
+    def test_no_backend_left_raises(self):
+        backend, _ = make_backend("solo", tables=("kv",))
+        backend.disable()
+        balancer = RAIDb1LoadBalancer()
+        with pytest.raises(NoMoreBackendError):
+            balancer.execute_read_request(factory.create_request("SELECT * FROM kv"), [backend])
+
+    def test_failed_backend_triggers_failure_callback(self):
+        good, _ = make_backend("good", tables=("kv",))
+        bad, bad_engine = make_backend("bad")  # no kv table -> write will fail
+        balancer = RAIDb1LoadBalancer()
+        disabled = []
+        balancer.on_backend_failure = lambda backend, exc: disabled.append(backend.name)
+        write = factory.create_request("INSERT INTO kv (id, v) VALUES (1, 'x')")
+        outcome = balancer.execute_write_request(write, [good, bad])
+        assert outcome.successes == ["good"]
+        assert "bad" in outcome.failures
+        assert disabled == ["bad"]
+
+    def test_write_failing_everywhere_raises(self):
+        only, _ = make_backend("only")  # table missing
+        balancer = RAIDb1LoadBalancer()
+        with pytest.raises(BackendError):
+            balancer.execute_write_request(
+                factory.create_request("INSERT INTO kv (id) VALUES (1)"), [only]
+            )
+
+    def test_transaction_reads_stick_to_participating_backend(self):
+        backends = [make_backend(f"b{i}", tables=("kv",))[0] for i in range(2)]
+        balancer = RAIDb1LoadBalancer()
+        write = factory.create_request(
+            "INSERT INTO kv (id, v) VALUES (1, 'x')", transaction_id=5
+        )
+        balancer.execute_write_request(write, backends)
+        read = factory.create_request("SELECT v FROM kv WHERE id = 1", transaction_id=5)
+        result = balancer.execute_read_request(read, backends)
+        assert result.rows == [["x"]]
+
+    def test_early_response_waits_for_first_only(self):
+        backends = [make_backend(f"b{i}", tables=("kv",))[0] for i in range(3)]
+        balancer = RAIDb1LoadBalancer(wait_for_completion=WaitForCompletion.FIRST)
+        write = factory.create_request("INSERT INTO kv (id, v) VALUES (2, 'y')")
+        outcome = balancer.execute_write_request(write, backends)
+        assert outcome.result.update_count == 1
+        assert 1 <= outcome.backends_executed <= 3
+
+
+class TestRAIDb2:
+    def build(self):
+        # backend0 hosts item+author, backend1 hosts item only, backend2 hosts orders
+        b0, e0 = make_backend("b0", tables=("item", "author"))
+        b1, e1 = make_backend("b1", tables=("item",))
+        b2, e2 = make_backend("b2", tables=("orders",))
+        return [b0, b1, b2], [e0, e1, e2]
+
+    def test_read_requires_all_tables_on_one_backend(self):
+        backends, _ = self.build()
+        balancer = RAIDb2LoadBalancer()
+        read = factory.create_request("SELECT * FROM item i, author a WHERE i.id = a.id")
+        candidates = balancer.read_candidates(read, backends)
+        assert [b.name for b in candidates] == ["b0"]
+
+    def test_read_unreplicated_combination_raises(self):
+        backends, _ = self.build()
+        balancer = RAIDb2LoadBalancer()
+        read = factory.create_request("SELECT * FROM item, orders")
+        with pytest.raises(NotReplicatedError):
+            balancer.read_candidates(read, backends)
+
+    def test_write_goes_to_hosting_backends_only(self):
+        backends, engines = self.build()
+        balancer = RAIDb2LoadBalancer()
+        write = factory.create_request("INSERT INTO item (id, v) VALUES (1, 'x')")
+        outcome = balancer.execute_write_request(write, backends)
+        assert sorted(outcome.successes) == ["b0", "b1"]
+        assert engines[2].catalog.has_table("orders")
+
+    def test_ddl_create_follows_replication_map(self):
+        backends, engines = self.build()
+        balancer = RAIDb2LoadBalancer(replication_map={"new_table": {"b1", "b2"}})
+        ddl = factory.create_request("CREATE TABLE new_table (id INT)")
+        targets = balancer.write_targets(ddl, backends)
+        assert sorted(b.name for b in targets) == ["b1", "b2"]
+
+    def test_ddl_drop_targets_hosting_backends(self):
+        backends, _ = self.build()
+        balancer = RAIDb2LoadBalancer()
+        drop = factory.create_request("DROP TABLE author")
+        targets = balancer.write_targets(drop, backends)
+        assert [b.name for b in targets] == ["b0"]
+
+
+class TestRAIDb0:
+    def test_partitioned_routing(self):
+        b0, e0 = make_backend("b0", tables=("customer",))
+        b1, e1 = make_backend("b1", tables=("orders",))
+        balancer = RAIDb0LoadBalancer()
+        read = factory.create_request("SELECT * FROM orders")
+        assert [b.name for b in balancer.read_candidates(read, [b0, b1])] == ["b1"]
+        write = factory.create_request("INSERT INTO customer (id, v) VALUES (1, 'x')")
+        outcome = balancer.execute_write_request(write, [b0, b1])
+        assert outcome.successes == ["b0"]
+        assert e1.catalog.has_table("orders")
+
+    def test_cross_partition_query_rejected(self):
+        b0, _ = make_backend("b0", tables=("customer",))
+        b1, _ = make_backend("b1", tables=("orders",))
+        balancer = RAIDb0LoadBalancer()
+        read = factory.create_request("SELECT * FROM customer, orders")
+        with pytest.raises(NotReplicatedError):
+            balancer.read_candidates(read, [b0, b1])
+
+    def test_create_table_placed_on_least_loaded_backend(self):
+        b0, _ = make_backend("b0", tables=("a", "b"))
+        b1, _ = make_backend("b1", tables=("c",))
+        balancer = RAIDb0LoadBalancer()
+        ddl = factory.create_request("CREATE TABLE fresh (id INT)")
+        targets = balancer.write_targets(ddl, [b0, b1])
+        assert [b.name for b in targets] == ["b1"]
+        assert balancer.partition_map["fresh"] == "b1"
+
+    def test_create_table_respects_partition_map(self):
+        b0, _ = make_backend("b0")
+        b1, _ = make_backend("b1")
+        balancer = RAIDb0LoadBalancer(partition_map={"placed": "b0"})
+        ddl = factory.create_request("CREATE TABLE placed (id INT)")
+        targets = balancer.write_targets(ddl, [b0, b1])
+        assert [b.name for b in targets] == ["b0"]
+
+
+class TestSingleDB:
+    def test_everything_routed_to_single_backend(self):
+        backend, engine = make_backend("solo", tables=("kv",))
+        other, _ = make_backend("ignored", tables=("kv",))
+        balancer = SingleDBLoadBalancer()
+        write = factory.create_request("INSERT INTO kv (id, v) VALUES (1, 'x')")
+        outcome = balancer.execute_write_request(write, [backend, other])
+        assert outcome.successes == ["solo"]

@@ -1,0 +1,195 @@
+"""Tests for the recovery log, Octopus dump/restore and checkpointing."""
+
+import pytest
+
+from repro.core.recovery import (
+    DatabaseRecoveryLog,
+    FileRecoveryLog,
+    MemoryRecoveryLog,
+    Octopus,
+)
+from repro.core.recovery.recovery_log import LogEntry
+from repro.sql import DatabaseEngine, dbapi
+
+
+class TestMemoryRecoveryLog:
+    def test_entries_are_ordered_and_typed(self):
+        log = MemoryRecoveryLog()
+        log.log_begin("alice", 1)
+        log.log_request("INSERT INTO t VALUES (1)", (), "alice", 1)
+        log.log_commit("alice", 1)
+        log.log_rollback("bob", 2)
+        entries = log.entries()
+        assert [e.entry_type for e in entries] == ["begin", "write", "commit", "rollback"]
+        assert [e.log_id for e in entries] == [1, 2, 3, 4]
+
+    def test_checkpoint_marker_and_replay_window(self):
+        log = MemoryRecoveryLog()
+        log.log_request("INSERT INTO t VALUES (1)", (), "", None)
+        log.insert_checkpoint_marker("cp1")
+        log.log_request("INSERT INTO t VALUES (2)", (), "", None)
+        log.log_request("INSERT INTO t VALUES (3)", (), "", None)
+        since = log.entries_since_checkpoint("cp1")
+        assert [e.sql for e in since] == ["INSERT INTO t VALUES (2)", "INSERT INTO t VALUES (3)"]
+        assert log.checkpoint_names() == ["cp1"]
+
+    def test_unknown_checkpoint_raises(self):
+        log = MemoryRecoveryLog()
+        with pytest.raises(KeyError):
+            log.entries_since_checkpoint("nope")
+
+    def test_clear(self):
+        log = MemoryRecoveryLog()
+        log.log_request("x", (), "", None)
+        log.clear()
+        assert len(log) == 0
+
+
+class TestFileRecoveryLog:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "recovery.jsonl")
+        log = FileRecoveryLog(path)
+        log.log_request("INSERT INTO t VALUES (?)", (1,), "alice", 7)
+        log.insert_checkpoint_marker("cp")
+        reloaded = FileRecoveryLog(path)
+        entries = reloaded.entries()
+        assert entries[0].sql == "INSERT INTO t VALUES (?)"
+        assert entries[0].parameters == (1,)
+        assert entries[1].entry_type == "checkpoint"
+        # id allocation resumes after the existing entries
+        new_entry = reloaded.log_request("x", (), "", None)
+        assert new_entry.log_id == 3
+
+    def test_missing_file_is_empty(self, tmp_path):
+        log = FileRecoveryLog(str(tmp_path / "does-not-exist.jsonl"))
+        assert log.entries() == []
+
+    def test_log_entry_json_round_trip(self):
+        entry = LogEntry(5, "bob", 3, "UPDATE t SET a = ?", (9,), "write", None)
+        assert LogEntry.from_json(entry.to_json()) == entry
+
+
+class TestDatabaseRecoveryLog:
+    def test_entries_stored_through_dbapi(self):
+        engine = DatabaseEngine("logdb")
+        log = DatabaseRecoveryLog(lambda: dbapi.connect(engine))
+        log.log_begin("alice", 1)
+        log.log_request("INSERT INTO app VALUES (1)", (), "alice", 1)
+        log.log_commit("alice", 1)
+        log.insert_checkpoint_marker("cp1")
+        assert engine.execute("SELECT COUNT(*) FROM recovery_log").scalar() == 4
+        entries = log.entries()
+        assert entries[1].sql == "INSERT INTO app VALUES (1)"
+        assert log.checkpoint_names() == ["cp1"]
+
+    def test_log_survives_new_instance(self):
+        engine = DatabaseEngine("logdb2")
+        first = DatabaseRecoveryLog(lambda: dbapi.connect(engine))
+        first.log_request("a", (), "", None)
+        second = DatabaseRecoveryLog(lambda: dbapi.connect(engine))
+        entry = second.log_request("b", (), "", None)
+        assert entry.log_id == 2
+        assert [e.sql for e in second.entries()] == ["a", "b"]
+
+
+class TestOctopus:
+    def build_source(self):
+        engine = DatabaseEngine("source")
+        engine.execute(
+            "CREATE TABLE item (i_id INT PRIMARY KEY AUTO_INCREMENT, i_title VARCHAR(40) NOT NULL,"
+            " i_cost FLOAT)"
+        )
+        engine.execute("CREATE INDEX idx_title ON item (i_title)")
+        engine.execute("INSERT INTO item (i_title, i_cost) VALUES ('a', 1.0), ('b', 2.0)")
+        return engine
+
+    def test_dump_and_restore(self):
+        source = self.build_source()
+        octopus = Octopus()
+        dump = octopus.dump_engine(source, "snapshot-1")
+        assert dump.row_count() == 2
+        destination = DatabaseEngine("destination")
+        restored = octopus.restore_engine(dump, destination)
+        assert restored == 2
+        assert destination.execute("SELECT COUNT(*) FROM item").scalar() == 2
+        # indexes and schema are re-created
+        assert "idx_title" in destination.catalog.get_table("item").schema.indexes
+        # auto-increment continues after restored keys
+        destination.execute("INSERT INTO item (i_title) VALUES ('c')")
+        assert destination.execute("SELECT MAX(i_id) FROM item").scalar() == 3
+
+    def test_dump_to_file_round_trip(self, tmp_path):
+        source = self.build_source()
+        octopus = Octopus()
+        path = str(tmp_path / "dump.json")
+        octopus.dump_to_file(source, path)
+        destination = DatabaseEngine("from-file")
+        assert octopus.restore_from_file(path, destination) == 2
+
+    def test_restore_truncates_existing_data(self):
+        source = self.build_source()
+        octopus = Octopus()
+        dump = octopus.dump_engine(source)
+        destination = DatabaseEngine("dirty")
+        destination.execute("CREATE TABLE item (i_id INT PRIMARY KEY, i_title VARCHAR(40), i_cost FLOAT)")
+        destination.execute("INSERT INTO item VALUES (99, 'stale', 0.0)")
+        octopus.restore_engine(dump, destination, truncate=True)
+        titles = [
+            row[0]
+            for row in destination.execute("SELECT i_title FROM item ORDER BY i_title").rows
+        ]
+        assert titles == ["a", "b"]
+
+    def test_copy_table_between_connections(self):
+        source = self.build_source()
+        destination = DatabaseEngine("copy-destination")
+        octopus = Octopus()
+        copied = octopus.copy_table(
+            dbapi.connect(source),
+            dbapi.connect(destination),
+            "item",
+            ["i_id", "i_title", "i_cost"],
+            create_sql="CREATE TABLE item (i_id INT PRIMARY KEY, i_title VARCHAR(40), i_cost FLOAT)",
+        )
+        assert copied == 2
+        assert destination.execute("SELECT COUNT(*) FROM item").scalar() == 2
+
+
+class TestCheckpointingWithVirtualDatabase:
+    def test_checkpoint_and_recover_backend(self):
+        from tests.conftest import make_cluster
+        from repro.core import connect as cjdbc_connect
+
+        controller, vdb, engines = make_cluster("cpdb", backend_count=2)
+        connection = cjdbc_connect(controller, "cpdb", "admin", "admin")
+        cursor = connection.cursor()
+        cursor.execute("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(10))")
+        cursor.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+
+        checkpoint_name = vdb.checkpoint_backend("backend1")
+        assert checkpoint_name in vdb.checkpointing_service.checkpoint_names()
+        assert vdb.get_backend("backend1").is_enabled
+
+        # keep writing after the checkpoint, then crash backend1 and wipe it
+        cursor.execute("INSERT INTO t VALUES (3, 'c')")
+        vdb.get_backend("backend1").disable()
+        engines[1].catalog.drop_table("t")
+
+        replayed = vdb.recover_backend("backend1", checkpoint_name)
+        assert replayed >= 1
+        assert vdb.get_backend("backend1").is_enabled
+        assert engines[1].execute("SELECT COUNT(*) FROM t").scalar() == 3
+
+    def test_disable_with_checkpoint(self):
+        from tests.conftest import make_cluster
+        from repro.core import connect as cjdbc_connect
+
+        controller, vdb, engines = make_cluster("cpdb2", backend_count=2)
+        connection = cjdbc_connect(controller, "cpdb2", "admin", "admin")
+        connection.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        connection.execute("INSERT INTO t VALUES (1)")
+        name = vdb.disable_backend("backend0", with_checkpoint=True)
+        assert name is not None
+        assert not vdb.get_backend("backend0").is_enabled
+        # the other backend keeps serving
+        assert connection.execute("SELECT COUNT(*) FROM t").scalar() == 1

@@ -1,0 +1,168 @@
+"""Tests for request parsing, table extraction and macro rewriting."""
+
+import datetime
+
+import pytest
+
+from repro.core.macros import contains_macro, rewrite_macros
+from repro.core.request import (
+    BeginRequest,
+    CommitRequest,
+    DDLRequest,
+    RequestType,
+    RollbackRequest,
+    SelectRequest,
+    WriteRequest,
+)
+from repro.core.requestparser import RequestFactory, extract_tables
+from repro.errors import SQLSyntaxError
+
+
+@pytest.fixture
+def factory():
+    return RequestFactory()
+
+
+class TestRequestClassification:
+    def test_select(self, factory):
+        request = factory.create_request("SELECT * FROM item WHERE i_id = ?", (3,))
+        assert isinstance(request, SelectRequest)
+        assert request.is_read_only
+        assert request.tables == ("item",)
+        assert request.parameters == (3,)
+
+    def test_insert_update_delete_are_writes(self, factory):
+        for sql in (
+            "INSERT INTO item (i_id) VALUES (1)",
+            "UPDATE item SET i_stock = 0",
+            "DELETE FROM item WHERE i_id = 1",
+        ):
+            request = factory.create_request(sql)
+            assert isinstance(request, WriteRequest)
+            assert request.alters_database
+
+    def test_ddl(self, factory):
+        request = factory.create_request("CREATE TABLE t (a INT)")
+        assert isinstance(request, DDLRequest)
+        assert request.alters_schema
+
+    def test_transaction_markers(self, factory):
+        assert isinstance(factory.create_request("BEGIN"), BeginRequest)
+        assert isinstance(factory.create_request("START TRANSACTION"), BeginRequest)
+        assert isinstance(factory.create_request("COMMIT"), CommitRequest)
+        assert isinstance(factory.create_request("ROLLBACK"), RollbackRequest)
+
+    def test_request_types(self, factory):
+        assert factory.create_request("SELECT 1").request_type is RequestType.SELECT
+        assert factory.create_request("COMMIT").request_type is RequestType.COMMIT
+
+    def test_empty_sql_rejected(self, factory):
+        with pytest.raises(SQLSyntaxError):
+            factory.create_request("   ")
+
+    def test_unsupported_statement_rejected(self, factory):
+        with pytest.raises(SQLSyntaxError):
+            factory.create_request("TRUNCATE item")
+
+    def test_login_and_transaction_are_attached(self, factory):
+        request = factory.create_request("SELECT 1", login="alice", transaction_id=42)
+        assert request.login == "alice"
+        assert request.transaction_id == 42
+        assert not request.is_autocommit
+
+    def test_request_ids_are_unique(self, factory):
+        first = factory.create_request("SELECT 1")
+        second = factory.create_request("SELECT 1")
+        assert first.request_id != second.request_id
+
+    def test_cache_key_includes_parameters(self, factory):
+        one = factory.create_request("SELECT * FROM item WHERE i_id = ?", (1,))
+        two = factory.create_request("SELECT * FROM item WHERE i_id = ?", (2,))
+        assert one.cache_key() != two.cache_key()
+
+
+class TestTableExtraction:
+    @pytest.mark.parametrize(
+        "sql, expected",
+        [
+            ("SELECT * FROM item", ["item"]),
+            ("SELECT * FROM item i, author a WHERE i.i_a_id = a.a_id", ["item", "author"]),
+            ("SELECT * FROM item JOIN author ON i_a_id = a_id", ["item", "author"]),
+            (
+                "SELECT * FROM orders o LEFT JOIN order_line ol ON o.o_id = ol.ol_o_id",
+                ["orders", "order_line"],
+            ),
+            ("INSERT INTO customer (c_id) VALUES (1)", ["customer"]),
+            ("UPDATE item SET i_stock = 0 WHERE i_id = 1", ["item"]),
+            ("DELETE FROM cc_xacts", ["cc_xacts"]),
+            ("CREATE TABLE new_table (a INT)", ["new_table"]),
+            ("CREATE TABLE IF NOT EXISTS new_table (a INT)", ["new_table"]),
+            ("DROP TABLE old_table", ["old_table"]),
+            ("CREATE INDEX idx ON item (i_title)", ["item"]),
+            (
+                "SELECT * FROM item WHERE i_id IN (SELECT ol_i_id FROM order_line)",
+                ["item", "order_line"],
+            ),
+        ],
+    )
+    def test_extraction(self, sql, expected):
+        assert extract_tables(sql) == expected
+
+    def test_duplicates_removed(self):
+        assert extract_tables("SELECT * FROM item a, item b") == ["item"]
+
+
+class TestMacroRewriting:
+    def test_contains_macro(self):
+        assert contains_macro("INSERT INTO t VALUES (NOW())")
+        assert contains_macro("select rand()")
+        assert not contains_macro("SELECT * FROM nowhere")
+
+    def test_now_is_replaced_with_literal(self):
+        rewritten, changed = rewrite_macros("INSERT INTO t (ts) VALUES (NOW())")
+        assert changed
+        assert "NOW()" not in rewritten.upper()
+        assert "VALUES ('" in rewritten
+
+    def test_injected_clock(self):
+        clock = lambda: datetime.datetime(2004, 6, 27, 12, 0, 0)  # noqa: E731
+        rewritten, _ = rewrite_macros("UPDATE t SET ts = NOW()", clock=clock)
+        assert "2004-06-27 12:00:00" in rewritten
+
+    def test_rand_is_replaced_with_number(self):
+        rewritten, changed = rewrite_macros("INSERT INTO t (x) VALUES (RAND())")
+        assert changed
+        value = rewritten.split("(")[-1].rstrip(")")
+        assert 0.0 <= float(value) < 1.0
+
+    def test_multiple_macros(self):
+        rewritten, changed = rewrite_macros("INSERT INTO t VALUES (NOW(), RAND(), 3)")
+        assert changed
+        assert "NOW()" not in rewritten.upper()
+        assert "RAND()" not in rewritten.upper()
+        assert rewritten.rstrip().endswith("3)")
+
+    def test_no_macros_returns_same_text(self):
+        sql = "SELECT * FROM item WHERE i_id = 3"
+        rewritten, changed = rewrite_macros(sql)
+        assert rewritten == sql
+        assert not changed
+
+    def test_write_request_records_rewrite(self):
+        factory = RequestFactory()
+        request = factory.create_request("UPDATE customer SET c_login = NOW() WHERE c_id = 1")
+        assert request.macros_rewritten
+        assert "NOW()" not in request.sql.upper()
+
+    def test_reads_are_not_rewritten(self):
+        factory = RequestFactory()
+        request = factory.create_request("SELECT NOW() FROM customer")
+        assert "NOW()" in request.sql.upper()
+
+    def test_rewritten_sql_still_parses(self):
+        from repro.sql.parser import parse
+
+        rewritten, _ = rewrite_macros(
+            "INSERT INTO orders (o_date, o_total) VALUES (NOW(), RAND())"
+        )
+        parse(rewritten)

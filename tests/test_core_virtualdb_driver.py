@@ -1,0 +1,243 @@
+"""Tests for the virtual database, controller, request manager and driver."""
+
+import pytest
+
+from tests.conftest import make_cluster
+
+from repro.core import Controller, connect
+from repro.errors import (
+    AuthenticationError,
+    CJDBCError,
+    ControllerError,
+    DatabaseError,
+    InterfaceError,
+    UnknownVirtualDatabaseError,
+)
+
+
+class TestControllerHosting:
+    def test_virtual_database_lookup(self, cluster):
+        controller, vdb, _ = cluster
+        assert controller.get_virtual_database("testdb") is vdb
+        assert controller.get_virtual_database("TESTDB") is vdb
+        assert controller.has_virtual_database("testdb")
+        with pytest.raises(UnknownVirtualDatabaseError):
+            controller.get_virtual_database("unknown")
+
+    def test_duplicate_virtual_database_rejected(self, cluster):
+        controller, vdb, _ = cluster
+        with pytest.raises(ControllerError):
+            controller.add_virtual_database(vdb)
+
+    def test_shutdown_blocks_access(self, cluster):
+        controller, _, _ = cluster
+        controller.shutdown()
+        with pytest.raises(ControllerError):
+            controller.get_virtual_database("testdb")
+        controller.restart()
+        controller.get_virtual_database("testdb")
+
+    def test_statistics_structure(self, cluster):
+        controller, _, _ = cluster
+        stats = controller.statistics()
+        assert "testdb" in stats["virtual_databases"]
+        assert stats["virtual_databases"]["testdb"]["backends"]
+
+    def test_mbean_registry_contains_components(self, cluster):
+        controller, _, _ = cluster
+        names = controller.mbean_registry.names()
+        assert any(name.startswith("controller:") for name in names)
+        assert any(name.startswith("virtualdatabase:") for name in names)
+
+
+class TestDriverBasics:
+    def test_write_replicated_to_all_backends(self, cluster, cluster_connection):
+        _, _, engines = cluster
+        cursor = cluster_connection.cursor()
+        cursor.execute("CREATE TABLE users (id INT PRIMARY KEY, name VARCHAR(20))")
+        cursor.execute("INSERT INTO users VALUES (1, 'alice'), (2, 'bob')")
+        assert cursor.rowcount == 2
+        for engine in engines:
+            assert engine.execute("SELECT COUNT(*) FROM users").scalar() == 2
+
+    def test_read_returns_result_set(self, cluster_connection):
+        cursor = cluster_connection.cursor()
+        cursor.execute("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(5))")
+        cursor.execute("INSERT INTO t VALUES (1, 'x')")
+        cursor.execute("SELECT id, v FROM t")
+        assert cursor.fetchall() == [(1, "x")]
+        assert [d[0] for d in cursor.description] == ["id", "v"]
+        assert cursor.backend_name is not None
+
+    def test_reads_are_load_balanced(self, cluster, cluster_connection):
+        _, vdb, _ = cluster
+        cursor = cluster_connection.cursor()
+        cursor.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        cursor.execute("INSERT INTO t VALUES (1)")
+        for _ in range(20):
+            cursor.execute("SELECT * FROM t")
+        reads = [backend.total_reads for backend in vdb.backends]
+        assert all(count > 0 for count in reads)
+
+    def test_transaction_commit_and_rollback(self, cluster, cluster_connection):
+        _, _, engines = cluster
+        connection = cluster_connection
+        cursor = connection.cursor()
+        cursor.execute("CREATE TABLE acc (id INT PRIMARY KEY, balance INT)")
+        cursor.execute("INSERT INTO acc VALUES (1, 100)")
+        connection.begin()
+        cursor.execute("UPDATE acc SET balance = 0 WHERE id = 1")
+        connection.rollback()
+        assert connection.execute("SELECT balance FROM acc WHERE id = 1").scalar() == 100
+        connection.begin()
+        cursor.execute("UPDATE acc SET balance = 42 WHERE id = 1")
+        connection.commit()
+        for engine in engines:
+            assert engine.execute("SELECT balance FROM acc WHERE id = 1").scalar() == 42
+
+    def test_transaction_reads_see_own_writes(self, cluster_connection):
+        connection = cluster_connection
+        connection.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        connection.execute("INSERT INTO t VALUES (1, 1)")
+        connection.begin()
+        connection.execute("UPDATE t SET v = 99 WHERE id = 1")
+        assert connection.execute("SELECT v FROM t WHERE id = 1").scalar() == 99
+        connection.rollback()
+        assert connection.execute("SELECT v FROM t WHERE id = 1").scalar() == 1
+
+    def test_autocommit_property(self, cluster_connection):
+        connection = cluster_connection
+        connection.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        connection.autocommit = False
+        connection.execute("INSERT INTO t VALUES (1)")
+        connection.autocommit = True  # commits the open transaction
+        assert connection.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+    def test_closed_connection_raises(self, cluster_connection):
+        cluster_connection.close()
+        with pytest.raises(InterfaceError):
+            cluster_connection.cursor()
+
+    def test_authentication_enforced(self):
+        controller, vdb, _ = make_cluster(
+            "authdb", transparent_authentication=False, users={"app": "secret"}
+        )
+        connection = connect(controller, "authdb", "app", "secret")
+        assert connection is not None
+        with pytest.raises(AuthenticationError):
+            connect(controller, "authdb", "app", "wrong-password")
+
+    def test_sql_error_propagates_as_database_error(self, cluster_connection):
+        with pytest.raises((DatabaseError, CJDBCError)):
+            cluster_connection.execute("SELECT * FROM missing_table")
+
+    def test_executemany(self, cluster_connection):
+        cursor = cluster_connection.cursor()
+        cursor.execute("CREATE TABLE batch (id INT PRIMARY KEY)")
+        cursor.executemany("INSERT INTO batch (id) VALUES (?)", [(1,), (2,), (3,)])
+        assert cursor.rowcount == 3
+
+
+class TestCaching:
+    def test_cache_hit_on_repeated_select(self):
+        controller, vdb, _ = make_cluster("cachedb", cache_enabled=True)
+        connection = connect(controller, "cachedb", "u", "p")
+        cursor = connection.cursor()
+        cursor.execute("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(5))")
+        cursor.execute("INSERT INTO t VALUES (1, 'x')")
+        cursor.execute("SELECT v FROM t WHERE id = 1")
+        assert cursor.from_cache is False
+        cursor.execute("SELECT v FROM t WHERE id = 1")
+        assert cursor.from_cache is True
+        assert vdb.request_manager.result_cache.statistics.hits == 1
+
+    def test_write_invalidates_cache(self):
+        controller, _, _ = make_cluster("cachedb2", cache_enabled=True)
+        connection = connect(controller, "cachedb2", "u", "p")
+        cursor = connection.cursor()
+        cursor.execute("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(5))")
+        cursor.execute("INSERT INTO t VALUES (1, 'x')")
+        cursor.execute("SELECT v FROM t WHERE id = 1")
+        cursor.execute("SELECT v FROM t WHERE id = 1")
+        cursor.execute("UPDATE t SET v = 'y' WHERE id = 1")
+        cursor.execute("SELECT v FROM t WHERE id = 1")
+        assert cursor.from_cache is False
+        assert cursor.fetchall() == [("y",)]
+
+    def test_transactional_reads_bypass_cache(self):
+        controller, vdb, _ = make_cluster("cachedb3", cache_enabled=True)
+        connection = connect(controller, "cachedb3", "u", "p")
+        connection.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        connection.execute("INSERT INTO t VALUES (1, 5)")
+        connection.execute("SELECT v FROM t WHERE id = 1")
+        connection.begin()
+        cursor = connection.execute("SELECT v FROM t WHERE id = 1")
+        assert cursor.from_cache is False
+        connection.commit()
+
+
+class TestBackendFailureHandling:
+    def test_failed_write_disables_backend_but_request_succeeds(self, cluster, cluster_connection):
+        _, vdb, engines = cluster
+        cursor = cluster_connection.cursor()
+        cursor.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        # sabotage backend1 by dropping its copy of the table behind the middleware's back
+        engines[1].catalog.drop_table("t")
+        cursor.execute("INSERT INTO t VALUES (1)")
+        assert engines[0].execute("SELECT COUNT(*) FROM t").scalar() == 1
+        states = {backend.name: backend.is_enabled for backend in vdb.backends}
+        assert states["backend0"] is True
+        assert states["backend1"] is False
+
+    def test_reads_survive_backend_failure(self, cluster, cluster_connection):
+        _, vdb, _ = cluster
+        cursor = cluster_connection.cursor()
+        cursor.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        cursor.execute("INSERT INTO t VALUES (1)")
+        vdb.get_backend("backend0").disable()
+        for _ in range(5):
+            cursor.execute("SELECT COUNT(*) FROM t")
+            assert cursor.scalar() == 1
+
+
+class TestDriverFailover:
+    def test_failover_to_second_controller(self, cluster):
+        controller, vdb, _ = cluster
+        standby = Controller("standby")
+        standby.add_virtual_database(vdb)
+        connection = connect([controller, standby], "testdb", "u", "p")
+        connection.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        connection.execute("INSERT INTO t VALUES (1)")
+        controller.shutdown()
+        assert connection.execute("SELECT COUNT(*) FROM t").scalar() == 1
+        assert connection.failovers >= 1
+        assert connection.current_controller is standby
+
+    def test_all_controllers_down(self, cluster):
+        controller, _, _ = cluster
+        connection = connect(controller, "testdb", "u", "p")
+        controller.shutdown()
+        with pytest.raises((ControllerError, DatabaseError)):
+            connection.execute("SELECT 1")
+
+    def test_requires_at_least_one_controller(self):
+        with pytest.raises(InterfaceError):
+            connect([], "testdb")
+
+
+class TestRequestManagerStatistics:
+    def test_counters(self, cluster, cluster_connection):
+        _, vdb, _ = cluster
+        connection = cluster_connection
+        connection.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        connection.execute("INSERT INTO t VALUES (1)")
+        connection.execute("SELECT * FROM t")
+        connection.begin()
+        connection.execute("INSERT INTO t VALUES (2)")
+        connection.commit()
+        stats = vdb.statistics()
+        manager = vdb.request_manager
+        assert manager.transactions_started == 1
+        assert manager.transactions_committed == 1
+        assert stats["requests_executed"] >= 4
+        assert stats["scheduler"]["writes_scheduled"] >= 2

@@ -1,0 +1,182 @@
+"""Tests for horizontal (replicated controllers) and vertical (nested) scalability."""
+
+import pytest
+
+from tests.conftest import make_cluster
+
+from repro.core import (
+    BackendConfig,
+    Controller,
+    VirtualDatabaseConfig,
+    build_virtual_database,
+    connect,
+)
+from repro.distrib import ControllerReplicator, nested_backend_config
+from repro.groupcomm import GroupTransport
+from repro.sql import DatabaseEngine
+
+
+def build_replicated_pair(db_name="appdb"):
+    """Two controllers, each hosting a replica of the same virtual database."""
+    controller_a, vdb_a, engines_a = make_cluster(db_name, backend_count=1)
+    controller_b, vdb_b, engines_b = make_cluster(db_name, backend_count=1)
+    replicator = ControllerReplicator()
+    replica_a = replicator.add_replica(controller_a, vdb_a)
+    replica_b = replicator.add_replica(controller_b, vdb_b)
+    return (
+        (controller_a, replica_a, engines_a[0]),
+        (controller_b, replica_b, engines_b[0]),
+        replicator,
+    )
+
+
+class TestHorizontalScalability:
+    def test_writes_propagate_to_every_controller(self):
+        (ctrl_a, _, engine_a), (ctrl_b, _, engine_b), _ = build_replicated_pair()
+        connection = connect(ctrl_a, "appdb", "u", "p")
+        connection.execute("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(10))")
+        connection.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        assert engine_a.execute("SELECT COUNT(*) FROM t").scalar() == 2
+        assert engine_b.execute("SELECT COUNT(*) FROM t").scalar() == 2
+
+    def test_reads_stay_local(self):
+        (ctrl_a, replica_a, _), (ctrl_b, replica_b, _), _ = build_replicated_pair()
+        connection_a = connect(ctrl_a, "appdb", "u", "p")
+        connection_a.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        connection_a.execute("INSERT INTO t VALUES (1)")
+        local_reads_before = replica_b.local.backends[0].total_reads
+        connection_b = connect(ctrl_b, "appdb", "u", "p")
+        assert connection_b.execute("SELECT COUNT(*) FROM t").scalar() == 1
+        assert replica_b.local.backends[0].total_reads == local_reads_before + 1
+
+    def test_transactions_are_replicated(self):
+        (ctrl_a, _, engine_a), (_, _, engine_b), _ = build_replicated_pair()
+        connection = connect(ctrl_a, "appdb", "u", "p")
+        connection.execute("CREATE TABLE acc (id INT PRIMARY KEY, balance INT)")
+        connection.execute("INSERT INTO acc VALUES (1, 100)")
+        connection.begin()
+        connection.execute("UPDATE acc SET balance = 50 WHERE id = 1")
+        connection.commit()
+        assert engine_a.execute("SELECT balance FROM acc WHERE id = 1").scalar() == 50
+        assert engine_b.execute("SELECT balance FROM acc WHERE id = 1").scalar() == 50
+
+    def test_rollback_is_replicated(self):
+        (ctrl_a, _, engine_a), (_, _, engine_b), _ = build_replicated_pair()
+        connection = connect(ctrl_a, "appdb", "u", "p")
+        connection.execute("CREATE TABLE acc (id INT PRIMARY KEY, balance INT)")
+        connection.execute("INSERT INTO acc VALUES (1, 100)")
+        connection.begin()
+        connection.execute("UPDATE acc SET balance = 0 WHERE id = 1")
+        connection.rollback()
+        assert engine_a.execute("SELECT balance FROM acc WHERE id = 1").scalar() == 100
+        assert engine_b.execute("SELECT balance FROM acc WHERE id = 1").scalar() == 100
+
+    def test_writes_through_either_controller_converge(self):
+        (ctrl_a, _, engine_a), (ctrl_b, _, engine_b), _ = build_replicated_pair()
+        connection_a = connect(ctrl_a, "appdb", "u", "p")
+        connection_b = connect(ctrl_b, "appdb", "u", "p")
+        connection_a.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        connection_a.execute("INSERT INTO t VALUES (1)")
+        connection_b.execute("INSERT INTO t VALUES (2)")
+        for engine in (engine_a, engine_b):
+            assert engine.execute("SELECT COUNT(*) FROM t").scalar() == 2
+
+    def test_client_failover_between_controllers(self):
+        (ctrl_a, _, _), (ctrl_b, _, engine_b), _ = build_replicated_pair()
+        connection = connect([ctrl_a, ctrl_b], "appdb", "u", "p")
+        connection.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        connection.execute("INSERT INTO t VALUES (1)")
+        ctrl_a.shutdown()
+        # reads and writes keep working through the standby controller
+        assert connection.execute("SELECT COUNT(*) FROM t").scalar() == 1
+        connection.execute("INSERT INTO t VALUES (2)")
+        assert engine_b.execute("SELECT COUNT(*) FROM t").scalar() == 2
+        assert connection.failovers >= 1
+
+    def test_peer_backend_advertisement(self):
+        (_, replica_a, _), (_, replica_b, _), _ = build_replicated_pair()
+        assert set(replica_a.peer_backends) == {replica_b.controller_name}
+        assert set(replica_b.peer_backends) == {replica_a.controller_name}
+
+    def test_controller_failure_triggers_view_change(self):
+        (_, replica_a, _), (_, replica_b, _), replicator = build_replicated_pair()
+        replicator.transport.fail_member(replica_b.controller_name)
+        assert replica_a.group_members == [replica_a.controller_name]
+        assert any(view.left == [replica_b.controller_name] for view in replica_a.view_changes)
+
+    def test_statistics_include_distribution_info(self):
+        (_, replica_a, _), _, _ = build_replicated_pair()
+        stats = replica_a.statistics()
+        assert stats["distributed"]["members"]
+        assert stats["distributed"]["group"] == "appdb"
+
+
+class TestVerticalScalability:
+    def build_tree(self):
+        """A top-level controller whose second backend is a nested virtual database."""
+        bottom_controller, bottom_vdb, bottom_engines = make_cluster("bottomdb", backend_count=2)
+        top_engine = DatabaseEngine("top-engine")
+        top_vdb = build_virtual_database(
+            VirtualDatabaseConfig(
+                name="topdb",
+                backends=[
+                    BackendConfig(name="local", engine=top_engine),
+                    nested_backend_config("nested", bottom_controller, "bottomdb"),
+                ],
+                replication="raidb1",
+            )
+        )
+        top_controller = Controller("top-controller")
+        top_controller.add_virtual_database(top_vdb)
+        return top_controller, top_vdb, top_engine, bottom_controller, bottom_engines
+
+    def test_writes_reach_leaf_backends(self):
+        top_controller, _, top_engine, _, bottom_engines = self.build_tree()
+        connection = connect(top_controller, "topdb", "u", "p")
+        connection.execute("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(10))")
+        connection.execute("INSERT INTO t VALUES (1, 'x')")
+        assert top_engine.execute("SELECT COUNT(*) FROM t").scalar() == 1
+        for engine in bottom_engines:
+            assert engine.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+    def test_reads_can_be_served_by_nested_cluster(self):
+        top_controller, top_vdb, _, _, _ = self.build_tree()
+        connection = connect(top_controller, "topdb", "u", "p")
+        connection.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        connection.execute("INSERT INTO t VALUES (1)")
+        served = set()
+        for _ in range(20):
+            cursor = connection.execute("SELECT COUNT(*) FROM t")
+            assert cursor.scalar() == 1
+            served.add(cursor.backend_name)
+        assert "nested" in served or "local" in served
+
+    def test_nested_metadata_reports_leaf_tables(self):
+        top_controller, top_vdb, _, bottom_controller, _ = self.build_tree()
+        connection = connect(top_controller, "topdb", "u", "p")
+        connection.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        nested_backend = top_vdb.get_backend("nested")
+        nested_backend.refresh_schema()
+        assert "t" in nested_backend.tables
+
+    def test_transactions_through_two_levels(self):
+        top_controller, _, top_engine, _, bottom_engines = self.build_tree()
+        connection = connect(top_controller, "topdb", "u", "p")
+        connection.execute("CREATE TABLE acc (id INT PRIMARY KEY, balance INT)")
+        connection.execute("INSERT INTO acc VALUES (1, 10)")
+        connection.begin()
+        connection.execute("UPDATE acc SET balance = 20 WHERE id = 1")
+        connection.commit()
+        assert top_engine.execute("SELECT balance FROM acc WHERE id = 1").scalar() == 20
+        for engine in bottom_engines:
+            assert engine.execute("SELECT balance FROM acc WHERE id = 1").scalar() == 20
+
+    def test_nested_cluster_survives_leaf_failure(self):
+        top_controller, top_vdb, _, bottom_controller, bottom_engines = self.build_tree()
+        connection = connect(top_controller, "topdb", "u", "p")
+        connection.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        connection.execute("INSERT INTO t VALUES (1)")
+        bottom_vdb = bottom_controller.get_virtual_database("bottomdb")
+        bottom_vdb.get_backend("backend0").disable()
+        connection.execute("INSERT INTO t VALUES (2)")
+        assert bottom_engines[1].execute("SELECT COUNT(*) FROM t").scalar() == 2

@@ -1,0 +1,126 @@
+"""Additional distributed scenarios: late joiners, partitions, mixed topologies."""
+
+import pytest
+
+from tests.conftest import make_cluster
+
+from repro.core import (
+    BackendConfig,
+    Controller,
+    VirtualDatabaseConfig,
+    build_virtual_database,
+    connect,
+)
+from repro.distrib import ControllerReplicator, nested_backend_config
+from repro.distrib.distributed_vdb import DistributedVirtualDatabase
+from repro.errors import GroupCommunicationError
+from repro.groupcomm import GroupTransport
+from repro.sql import DatabaseEngine
+
+
+class TestReplicaLifecycle:
+    def test_writes_before_other_controllers_join_stay_local(self):
+        controller_a, vdb_a, engine_a = make_cluster("lonely", backend_count=1)
+        replicator = ControllerReplicator()
+        replica_a = replicator.add_replica(controller_a, vdb_a)
+        connection = connect(controller_a, "lonely", "u", "p")
+        connection.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        connection.execute("INSERT INTO t VALUES (1)")
+        assert replica_a.group_members == [controller_a.name]
+        assert engine_a[0].execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+    def test_multicast_without_join_raises(self):
+        controller, vdb, _ = make_cluster("nojoin", backend_count=1)
+        replica = DistributedVirtualDatabase(vdb, GroupTransport(), controller_name=controller.name)
+        with pytest.raises(GroupCommunicationError):
+            replica.execute("INSERT INTO t VALUES (1)")
+
+    def test_leave_group_stops_receiving_writes(self):
+        controller_a, vdb_a, engines_a = make_cluster("leaver", backend_count=1)
+        controller_b, vdb_b, engines_b = make_cluster("leaver", backend_count=1)
+        replicator = ControllerReplicator()
+        replicator.add_replica(controller_a, vdb_a)
+        replica_b = replicator.add_replica(controller_b, vdb_b)
+        connection = connect(controller_a, "leaver", "u", "p")
+        connection.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        replica_b.leave_group()
+        connection.execute("INSERT INTO t VALUES (1)")
+        assert engines_a[0].execute("SELECT COUNT(*) FROM t").scalar() == 1
+        assert engines_b[0].execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+    def test_transaction_ids_do_not_collide_across_controllers(self):
+        controller_a, vdb_a, _ = make_cluster("txids", backend_count=1)
+        controller_b, vdb_b, _ = make_cluster("txids", backend_count=1)
+        replicator = ControllerReplicator()
+        replica_a = replicator.add_replica(controller_a, vdb_a)
+        replica_b = replicator.add_replica(controller_b, vdb_b)
+        ids_a = [replica_a.begin("u") for _ in range(5)]
+        ids_b = [replica_b.begin("u") for _ in range(5)]
+        assert len(set(ids_a) | set(ids_b)) == 10
+        for transaction_id in ids_a:
+            replica_a.rollback(transaction_id)
+        for transaction_id in ids_b:
+            replica_b.rollback(transaction_id)
+
+    def test_three_replicas_converge_under_interleaved_writes(self):
+        replicator = ControllerReplicator()
+        controllers, engines = [], []
+        for index in range(3):
+            controller, vdb, engine_list = make_cluster("tri", backend_count=1)
+            replicator.add_replica(controller, vdb)
+            controllers.append(controller)
+            engines.append(engine_list[0])
+        connections = [connect(controller, "tri", "u", "p") for controller in controllers]
+        connections[0].execute("CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, origin VARCHAR(10))")
+        for round_index in range(5):
+            for index, connection in enumerate(connections):
+                connection.execute("INSERT INTO t (origin) VALUES (?)", (f"ctrl{index}",))
+        counts = {engine.execute("SELECT COUNT(*) FROM t").scalar() for engine in engines}
+        assert counts == {15}
+
+
+class TestMixedTopology:
+    def test_horizontal_plus_vertical(self):
+        """Figure 5: replicated top-level controllers, each over its own nested subtree."""
+        replicator = ControllerReplicator()
+        top_controllers = []
+        local_engines = []
+        leaf_engines = []
+        for index in range(2):
+            # each top-level controller owns a distinct lower-level cluster
+            bottom_controller, _bottom_vdb, bottom_engines = make_cluster(
+                f"leafdb{index}", backend_count=2
+            )
+            leaf_engines.extend(bottom_engines)
+            local_engine = DatabaseEngine(f"top-local-{index}")
+            local_engines.append(local_engine)
+            top_vdb = build_virtual_database(
+                VirtualDatabaseConfig(
+                    name="topdb",
+                    backends=[
+                        BackendConfig(name=f"local-{index}", engine=local_engine),
+                        nested_backend_config(
+                            f"nested-{index}", bottom_controller, f"leafdb{index}"
+                        ),
+                    ],
+                    replication="raidb1",
+                )
+            )
+            top_controller = Controller(f"top-{index}")
+            top_controller.add_virtual_database(top_vdb)
+            replicator.add_replica(top_controller, top_vdb)
+            top_controllers.append(top_controller)
+
+        connection = connect(top_controllers, "topdb", "u", "p")
+        connection.execute("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(10))")
+        connection.execute("INSERT INTO t VALUES (1, 'x')")
+
+        # the write reached both top-level locals and all four leaf databases
+        for engine in local_engines + leaf_engines:
+            assert engine.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+        # losing one top-level controller is transparent to the client
+        top_controllers[0].shutdown()
+        assert connection.execute("SELECT COUNT(*) FROM t WHERE id = 1").scalar() == 1
+        connection.execute("INSERT INTO t VALUES (2, 'y')")
+        assert connection.execute("SELECT COUNT(*) FROM t").scalar() == 2

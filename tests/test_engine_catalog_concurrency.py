@@ -1,0 +1,155 @@
+"""Engine-level tests: catalog management, concurrent sessions, statistics."""
+
+import threading
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.sql import DatabaseEngine, dbapi
+from repro.sql.schema import Column, TableSchema
+from repro.sql.types import SQLType
+
+
+class TestCatalog:
+    def test_create_get_drop(self, engine):
+        schema = TableSchema("t", [Column("a", SQLType.INTEGER, primary_key=True)])
+        table = engine.catalog.create_table(schema)
+        assert engine.catalog.has_table("T")
+        assert engine.catalog.get_table("t") is table
+        engine.catalog.drop_table("t")
+        assert not engine.catalog.has_table("t")
+
+    def test_duplicate_table_rejected(self, engine):
+        schema = TableSchema("dup", [Column("a", SQLType.INTEGER)])
+        engine.catalog.create_table(schema)
+        with pytest.raises(CatalogError):
+            engine.catalog.create_table(TableSchema("DUP", [Column("a", SQLType.INTEGER)]))
+
+    def test_unknown_table_raises(self, engine):
+        with pytest.raises(CatalogError):
+            engine.catalog.get_table("missing")
+        with pytest.raises(CatalogError):
+            engine.catalog.drop_table("missing")
+        engine.catalog.drop_table("missing", if_exists=True)
+
+    def test_table_names_sorted(self, engine):
+        for name in ("zebra", "alpha", "middle"):
+            engine.catalog.create_table(TableSchema(name, [Column("a", SQLType.INTEGER)]))
+        assert engine.catalog.table_names() == ["alpha", "middle", "zebra"]
+
+    def test_restore_table_after_drop(self, engine):
+        engine.execute("CREATE TABLE t (a INT PRIMARY KEY)")
+        engine.execute("INSERT INTO t VALUES (1)")
+        table = engine.catalog.get_table("t")
+        engine.catalog.drop_table("t")
+        engine.catalog.restore_table(table)
+        assert engine.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+
+class TestEngineStatistics:
+    def test_read_write_counters(self, engine):
+        engine.execute("CREATE TABLE t (a INT PRIMARY KEY)")
+        engine.execute("INSERT INTO t VALUES (1)")
+        engine.execute("SELECT * FROM t")
+        assert engine.statements_executed == 3
+        assert engine.reads_executed == 1
+        assert engine.writes_executed == 2
+
+    def test_execute_script(self, engine):
+        engine.execute_script(
+            [
+                "CREATE TABLE s (a INT PRIMARY KEY)",
+                "INSERT INTO s VALUES (1)",
+                "   ",  # blank entries are skipped
+                "INSERT INTO s VALUES (2)",
+            ]
+        )
+        assert engine.execute("SELECT COUNT(*) FROM s").scalar() == 2
+
+    def test_dump_helpers(self, populated_engine):
+        rows = populated_engine.dump_table_rows("accounts")
+        assert len(rows) == 4
+        assert populated_engine.row_count("accounts") == 4
+        assert populated_engine.table_schema("accounts").name == "accounts"
+
+
+class TestConcurrentSessions:
+    def test_parallel_readers_do_not_interfere(self, populated_engine):
+        errors = []
+        results = []
+
+        def reader():
+            try:
+                connection = dbapi.connect(populated_engine)
+                for _ in range(30):
+                    count = connection.execute("SELECT COUNT(*) FROM accounts").scalar()
+                    results.append(count)
+                connection.close()
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert set(results) == {4}
+
+    def test_parallel_writers_on_different_tables(self, engine):
+        engine.execute("CREATE TABLE a (id INT PRIMARY KEY AUTO_INCREMENT, v INT)")
+        engine.execute("CREATE TABLE b (id INT PRIMARY KEY AUTO_INCREMENT, v INT)")
+        errors = []
+
+        def writer(table):
+            try:
+                connection = dbapi.connect(engine)
+                for value in range(25):
+                    connection.execute(f"INSERT INTO {table} (v) VALUES (?)", (value,))
+                connection.close()
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(t,)) for t in ("a", "b")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert engine.execute("SELECT COUNT(*) FROM a").scalar() == 25
+        assert engine.execute("SELECT COUNT(*) FROM b").scalar() == 25
+
+    def test_mixed_read_write_through_middleware(self):
+        """Concurrent clients through the full stack leave replicas identical."""
+        from tests.conftest import make_cluster
+        from repro.core import connect
+
+        controller, vdb, engines = make_cluster("concurrent", backend_count=2)
+        setup = connect(controller, "concurrent", "u", "p")
+        setup.execute("CREATE TABLE counters (id INT PRIMARY KEY, v INT)")
+        for key in range(4):
+            setup.execute("INSERT INTO counters VALUES (?, 0)", (key,))
+        errors = []
+
+        def client(worker_id):
+            try:
+                connection = connect(controller, "concurrent", f"user{worker_id}", "p")
+                cursor = connection.cursor()
+                for i in range(15):
+                    key = (worker_id + i) % 4
+                    cursor.execute("UPDATE counters SET v = v + 1 WHERE id = ?", (key,))
+                    cursor.execute("SELECT v FROM counters WHERE id = ?", (key,))
+                    cursor.fetchall()
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(worker,)) for worker in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        totals = [
+            engine.execute("SELECT SUM(v) FROM counters").scalar() for engine in engines
+        ]
+        assert totals[0] == totals[1] == 60

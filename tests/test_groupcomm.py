@@ -1,0 +1,129 @@
+"""Tests for the group communication substrate (total order, membership, failures)."""
+
+import threading
+
+import pytest
+
+from repro.errors import GroupCommunicationError
+from repro.groupcomm import GroupChannel, GroupTransport
+
+
+def make_member(transport, name, group="g"):
+    channel = GroupChannel(transport, name)
+    received = []
+    channel.set_message_handler(lambda message: received.append(message))
+    views = []
+    channel.set_view_handler(lambda view: views.append(view))
+    channel.connect(group)
+    return channel, received, views
+
+
+class TestMembership:
+    def test_join_and_members(self):
+        transport = GroupTransport()
+        a, _, _ = make_member(transport, "a")
+        b, _, _ = make_member(transport, "b")
+        assert a.members() == ["a", "b"]
+        assert b.members() == ["a", "b"]
+
+    def test_duplicate_join_rejected(self):
+        transport = GroupTransport()
+        make_member(transport, "a")
+        with pytest.raises(GroupCommunicationError):
+            make_member(transport, "a")
+
+    def test_leave_triggers_view_change(self):
+        transport = GroupTransport()
+        a, _, views_a = make_member(transport, "a")
+        b, _, _ = make_member(transport, "b")
+        b.disconnect()
+        assert a.members() == ["a"]
+        assert views_a[-1].left == ["b"]
+
+    def test_fail_member(self):
+        transport = GroupTransport()
+        a, _, views_a = make_member(transport, "a")
+        make_member(transport, "b")
+        transport.fail_member("b")
+        assert a.members() == ["a"]
+        assert views_a[-1].left == ["b"]
+
+    def test_double_connect_rejected(self):
+        transport = GroupTransport()
+        a, _, _ = make_member(transport, "a")
+        with pytest.raises(GroupCommunicationError):
+            a.connect("another")
+
+
+class TestTotalOrder:
+    def test_all_members_receive_in_same_order(self):
+        transport = GroupTransport()
+        a, received_a, _ = make_member(transport, "a")
+        b, received_b, _ = make_member(transport, "b")
+        c, received_c, _ = make_member(transport, "c")
+        a.multicast("m1")
+        b.multicast("m2")
+        c.multicast("m3")
+        payloads_a = [m.payload for m in received_a]
+        assert payloads_a == [m.payload for m in received_b] == [m.payload for m in received_c]
+        sequences = [m.sequence for m in received_a]
+        assert sequences == sorted(sequences)
+
+    def test_sender_receives_its_own_message(self):
+        transport = GroupTransport()
+        a, received_a, _ = make_member(transport, "a")
+        a.multicast("hello")
+        assert [m.payload for m in received_a] == ["hello"]
+
+    def test_concurrent_multicasts_are_totally_ordered(self):
+        transport = GroupTransport()
+        members = [make_member(transport, f"m{i}") for i in range(3)]
+
+        def sender(channel, prefix):
+            for i in range(20):
+                channel.multicast(f"{prefix}-{i}")
+
+        threads = [
+            threading.Thread(target=sender, args=(channel, channel.member_name))
+            for channel, _, _ in members
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        orders = [[m.payload for m in received] for _, received, _ in members]
+        assert orders[0] == orders[1] == orders[2]
+        assert len(orders[0]) == 60
+
+    def test_multicast_requires_membership(self):
+        transport = GroupTransport()
+        channel = GroupChannel(transport, "loner")
+        with pytest.raises(GroupCommunicationError):
+            channel.multicast("nope")
+
+    def test_point_to_point_send(self):
+        transport = GroupTransport()
+        a, received_a, _ = make_member(transport, "a")
+        b, received_b, _ = make_member(transport, "b")
+        a.send_to("b", {"kind": "state-transfer"})
+        assert received_b[-1].payload == {"kind": "state-transfer"}
+        assert received_a == []
+
+    def test_partition_drops_messages(self):
+        transport = GroupTransport()
+        a, _, _ = make_member(transport, "a")
+        b, received_b, _ = make_member(transport, "b")
+        transport.partition("a", "b")
+        a.multicast("lost-for-b")
+        assert received_b == []
+        transport.heal_partition("a", "b")
+        a.multicast("seen-by-b")
+        assert [m.payload for m in received_b] == ["seen-by-b"]
+
+    def test_transport_statistics(self):
+        transport = GroupTransport()
+        a, _, _ = make_member(transport, "a")
+        make_member(transport, "b")
+        a.multicast("x")
+        assert transport.messages_sent == 1
+        assert transport.messages_delivered == 2  # delivered to both members

@@ -1,0 +1,199 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import string
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import ResultCache, TableGranularity
+from repro.core.request import RequestResult, SelectRequest, WriteRequest
+from repro.core.requestparser import RequestFactory
+from repro.core.scheduler import OptimisticTransactionLevelScheduler
+from repro.sql import DatabaseEngine
+from repro.sql.lexer import tokenize
+from repro.sql.types import compare_values, sort_key
+from repro.simulation import Simulator
+
+# Shared strategies -----------------------------------------------------------------
+
+identifiers = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+table_names = st.sampled_from(["item", "author", "orders", "customer", "bids"])
+scalar_values = st.one_of(
+    st.none(),
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(alphabet=string.ascii_letters + string.digits, max_size=12),
+)
+
+
+class TestSQLValueProperties:
+    @given(left=scalar_values, right=scalar_values)
+    def test_compare_values_is_antisymmetric(self, left, right):
+        forward = compare_values(left, right)
+        backward = compare_values(right, left)
+        if forward is None:
+            assert backward is None
+        else:
+            assert backward == -forward
+
+    @given(value=scalar_values)
+    def test_compare_value_to_itself_is_zero_or_unknown(self, value):
+        result = compare_values(value, value)
+        assert result in (0, None)
+
+    @given(values=st.lists(scalar_values, max_size=20))
+    def test_sort_key_total_order_never_raises(self, values):
+        ordered = sorted(values, key=sort_key)
+        assert len(ordered) == len(values)
+        # NULLs always sort first
+        if None in values:
+            nulls = ordered[: values.count(None)]
+            assert all(value is None for value in nulls)
+
+
+class TestLexerProperties:
+    @given(text=st.text(alphabet=string.ascii_letters + string.digits + " _,()='.", max_size=80))
+    def test_tokenizer_terminates_and_ends_with_eof(self, text):
+        try:
+            tokens = tokenize(text)
+        except Exception:
+            return  # syntax errors are acceptable; crashes/hangs are not
+        assert tokens[-1].type.name == "EOF"
+
+    @given(
+        literal=st.text(
+            alphabet=string.ascii_letters + string.digits + " _-", max_size=20
+        )
+    )
+    def test_string_literals_round_trip(self, literal):
+        escaped = literal.replace("'", "''")
+        tokens = tokenize(f"SELECT '{escaped}'")
+        assert tokens[1].value == literal
+
+
+class TestEngineProperties:
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=10**6),
+                st.integers(min_value=-1000, max_value=1000),
+            ),
+            min_size=0,
+            max_size=30,
+            unique_by=lambda pair: pair[0],
+        )
+    )
+    def test_insert_then_count_and_sum_match(self, rows):
+        engine = DatabaseEngine("prop")
+        engine.execute("CREATE TABLE data (id INT PRIMARY KEY, v INT)")
+        for key, value in rows:
+            engine.execute("INSERT INTO data (id, v) VALUES (?, ?)", (key, value))
+        assert engine.execute("SELECT COUNT(*) FROM data").scalar() == len(rows)
+        if rows:
+            assert engine.execute("SELECT SUM(v) FROM data").scalar() == sum(v for _, v in rows)
+        ordered = [row[0] for row in engine.execute("SELECT id FROM data ORDER BY id").rows]
+        assert ordered == sorted(key for key, _ in rows)
+
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        values=st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=25),
+        threshold=st.integers(min_value=-100, max_value=100),
+    )
+    def test_where_filter_matches_python_filter(self, values, threshold):
+        engine = DatabaseEngine("prop-filter")
+        engine.execute("CREATE TABLE data (id INT PRIMARY KEY AUTO_INCREMENT, v INT)")
+        for value in values:
+            engine.execute("INSERT INTO data (v) VALUES (?)", (value,))
+        result = engine.execute("SELECT COUNT(*) FROM data WHERE v > ?", (threshold,))
+        assert result.scalar() == sum(1 for value in values if value > threshold)
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        deltas=st.lists(st.integers(min_value=-50, max_value=50), min_size=1, max_size=15),
+        do_rollback=st.booleans(),
+    )
+    def test_transaction_atomicity(self, deltas, do_rollback):
+        engine = DatabaseEngine("prop-txn")
+        engine.execute("CREATE TABLE account (id INT PRIMARY KEY, balance INT)")
+        engine.execute("INSERT INTO account VALUES (1, 1000)")
+        session = engine.create_session()
+        session.begin()
+        for delta in deltas:
+            session.execute("UPDATE account SET balance = balance + ? WHERE id = 1", (delta,))
+        if do_rollback:
+            session.rollback()
+            expected = 1000
+        else:
+            session.commit()
+            expected = 1000 + sum(deltas)
+        session.close()
+        assert engine.execute("SELECT balance FROM account WHERE id = 1").scalar() == expected
+
+
+class TestCacheProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        operations=st.lists(
+            st.tuples(st.sampled_from(["read", "write"]), table_names, st.integers(0, 5)),
+            max_size=40,
+        )
+    )
+    def test_cache_never_serves_stale_data_with_strong_consistency(self, operations):
+        """After any write to a table, cached reads on that table are dropped."""
+        cache = ResultCache(granularity=TableGranularity())
+        version = {table: 0 for table in ["item", "author", "orders", "customer", "bids"]}
+        for kind, table, parameter in operations:
+            if kind == "write":
+                version[table] += 1
+                cache.invalidate(WriteRequest(sql=f"UPDATE {table} SET x = 1", tables=(table,)))
+                continue
+            request = SelectRequest(sql=f"SELECT * FROM {table} WHERE id = {parameter}", tables=(table,))
+            cached = cache.get(request)
+            if cached is not None:
+                # The cached version must be the current version of the table.
+                assert cached.rows[0][0] == version[table]
+            else:
+                cache.put(
+                    request,
+                    RequestResult(columns=["version"], rows=[[version[table]]]),
+                )
+
+    @settings(max_examples=30, deadline=None)
+    @given(keys=st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=100))
+    def test_cache_size_never_exceeds_max_entries(self, keys):
+        cache = ResultCache(max_entries=10)
+        for key in keys:
+            request = SelectRequest(sql=f"SELECT {key}", tables=("item",))
+            cache.put(request, RequestResult(columns=["v"], rows=[[key]]))
+            assert len(cache) <= 10
+
+
+class TestSchedulerProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(writes=st.integers(min_value=1, max_value=30))
+    def test_write_orders_are_strictly_increasing(self, writes):
+        scheduler = OptimisticTransactionLevelScheduler()
+        factory = RequestFactory()
+        orders = []
+        for index in range(writes):
+            ticket = scheduler.schedule_write(
+                factory.create_request(f"UPDATE t SET a = {index}")
+            )
+            orders.append(ticket.order)
+            ticket.release()
+        assert orders == sorted(orders)
+        assert len(set(orders)) == len(orders)
+
+
+class TestSimulatorProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50))
+    def test_events_always_fire_in_nondecreasing_time_order(self, delays):
+        simulator = Simulator()
+        fired = []
+        for delay in delays:
+            simulator.schedule(delay, lambda d=delay: fired.append(simulator.now))
+        simulator.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)

@@ -1,0 +1,223 @@
+"""Unit tests for expression evaluation (three-valued logic, LIKE, functions)."""
+
+import datetime
+
+import pytest
+
+from repro.errors import SQLError
+from repro.sql import ast
+from repro.sql.expressions import ExpressionEvaluator, RowContext
+from repro.sql.functions import (
+    AvgAggregate,
+    CountAggregate,
+    MaxAggregate,
+    MinAggregate,
+    SumAggregate,
+    call_scalar,
+    is_aggregate,
+    is_scalar_function,
+    make_aggregate,
+)
+from repro.sql.parser import parse_expression
+
+
+@pytest.fixture
+def evaluator():
+    return ExpressionEvaluator()
+
+
+def evaluate(evaluator, sql, row=None, parameters=()):
+    expression = parse_expression(sql)
+    tables = {"t": row or {}}
+    return evaluator.evaluate(expression, RowContext(tables, parameters))
+
+
+class TestThreeValuedLogic:
+    def test_null_comparisons_are_unknown(self, evaluator):
+        assert evaluate(evaluator, "NULL = 1") is None
+        assert evaluate(evaluator, "NULL <> NULL") is None
+        assert evaluate(evaluator, "1 < NULL") is None
+
+    def test_and_or_truth_table(self, evaluator):
+        assert evaluate(evaluator, "TRUE AND NULL") is None
+        assert evaluate(evaluator, "FALSE AND NULL") is False
+        assert evaluate(evaluator, "TRUE OR NULL") is True
+        assert evaluate(evaluator, "FALSE OR NULL") is None
+        assert evaluate(evaluator, "NULL AND NULL") is None
+
+    def test_not_null_is_unknown(self, evaluator):
+        assert evaluate(evaluator, "NOT NULL") is None
+
+    def test_is_null(self, evaluator):
+        assert evaluate(evaluator, "NULL IS NULL") is True
+        assert evaluate(evaluator, "1 IS NULL") is False
+        assert evaluate(evaluator, "1 IS NOT NULL") is True
+
+    def test_predicate_treats_unknown_as_false(self, evaluator):
+        expression = parse_expression("NULL = 1")
+        assert evaluator.evaluate_predicate(expression, RowContext({})) is False
+
+
+class TestOperators:
+    def test_arithmetic(self, evaluator):
+        assert evaluate(evaluator, "2 + 3 * 4") == 14
+        assert evaluate(evaluator, "(2 + 3) * 4") == 20
+        assert evaluate(evaluator, "10 / 4") == 2.5
+        assert evaluate(evaluator, "10 % 3") == 1
+        assert evaluate(evaluator, "-5 + 2") == -3
+
+    def test_division_by_zero_is_null(self, evaluator):
+        assert evaluate(evaluator, "1 / 0") is None
+        assert evaluate(evaluator, "1 % 0") is None
+
+    def test_null_propagates_through_arithmetic(self, evaluator):
+        assert evaluate(evaluator, "1 + NULL") is None
+
+    def test_string_concatenation(self, evaluator):
+        assert evaluate(evaluator, "'foo' || 'bar'") == "foobar"
+
+    def test_comparison_chain(self, evaluator):
+        assert evaluate(evaluator, "3 BETWEEN 1 AND 5") is True
+        assert evaluate(evaluator, "7 NOT BETWEEN 1 AND 5") is True
+        assert evaluate(evaluator, "3 IN (1, 2, 3)") is True
+        assert evaluate(evaluator, "4 NOT IN (1, 2, 3)") is True
+
+    def test_in_list_with_null_semantics(self, evaluator):
+        assert evaluate(evaluator, "4 IN (1, 2, NULL)") is None
+        assert evaluate(evaluator, "2 IN (1, 2, NULL)") is True
+
+    def test_like_patterns(self, evaluator):
+        assert evaluate(evaluator, "'hello world' LIKE 'hello%'") is True
+        assert evaluate(evaluator, "'hello' LIKE 'h_llo'") is True
+        assert evaluate(evaluator, "'hello' LIKE 'H%'") is True  # case-insensitive like MySQL
+        assert evaluate(evaluator, "'hello' NOT LIKE 'x%'") is True
+        assert evaluate(evaluator, "'50% off' LIKE '50^%'") is False
+
+    def test_case_expression(self, evaluator):
+        sql = "CASE WHEN 1 > 2 THEN 'a' WHEN 2 > 1 THEN 'b' ELSE 'c' END"
+        assert evaluate(evaluator, sql) == "b"
+        assert evaluate(evaluator, "CASE WHEN 1 > 2 THEN 'a' END") is None
+
+
+class TestColumnResolution:
+    def test_qualified_and_unqualified(self, evaluator):
+        context = RowContext({"t": {"a": 1, "b": 2}, "u": {"c": 3}})
+        assert evaluator.evaluate(parse_expression("t.a + c"), context) == 4
+        assert evaluator.evaluate(parse_expression("b * 2"), context) == 4
+
+    def test_ambiguous_column_raises(self, evaluator):
+        context = RowContext({"t": {"a": 1}, "u": {"a": 2}})
+        with pytest.raises(SQLError):
+            evaluator.evaluate(parse_expression("a"), context)
+
+    def test_unknown_column_raises(self, evaluator):
+        with pytest.raises(SQLError):
+            evaluate(evaluator, "missing_column")
+
+    def test_case_insensitive_columns(self, evaluator):
+        context = RowContext({"t": {"Price": 5}})
+        assert evaluator.evaluate(parse_expression("price"), context) == 5
+
+    def test_outer_context_for_correlated_subqueries(self, evaluator):
+        outer = RowContext({"o": {"x": 7}})
+        inner = RowContext({"i": {"y": 1}}, outer=outer)
+        assert evaluator.evaluate(parse_expression("x + y"), inner) == 8
+
+    def test_parameters(self, evaluator):
+        assert evaluate(evaluator, "? + ?", parameters=(2, 3)) == 5
+
+    def test_missing_parameter_raises(self, evaluator):
+        with pytest.raises(SQLError):
+            evaluate(evaluator, "? + 1", parameters=())
+
+
+class TestScalarFunctions:
+    def test_string_functions(self, evaluator):
+        assert evaluate(evaluator, "UPPER('abc')") == "ABC"
+        assert evaluate(evaluator, "LOWER('ABC')") == "abc"
+        assert evaluate(evaluator, "LENGTH('hello')") == 5
+        assert evaluate(evaluator, "SUBSTRING('hello', 2, 3)") == "ell"
+        assert evaluate(evaluator, "CONCAT('a', 'b', 'c')") == "abc"
+
+    def test_numeric_functions(self, evaluator):
+        assert evaluate(evaluator, "ABS(-3)") == 3
+        assert evaluate(evaluator, "ROUND(3.456, 2)") == 3.46
+        assert evaluate(evaluator, "FLOOR(3.9)") == 3
+        assert evaluate(evaluator, "CEILING(3.1)") == 4
+        assert evaluate(evaluator, "MOD(10, 3)") == 1
+
+    def test_null_handling_functions(self, evaluator):
+        assert evaluate(evaluator, "COALESCE(NULL, NULL, 5)") == 5
+        assert evaluate(evaluator, "IFNULL(NULL, 'x')") == "x"
+        assert evaluate(evaluator, "NULLIF(3, 3)") is None
+        assert evaluate(evaluator, "NULLIF(3, 4)") == 3
+
+    def test_now_and_rand(self, evaluator):
+        now = evaluate(evaluator, "NOW()")
+        assert isinstance(now, datetime.datetime)
+        value = evaluate(evaluator, "RAND()")
+        assert 0.0 <= value < 1.0
+
+    def test_unknown_function(self, evaluator):
+        with pytest.raises(SQLError):
+            evaluate(evaluator, "FROBNICATE(1)")
+
+    def test_function_registry_helpers(self):
+        assert is_scalar_function("now")
+        assert not is_scalar_function("count")
+        assert is_aggregate("COUNT")
+        assert not is_aggregate("UPPER")
+        with pytest.raises(SQLError):
+            call_scalar("NOPE", [])
+
+
+class TestAggregates:
+    def test_count(self):
+        aggregate = CountAggregate(count_nulls=False)
+        for value in (1, None, 2, None, 3):
+            aggregate.add(value)
+        assert aggregate.result() == 3
+
+    def test_count_star_counts_nulls(self):
+        aggregate = CountAggregate(count_nulls=True)
+        for value in (1, None, 2):
+            aggregate.add(value)
+        assert aggregate.result() == 3
+
+    def test_count_distinct(self):
+        aggregate = CountAggregate(count_nulls=False, distinct=True)
+        for value in (1, 1, 2, 2, 3):
+            aggregate.add(value)
+        assert aggregate.result() == 3
+
+    def test_sum_and_avg_ignore_nulls(self):
+        total = SumAggregate()
+        average = AvgAggregate()
+        for value in (1, None, 2, 3):
+            total.add(value)
+            average.add(value)
+        assert total.result() == 6
+        assert average.result() == 2.0
+
+    def test_sum_of_nothing_is_null(self):
+        assert SumAggregate().result() is None
+        assert AvgAggregate().result() is None
+        assert MinAggregate().result() is None
+
+    def test_min_max(self):
+        smallest, largest = MinAggregate(), MaxAggregate()
+        for value in (5, 1, None, 9, 3):
+            smallest.add(value)
+            largest.add(value)
+        assert smallest.result() == 1
+        assert largest.result() == 9
+
+    def test_make_aggregate_factory(self):
+        assert isinstance(make_aggregate("count"), CountAggregate)
+        assert isinstance(make_aggregate("SUM"), SumAggregate)
+        with pytest.raises(SQLError):
+            make_aggregate("median")
+
+    def test_aggregate_outside_group_context_raises(self, evaluator):
+        with pytest.raises(SQLError):
+            evaluate(evaluator, "COUNT(*) + 1")

@@ -1,0 +1,272 @@
+"""Tests for transactions, locking and the native DB-API driver."""
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    DatabaseError,
+    InterfaceError,
+    LockTimeoutError,
+    ProgrammingError,
+    TransactionError,
+)
+from repro.sql import DatabaseEngine
+from repro.sql import dbapi
+from repro.sql.transactions import LockManager, Transaction
+
+
+class TestTransactionObject:
+    def test_begin_commit(self):
+        transaction = Transaction()
+        transaction.begin()
+        assert transaction.active
+        transaction.commit()
+        assert not transaction.active
+
+    def test_double_begin_fails(self):
+        transaction = Transaction()
+        transaction.begin()
+        with pytest.raises(TransactionError):
+            transaction.begin()
+
+    def test_commit_without_begin_fails(self):
+        with pytest.raises(TransactionError):
+            Transaction().commit()
+
+    def test_rollback_runs_undo_in_reverse(self):
+        transaction = Transaction()
+        transaction.begin()
+        calls = []
+        transaction.record_undo(lambda: calls.append("first"))
+        transaction.record_undo(lambda: calls.append("second"))
+        transaction.rollback()
+        assert calls == ["second", "first"]
+
+    def test_commit_clears_undo_log(self):
+        transaction = Transaction()
+        transaction.begin()
+        transaction.record_undo(lambda: None)
+        transaction.commit()
+        assert transaction.undo_log == []
+
+
+class TestLockManager:
+    def test_concurrent_readers_allowed(self):
+        manager = LockManager(lock_timeout=0.2)
+        manager.lock_read(1, "t")
+        manager.lock_read(2, "t")
+        manager.release(1)
+        manager.release(2)
+
+    def test_writer_blocks_other_writer(self):
+        manager = LockManager(lock_timeout=0.1)
+        manager.lock_write(1, "t")
+        with pytest.raises(LockTimeoutError):
+            manager.lock_write(2, "t")
+        manager.release(1)
+        manager.lock_write(2, "t")
+        manager.release(2)
+
+    def test_reader_blocks_writer_until_released(self):
+        manager = LockManager(lock_timeout=0.1)
+        manager.lock_read(1, "t")
+        with pytest.raises(LockTimeoutError):
+            manager.lock_write(2, "t")
+        manager.release(1)
+        manager.lock_write(2, "t")
+
+    def test_same_transaction_can_upgrade(self):
+        manager = LockManager(lock_timeout=0.1)
+        manager.lock_read(1, "t")
+        manager.lock_write(1, "t")
+        manager.release(1)
+
+    def test_locks_are_per_table(self):
+        manager = LockManager(lock_timeout=0.1)
+        manager.lock_write(1, "a")
+        manager.lock_write(2, "b")
+        manager.release(1)
+        manager.release(2)
+
+
+class TestEngineTransactions:
+    def test_rollback_restores_rows(self, populated_engine):
+        session = populated_engine.create_session()
+        session.begin()
+        session.execute("DELETE FROM accounts WHERE owner = 'alice'")
+        session.rollback()
+        session.close()
+        assert populated_engine.execute("SELECT COUNT(*) FROM accounts").scalar() == 4
+
+    def test_commit_is_durable(self, populated_engine):
+        session = populated_engine.create_session()
+        session.begin()
+        session.execute("UPDATE accounts SET balance = 999 WHERE owner = 'alice'")
+        session.commit()
+        session.close()
+        balance = populated_engine.execute(
+            "SELECT balance FROM accounts WHERE owner = 'alice'"
+        ).scalar()
+        assert balance == 999
+
+    def test_rollback_of_insert_and_update_mix(self, populated_engine):
+        session = populated_engine.create_session()
+        session.begin()
+        session.execute("INSERT INTO accounts (owner, balance, branch) VALUES ('eve', 1.0, 'x')")
+        session.execute("UPDATE accounts SET balance = 0")
+        session.execute("DELETE FROM accounts WHERE owner = 'bob'")
+        session.rollback()
+        session.close()
+        assert populated_engine.execute("SELECT COUNT(*) FROM accounts").scalar() == 4
+        assert populated_engine.execute(
+            "SELECT balance FROM accounts WHERE owner = 'bob'"
+        ).scalar() == 250.0
+
+    def test_ddl_rollback(self, populated_engine):
+        session = populated_engine.create_session()
+        session.begin()
+        session.execute("CREATE TABLE scratch (a INT)")
+        session.rollback()
+        session.close()
+        assert not populated_engine.catalog.has_table("scratch")
+
+    def test_concurrent_writers_serialize(self, populated_engine):
+        errors = []
+
+        def transfer(amount):
+            try:
+                connection = dbapi.connect(populated_engine)
+                for _ in range(20):
+                    connection.begin()
+                    cursor = connection.cursor()
+                    cursor.execute(
+                        "UPDATE accounts SET balance = balance + ? WHERE owner = 'alice'",
+                        (amount,),
+                    )
+                    connection.commit()
+                connection.close()
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=transfer, args=(delta,)) for delta in (1, 2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        balance = populated_engine.execute(
+            "SELECT balance FROM accounts WHERE owner = 'alice'"
+        ).scalar()
+        assert balance == 100.0 + 20 * 1 + 20 * 2
+
+
+class TestDBAPIDriver:
+    def test_cursor_fetch_interfaces(self, populated_engine):
+        connection = dbapi.connect(populated_engine)
+        cursor = connection.cursor()
+        cursor.execute("SELECT owner FROM accounts ORDER BY owner")
+        assert cursor.fetchone() == ("alice",)
+        assert cursor.fetchmany(2) == [("bob",), ("carol",)]
+        assert cursor.fetchall() == [("dave",)]
+        assert cursor.fetchone() is None
+
+    def test_description_and_rowcount(self, populated_engine):
+        connection = dbapi.connect(populated_engine)
+        cursor = connection.execute("SELECT owner, balance FROM accounts")
+        assert [d[0] for d in cursor.description] == ["owner", "balance"]
+        assert cursor.rowcount == 4
+        cursor.execute("UPDATE accounts SET balance = balance")
+        assert cursor.description is None
+        assert cursor.rowcount == 4
+
+    def test_iteration(self, populated_engine):
+        connection = dbapi.connect(populated_engine)
+        cursor = connection.execute("SELECT owner FROM accounts ORDER BY owner")
+        assert [row[0] for row in cursor] == ["alice", "bob", "carol", "dave"]
+
+    def test_executemany(self, populated_engine):
+        connection = dbapi.connect(populated_engine)
+        cursor = connection.cursor()
+        cursor.executemany(
+            "INSERT INTO accounts (owner, balance, branch) VALUES (?, ?, ?)",
+            [("eve", 5.0, "x"), ("frank", 6.0, "y")],
+        )
+        assert cursor.rowcount == 2
+
+    def test_autocommit_toggle(self, populated_engine):
+        connection = dbapi.connect(populated_engine)
+        connection.autocommit = False
+        cursor = connection.cursor()
+        cursor.execute("DELETE FROM accounts WHERE owner = 'dave'")
+        connection.rollback()
+        connection.autocommit = True
+        assert populated_engine.execute("SELECT COUNT(*) FROM accounts").scalar() == 4
+
+    def test_context_manager_commits(self, populated_engine):
+        with dbapi.connect(populated_engine) as connection:
+            connection.begin()
+            connection.execute("UPDATE accounts SET balance = 1 WHERE owner = 'dave'")
+        assert populated_engine.execute(
+            "SELECT balance FROM accounts WHERE owner = 'dave'"
+        ).scalar() == 1
+
+    def test_closed_connection_raises(self, populated_engine):
+        connection = dbapi.connect(populated_engine)
+        connection.close()
+        with pytest.raises(InterfaceError):
+            connection.cursor()
+
+    def test_closed_cursor_raises(self, populated_engine):
+        connection = dbapi.connect(populated_engine)
+        cursor = connection.cursor()
+        cursor.close()
+        with pytest.raises(InterfaceError):
+            cursor.execute("SELECT 1")
+
+    def test_syntax_error_maps_to_programming_error(self, populated_engine):
+        connection = dbapi.connect(populated_engine)
+        with pytest.raises(ProgrammingError):
+            connection.execute("SELEKT broken")
+
+    def test_engine_error_maps_to_database_error(self, populated_engine):
+        connection = dbapi.connect(populated_engine)
+        with pytest.raises(DatabaseError):
+            connection.execute("SELECT * FROM missing_table")
+
+    def test_scalar_extension(self, populated_engine):
+        connection = dbapi.connect(populated_engine)
+        assert connection.execute("SELECT COUNT(*) FROM accounts").scalar() == 4
+
+    def test_fetchall_dicts_extension(self, populated_engine):
+        connection = dbapi.connect(populated_engine)
+        rows = connection.execute(
+            "SELECT owner, balance FROM accounts WHERE owner = 'bob'"
+        ).fetchall_dicts()
+        assert rows == [{"owner": "bob", "balance": 250.0}]
+
+
+class TestMetadata:
+    def test_table_and_column_introspection(self, populated_engine):
+        from repro.sql.metadata import DatabaseMetaData
+
+        metadata = DatabaseMetaData(populated_engine)
+        assert metadata.get_table_names() == ["accounts"]
+        columns = metadata.get_columns("accounts")
+        assert [c["COLUMN_NAME"] for c in columns] == ["id", "owner", "balance", "branch"]
+        assert metadata.get_primary_keys("accounts") == ["id"]
+
+    def test_pattern_matching(self, populated_engine):
+        from repro.sql.metadata import DatabaseMetaData
+
+        metadata = DatabaseMetaData(populated_engine)
+        assert metadata.get_tables("acc%")
+        assert metadata.get_tables("zzz%") == []
+
+    def test_indexes_reported(self, populated_engine):
+        from repro.sql.metadata import DatabaseMetaData
+
+        populated_engine.execute("CREATE INDEX idx_branch ON accounts (branch)")
+        metadata = DatabaseMetaData(populated_engine)
+        names = [index["INDEX_NAME"] for index in metadata.get_indexes("accounts")]
+        assert "idx_branch" in names

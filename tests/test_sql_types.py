@@ -1,0 +1,123 @@
+"""Unit tests for SQL value types, coercion and comparison."""
+
+import datetime
+
+import pytest
+
+from repro.errors import SQLTypeError
+from repro.sql.types import (
+    SQLType,
+    coerce_value,
+    compare_values,
+    sort_key,
+    type_from_name,
+)
+
+
+class TestTypeNames:
+    @pytest.mark.parametrize(
+        "name, expected",
+        [
+            ("INT", SQLType.INTEGER),
+            ("integer", SQLType.INTEGER),
+            ("BIGINT", SQLType.BIGINT),
+            ("double precision", SQLType.DOUBLE),
+            ("NUMERIC", SQLType.DECIMAL),
+            ("varchar", SQLType.VARCHAR),
+            ("TEXT", SQLType.TEXT),
+            ("bool", SQLType.BOOLEAN),
+            ("DATETIME", SQLType.TIMESTAMP),
+            ("bytea", SQLType.BLOB),
+        ],
+    )
+    def test_aliases(self, name, expected):
+        assert type_from_name(name) is expected
+
+    def test_unknown_type(self):
+        with pytest.raises(SQLTypeError):
+            type_from_name("GEOMETRY")
+
+    def test_category_properties(self):
+        assert SQLType.INTEGER.is_numeric
+        assert SQLType.VARCHAR.is_character
+        assert SQLType.DATE.is_temporal
+        assert not SQLType.VARCHAR.is_numeric
+
+
+class TestCoercion:
+    def test_null_passthrough(self):
+        assert coerce_value(None, SQLType.INTEGER) is None
+
+    def test_int_from_string(self):
+        assert coerce_value("42", SQLType.INTEGER) == 42
+
+    def test_float_from_int(self):
+        assert coerce_value(3, SQLType.DOUBLE) == 3.0
+
+    def test_string_from_number(self):
+        assert coerce_value(12, SQLType.VARCHAR) == "12"
+
+    def test_boolean_from_strings(self):
+        assert coerce_value("true", SQLType.BOOLEAN) is True
+        assert coerce_value("0", SQLType.BOOLEAN) is False
+
+    def test_bad_boolean(self):
+        with pytest.raises(SQLTypeError):
+            coerce_value("maybe", SQLType.BOOLEAN)
+
+    def test_date_from_iso_string(self):
+        assert coerce_value("2004-06-27", SQLType.DATE) == datetime.date(2004, 6, 27)
+
+    def test_timestamp_from_string(self):
+        value = coerce_value("2004-06-27 10:30:00", SQLType.TIMESTAMP)
+        assert value == datetime.datetime(2004, 6, 27, 10, 30)
+
+    def test_date_from_datetime(self):
+        now = datetime.datetime(2004, 1, 2, 3, 4)
+        assert coerce_value(now, SQLType.DATE) == datetime.date(2004, 1, 2)
+
+    def test_blob_from_string(self):
+        assert coerce_value("abc", SQLType.BLOB) == b"abc"
+
+    def test_invalid_int(self):
+        with pytest.raises(SQLTypeError):
+            coerce_value("not-a-number", SQLType.INTEGER)
+
+
+class TestComparison:
+    def test_null_comparison_is_unknown(self):
+        assert compare_values(None, 3) is None
+        assert compare_values("x", None) is None
+
+    def test_numeric_comparison(self):
+        assert compare_values(1, 2) == -1
+        assert compare_values(2.5, 2.5) == 0
+        assert compare_values(3, 2.5) == 1
+
+    def test_numeric_string_coercion(self):
+        assert compare_values(10, "9") == 1
+        assert compare_values("2.5", 2.5) == 0
+
+    def test_string_comparison(self):
+        assert compare_values("apple", "banana") == -1
+
+    def test_date_vs_string(self):
+        assert compare_values(datetime.date(2004, 1, 1), "2004-01-01") == 0
+
+    def test_datetime_vs_date(self):
+        assert compare_values(
+            datetime.datetime(2004, 1, 1, 10, 0), datetime.date(2004, 1, 1)
+        ) == 1
+
+    def test_bool_compares_as_int(self):
+        assert compare_values(True, 1) == 0
+
+
+class TestSortKey:
+    def test_nulls_sort_first(self):
+        values = [3, None, 1]
+        assert sorted(values, key=sort_key) == [None, 1, 3]
+
+    def test_mixed_types_do_not_raise(self):
+        values = ["b", 2, None, datetime.date(2004, 1, 1)]
+        assert sorted(values, key=sort_key)[0] is None
