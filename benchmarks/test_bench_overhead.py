@@ -27,29 +27,25 @@ def test_middleware_overhead(benchmark, once, capsys):
 
 def test_cached_reads_are_cheaper_than_backend_reads(benchmark, once, capsys):
     """With the query result cache enabled, repeated reads bypass the backend."""
-    from repro.core import (
-        BackendConfig,
-        Controller,
-        VirtualDatabaseConfig,
-        build_virtual_database,
-        connect,
-    )
-    from repro.sql import DatabaseEngine
+    import repro
 
     def run():
-        engine = DatabaseEngine("cache-overhead")
-        vdb = build_virtual_database(
-            VirtualDatabaseConfig(
-                name="cachedb",
-                backends=[BackendConfig(name="b0", engine=engine)],
-                replication="single",
-                cache_enabled=True,
-                recovery_log="none",
-            )
+        cluster = repro.load_cluster(
+            {
+                "virtual_databases": [
+                    {
+                        "name": "cachedb",
+                        "replication": "single",
+                        "cache": {"enabled": True},
+                        "recovery_log": "none",
+                        "backends": [{"name": "b0", "engine": "cache-overhead"}],
+                    }
+                ],
+                "controllers": [{"name": "cache-overhead"}],
+            }
         )
-        controller = Controller("cache-overhead")
-        controller.add_virtual_database(vdb)
-        connection = connect(controller, "cachedb", "bench", "bench")
+        vdb = cluster.virtual_database("cachedb")
+        connection = repro.connect("cjdbc://cache-overhead/cachedb?user=bench&password=bench")
         cursor = connection.cursor()
         cursor.execute("CREATE TABLE kv (k INT PRIMARY KEY, v VARCHAR(20))")
         for key in range(50):

@@ -1,54 +1,52 @@
 """Budget high availability (paper §5.1, Figure 6).
 
 Reproduces the budget-ha.com deployment: two nodes, each hosting a C-JDBC
-controller and a database backend; *both* controllers share the *same* two
-backends, so the system survives the failure of any single component:
+controller, *both* sharing the *same* two database backends — described
+entirely by a declarative descriptor (one virtual database listed by two
+controllers means they share it).  The system survives the failure of any
+single component:
 
 * a backend failure: the surviving backend keeps serving, the failed one is
   re-integrated later from a checkpoint + recovery-log replay;
 * a controller failure: the C-JDBC driver transparently fails over to the
-  other controller.
+  other controller named in the ``cjdbc://`` URL.
 
 Run with:  python examples/budget_high_availability.py
 """
 
-from repro.core import (
-    BackendConfig,
-    Controller,
-    VirtualDatabaseConfig,
-    build_virtual_database,
-    connect,
-)
-from repro.sql import DatabaseEngine
+import repro
+
+DESCRIPTOR = {
+    "name": "budget-ha",
+    "virtual_databases": [
+        {
+            "name": "webappdb",
+            "replication": "raidb1",
+            "recovery_log": "memory",
+            "backends": [
+                {"name": "pg-node1", "engine": "postgresql-node1"},
+                {"name": "pg-node2", "engine": "postgresql-node2"},
+            ],
+        }
+    ],
+    # Both controllers list the same virtual database: they share its backends.
+    "controllers": [
+        {"name": "controller-node1", "virtual_databases": ["webappdb"]},
+        {"name": "controller-node2", "virtual_databases": ["webappdb"]},
+    ],
+}
 
 
 def main() -> None:
-    # The two PostgreSQL backends of the paper's figure.
-    postgres_1 = DatabaseEngine("postgresql-node1")
-    postgres_2 = DatabaseEngine("postgresql-node2")
-
-    # One virtual database, fully replicated over the two shared backends.
-    virtual_database = build_virtual_database(
-        VirtualDatabaseConfig(
-            name="webappdb",
-            backends=[
-                BackendConfig(name="pg-node1", engine=postgres_1),
-                BackendConfig(name="pg-node2", engine=postgres_2),
-            ],
-            replication="raidb1",
-            recovery_log="memory",
-        )
-    )
-
-    # Both controllers expose the same virtual database (they share the backends).
-    controller_1 = Controller("controller-node1")
-    controller_2 = Controller("controller-node2")
-    controller_1.add_virtual_database(virtual_database)
-    controller_2.add_virtual_database(virtual_database)
+    cluster = repro.load_cluster(DESCRIPTOR)
+    virtual_database = cluster.virtual_database("webappdb")
+    postgres_1 = cluster.engine("postgresql-node1")
 
     # The JBoss/Resin application tier connects through the C-JDBC driver,
     # listing both controllers for transparent failover.
-    connection = connect([controller_1, controller_2], "webappdb", "webapp", "webapp")
+    connection = repro.connect(
+        "cjdbc://controller-node1,controller-node2/webappdb?user=webapp&password=webapp"
+    )
     cursor = connection.cursor()
     cursor.execute("CREATE TABLE sessions (id INT PRIMARY KEY AUTO_INCREMENT, user_name VARCHAR(40))")
     for user in ("ada", "grace", "edsger"):
@@ -81,7 +79,7 @@ def main() -> None:
 
     # --- survive a controller failure ------------------------------------------------
     print("\n--- failing controller-node1 ---")
-    controller_1.shutdown()
+    cluster.controller("controller-node1").shutdown()
     cursor.execute("INSERT INTO sessions (user_name) VALUES ('barbara')")
     print(
         "driver failed over to", connection.current_controller.name,

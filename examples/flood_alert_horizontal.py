@@ -2,48 +2,47 @@
 
 Three geographically distributed sites, each with its own controller and its
 own MySQL backend, all replicating the same virtual database through group
-communication.  The system must survive the loss of any node at any time —
-horizontal scalability with transparent failover is the key feature here.
+communication.  In the descriptor this is one virtual database with a
+``group_name`` listed by three controllers: each controller gets its own
+replica (with its own backend engines) and writes are synchronised through
+the group channel.  The system must survive the loss of any node at any time
+— horizontal scalability with transparent failover is the key feature here.
 
 Run with:  python examples/flood_alert_horizontal.py
 """
 
-from repro.core import (
-    BackendConfig,
-    Controller,
-    VirtualDatabaseConfig,
-    build_virtual_database,
-    connect,
-)
-from repro.distrib import ControllerReplicator
-from repro.sql import DatabaseEngine
+import repro
 
 SITES = ("rice-university", "texas-medical-center", "offsite-300-miles")
 
-
-def build_site(replicator: ControllerReplicator, site: str):
-    """One site: a MySQL backend + a controller hosting the vdb replica."""
-    mysql = DatabaseEngine(f"mysql-{site}")
-    virtual_database = build_virtual_database(
-        VirtualDatabaseConfig(
-            name="floodalert",
-            backends=[BackendConfig(name=f"mysql-{site}", engine=mysql)],
-            replication="raidb1",
-        )
-    )
-    controller = Controller(f"controller-{site}")
-    controller.add_virtual_database(virtual_database)
-    replicator.add_replica(controller, virtual_database)
-    return controller, mysql
+DESCRIPTOR = {
+    "name": "flood-alert",
+    "virtual_databases": [
+        {
+            "name": "floodalert",
+            "replication": "raidb1",
+            # group_name makes the virtual database horizontal: every
+            # controller below hosts an independent replica, synchronised
+            # through group communication (the paper's JGroups).
+            "group_name": "flood-group",
+            "backends": [{"name": "mysql", "engine": "mysql"}],
+        }
+    ],
+    "controllers": [{"name": f"controller-{site}"} for site in SITES],
+}
 
 
 def main() -> None:
-    replicator = ControllerReplicator()
-    sites = {site: build_site(replicator, site) for site in SITES}
-    controllers = [controller for controller, _ in sites.values()]
+    cluster = repro.load_cluster(DESCRIPTOR)
+
+    # Each site's replica has its own engine, namespaced by controller name.
+    engines = {site: cluster.engine(f"controller-{site}/mysql") for site in SITES}
 
     # The JBoss application connects to its local controller but knows the others.
-    connection = connect(controllers, "floodalert", "sensors", "sensors")
+    connection = repro.connect(
+        "cjdbc://" + ",".join(f"controller-{site}" for site in SITES)
+        + "/floodalert?user=sensors&password=sensors"
+    )
     cursor = connection.cursor()
     cursor.execute(
         "CREATE TABLE water_level (id INT PRIMARY KEY AUTO_INCREMENT,"
@@ -56,15 +55,15 @@ def main() -> None:
         )
 
     print("every site has the full data set:")
-    for site, (_, mysql) in sites.items():
+    for site, mysql in engines.items():
         count = mysql.execute("SELECT COUNT(*) FROM water_level").scalar()
         print(f"  {site:24} {count} readings")
 
     # A flood takes out the first site entirely (controller + backend).
     print("\n--- losing site", SITES[0], "---")
-    lost_controller, _ = sites[SITES[0]]
+    lost_controller = cluster.controller(f"controller-{SITES[0]}")
     lost_controller.shutdown()
-    replicator.transport.fail_member(lost_controller.name)
+    cluster.transport.fail_member(lost_controller.name)
 
     # Readings keep flowing through the surviving sites.
     cursor.execute(
@@ -75,8 +74,7 @@ def main() -> None:
     print("driver failovers:", connection.failovers)
 
     for site in SITES[1:]:
-        _, mysql = sites[site]
-        count = mysql.execute("SELECT COUNT(*) FROM water_level").scalar()
+        count = engines[site].execute("SELECT COUNT(*) FROM water_level").scalar()
         print(f"  {site:24} {count} readings (still consistent)")
 
 

@@ -1,48 +1,45 @@
-"""Quickstart: a fully replicated virtual database in a few lines.
+"""Quickstart: a fully replicated cluster from a descriptor, in a few lines.
 
-Builds the minimal C-JDBC deployment of the paper's introduction: one
-controller exposing a single virtual database backed by two replicated
-in-memory backends, accessed through the C-JDBC driver with the standard
-DB-API interface.  The client code is identical to what it would be against
-a single database — that is the whole point of the middleware.
+Like the real C-JDBC (paper §2.2–§2.3), the deployment is *described* rather
+than programmed: a declarative descriptor (the Python stand-in for the XML
+virtual-database file — here an inline dict, equally loadable from a JSON or
+TOML file with ``repro.load_cluster("cluster.json")``) defines backends,
+replication level, load balancing and the query result cache, and the
+application reaches the cluster through a ``cjdbc://`` URL with plain DB-API
+code.  The client code is identical to what it would be against a single
+database — that is the whole point of the middleware.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro.core import (
-    BackendConfig,
-    Controller,
-    VirtualDatabaseConfig,
-    build_virtual_database,
-    connect,
-)
-from repro.sql import DatabaseEngine
+import repro
+
+DESCRIPTOR = {
+    "name": "quickstart-cluster",
+    "virtual_databases": [
+        {
+            "name": "quickstart",
+            # full replication (RAIDb-1), least-pending-requests-first
+            # balancing, query result cache enabled
+            "replication": "raidb1",
+            "load_balancing_policy": "lprf",
+            "cache": {"enabled": True},
+            "backends": [{"name": "node-a"}, {"name": "node-b"}],
+        }
+    ],
+    "controllers": [{"name": "quickstart-controller"}],
+}
 
 
 def main() -> None:
-    # 1. Two backend "databases" (stand-ins for MySQL/PostgreSQL instances).
-    engines = [DatabaseEngine("node-a"), DatabaseEngine("node-b")]
+    # 1. Boot the whole cluster — controller, virtual database and the two
+    #    backend "databases" (stand-ins for MySQL/PostgreSQL instances).
+    cluster = repro.load_cluster(DESCRIPTOR)
 
-    # 2. A virtual database configuration: full replication (RAIDb-1),
-    #    least-pending-requests-first balancing, query result cache enabled.
-    config = VirtualDatabaseConfig(
-        name="quickstart",
-        backends=[
-            BackendConfig(name="node-a", engine=engines[0]),
-            BackendConfig(name="node-b", engine=engines[1]),
-        ],
-        replication="raidb1",
-        load_balancing_policy="lprf",
-        cache_enabled=True,
+    # 2. The application: plain DB-API code through the C-JDBC driver URL.
+    connection = repro.connect(
+        "cjdbc://quickstart-controller/quickstart?user=app&password=secret"
     )
-    virtual_database = build_virtual_database(config)
-
-    # 3. A controller hosting the virtual database.
-    controller = Controller("quickstart-controller")
-    controller.add_virtual_database(virtual_database)
-
-    # 4. The application: plain DB-API code through the C-JDBC driver.
-    connection = connect(controller, "quickstart", user="app", password="secret")
     cursor = connection.cursor()
     cursor.execute(
         "CREATE TABLE books (id INT PRIMARY KEY AUTO_INCREMENT,"
@@ -59,7 +56,10 @@ def main() -> None:
         print(f"  {title:30} {price:6.2f}")
 
     # Reads are load balanced; writes were broadcast to both backends.
-    print("\nRows per backend:", [engine.row_count("books") for engine in engines])
+    print(
+        "\nRows per backend:",
+        [cluster.engine(name).row_count("books") for name in ("node-a", "node-b")],
+    )
 
     # A transaction through the virtual database.
     connection.begin()
@@ -74,7 +74,7 @@ def main() -> None:
     print("Second identical read served from cache:", cursor.from_cache)
 
     print("\nVirtual database statistics:")
-    stats = virtual_database.statistics()
+    stats = cluster.virtual_database("quickstart").statistics()
     print("  requests executed:", stats["requests_executed"])
     print("  cache:", stats["cache"])
     print("  backends:", [b["name"] + "/" + b["state"] for b in stats["backends"]])

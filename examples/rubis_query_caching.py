@@ -1,46 +1,47 @@
 """RUBiS with query result caching on a single backend (paper §6.6, Table 1).
 
 Even with a single database backend it pays off to put C-JDBC in front of it
-just for the query result cache.  This example loads a small RUBiS auction
-database, runs the bidding mix through three configurations (no cache,
-coherent cache, relaxed cache with a 60 s staleness limit) and prints the
-cache statistics, then regenerates the paper's Table 1 with the calibrated
-performance model.
+just for the query result cache.  This example boots three descriptor-driven
+configurations (no cache, coherent cache, relaxed cache with a 60 s
+staleness limit — the relaxation rule is part of the descriptor), loads a
+small RUBiS auction database, runs the bidding mix through each and prints
+the cache statistics, then regenerates the paper's Table 1 with the
+calibrated performance model.
 
 Run with:  python examples/rubis_query_caching.py
 """
 
+import repro
 from repro.bench import format_rubis_table, run_rubis_cache_experiment
-from repro.core import (
-    BackendConfig,
-    Controller,
-    VirtualDatabaseConfig,
-    build_virtual_database,
-    connect,
-)
-from repro.core.cache import RelaxationRule
-from repro.sql import DatabaseEngine
 from repro.workloads.rubis import BIDDING_MIX, RUBISDataGenerator, RUBiSInteractions
 from repro.workloads.rubis.schema import RUBISScale, create_schema
 
 
+def descriptor(cache_enabled: bool, relaxed: bool) -> dict:
+    """The declarative configuration for one of the Table 1 columns."""
+    cache = {"enabled": cache_enabled}
+    if relaxed:
+        cache["relaxation_rules"] = [{"staleness_seconds": 60.0}]
+    return {
+        "name": "rubis-cluster",
+        "virtual_databases": [
+            {
+                "name": "rubis",
+                "replication": "single",
+                "recovery_log": "none",
+                "cache": cache,
+                "backends": [{"name": "mysql", "engine": "mysql-single"}],
+            }
+        ],
+        "controllers": [{"name": "rubis-controller"}],
+    }
+
+
 def run_functional(cache_enabled: bool, relaxed: bool, interactions_to_run: int = 150) -> dict:
     """Run the bidding mix through the real middleware and return cache stats."""
-    engine = DatabaseEngine("mysql-single")
-    rules = [RelaxationRule(staleness_seconds=60.0)] if relaxed else []
-    virtual_database = build_virtual_database(
-        VirtualDatabaseConfig(
-            name="rubis",
-            backends=[BackendConfig(name="mysql", engine=engine)],
-            replication="single",
-            cache_enabled=cache_enabled,
-            cache_relaxation_rules=rules,
-            recovery_log="none",
-        )
-    )
-    controller = Controller("rubis-controller")
-    controller.add_virtual_database(virtual_database)
-    connection = connect(controller, "rubis", "rubis", "rubis")
+    cluster = repro.load_cluster(descriptor(cache_enabled, relaxed))
+    virtual_database = cluster.virtual_database("rubis")
+    connection = repro.connect("cjdbc://rubis-controller/rubis?user=rubis&password=rubis")
 
     create_schema(connection)
     scale = RUBISScale(users=60, items=40, bids_per_item=4)

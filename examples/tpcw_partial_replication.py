@@ -4,53 +4,48 @@ Loads a scaled-down TPC-W database on a 3-backend cluster configured with
 RAIDb-2 partial replication: the read-mostly catalogue tables (item, author,
 customer, ...) are replicated everywhere, while the write-heavy ordering
 tables (orders, order_line, cc_xacts, shopping_cart*) live on two backends
-only.  A shopping-mix session is then run through the middleware and the
-routing statistics show where reads and writes went.
+only.  The whole placement — including the replication map — is declarative
+descriptor data.  A shopping-mix session is then run through the middleware
+and the routing statistics show where reads and writes went.
 
 Run with:  python examples/tpcw_partial_replication.py
 """
 
-from repro.core import (
-    BackendConfig,
-    Controller,
-    VirtualDatabaseConfig,
-    build_virtual_database,
-    connect,
-)
-from repro.sql import DatabaseEngine
+import repro
 from repro.workloads.tpcw import SHOPPING_MIX, TPCWDataGenerator, TPCWInteractions
 from repro.workloads.tpcw.schema import TPCWScale, TPCW_TABLES, create_schema
 
 CATALOG_TABLES = ("country", "address", "customer", "author", "item")
 ORDERING_TABLES = ("orders", "order_line", "cc_xacts", "shopping_cart", "shopping_cart_line")
 
+BACKENDS = ["backend0", "backend1", "backend2"]
+
+# Replication map: catalogue tables everywhere, ordering tables on 2 backends.
+# The "tpcw_bestseller_%" pattern confines the best-seller temporary tables
+# to the same 2 backends that host order_line (paper §6.3).
+REPLICATION_MAP = {table: BACKENDS for table in CATALOG_TABLES}
+REPLICATION_MAP.update({table: BACKENDS[:2] for table in ORDERING_TABLES})
+REPLICATION_MAP["tpcw_bestseller_%"] = BACKENDS[:2]
+
+DESCRIPTOR = {
+    "name": "tpcw-cluster",
+    "virtual_databases": [
+        {
+            "name": "tpcw",
+            "replication": "raidb2",
+            "replication_map": REPLICATION_MAP,
+            "load_balancing_policy": "lprf",
+            "backends": BACKENDS,
+        }
+    ],
+    "controllers": [{"name": "tpcw-controller"}],
+}
+
 
 def main() -> None:
-    engines = [DatabaseEngine(f"backend{i}") for i in range(3)]
-    backend_names = [f"backend{i}" for i in range(3)]
-
-    # Replication map: catalogue tables everywhere, ordering tables on 2 backends.
-    # The "tpcw_bestseller_%" pattern confines the best-seller temporary tables
-    # to the same 2 backends that host order_line (paper §6.3).
-    replication_map = {table: backend_names for table in CATALOG_TABLES}
-    replication_map.update({table: backend_names[:2] for table in ORDERING_TABLES})
-    replication_map["tpcw_bestseller_%"] = backend_names[:2]
-
-    virtual_database = build_virtual_database(
-        VirtualDatabaseConfig(
-            name="tpcw",
-            backends=[
-                BackendConfig(name=name, engine=engine)
-                for name, engine in zip(backend_names, engines)
-            ],
-            replication="raidb2",
-            replication_map=replication_map,
-            load_balancing_policy="lprf",
-        )
-    )
-    controller = Controller("tpcw-controller")
-    controller.add_virtual_database(virtual_database)
-    connection = connect(controller, "tpcw", "tpcw", "tpcw")
+    cluster = repro.load_cluster(DESCRIPTOR)
+    virtual_database = cluster.virtual_database("tpcw")
+    connection = repro.connect("cjdbc://tpcw-controller/tpcw?user=tpcw&password=tpcw")
 
     # Create the schema through the middleware: the RAIDb-2 balancer places
     # each table according to the replication map.
@@ -82,11 +77,14 @@ def main() -> None:
         )
 
     orders = [
-        engine.execute("SELECT COUNT(*) FROM orders").scalar()
-        for engine in engines[:2]
+        cluster.engine(name).execute("SELECT COUNT(*) FROM orders").scalar()
+        for name in BACKENDS[:2]
     ]
     print("\norders table only exists on backend0/backend1 and is identical:", orders)
-    print("backend2 hosts the catalogue only:", sorted(engines[2].catalog.table_names()))
+    print(
+        "backend2 hosts the catalogue only:",
+        sorted(cluster.engine("backend2").catalog.table_names()),
+    )
 
 
 if __name__ == "__main__":

@@ -6,61 +6,63 @@ lower-level controllers (the C-JDBC driver is re-injected as the native
 driver).  This is how C-JDBC scales to large numbers of backends without
 exhausting the connection capacity of a single JVM.
 
+The leaf clusters are plain descriptor data; the top level — whose backends
+are *live* nested controllers, not expressible as pure data — uses the
+programmatic facade (`Cluster.from_configs`) and is then reached through a
+regular ``cjdbc://`` URL like any other cluster.
+
 Run with:  python examples/vertical_scaling_tree.py
 """
 
-from repro.core import (
-    BackendConfig,
-    Controller,
-    VirtualDatabaseConfig,
-    build_virtual_database,
-    connect,
-)
+import repro
+from repro.core import BackendConfig, VirtualDatabaseConfig
 from repro.distrib import nested_backend_config
 from repro.sql import DatabaseEngine
 
 
-def build_leaf_cluster(name: str, backend_count: int):
+def leaf_descriptor(name: str, backend_count: int) -> dict:
     """A lower-level controller with its own fully replicated backends."""
-    engines = [DatabaseEngine(f"{name}-db{i}") for i in range(backend_count)]
-    virtual_database = build_virtual_database(
-        VirtualDatabaseConfig(
-            name=name,
-            backends=[
-                BackendConfig(name=f"{name}-db{i}", engine=engine)
-                for i, engine in enumerate(engines)
-            ],
-            replication="raidb1",
-        )
-    )
-    controller = Controller(f"{name}-controller")
-    controller.add_virtual_database(virtual_database)
-    return controller, engines
+    return {
+        "name": f"{name}-cluster",
+        "virtual_databases": [
+            {
+                "name": name,
+                "replication": "raidb1",
+                "backends": [{"name": f"{name}-db{i}"} for i in range(backend_count)],
+            }
+        ],
+        "controllers": [{"name": f"{name}-controller"}],
+    }
 
 
 def main() -> None:
     # Two lower-level clusters, each hiding several real databases.
-    left_controller, left_engines = build_leaf_cluster("left-cluster", 2)
-    right_controller, right_engines = build_leaf_cluster("right-cluster", 3)
+    left = repro.load_cluster(leaf_descriptor("left-cluster", 2))
+    right = repro.load_cluster(leaf_descriptor("right-cluster", 3))
+    left_engines = [left.engine(f"left-cluster-db{i}") for i in range(2)]
+    right_engines = [right.engine(f"right-cluster-db{i}") for i in range(3)]
 
-    # One local backend directly attached to the top controller.
+    # One local backend directly attached to the top controller, plus the two
+    # nested clusters re-injected as backends through the C-JDBC driver.
     local_engine = DatabaseEngine("top-local-db")
-
-    top_vdb = build_virtual_database(
+    top = repro.Cluster.from_configs(
         VirtualDatabaseConfig(
             name="bigstore",
             backends=[
                 BackendConfig(name="local", engine=local_engine),
-                nested_backend_config("left-cluster", left_controller, "left-cluster"),
-                nested_backend_config("right-cluster", right_controller, "right-cluster"),
+                nested_backend_config(
+                    "left-cluster", left.controller("left-cluster-controller"), "left-cluster"
+                ),
+                nested_backend_config(
+                    "right-cluster", right.controller("right-cluster-controller"), "right-cluster"
+                ),
             ],
             replication="raidb1",
-        )
+        ),
+        controller_name="top-controller",
     )
-    top_controller = Controller("top-controller")
-    top_controller.add_virtual_database(top_vdb)
 
-    connection = connect(top_controller, "bigstore", "app", "app")
+    connection = repro.connect("cjdbc://top-controller/bigstore?user=app&password=app")
     cursor = connection.cursor()
     cursor.execute("CREATE TABLE inventory (sku INT PRIMARY KEY, qty INT)")
     cursor.executemany(
@@ -87,6 +89,7 @@ def main() -> None:
         1 + len(left_engines) + len(right_engines),
         "real databases through the controller tree",
     )
+    print("top-level cluster statistics:", top.statistics()["cluster"])
 
 
 if __name__ == "__main__":

@@ -21,13 +21,8 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from repro.core import (
-    BackendConfig,
-    Controller,
-    VirtualDatabaseConfig,
-    build_virtual_database,
-)
-from repro.core import connect as cjdbc_connect
+from repro.cluster import Cluster
+from repro.core import BackendConfig, VirtualDatabaseConfig
 from repro.simulation import ClusterSimulation, SimulationConfig, SimulationResult
 from repro.simulation.cluster import tpcw_partial_placement
 from repro.simulation.costmodel import RUBIS_COST_MODEL, TPCW_COST_MODEL, CostModel
@@ -210,18 +205,18 @@ def run_loadbalancer_ablation(
         for index, engine in enumerate(engines):
             weight = 1 if index == 0 else int(slow_backend_factor)
             configs.append(BackendConfig(name=f"backend{index}", engine=engine, weight=weight))
-        vdb = build_virtual_database(
+        cluster = Cluster.from_configs(
             VirtualDatabaseConfig(
                 name="lbtest",
                 backends=configs,
                 replication="raidb1",
                 load_balancing_policy=policy_name,
                 recovery_log="none",
-            )
+            ),
+            controller_name=f"lb-{policy_name}",
         )
-        controller = Controller(f"lb-{policy_name}")
-        controller.add_virtual_database(vdb)
-        connection = cjdbc_connect(controller, "lbtest", "bench", "bench")
+        vdb = cluster.virtual_database("lbtest")
+        connection = cluster.connect("lbtest", "bench", "bench")
         cursor = connection.cursor()
         cursor.execute("CREATE TABLE kv (k INT PRIMARY KEY, v VARCHAR(20))")
         for key in range(100):
@@ -273,17 +268,16 @@ def run_overhead_microbenchmark(statements: int = 2000) -> OverheadResult:
         cursor.fetchall()
     direct_seconds = time.perf_counter() - start
 
-    vdb = build_virtual_database(
+    cluster = Cluster.from_configs(
         VirtualDatabaseConfig(
             name="overheaddb",
             backends=[BackendConfig(name="backend0", engine=engine)],
             replication="single",
             recovery_log="none",
-        )
+        ),
+        controller_name="overhead-controller",
     )
-    controller = Controller("overhead-controller")
-    controller.add_virtual_database(vdb)
-    connection = cjdbc_connect(controller, "overheaddb", "bench", "bench")
+    connection = cluster.connect("cjdbc://overhead-controller/overheaddb?user=bench&password=bench")
     virtual_cursor = connection.cursor()
 
     start = time.perf_counter()

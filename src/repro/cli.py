@@ -63,6 +63,23 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="CMD",
         help="console command to execute (may be repeated); omit for an interactive session",
     )
+    console.add_argument(
+        "--config",
+        default=None,
+        metavar="FILE",
+        help="boot the cluster from a JSON/TOML descriptor instead of the built-in demo",
+    )
+    console.add_argument(
+        "--controller",
+        default=None,
+        metavar="NAME",
+        help="with --config: attach the console to this controller (default: the first one)",
+    )
+
+    check = subparsers.add_parser(
+        "check-config", help="validate a cluster descriptor file and print its topology"
+    )
+    check.add_argument("config", metavar="FILE", help="JSON/TOML cluster descriptor")
     return parser
 
 
@@ -103,44 +120,89 @@ def _run_overhead() -> str:
     )
 
 
+#: the descriptor behind the demo console — the same document could live in
+#: a JSON file and be passed with ``--config``.
+DEMO_DESCRIPTOR = {
+    "name": "demo",
+    "virtual_databases": [
+        {
+            "name": "demodb",
+            "replication": "raidb1",
+            "cache": {"enabled": True},
+            "backends": [
+                {"name": "node-a", "engine": "demo-node-a"},
+                {"name": "node-b", "engine": "demo-node-b"},
+            ],
+        }
+    ],
+    "controllers": [{"name": "demo-controller"}],
+}
+
+
 def _build_demo_console():
     """A small replicated virtual database for the console command."""
-    from repro.core import (
-        BackendConfig,
-        Controller,
-        VirtualDatabaseConfig,
-        build_virtual_database,
-        connect,
-    )
+    from repro.cluster import load_cluster
     from repro.core.management import AdminConsole
-    from repro.sql import DatabaseEngine
 
-    engines = [DatabaseEngine("demo-node-a"), DatabaseEngine("demo-node-b")]
-    virtual_database = build_virtual_database(
-        VirtualDatabaseConfig(
-            name="demodb",
-            backends=[
-                BackendConfig(name="node-a", engine=engines[0]),
-                BackendConfig(name="node-b", engine=engines[1]),
-            ],
-            replication="raidb1",
-            cache_enabled=True,
-        )
+    cluster = load_cluster(DEMO_DESCRIPTOR)
+    connection = cluster.connect(
+        "cjdbc://demo-controller/demodb?user=demo&password=demo"
     )
-    controller = Controller("demo-controller")
-    controller.add_virtual_database(virtual_database)
-    connection = connect(controller, "demodb", "demo", "demo")
     cursor = connection.cursor()
     cursor.execute("CREATE TABLE demo (id INT PRIMARY KEY AUTO_INCREMENT, label VARCHAR(30))")
     cursor.executemany(
         "INSERT INTO demo (label) VALUES (?)", [("alpha",), ("beta",), ("gamma",)]
     )
-    return AdminConsole(controller)
+    return AdminConsole(cluster.controller("demo-controller"))
+
+
+def _build_config_console(config_path: str, controller_name: Optional[str]):
+    """Boot a whole cluster from a descriptor file and attach the console."""
+    from repro.cluster import load_cluster
+    from repro.core.management import AdminConsole
+
+    cluster = load_cluster(config_path)
+    if controller_name is None:
+        controller_name = next(iter(cluster.controllers.values())).name
+    return AdminConsole(cluster.controller(controller_name))
+
+
+def _run_check_config(config_path: str, stdout) -> int:
+    from repro.cluster import load_cluster
+    from repro.errors import ConfigurationError
+
+    try:
+        cluster = load_cluster(config_path)
+    except ConfigurationError as exc:
+        print(f"invalid descriptor: {exc}", file=stdout)
+        return 1
+    print(f"cluster {cluster.name!r}: OK", file=stdout)
+    for controller in cluster.controllers.values():
+        print(f"  controller {controller.name}", file=stdout)
+        for vdb_name in controller.virtual_database_names:
+            vdb = controller.get_virtual_database(vdb_name)
+            backends = ", ".join(backend.name for backend in vdb.backends)
+            print(f"    virtual database {vdb_name} (backends: {backends})", file=stdout)
+    for vdb_name in cluster.virtual_database_names:
+        print(f"  url: {cluster.url(vdb_name)}", file=stdout)
+    return 0
 
 
 def _run_console(args: argparse.Namespace, stdin=None, stdout=None) -> int:
+    from repro.errors import ConfigurationError
+
     stdout = stdout or sys.stdout
-    console = _build_demo_console()
+    if args.config:
+        try:
+            console = _build_config_console(args.config, args.controller)
+        except ConfigurationError as exc:
+            print(f"invalid descriptor: {exc}", file=stdout)
+            return 1
+    else:
+        if args.controller:
+            print("--controller requires --config (the demo has a single controller)", file=stdout)
+            return 2
+        console = _build_demo_console()
     if args.execute:
         for command in args.execute:
             print(console.execute(command), file=stdout)
@@ -178,6 +240,8 @@ def main(argv: Optional[List[str]] = None, stdout=None) -> int:
         return 0
     if args.command == "console":
         return _run_console(args, stdout=stdout)
+    if args.command == "check-config":
+        return _run_check_config(args.config, stdout)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

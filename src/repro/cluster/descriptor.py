@@ -1,0 +1,480 @@
+"""Declarative cluster descriptors (the XML virtual-database files of §2.2).
+
+The real C-JDBC controller is configured with one XML document per virtual
+database.  The Python equivalent here is a plain mapping — usually loaded
+from a JSON or TOML file — describing a whole cluster at once::
+
+    {
+      "name": "my-cluster",
+      "virtual_databases": [
+        {
+          "name": "mydb",
+          "replication": "raidb1",
+          "load_balancing_policy": "lprf",
+          "cache": {"enabled": true, "granularity": "table"},
+          "recovery_log": "memory",
+          "users": {"app": "secret"},
+          "backends": [
+            {"name": "node-a"},
+            {"name": "node-b", "weight": 2}
+          ]
+        }
+      ],
+      "controllers": [
+        {"name": "ctrl-a", "virtual_databases": ["mydb"]},
+        {"name": "ctrl-b", "virtual_databases": ["mydb"]}
+      ]
+    }
+
+:func:`load_descriptor` validates the document and returns a
+:class:`ClusterDescriptor`; every validation error is a
+:class:`ConfigurationError` whose message pinpoints the offending key
+(``virtual_databases[0].backends[1].weight: ...``).  Backends name the
+in-memory engine that backs them (``engine`` defaults to the backend name);
+:meth:`VirtualDatabaseSpec.to_config` turns a spec into the
+:class:`repro.core.config.VirtualDatabaseConfig` the existing builder
+consumes, creating engines on demand.
+
+A virtual database with a ``group_name`` is *horizontal* (paper §4.1): each
+controller listing it gets its own replica (with its own engines) and the
+replicas are synchronised through group communication by the
+:class:`repro.cluster.facade.Cluster` facade.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.core.cache.rules import RelaxationRule
+from repro.core.config import BackendConfig, VirtualDatabaseConfig
+from repro.errors import ConfigurationError
+from repro.sql.engine import DatabaseEngine
+
+DescriptorSource = Union[Mapping, str, Path]
+
+_TOP_LEVEL_KEYS = {"name", "virtual_databases", "controllers"}
+_VDB_KEYS = {
+    "name",
+    "backends",
+    "replication",
+    "load_balancing_policy",
+    "wait_for_completion",
+    "scheduler",
+    "lazy_transaction_begin",
+    "cache",
+    "recovery_log",
+    "users",
+    "transparent_authentication",
+    "group_name",
+    "replication_map",
+    "partition_map",
+}
+_BACKEND_KEYS = {"name", "engine", "weight", "connection_manager", "pool_size"}
+_CACHE_KEYS = {"enabled", "granularity", "max_entries", "relaxation_rules"}
+_RULE_KEYS = {"staleness_seconds", "tables", "sql_pattern", "keep_on_write"}
+_CONTROLLER_KEYS = {"name", "virtual_databases"}
+
+
+# ---------------------------------------------------------------------------
+# validated specs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BackendSpec:
+    """One backend entry of a virtual database descriptor."""
+
+    name: str
+    engine_name: str
+    weight: int = 1
+    connection_manager: str = "variable"
+    pool_size: int = 10
+
+
+@dataclass
+class VirtualDatabaseSpec:
+    """One validated virtual database entry of a cluster descriptor."""
+
+    name: str
+    backends: List[BackendSpec]
+    replication: str = "raidb1"
+    load_balancing_policy: str = "lprf"
+    wait_for_completion: str = "all"
+    scheduler: str = "optimistic"
+    lazy_transaction_begin: bool = True
+    cache_enabled: bool = False
+    cache_granularity: str = "table"
+    cache_max_entries: int = 10000
+    cache_relaxation_rules: List[RelaxationRule] = field(default_factory=list)
+    recovery_log: str = "memory"
+    users: Dict[str, str] = field(default_factory=dict)
+    transparent_authentication: bool = True
+    group_name: Optional[str] = None
+    replication_map: Dict[str, List[str]] = field(default_factory=dict)
+    partition_map: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def backend_names(self) -> List[str]:
+        return [backend.name for backend in self.backends]
+
+    def to_config(
+        self,
+        engines: Dict[str, DatabaseEngine],
+        engine_prefix: str = "",
+    ) -> VirtualDatabaseConfig:
+        """Materialize a :class:`VirtualDatabaseConfig` from this spec.
+
+        Engines are created on demand into ``engines`` (a cluster-wide pool,
+        so two backends naming the same engine share one).  ``engine_prefix``
+        namespaces the engines of one horizontal replica so that each
+        controller of a group gets independent databases.
+        """
+        backend_configs = []
+        for backend in self.backends:
+            engine_name = engine_prefix + backend.engine_name
+            engine = engines.get(engine_name)
+            if engine is None:
+                engine = engines[engine_name] = DatabaseEngine(engine_name)
+            backend_configs.append(
+                BackendConfig(
+                    name=backend.name,
+                    engine=engine,
+                    weight=backend.weight,
+                    connection_manager=backend.connection_manager,
+                    pool_size=backend.pool_size,
+                )
+            )
+        return VirtualDatabaseConfig(
+            name=self.name,
+            backends=backend_configs,
+            replication=self.replication,
+            load_balancing_policy=self.load_balancing_policy,
+            wait_for_completion=self.wait_for_completion,
+            scheduler=self.scheduler,
+            lazy_transaction_begin=self.lazy_transaction_begin,
+            cache_enabled=self.cache_enabled,
+            cache_granularity=self.cache_granularity,
+            cache_max_entries=self.cache_max_entries,
+            cache_relaxation_rules=list(self.cache_relaxation_rules),
+            recovery_log=self.recovery_log,
+            users=dict(self.users),
+            transparent_authentication=self.transparent_authentication,
+            group_name=self.group_name,
+            replication_map={t: list(b) for t, b in self.replication_map.items()},
+            partition_map=dict(self.partition_map),
+        )
+
+
+@dataclass
+class ControllerSpec:
+    """One controller entry: a name plus the virtual databases it hosts."""
+
+    name: str
+    virtual_databases: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ClusterDescriptor:
+    """A fully validated cluster description."""
+
+    virtual_databases: List[VirtualDatabaseSpec]
+    controllers: List[ControllerSpec]
+    name: str = "cluster"
+
+    def virtual_database(self, name: str) -> VirtualDatabaseSpec:
+        for spec in self.virtual_databases:
+            if spec.name.lower() == name.lower():
+                return spec
+        known = ", ".join(sorted(spec.name for spec in self.virtual_databases))
+        raise ConfigurationError(
+            f"descriptor has no virtual database {name!r} (defined: {known})"
+        )
+
+    def controllers_hosting(self, vdb_name: str) -> List[ControllerSpec]:
+        """Controllers hosting ``vdb_name``, in declaration (failover) order."""
+        return [
+            controller
+            for controller in self.controllers
+            if any(name.lower() == vdb_name.lower() for name in controller.virtual_databases)
+        ]
+
+
+# ---------------------------------------------------------------------------
+# validation helpers
+# ---------------------------------------------------------------------------
+
+
+def _fail(where: str, message: str) -> None:
+    raise ConfigurationError(f"{where}: {message}")
+
+
+def _check_keys(mapping: Mapping, allowed: set, where: str) -> None:
+    unknown = sorted(set(mapping) - allowed)
+    if unknown:
+        _fail(
+            where,
+            f"unknown key{'s' if len(unknown) > 1 else ''} {', '.join(map(repr, unknown))}"
+            f" (expected one of: {', '.join(sorted(allowed))})",
+        )
+
+
+def _get_str(mapping: Mapping, key: str, where: str, default: Any = None, required: bool = False):
+    if key not in mapping:
+        if required:
+            _fail(where, f"missing required key {key!r}")
+        return default
+    value = mapping[key]
+    if not isinstance(value, str) or (required and not value.strip()):
+        _fail(f"{where}.{key}", f"expected a non-empty string, got {value!r}")
+    return value
+
+
+def _get_bool(mapping: Mapping, key: str, where: str, default: bool) -> bool:
+    value = mapping.get(key, default)
+    if not isinstance(value, bool):
+        _fail(f"{where}.{key}", f"expected true/false, got {value!r}")
+    return value
+
+
+def _get_int(mapping: Mapping, key: str, where: str, default: int, minimum: int = 1) -> int:
+    value = mapping.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        _fail(f"{where}.{key}", f"expected an integer, got {value!r}")
+    if value < minimum:
+        _fail(f"{where}.{key}", f"must be >= {minimum}, got {value}")
+    return value
+
+
+def _get_list(mapping: Mapping, key: str, where: str, required: bool = False) -> list:
+    if key not in mapping:
+        if required:
+            _fail(where, f"missing required key {key!r}")
+        return []
+    value = mapping[key]
+    if not isinstance(value, (list, tuple)):
+        _fail(f"{where}.{key}", f"expected a list, got {type(value).__name__}")
+    return list(value)
+
+
+def _get_mapping(mapping: Mapping, key: str, where: str) -> Mapping:
+    value = mapping.get(key, {})
+    if not isinstance(value, Mapping):
+        _fail(f"{where}.{key}", f"expected a mapping, got {type(value).__name__}")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# descriptor parsing
+# ---------------------------------------------------------------------------
+
+
+def _parse_backend(entry: Any, where: str) -> BackendSpec:
+    if isinstance(entry, str):  # shorthand: "node-a" == {"name": "node-a"}
+        entry = {"name": entry}
+    if not isinstance(entry, Mapping):
+        _fail(where, f"expected a backend mapping or name, got {type(entry).__name__}")
+    _check_keys(entry, _BACKEND_KEYS, where)
+    name = _get_str(entry, "name", where, required=True)
+    return BackendSpec(
+        name=name,
+        engine_name=_get_str(entry, "engine", where, default=name) or name,
+        weight=_get_int(entry, "weight", where, default=1),
+        connection_manager=_get_str(entry, "connection_manager", where, default="variable"),
+        pool_size=_get_int(entry, "pool_size", where, default=10),
+    )
+
+
+def _parse_cache(vdb: Mapping, where: str) -> dict:
+    cache = _get_mapping(vdb, "cache", where)
+    _check_keys(cache, _CACHE_KEYS, f"{where}.cache")
+    rules = []
+    for index, entry in enumerate(_get_list(cache, "relaxation_rules", f"{where}.cache")):
+        rule_where = f"{where}.cache.relaxation_rules[{index}]"
+        if not isinstance(entry, Mapping):
+            _fail(rule_where, f"expected a mapping, got {type(entry).__name__}")
+        _check_keys(entry, _RULE_KEYS, rule_where)
+        if "staleness_seconds" not in entry:
+            _fail(rule_where, "missing required key 'staleness_seconds'")
+        staleness = entry["staleness_seconds"]
+        if isinstance(staleness, bool) or not isinstance(staleness, (int, float)):
+            _fail(f"{rule_where}.staleness_seconds", f"expected a number, got {staleness!r}")
+        tables = _get_list(entry, "tables", rule_where)
+        if any(not isinstance(table, str) for table in tables):
+            _fail(f"{rule_where}.tables", "expected a list of table names")
+        rules.append(
+            RelaxationRule(
+                staleness_seconds=float(staleness),
+                tables=tuple(tables),
+                sql_pattern=_get_str(entry, "sql_pattern", rule_where),
+                keep_on_write=_get_bool(entry, "keep_on_write", rule_where, True),
+            )
+        )
+    return {
+        # a present cache section means enabled unless stated otherwise
+        "cache_enabled": _get_bool(cache, "enabled", f"{where}.cache", "cache" in vdb),
+        "cache_granularity": _get_str(cache, "granularity", f"{where}.cache", "table"),
+        "cache_max_entries": _get_int(cache, "max_entries", f"{where}.cache", 10000),
+        "cache_relaxation_rules": rules,
+    }
+
+
+def _parse_virtual_database(entry: Any, where: str) -> VirtualDatabaseSpec:
+    if not isinstance(entry, Mapping):
+        _fail(where, f"expected a mapping, got {type(entry).__name__}")
+    _check_keys(entry, _VDB_KEYS, where)
+    name = _get_str(entry, "name", where, required=True)
+
+    backends: List[BackendSpec] = []
+    for index, backend_entry in enumerate(_get_list(entry, "backends", where, required=True)):
+        backends.append(_parse_backend(backend_entry, f"{where}.backends[{index}]"))
+    if not backends:
+        _fail(f"{where}.backends", "a virtual database needs at least one backend")
+    seen: set = set()
+    for backend in backends:
+        if backend.name.lower() in seen:
+            _fail(f"{where}.backends", f"duplicate backend name {backend.name!r}")
+        seen.add(backend.name.lower())
+
+    users = _get_mapping(entry, "users", where)
+    for login, password in users.items():
+        if not isinstance(login, str) or not isinstance(password, str):
+            _fail(f"{where}.users", f"expected login -> password strings, got {login!r}")
+
+    backend_names = {backend.name for backend in backends}
+    replication_map: Dict[str, List[str]] = {}
+    for table, hosts in _get_mapping(entry, "replication_map", where).items():
+        if not isinstance(hosts, (list, tuple)) or any(not isinstance(h, str) for h in hosts):
+            _fail(f"{where}.replication_map.{table}", "expected a list of backend names")
+        unknown = sorted(set(hosts) - backend_names)
+        if unknown:
+            _fail(
+                f"{where}.replication_map.{table}",
+                f"unknown backend{'s' if len(unknown) > 1 else ''} {', '.join(map(repr, unknown))}",
+            )
+        replication_map[table] = list(hosts)
+
+    partition_map: Dict[str, str] = {}
+    for table, host in _get_mapping(entry, "partition_map", where).items():
+        if not isinstance(host, str):
+            _fail(f"{where}.partition_map.{table}", f"expected a backend name, got {host!r}")
+        if host not in backend_names:
+            _fail(f"{where}.partition_map.{table}", f"unknown backend {host!r}")
+        partition_map[table] = host
+
+    group_name = _get_str(entry, "group_name", where)
+    if group_name is not None and not group_name.strip():
+        _fail(
+            f"{where}.group_name",
+            "must be a non-empty group name (omit the key for a non-replicated vdb)",
+        )
+
+    return VirtualDatabaseSpec(
+        name=name,
+        backends=backends,
+        replication=_get_str(entry, "replication", where, "raidb1"),
+        load_balancing_policy=_get_str(entry, "load_balancing_policy", where, "lprf"),
+        wait_for_completion=_get_str(entry, "wait_for_completion", where, "all"),
+        scheduler=_get_str(entry, "scheduler", where, "optimistic"),
+        lazy_transaction_begin=_get_bool(entry, "lazy_transaction_begin", where, True),
+        recovery_log=_get_str(entry, "recovery_log", where, "memory"),
+        users=dict(users),
+        transparent_authentication=_get_bool(entry, "transparent_authentication", where, True),
+        group_name=group_name,
+        replication_map=replication_map,
+        partition_map=partition_map,
+        **_parse_cache(entry, where),
+    )
+
+
+def parse_descriptor(document: Mapping) -> ClusterDescriptor:
+    """Validate a descriptor mapping into a :class:`ClusterDescriptor`."""
+    if not isinstance(document, Mapping):
+        raise ConfigurationError(
+            f"cluster descriptor must be a mapping, got {type(document).__name__}"
+        )
+    _check_keys(document, _TOP_LEVEL_KEYS, "descriptor")
+    cluster_name = _get_str(document, "name", "descriptor", "cluster")
+
+    vdb_entries = _get_list(document, "virtual_databases", "descriptor", required=True)
+    if not vdb_entries:
+        _fail("descriptor.virtual_databases", "at least one virtual database is required")
+    specs: List[VirtualDatabaseSpec] = []
+    for index, entry in enumerate(vdb_entries):
+        specs.append(_parse_virtual_database(entry, f"descriptor.virtual_databases[{index}]"))
+    names = [spec.name.lower() for spec in specs]
+    for name in names:
+        if names.count(name) > 1:
+            _fail("descriptor.virtual_databases", f"duplicate virtual database name {name!r}")
+
+    controllers: List[ControllerSpec] = []
+    known_vdbs = {spec.name.lower(): spec.name for spec in specs}
+    for index, entry in enumerate(_get_list(document, "controllers", "descriptor")):
+        where = f"descriptor.controllers[{index}]"
+        if not isinstance(entry, Mapping):
+            _fail(where, f"expected a mapping, got {type(entry).__name__}")
+        _check_keys(entry, _CONTROLLER_KEYS, where)
+        controller_name = _get_str(entry, "name", where, required=True)
+        hosted = _get_list(entry, "virtual_databases", where)
+        if not hosted:  # a controller with no explicit list hosts every vdb
+            hosted = [spec.name for spec in specs]
+        for vdb_name in hosted:
+            if not isinstance(vdb_name, str) or vdb_name.lower() not in known_vdbs:
+                _fail(
+                    f"{where}.virtual_databases",
+                    f"unknown virtual database {vdb_name!r}"
+                    f" (defined: {', '.join(sorted(known_vdbs.values()))})",
+                )
+        controllers.append(ControllerSpec(name=controller_name, virtual_databases=list(hosted)))
+    if not controllers:
+        controllers = [ControllerSpec(name="controller0", virtual_databases=[s.name for s in specs])]
+    controller_names = [controller.name.lower() for controller in controllers]
+    for name in controller_names:
+        if controller_names.count(name) > 1:
+            _fail("descriptor.controllers", f"duplicate controller name {name!r}")
+
+    hosted_anywhere = {
+        vdb_name.lower() for controller in controllers for vdb_name in controller.virtual_databases
+    }
+    orphans = sorted(set(known_vdbs) - hosted_anywhere)
+    if orphans:
+        _fail(
+            "descriptor.controllers",
+            f"virtual database{'s' if len(orphans) > 1 else ''}"
+            f" {', '.join(map(repr, orphans))} not hosted by any controller",
+        )
+
+    return ClusterDescriptor(
+        virtual_databases=specs, controllers=controllers, name=cluster_name
+    )
+
+
+def load_descriptor(source: DescriptorSource) -> ClusterDescriptor:
+    """Load and validate a descriptor from a mapping or a JSON/TOML file."""
+    if isinstance(source, Mapping):
+        return parse_descriptor(source)
+    path = Path(source)
+    if not path.exists():
+        raise ConfigurationError(f"cluster descriptor file {str(path)!r} does not exist")
+    suffix = path.suffix.lower()
+    if suffix == ".toml":
+        try:
+            import tomllib
+        except ImportError as exc:  # pragma: no cover - tomllib ships with 3.11+
+            raise ConfigurationError(
+                "TOML descriptors need the stdlib 'tomllib' module (Python 3.11+);"
+                " use a JSON descriptor instead"
+            ) from exc
+        with path.open("rb") as handle:
+            try:
+                document = tomllib.load(handle)
+            except tomllib.TOMLDecodeError as exc:
+                raise ConfigurationError(f"invalid TOML in {str(path)!r}: {exc}") from exc
+    else:
+        try:
+            document = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid JSON in {str(path)!r}: {exc}") from exc
+    return parse_descriptor(document)

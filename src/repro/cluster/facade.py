@@ -1,0 +1,331 @@
+"""The cluster facade: boot a whole deployment from a descriptor, connect by URL.
+
+This is the public entry point of the reproduction, matching how C-JDBC is
+actually used (paper §2.2–§2.3): the cluster is *described* in a declarative
+document and *reached* through a driver URL — application code never
+assembles middleware components by hand.
+
+::
+
+    import repro
+
+    cluster = repro.load_cluster("cluster.json")      # boot controllers + vdbs
+    connection = repro.connect("cjdbc://ctrl-a,ctrl-b/mydb?user=app&password=s")
+
+:class:`Cluster` owns everything the descriptor declared: controllers
+(registered in the controller registry so URLs resolve), virtual databases,
+the in-memory engines standing in for real database backends, and — for
+virtual databases with a ``group_name`` — the group-communication wiring
+that turns one logical database into horizontally replicated controller
+replicas (§4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.cluster.descriptor import (
+    ClusterDescriptor,
+    DescriptorSource,
+    load_descriptor,
+)
+from repro.cluster.registry import ControllerRegistry, default_registry
+from repro.cluster.url import ClusterURL, parse_url
+from repro.core.config import VirtualDatabaseConfig, build_virtual_database
+from repro.core.controller import Controller
+from repro.core.driver import VirtualConnection
+from repro.core.driver import connect as driver_connect
+from repro.core.virtualdb import VirtualDatabase
+from repro.errors import ConfigurationError, ControllerError
+from repro.sql.engine import DatabaseEngine
+
+
+def connect(
+    target,
+    database: Optional[str] = None,
+    user: str = "",
+    password: str = "",
+    *,
+    registry: Optional[ControllerRegistry] = None,
+) -> VirtualConnection:
+    """Open a driver connection to a virtual database.
+
+    Accepts either a cluster URL (``cjdbc://ctrl-a,ctrl-b/mydb?user=...``),
+    whose controller names are resolved through ``registry`` (the process
+    default when omitted), or the legacy driver signature — a controller or
+    controller list plus a database name.
+    """
+    if isinstance(target, str):
+        if database is not None:
+            raise ConfigurationError(
+                f"a cluster URL already names its virtual database; drop the extra"
+                f" database argument {database!r}"
+            )
+        url = parse_url(target)
+        controllers = (registry or default_registry).resolve_all(url.controllers)
+        return driver_connect(
+            controllers, url.database, url.user or user, url.password or password
+        )
+    if database is None:
+        raise ConfigurationError(
+            "connect(controllers, ...) needs a virtual database name"
+        )
+    return driver_connect(target, database, user, password)
+
+
+class Cluster:
+    """A booted cluster: controllers, virtual databases and their engines."""
+
+    def __init__(
+        self,
+        descriptor: Optional[Union[ClusterDescriptor, DescriptorSource]] = None,
+        *,
+        registry: Optional[ControllerRegistry] = None,
+        transport=None,
+    ):
+        if descriptor is not None and not isinstance(descriptor, ClusterDescriptor):
+            descriptor = load_descriptor(descriptor)
+        self.descriptor: Optional[ClusterDescriptor] = descriptor
+        self.registry = registry if registry is not None else default_registry
+        self.name = descriptor.name if descriptor is not None else "cluster"
+        #: engine name -> in-memory engine backing one (shared) backend
+        self.engines: Dict[str, DatabaseEngine] = {}
+        self.controllers: Dict[str, Controller] = {}
+        #: vdb name -> the shared VirtualDatabase (non-grouped vdbs only)
+        self._virtual_databases: Dict[str, VirtualDatabase] = {}
+        #: (controller name, lowercased vdb name) -> horizontal replica wrapper
+        self.replicas: Dict[Tuple[str, str], object] = {}
+        #: lowercased vdb name -> controller names hosting it, in failover order
+        self._hosting: Dict[str, List[str]] = {}
+        #: lowercased vdb name -> the name as declared in the descriptor
+        self._vdb_names: Dict[str, str] = {}
+        self._replicators: Dict[str, object] = {}
+        self._transport = transport
+        if descriptor is not None:
+            self._boot(descriptor)
+
+    # -- construction --------------------------------------------------------------------
+
+    @classmethod
+    def from_configs(
+        cls,
+        configs: Union[VirtualDatabaseConfig, Sequence[VirtualDatabaseConfig]],
+        controller_name: str = "controller0",
+        *,
+        registry: Optional[ControllerRegistry] = None,
+    ) -> "Cluster":
+        """Programmatic assembly: one controller hosting pre-built configs.
+
+        The escape hatch for callers (benchmarks, tests) whose configuration
+        is not expressible as pure data — e.g. custom connection factories.
+        """
+        if isinstance(configs, VirtualDatabaseConfig):
+            configs = [configs]
+        cluster = cls(registry=registry)
+        controller = cluster._add_controller(controller_name)
+        for config in configs:
+            virtual_database = build_virtual_database(config)
+            cluster._virtual_databases[virtual_database.name.lower()] = virtual_database
+            cluster._vdb_names[virtual_database.name.lower()] = virtual_database.name
+            cluster._hosting.setdefault(virtual_database.name.lower(), []).append(
+                controller.name
+            )
+            controller.add_virtual_database(virtual_database)
+            for backend_config in config.backends:
+                if backend_config.engine is not None:
+                    cluster.engines.setdefault(backend_config.engine.name, backend_config.engine)
+        return cluster
+
+    def _boot(self, descriptor: ClusterDescriptor) -> None:
+        specs = {spec.name.lower(): spec for spec in descriptor.virtual_databases}
+        # Shared (non-grouped) virtual databases are built once and attached
+        # to every controller listing them — the budget-HA topology of §5.1.
+        for spec in descriptor.virtual_databases:
+            if spec.group_name is None:
+                config = spec.to_config(self.engines)
+                self._virtual_databases[spec.name.lower()] = build_virtual_database(config)
+
+        for controller_spec in descriptor.controllers:
+            controller = self._add_controller(controller_spec.name)
+            for vdb_name in controller_spec.virtual_databases:
+                spec = specs[vdb_name.lower()]
+                self._vdb_names[spec.name.lower()] = spec.name
+                self._hosting.setdefault(spec.name.lower(), []).append(controller.name)
+                if spec.group_name is None:
+                    controller.add_virtual_database(self._virtual_databases[spec.name.lower()])
+                else:
+                    self._add_replica(controller, spec)
+
+    def _add_controller(self, name: str) -> Controller:
+        if name.lower() in self.controllers:
+            raise ConfigurationError(f"duplicate controller {name!r} in cluster")
+        # Register only in this cluster's registry: a private registry must
+        # not leak (or clobber) names in the process-wide default one.
+        controller = Controller(name, register=False)
+        self.controllers[name.lower()] = controller
+        self.registry.register(controller)
+        return controller
+
+    def _add_replica(self, controller: Controller, spec) -> None:
+        """Horizontal vdb: a private replica per controller, group-synchronised."""
+        from repro.distrib import ControllerReplicator
+        from repro.groupcomm.transport import GroupTransport
+
+        if self._transport is None:
+            self._transport = GroupTransport()
+        replicator = self._replicators.get(spec.group_name)
+        if replicator is None:
+            replicator = self._replicators[spec.group_name] = ControllerReplicator(
+                self._transport
+            )
+        config = spec.to_config(self.engines, engine_prefix=f"{controller.name}/")
+        local_vdb = build_virtual_database(config)
+        replica = replicator.add_replica(controller, local_vdb, replace_in_controller=False)
+        controller.add_virtual_database(replica)
+        self.replicas[(controller.name, spec.name.lower())] = replica
+
+    # -- lookups -------------------------------------------------------------------------
+
+    def controller(self, name: str) -> Controller:
+        try:
+            return self.controllers[name.lower()]
+        except KeyError:
+            known = ", ".join(sorted(c.name for c in self.controllers.values()))
+            raise ConfigurationError(
+                f"cluster has no controller {name!r} (controllers: {known})"
+            ) from None
+
+    def engine(self, name: str) -> DatabaseEngine:
+        try:
+            return self.engines[name]
+        except KeyError:
+            known = ", ".join(sorted(self.engines))
+            raise ConfigurationError(
+                f"cluster has no engine {name!r} (engines: {known})"
+            ) from None
+
+    def virtual_database(
+        self, name: str, controller: Optional[str] = None
+    ) -> VirtualDatabase:
+        """The virtual database ``name``; for grouped vdbs, one controller's replica."""
+        hosting = self._hosting.get(name.lower(), [])
+        if not hosting:
+            known = ", ".join(sorted(self._vdb_names.values()))
+            raise ConfigurationError(
+                f"cluster has no virtual database {name!r} (virtual databases: {known})"
+            )
+        if controller is not None and self.controller(controller).name not in hosting:
+            raise ConfigurationError(
+                f"controller {controller!r} does not host {name!r}"
+                f" (hosted by: {', '.join(hosting)})"
+            )
+        shared = self._virtual_databases.get(name.lower())
+        if shared is not None:
+            return shared
+        controller_name = controller or hosting[0]
+        replica = self.replicas.get((self.controller(controller_name).name, name.lower()))
+        if replica is None:
+            raise ConfigurationError(
+                f"controller {controller_name!r} hosts no replica of {name!r}"
+            )
+        return replica.local
+
+    @property
+    def virtual_database_names(self) -> List[str]:
+        return sorted(self._vdb_names.values())
+
+    @property
+    def transport(self):
+        """Group transport wiring horizontal replicas (None when unused)."""
+        return self._transport
+
+    def controllers_for(self, vdb_name: str) -> List[Controller]:
+        """Controllers hosting ``vdb_name``, in descriptor (failover) order."""
+        hosting = self._hosting.get(vdb_name.lower())
+        if not hosting:
+            known = ", ".join(sorted(self._hosting))
+            raise ConfigurationError(
+                f"cluster has no virtual database {vdb_name!r} (virtual databases: {known})"
+            )
+        return [self.controllers[name.lower()] for name in hosting]
+
+    # -- client entry points -------------------------------------------------------------
+
+    def connect(
+        self,
+        target: Optional[str] = None,
+        user: str = "",
+        password: str = "",
+    ) -> VirtualConnection:
+        """Connect by cluster URL or by virtual database name.
+
+        With a URL the controller names are resolved through this cluster's
+        registry; with a bare name the connection lists every controller
+        hosting the database, in descriptor order, for transparent failover.
+        """
+        if target is None:
+            if len(self._hosting) != 1:
+                raise ConfigurationError(
+                    "connect() without a target needs a single-vdb cluster;"
+                    f" specify one of: {', '.join(sorted(self._hosting))}"
+                )
+            target = next(iter(self._hosting))
+        if "://" in target:
+            return connect(target, user=user, password=password, registry=self.registry)
+        controllers = self.controllers_for(target)
+        return driver_connect(controllers, target, user, password)
+
+    def url(self, vdb_name: str) -> str:
+        """Canonical ``cjdbc://`` URL for one of this cluster's databases."""
+        controllers = self.controllers_for(vdb_name)
+        declared = self._vdb_names.get(vdb_name.lower(), vdb_name)
+        return f"cjdbc://{','.join(c.name for c in controllers)}/{declared}"
+
+    def pool(self, target: Optional[str] = None, user: str = "", password: str = "", **kwargs):
+        """A :class:`repro.cluster.pool.ConnectionPool` over this cluster."""
+        from repro.cluster.pool import ConnectionPool
+
+        factory = lambda: self.connect(target, user=user, password=password)  # noqa: E731
+        return ConnectionPool(factory=factory, **kwargs)
+
+    # -- lifecycle / monitoring ----------------------------------------------------------
+
+    def statistics(self) -> dict:
+        return {
+            "cluster": self.name,
+            "controllers": {
+                controller.name: controller.statistics()
+                for controller in self.controllers.values()
+            },
+        }
+
+    def shutdown(self) -> None:
+        """Stop all controllers, leave groups and drop registry entries."""
+        for replica in self.replicas.values():
+            replica.leave_group()
+        for controller in self.controllers.values():
+            controller.shutdown()
+            # Only drop the registry entry if it is still ours: a later
+            # cluster may have re-bound the name (latest registration wins).
+            try:
+                registered = self.registry.resolve(controller.name)
+            except ControllerError:
+                continue
+            if registered is controller:
+                self.registry.unregister(controller.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cluster({self.name!r}, controllers={sorted(self.controllers)},"
+            f" vdbs={self.virtual_database_names})"
+        )
+
+
+def load_cluster(
+    source: DescriptorSource,
+    *,
+    registry: Optional[ControllerRegistry] = None,
+    transport=None,
+) -> Cluster:
+    """Boot a whole cluster from a descriptor mapping or JSON/TOML file."""
+    return Cluster(source, registry=registry, transport=transport)

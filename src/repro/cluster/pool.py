@@ -1,0 +1,267 @@
+"""Client-side connection pool over the C-JDBC driver.
+
+The real C-JDBC driver is typically used behind an application-server
+connection pool (the paper's experiments run it under Jakarta DBCP inside
+Tomcat/JBoss).  This module provides that layer: a bounded pool of
+:class:`repro.core.driver.VirtualConnection` objects with checkout/checkin
+semantics and a health check on checkout, so callers never receive a
+connection whose controllers have all gone away.
+
+The pool can be built from a cluster URL (connections are opened through
+:func:`repro.cluster.facade.connect`) or from any zero-argument connection
+factory.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional
+
+from repro.core.driver import VirtualConnection
+from repro.errors import CJDBCError, InterfaceError, PoolExhaustedError
+
+
+def _int_option(options: dict, key: str) -> int:
+    try:
+        return int(options[key])
+    except ValueError:
+        raise InterfaceError(
+            f"URL option {key}={options[key]!r} is not an integer"
+        ) from None
+
+
+def _float_option(options: dict, key: str) -> float:
+    try:
+        return float(options[key])
+    except ValueError:
+        raise InterfaceError(
+            f"URL option {key}={options[key]!r} is not a number"
+        ) from None
+
+
+class PooledConnection:
+    """Checkout handle wrapping a :class:`VirtualConnection`.
+
+    Behaves like the underlying connection and returns it to the pool when
+    used as a context manager or explicitly :meth:`release`\\ d.
+    """
+
+    def __init__(self, pool: "ConnectionPool", connection: VirtualConnection):
+        self._pool = pool
+        self._connection = connection
+        self._released = False
+
+    @property
+    def connection(self) -> VirtualConnection:
+        return self._connection
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._pool.checkin(self._connection)
+
+    def __getattr__(self, name):
+        return getattr(self._connection, name)
+
+    def __enter__(self) -> "PooledConnection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # After an explicit release() the connection may already be checked
+        # out by another borrower; touching it here would commit or roll back
+        # someone else's transaction.
+        if self._released:
+            return
+        try:
+            if self._connection.closed:
+                return
+            if exc_type is None:
+                self._connection.commit()
+            else:
+                try:
+                    self._connection.rollback()
+                except CJDBCError:
+                    pass
+        finally:
+            self.release()
+
+
+class ConnectionPool:
+    """A bounded checkout/checkin pool of driver connections.
+
+    * ``max_size`` bounds the number of simultaneously open connections;
+      :meth:`checkout` blocks up to ``timeout`` seconds for a free slot and
+      then raises :class:`PoolExhaustedError`;
+    * both can also come from the URL itself (``?pool_size=4&pool_timeout=2``);
+      explicit keyword arguments win over URL options;
+    * every checkout health-checks the candidate connection (closed
+      connections are discarded, a reachable controller is required) so a
+      controller failure between checkin and checkout is survived
+      transparently as long as one controller of the URL is still up.
+    """
+
+    DEFAULT_MAX_SIZE = 8
+    DEFAULT_TIMEOUT = 5.0
+
+    def __init__(
+        self,
+        url: Optional[str] = None,
+        *,
+        factory: Optional[Callable[[], VirtualConnection]] = None,
+        max_size: Optional[int] = None,
+        timeout: Optional[float] = None,
+        registry=None,
+    ):
+        if (url is None) == (factory is None):
+            raise InterfaceError("ConnectionPool needs a cluster URL or a factory (not both)")
+        if url is not None:
+            from repro.cluster.facade import connect as facade_connect
+            from repro.cluster.url import parse_url
+
+            options = parse_url(url).options
+            if max_size is None and "pool_size" in options:
+                max_size = _int_option(options, "pool_size")
+            if timeout is None and "pool_timeout" in options:
+                timeout = _float_option(options, "pool_timeout")
+            factory = lambda: facade_connect(url, registry=registry)  # noqa: E731
+        if max_size is None:
+            max_size = self.DEFAULT_MAX_SIZE
+        if timeout is None:
+            timeout = self.DEFAULT_TIMEOUT
+        if max_size < 1:
+            raise InterfaceError(f"pool max_size must be >= 1, got {max_size}")
+        self.url = url
+        self._factory = factory
+        self.max_size = max_size
+        self.timeout = timeout
+        self._lock = threading.Condition()
+        self._idle: List[VirtualConnection] = []
+        self._open = 0  # connections currently alive (idle + checked out)
+        self._closed = False
+        # statistics
+        self.checkouts = 0
+        self.discarded = 0
+
+    # -- pool surface --------------------------------------------------------------------
+
+    def checkout(self, timeout: Optional[float] = None) -> PooledConnection:
+        """Borrow a healthy connection, opening one if the pool allows it."""
+        budget = self.timeout if timeout is None else timeout
+        deadline = time.monotonic() + budget
+        with self._lock:
+            while True:
+                if self._closed:
+                    raise InterfaceError("connection pool is closed")
+                while self._idle:
+                    connection = self._idle.pop()
+                    if self._is_healthy(connection):
+                        self.checkouts += 1
+                        return PooledConnection(self, connection)
+                    self._discard(connection)
+                if self._open < self.max_size:
+                    self._open += 1
+                    break
+                # Wait on the *remaining* budget: a notify that loses the race
+                # to another borrower must not restart the clock.
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._lock.wait(timeout=remaining):
+                    raise PoolExhaustedError(
+                        f"no connection available after {budget}s"
+                        f" (max_size={self.max_size}, all checked out)"
+                    )
+        # Open outside the lock: the factory may take a while.
+        try:
+            connection = self._factory()
+        except BaseException:
+            with self._lock:
+                self._open -= 1
+                self._lock.notify()
+            raise
+        with self._lock:
+            self.checkouts += 1
+        return PooledConnection(self, connection)
+
+    def checkin(self, connection: VirtualConnection) -> None:
+        """Return a connection to the pool (closed ones are discarded)."""
+        with self._lock:
+            if self._closed or connection.closed:
+                self._discard(connection)
+                return
+            if connection._transaction_id is not None:
+                try:
+                    connection.rollback()
+                except CJDBCError:
+                    self._discard(connection)
+                    return
+            self._idle.append(connection)
+            self._lock.notify()
+
+    def connection(self, timeout: Optional[float] = None) -> PooledConnection:
+        """Alias of :meth:`checkout`; reads naturally in ``with`` blocks."""
+        return self.checkout(timeout=timeout)
+
+    def close(self) -> None:
+        """Close every idle connection and refuse further checkouts."""
+        with self._lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+            self._open -= len(idle)
+            self._lock.notify_all()
+        for connection in idle:
+            connection.close()
+
+    # -- monitoring ----------------------------------------------------------------------
+
+    @property
+    def idle(self) -> int:
+        with self._lock:
+            return len(self._idle)
+
+    @property
+    def in_use(self) -> int:
+        with self._lock:
+            return self._open - len(self._idle)
+
+    def statistics(self) -> dict:
+        with self._lock:
+            return {
+                "max_size": self.max_size,
+                "open": self._open,
+                "idle": len(self._idle),
+                "in_use": self._open - len(self._idle),
+                "checkouts": self.checkouts,
+                "discarded": self.discarded,
+            }
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _discard(self, connection: VirtualConnection) -> None:
+        # caller holds the lock
+        self._open -= 1
+        self.discarded += 1
+        self._lock.notify()
+        try:
+            connection.close()
+        except CJDBCError:  # pragma: no cover - close never raises today
+            pass
+
+    @staticmethod
+    def _is_healthy(connection: VirtualConnection) -> bool:
+        """Health-on-checkout: open, and at least one controller reachable."""
+        if connection.closed:
+            return False
+        try:
+            connection._virtual_database()
+        except CJDBCError:
+            return False
+        return True
+
+    def __enter__(self) -> "ConnectionPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ConnectionPool(url={self.url!r}, {self.statistics()})"

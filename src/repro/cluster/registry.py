@@ -1,0 +1,88 @@
+"""Controller registry: resolve controller *names* to live controllers.
+
+The real C-JDBC driver resolves the host names in a
+``jdbc:cjdbc://node1,node2/db`` URL through DNS.  In this in-process
+reproduction the equivalent is a name registry: every
+:class:`repro.core.controller.Controller` registers itself here under its
+name when it is created, and :func:`repro.cluster.connect` resolves the
+comma-separated controller list of a cluster URL against the registry.
+
+The registry holds weak references only, so it never keeps a discarded
+controller (for example one built by a finished test) alive.  Registering a
+new controller under an existing name simply replaces the old entry — the
+same way restarting a host re-binds its DNS name.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import TYPE_CHECKING, List, Sequence
+
+from repro.errors import ControllerError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.controller import Controller
+
+
+class ControllerRegistry:
+    """A name → controller directory used by the URL-based driver."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._controllers: dict[str, weakref.ref] = {}
+
+    def register(self, controller: "Controller", name: str | None = None) -> None:
+        """Register ``controller`` (latest registration under a name wins)."""
+        key = (name or controller.name).lower()
+        with self._lock:
+            self._controllers[key] = weakref.ref(controller)
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            self._controllers.pop(name.lower(), None)
+
+    def resolve(self, name: str) -> "Controller":
+        """Return the live controller registered under ``name``.
+
+        Raises :class:`ControllerError` naming the known controllers when the
+        name is unknown (or its controller has been garbage collected).
+        """
+        with self._lock:
+            ref = self._controllers.get(name.lower())
+            controller = ref() if ref is not None else None
+            if controller is None:
+                if ref is not None:  # drop the dead reference
+                    self._controllers.pop(name.lower(), None)
+                known = ", ".join(sorted(self.names)) or "<none>"
+                raise ControllerError(
+                    f"unknown controller {name!r} (registered controllers: {known})"
+                )
+            return controller
+
+    def resolve_all(self, names: Sequence[str]) -> List["Controller"]:
+        """Resolve an ordered controller list (the failover order of a URL)."""
+        return [self.resolve(name) for name in names]
+
+    @property
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(
+                name for name, ref in self._controllers.items() if ref() is not None
+            )
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            ref = self._controllers.get(name.lower())
+            return ref is not None and ref() is not None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._controllers.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ControllerRegistry({self.names})"
+
+
+#: Process-wide registry used by :func:`repro.connect` when none is given.
+default_registry = ControllerRegistry()

@@ -1,0 +1,125 @@
+"""Cluster URL parsing: the Python equivalent of ``jdbc:cjdbc://...`` URLs.
+
+Paper §2.3: applications reach a virtual database with a URL of the form
+``jdbc:cjdbc://node1,node2/myDB`` — an ordered list of controllers (the
+failover order) and a virtual database name.  This module parses that URL
+shape::
+
+    cjdbc://ctrl-a,ctrl-b/mydb?user=app&password=secret
+
+* the ``jdbc:`` prefix is accepted and ignored, so Java-style URLs work;
+* the host list is comma-separated controller *names*, resolved through a
+  :class:`repro.cluster.registry.ControllerRegistry`;
+* credentials may be given either as ``user``/``password`` query parameters
+  or as a ``user:password@`` userinfo block (query parameters win);
+* any other query parameter is kept in :attr:`ClusterURL.options` for
+  higher layers (e.g. ``pool_size`` for the connection pool).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+from urllib.parse import parse_qsl, quote, unquote
+
+from repro.errors import ConfigurationError
+
+SCHEME = "cjdbc"
+
+
+@dataclass(frozen=True)
+class ClusterURL:
+    """A parsed cluster URL."""
+
+    controllers: Tuple[str, ...]
+    database: str
+    user: str = ""
+    password: str = ""
+    options: Dict[str, str] = field(default_factory=dict)
+
+    def geturl(self) -> str:
+        """Rebuild a canonical URL (credentials as query parameters).
+
+        Values are percent-encoded so the result always round-trips through
+        :func:`parse_url`, even with ``&``/``=``/``@`` in a password.
+        """
+        query = []
+        if self.user:
+            query.append(f"user={quote(self.user, safe='')}")
+        if self.password:
+            query.append(f"password={quote(self.password, safe='')}")
+        query.extend(
+            f"{quote(key, safe='')}={quote(value, safe='')}"
+            for key, value in sorted(self.options.items())
+        )
+        suffix = ("?" + "&".join(query)) if query else ""
+        return f"{SCHEME}://{','.join(self.controllers)}/{quote(self.database, safe='')}{suffix}"
+
+
+def parse_url(url: str) -> ClusterURL:
+    """Parse a ``cjdbc://controllers/vdb?user=...`` URL into a :class:`ClusterURL`.
+
+    Raises :class:`ConfigurationError` with a precise message on every
+    malformed shape rather than guessing.
+    """
+    if not isinstance(url, str):
+        raise ConfigurationError(f"cluster URL must be a string, got {type(url).__name__}")
+    text = url.strip()
+    if text.lower().startswith("jdbc:"):
+        text = text[len("jdbc:") :]
+    scheme, sep, rest = text.partition("://")
+    if not sep:
+        raise ConfigurationError(
+            f"invalid cluster URL {url!r}: expected '{SCHEME}://<controllers>/<database>'"
+        )
+    if scheme.lower() != SCHEME:
+        raise ConfigurationError(
+            f"invalid cluster URL {url!r}: unsupported scheme {scheme!r} (expected {SCHEME!r})"
+        )
+    netloc, slash, tail = rest.partition("/")
+    if not slash or not tail:
+        raise ConfigurationError(
+            f"invalid cluster URL {url!r}: missing virtual database name after the controller list"
+        )
+
+    user = password = ""
+    if "@" in netloc:
+        userinfo, _, netloc = netloc.rpartition("@")
+        user, _, password = userinfo.partition(":")
+        user, password = unquote(user), unquote(password)
+
+    controllers = tuple(name.strip() for name in netloc.split(","))
+    if not netloc or any(not name for name in controllers):
+        raise ConfigurationError(
+            f"invalid cluster URL {url!r}: empty controller name in {netloc!r}"
+        )
+
+    raw_database, _, query = tail.partition("?")
+    raw_database = raw_database.strip()
+    # Check the raw path: a literal '/' is a malformed multi-segment path,
+    # while an encoded %2F inside the name is legal (geturl() round-trip).
+    if "/" in raw_database:
+        raise ConfigurationError(
+            f"invalid cluster URL {url!r}: the path must be a single virtual database name,"
+            f" got {raw_database!r}"
+        )
+    database = unquote(raw_database)
+    if not database:
+        raise ConfigurationError(f"invalid cluster URL {url!r}: empty virtual database name")
+
+    options: Dict[str, str] = {}
+    for key, value in parse_qsl(query, keep_blank_values=True):
+        if key == "user":
+            user = value
+        elif key == "password":
+            password = value
+        else:
+            options[key] = value
+
+    return ClusterURL(
+        controllers=controllers,
+        database=database,
+        user=user,
+        password=password,
+        options=options,
+    )

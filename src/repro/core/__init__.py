@@ -1,13 +1,18 @@
 """C-JDBC middleware core: controller, virtual databases, driver, request manager.
 
-The most common entry points are:
+Most applications should use the :mod:`repro.cluster` facade instead of
+assembling these components by hand: :func:`repro.load_cluster` boots a
+whole deployment from a declarative descriptor and :func:`repro.connect`
+reaches it through a ``cjdbc://`` URL.  The programmatic entry points here
+remain supported:
 
 * :func:`repro.core.config.build_virtual_database` with a
   :class:`repro.core.config.VirtualDatabaseConfig` to assemble a virtual
   database from backends and policies;
 * :class:`repro.core.controller.Controller` to host virtual databases;
 * :func:`repro.core.driver.connect` to obtain a DB-API connection to a
-  virtual database (with transparent controller failover).
+  virtual database (with transparent controller failover); it also accepts
+  a ``cjdbc://`` URL.
 """
 
 from repro.core.authentication import AuthenticationManager

@@ -102,7 +102,7 @@ def build_virtual_database(config: VirtualDatabaseConfig) -> VirtualDatabase:
     recovery_log = _build_recovery_log(config.recovery_log)
 
     request_manager = RequestManager(
-        backends=backends,
+        backends=[],
         scheduler=scheduler,
         load_balancer=load_balancer,
         result_cache=result_cache,
@@ -119,11 +119,10 @@ def build_virtual_database(config: VirtualDatabaseConfig) -> VirtualDatabase:
         authentication_manager=authentication,
         group_name=config.group_name,
     )
+    # Attach backends through the public assembly path so engine registration
+    # (checkpoint/restore support) is not duplicated here.
     for backend in backends:
-        engine = engines.get(backend.name)
-        if engine is not None:
-            virtual_database._backend_engines[backend.name] = engine
-        backend.enable()
+        virtual_database.add_backend(backend, engine=engines.get(backend.name), enable=True)
     return virtual_database
 
 

@@ -26,7 +26,7 @@ from repro.errors import ControllerError, UnknownVirtualDatabaseError
 class Controller:
     """Hosts virtual databases and exposes them to C-JDBC drivers."""
 
-    def __init__(self, name: str = "controller", jmx_enabled: bool = True):
+    def __init__(self, name: str = "controller", jmx_enabled: bool = True, register: bool = True):
         self.name = name
         self._virtual_databases: Dict[str, VirtualDatabase] = {}
         self._lock = threading.RLock()
@@ -35,6 +35,13 @@ class Controller:
         self.mbean_registry = MBeanRegistry() if jmx_enabled else None
         if self.mbean_registry is not None:
             self.mbean_registry.register(f"controller:{self.name}", self)
+        if register:
+            # Make the controller addressable by name in cjdbc:// URLs (the
+            # in-process stand-in for DNS resolution of controller hosts).
+            # Imported lazily: repro.cluster depends on repro.core.
+            from repro.cluster.registry import default_registry
+
+            default_registry.register(self)
 
     # -- virtual database management ------------------------------------------------
 

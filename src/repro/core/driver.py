@@ -35,8 +35,8 @@ paramstyle = "qmark"
 
 
 def connect(
-    controllers: Union[Controller, Sequence[Controller]],
-    database: str,
+    controllers: Union[str, Controller, Sequence[Controller]],
+    database: Optional[str] = None,
     user: str = "",
     password: str = "",
 ) -> "VirtualConnection":
@@ -45,11 +45,21 @@ def connect(
     ``controllers`` may be a single controller or an ordered list of
     controllers hosting the same (distributed) virtual database; the driver
     uses the first reachable one and transparently fails over to the others.
+
+    A ``cjdbc://ctrl-a,ctrl-b/mydb?user=...&password=...`` URL is also
+    accepted: its controller names are resolved through the default
+    controller registry (see :mod:`repro.cluster`).
     """
+    if isinstance(controllers, str):
+        from repro.cluster.facade import connect as facade_connect
+
+        return facade_connect(controllers, database, user, password)
     if isinstance(controllers, Controller):
         controllers = [controllers]
     if not controllers:
         raise InterfaceError("at least one controller is required")
+    if database is None:
+        raise InterfaceError("a virtual database name is required")
     return VirtualConnection(list(controllers), database, user, password)
 
 
@@ -217,11 +227,21 @@ class VirtualConnection:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
+        # An already-closed connection must not raise here: commit()/rollback()
+        # would throw InterfaceError and mask the exception that is already
+        # propagating out of the ``with`` block.
+        if self._closed:
+            return
         if exc_type is None:
-            self.commit()
+            try:
+                self.commit()
+            finally:
+                self.close()
         else:
-            self.rollback()
-        self.close()
+            try:
+                self.rollback()
+            finally:
+                self.close()
 
 
 class VirtualCursor:
@@ -276,12 +296,18 @@ class VirtualCursor:
     def executemany(self, sql: str, seq_of_parameters: Sequence[Sequence[Any]]) -> "VirtualCursor":
         self._check_open()
         total = 0
+        executed = False
         for parameters in seq_of_parameters:
             self.execute(sql, parameters)
+            executed = True
             if self._result is not None and self._result.update_count > 0:
                 total += self._result.update_count
-        if self._result is not None:
-            self._result.update_count = total
+        if executed and self._result is not None:
+            # The last result may be a shared cached RequestResult; report the
+            # accumulated count on a private copy instead of mutating it.
+            summary = self._result.copy()
+            summary.update_count = total
+            self._result = summary
         return self
 
     # -- fetching ---------------------------------------------------------------------------

@@ -129,3 +129,7 @@ class ConfigurationError(CJDBCError):
 
 class GroupCommunicationError(CJDBCError):
     """Failure in the group communication layer (horizontal scalability)."""
+
+
+class PoolExhaustedError(CJDBCError):
+    """The client-side connection pool has no free connection left."""

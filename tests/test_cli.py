@@ -67,3 +67,54 @@ class TestConsoleCommand:
         code = main(["console", "--execute", "stats demodb"], stdout=out)
         assert code == 0
         assert "requests_executed" in out.getvalue()
+
+    def test_console_controller_requires_config(self):
+        out = io.StringIO()
+        code = main(["console", "--controller", "x", "--execute", "help"], stdout=out)
+        assert code == 2
+        assert "--controller requires --config" in out.getvalue()
+
+
+class TestConfigCommands:
+    DESCRIPTOR = (
+        '{"name": "cli-test", "virtual_databases":'
+        ' [{"name": "clidb", "backends": ["b0", "b1"]}],'
+        ' "controllers": [{"name": "cli-ctrl-a"}, {"name": "cli-ctrl-b"}]}'
+    )
+
+    def test_console_boots_from_descriptor_file(self, tmp_path):
+        path = tmp_path / "cluster.json"
+        path.write_text(self.DESCRIPTOR)
+        out = io.StringIO()
+        code = main(
+            ["console", "--config", str(path), "--execute", "show backends clidb"],
+            stdout=out,
+        )
+        assert code == 0
+        assert "b0" in out.getvalue() and "ENABLED" in out.getvalue()
+
+    def test_console_config_with_unknown_controller(self, tmp_path):
+        path = tmp_path / "cluster.json"
+        path.write_text(self.DESCRIPTOR)
+        out = io.StringIO()
+        code = main(
+            ["console", "--config", str(path), "--controller", "ghost", "--execute", "help"],
+            stdout=out,
+        )
+        assert code == 1
+        assert "no controller 'ghost'" in out.getvalue()
+
+    def test_check_config_valid_and_invalid(self, tmp_path):
+        good = tmp_path / "good.json"
+        good.write_text(self.DESCRIPTOR)
+        out = io.StringIO()
+        assert main(["check-config", str(good)], stdout=out) == 0
+        text = out.getvalue()
+        assert "cluster 'cli-test': OK" in text
+        assert "cjdbc://cli-ctrl-a,cli-ctrl-b/clidb" in text
+
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"virtual_databases": []}')
+        out = io.StringIO()
+        assert main(["check-config", str(bad)], stdout=out) == 1
+        assert "invalid descriptor" in out.getvalue()

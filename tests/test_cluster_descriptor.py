@@ -1,0 +1,204 @@
+"""Descriptor loading: round-trips, schema validation, precise error messages."""
+
+import json
+
+import pytest
+
+from repro.cluster import load_cluster, load_descriptor, parse_descriptor
+from repro.errors import ConfigurationError
+
+
+def minimal_descriptor(**vdb_overrides):
+    vdb = {"name": "mydb", "backends": ["node-a", "node-b"]}
+    vdb.update(vdb_overrides)
+    return {"virtual_databases": [vdb]}
+
+
+class TestDescriptorParsing:
+    def test_minimal_descriptor_defaults(self):
+        descriptor = load_descriptor(minimal_descriptor())
+        assert descriptor.name == "cluster"
+        spec = descriptor.virtual_database("mydb")
+        assert spec.replication == "raidb1"
+        assert spec.backend_names == ["node-a", "node-b"]
+        assert spec.backends[0].engine_name == "node-a"
+        # no controllers section -> one default controller hosting everything
+        assert [c.name for c in descriptor.controllers] == ["controller0"]
+        assert descriptor.controllers[0].virtual_databases == ["mydb"]
+
+    def test_backend_mapping_form(self):
+        descriptor = load_descriptor(
+            minimal_descriptor(
+                backends=[
+                    {"name": "b0", "engine": "shared", "weight": 3, "pool_size": 4,
+                     "connection_manager": "failfast"},
+                ]
+            )
+        )
+        backend = descriptor.virtual_database("mydb").backends[0]
+        assert backend.engine_name == "shared"
+        assert backend.weight == 3
+        assert backend.pool_size == 4
+        assert backend.connection_manager == "failfast"
+
+    def test_cache_section_with_relaxation_rules(self):
+        descriptor = load_descriptor(
+            minimal_descriptor(
+                cache={
+                    "granularity": "column",
+                    "max_entries": 42,
+                    "relaxation_rules": [
+                        {"staleness_seconds": 60, "tables": ["items"], "keep_on_write": False}
+                    ],
+                }
+            )
+        )
+        spec = descriptor.virtual_database("mydb")
+        # a present cache section means enabled unless stated otherwise
+        assert spec.cache_enabled is True
+        assert spec.cache_granularity == "column"
+        assert spec.cache_max_entries == 42
+        rule = spec.cache_relaxation_rules[0]
+        assert rule.staleness_seconds == 60.0
+        assert rule.tables == ("items",)
+        assert rule.keep_on_write is False
+
+    def test_empty_cache_section_means_enabled(self):
+        # README: "a present section defaults to enabled"
+        spec = load_descriptor(minimal_descriptor(cache={})).virtual_database("mydb")
+        assert spec.cache_enabled is True
+        absent = load_descriptor(minimal_descriptor()).virtual_database("mydb")
+        assert absent.cache_enabled is False
+
+    def test_multiple_vdbs_and_controllers(self):
+        descriptor = load_descriptor(
+            {
+                "name": "multi",
+                "virtual_databases": [
+                    {"name": "db1", "backends": ["a"]},
+                    {"name": "db2", "backends": ["b"]},
+                ],
+                "controllers": [
+                    {"name": "c1", "virtual_databases": ["db1", "db2"]},
+                    {"name": "c2", "virtual_databases": ["db2"]},
+                ],
+            }
+        )
+        assert [c.name for c in descriptor.controllers_hosting("db2")] == ["c1", "c2"]
+        assert [c.name for c in descriptor.controllers_hosting("db1")] == ["c1"]
+
+    def test_round_trip_dict_to_cluster_to_statistics(self):
+        """dict -> cluster -> statistics reflects exactly what was declared."""
+        cluster = load_cluster(
+            {
+                "name": "rt",
+                "virtual_databases": [
+                    {
+                        "name": "rtdb",
+                        "replication": "raidb1",
+                        "cache": {"enabled": True},
+                        "recovery_log": "memory",
+                        "users": {"app": "pw"},
+                        "backends": ["b0", "b1"],
+                    }
+                ],
+                "controllers": [{"name": "rt-ctrl"}],
+            }
+        )
+        stats = cluster.statistics()
+        assert stats["cluster"] == "rt"
+        vdb_stats = stats["controllers"]["rt-ctrl"]["virtual_databases"]["rtdb"]
+        assert {b["name"] for b in vdb_stats["backends"]} == {"b0", "b1"}
+        assert vdb_stats["cache"] is not None
+        assert sorted(cluster.engines) == ["b0", "b1"]
+
+
+class TestDescriptorFiles:
+    def test_load_from_json_file(self, tmp_path):
+        path = tmp_path / "cluster.json"
+        path.write_text(json.dumps(minimal_descriptor()))
+        descriptor = load_descriptor(path)
+        assert descriptor.virtual_database("mydb").backend_names == ["node-a", "node-b"]
+
+    def test_load_from_toml_file(self, tmp_path):
+        path = tmp_path / "cluster.toml"
+        path.write_text(
+            "\n".join(
+                [
+                    'name = "toml-cluster"',
+                    "[[virtual_databases]]",
+                    'name = "mydb"',
+                    'backends = ["node-a"]',
+                    "[[controllers]]",
+                    'name = "ctrl"',
+                ]
+            )
+        )
+        descriptor = load_descriptor(path)
+        assert descriptor.name == "toml-cluster"
+        assert [c.name for c in descriptor.controllers] == ["ctrl"]
+
+    def test_missing_file_and_bad_json(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="does not exist"):
+            load_descriptor(tmp_path / "nope.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="invalid JSON"):
+            load_descriptor(bad)
+
+
+class TestDescriptorValidation:
+    """Malformed descriptors fail with messages naming the offending key."""
+
+    @pytest.mark.parametrize(
+        "document, message",
+        [
+            ([], "cluster descriptor must be a mapping"),
+            ({"virtual_databases": []}, "at least one virtual database"),
+            ({"vdbs": []}, r"descriptor: unknown key 'vdbs'"),
+            ({"virtual_databases": [{"backends": ["a"]}]},
+             r"virtual_databases\[0\]: missing required key 'name'"),
+            ({"virtual_databases": [{"name": "d", "backends": []}]},
+             "at least one backend"),
+            ({"virtual_databases": [{"name": "d", "backends": ["a", "a"]}]},
+             "duplicate backend name 'a'"),
+            ({"virtual_databases": [{"name": "d", "backends": [{"weight": 1}]}]},
+             r"backends\[0\]: missing required key 'name'"),
+            ({"virtual_databases": [{"name": "d", "backends": [{"name": "a", "weight": "x"}]}]},
+             r"backends\[0\]\.weight: expected an integer"),
+            ({"virtual_databases": [{"name": "d", "backends": ["a"], "cache": {"enabled": "yes"}}]},
+             r"cache\.enabled: expected true/false"),
+            ({"virtual_databases": [{"name": "d", "backends": ["a"],
+                                     "cache": {"relaxation_rules": [{}]}}]},
+             r"relaxation_rules\[0\]: missing required key 'staleness_seconds'"),
+            ({"virtual_databases": [{"name": "d", "backends": ["a"],
+                                     "replication_map": {"t": ["ghost"]}}]},
+             r"replication_map\.t: unknown backend 'ghost'"),
+            ({"virtual_databases": [{"name": "d", "backends": ["a"],
+                                     "partition_map": {"t": "ghost"}}]},
+             r"partition_map\.t: unknown backend 'ghost'"),
+            ({"virtual_databases": [{"name": "d", "backends": ["a"]},
+                                    {"name": "D", "backends": ["a"]}]},
+             "duplicate virtual database name"),
+            ({"virtual_databases": [{"name": "d", "backends": ["a"], "group_name": ""}]},
+             r"group_name: must be a non-empty group name"),
+            ({"virtual_databases": [{"name": "d", "backends": ["a"]}],
+              "controllers": [{"name": "c", "virtual_databases": ["ghost"]}]},
+             r"controllers\[0\]\.virtual_databases: unknown virtual database 'ghost'"),
+            ({"virtual_databases": [{"name": "d", "backends": ["a"]}],
+              "controllers": [{"name": "c"}, {"name": "c"}]},
+             "duplicate controller name 'c'"),
+            ({"virtual_databases": [{"name": "d", "backends": ["a"]},
+                                    {"name": "e", "backends": ["a"]}],
+              "controllers": [{"name": "c", "virtual_databases": ["d"]}]},
+             "'e' not hosted by any controller"),
+        ],
+    )
+    def test_malformed_descriptor_messages(self, document, message):
+        with pytest.raises(ConfigurationError, match=message):
+            parse_descriptor(document)
+
+    def test_unknown_vdb_lookup_lists_known_names(self):
+        descriptor = load_descriptor(minimal_descriptor())
+        with pytest.raises(ConfigurationError, match="no virtual database 'ghost'.*mydb"):
+            descriptor.virtual_database("ghost")

@@ -1,0 +1,298 @@
+"""The cluster facade: descriptor boot, registry resolution, URL failover."""
+
+import pytest
+
+import repro
+from repro.cluster import Cluster, ControllerRegistry, default_registry, load_cluster
+from repro.core import BackendConfig, Controller, VirtualDatabaseConfig
+from repro.core.driver import connect as driver_connect
+from repro.errors import ConfigurationError, ControllerError
+from repro.sql import DatabaseEngine
+
+
+def ha_descriptor(suffix: str) -> dict:
+    """A full RAIDb-1 cluster: cache + recovery log + two controllers."""
+    return {
+        "name": f"ha-{suffix}",
+        "virtual_databases": [
+            {
+                "name": f"hadb{suffix}",
+                "replication": "raidb1",
+                "cache": {"enabled": True},
+                "recovery_log": "memory",
+                "users": {"app": "secret"},
+                "backends": [
+                    {"name": "b0", "engine": f"ha{suffix}-e0"},
+                    {"name": "b1", "engine": f"ha{suffix}-e1"},
+                ],
+            }
+        ],
+        "controllers": [{"name": f"ha-{suffix}-a"}, {"name": f"ha-{suffix}-b"}],
+    }
+
+
+class TestControllerRegistry:
+    def test_controllers_self_register_by_name(self):
+        controller = Controller("registry-self-test")
+        assert default_registry.resolve("registry-self-test") is controller
+
+    def test_resolution_is_case_insensitive_and_latest_wins(self):
+        registry = ControllerRegistry()
+        old = Controller("dup-name", register=False)
+        new = Controller("DUP-NAME", register=False)
+        registry.register(old)
+        registry.register(new)
+        assert registry.resolve("dup-name") is new
+
+    def test_unknown_name_lists_known_controllers(self):
+        registry = ControllerRegistry()
+        registry.register(Controller("known-ctrl", register=False))
+        with pytest.raises(ControllerError, match="unknown controller 'ghost'.*known-ctrl"):
+            registry.resolve("ghost")
+
+    def test_dead_controllers_are_dropped(self):
+        registry = ControllerRegistry()
+        registry.register(Controller("ephemeral", register=False))
+        import gc
+
+        gc.collect()
+        assert "ephemeral" not in registry
+        with pytest.raises(ControllerError):
+            registry.resolve("ephemeral")
+
+    def test_unregister(self):
+        registry = ControllerRegistry()
+        controller = Controller("to-remove", register=False)
+        registry.register(controller)
+        registry.unregister("to-remove")
+        assert "to-remove" not in registry
+
+
+class TestDescriptorBoot:
+    def test_full_raidb1_cluster_from_descriptor_alone(self):
+        """Acceptance: cache + recovery log cluster booted from data only,
+        reached by URL, with transparent failover across two controllers."""
+        cluster = load_cluster(ha_descriptor("acc"))
+        connection = repro.connect(
+            "cjdbc://ha-acc-a,ha-acc-b/hadbacc?user=app&password=secret"
+        )
+        cursor = connection.cursor()
+        cursor.execute("CREATE TABLE events (id INT PRIMARY KEY, what VARCHAR(20))")
+        cursor.execute("INSERT INTO events VALUES (1, 'boot')")
+
+        # cache + recovery log really are wired in
+        vdb = cluster.virtual_database("hadbacc")
+        assert vdb.request_manager.result_cache is not None
+        assert vdb.request_manager.recovery_log is not None
+        # writes reached both declared engines
+        assert cluster.engine("haacc-e0").row_count("events") == 1
+        assert cluster.engine("haacc-e1").row_count("events") == 1
+
+        # transparent failover: first controller of the URL dies mid-session
+        assert connection.current_controller.name == "ha-acc-a"
+        cluster.controller("ha-acc-a").shutdown()
+        cursor.execute("INSERT INTO events VALUES (2, 'failover')")
+        assert connection.current_controller.name == "ha-acc-b"
+        assert connection.failovers == 1
+        assert cursor.execute("SELECT COUNT(*) FROM events").scalar() == 2
+
+    def test_url_failover_order_follows_url_not_registry(self):
+        cluster = load_cluster(ha_descriptor("ord"))
+        # list the B controller first: it must be the one serving
+        connection = repro.connect(
+            "cjdbc://ha-ord-b,ha-ord-a/hadbord?user=app&password=secret"
+        )
+        assert connection.current_controller.name == "ha-ord-b"
+
+    def test_unknown_controller_in_url(self):
+        load_cluster(ha_descriptor("unk"))
+        with pytest.raises(ControllerError, match="unknown controller 'nope'"):
+            repro.connect("cjdbc://nope/hadbunk?user=app&password=secret")
+
+    def test_unknown_vdb_in_url(self):
+        from repro.errors import UnknownVirtualDatabaseError
+
+        load_cluster(ha_descriptor("vdb"))
+        with pytest.raises(
+            UnknownVirtualDatabaseError, match="does not host virtual database 'ghostdb'"
+        ):
+            repro.connect("cjdbc://ha-vdb-a/ghostdb?user=app&password=secret")
+
+    def test_cluster_connect_by_vdb_name_uses_descriptor_order(self):
+        cluster = load_cluster(ha_descriptor("name"))
+        connection = cluster.connect("hadbname", "app", "secret")
+        assert connection.current_controller.name == "ha-name-a"
+        cluster.controller("ha-name-a").shutdown()
+        assert connection.execute("SELECT 1").scalar() == 1
+        assert connection.current_controller.name == "ha-name-b"
+
+    def test_cluster_url_helper(self):
+        cluster = load_cluster(ha_descriptor("url"))
+        assert cluster.url("hadburl") == "cjdbc://ha-url-a,ha-url-b/hadburl"
+
+    def test_shared_vdb_single_instance_across_controllers(self):
+        cluster = load_cluster(ha_descriptor("shared"))
+        a = cluster.controller("ha-shared-a").get_virtual_database("hadbshared")
+        b = cluster.controller("ha-shared-b").get_virtual_database("hadbshared")
+        assert a is b  # same instance: the §5.1 shared-backends topology
+
+    def test_grouped_vdb_gets_replica_per_controller(self):
+        cluster = load_cluster(
+            {
+                "virtual_databases": [
+                    {"name": "groupdb", "group_name": "g1", "backends": ["db"]}
+                ],
+                "controllers": [{"name": "grp-a"}, {"name": "grp-b"}],
+            }
+        )
+        # one engine per replica, namespaced by controller
+        assert sorted(cluster.engines) == ["grp-a/db", "grp-b/db"]
+        connection = cluster.connect("groupdb")
+        connection.execute("CREATE TABLE g (id INT PRIMARY KEY)")
+        connection.execute("INSERT INTO g VALUES (1)")
+        # the write was group-multicast to both replicas
+        assert cluster.engine("grp-a/db").row_count("g") == 1
+        assert cluster.engine("grp-b/db").row_count("g") == 1
+
+    def test_mixed_case_vdb_names_resolve_and_display_as_declared(self):
+        cluster = load_cluster(
+            {
+                "virtual_databases": [
+                    {"name": "FloodAlert", "group_name": "fa-case", "backends": ["db"]}
+                ],
+                "controllers": [{"name": "case-a"}, {"name": "case-b"}],
+            }
+        )
+        # lookups are case-insensitive even for grouped replicas...
+        assert cluster.virtual_database("floodalert", controller="case-b") is not None
+        # ...while the declared spelling survives on the public surface
+        assert cluster.virtual_database_names == ["FloodAlert"]
+        assert cluster.url("floodalert") == "cjdbc://case-a,case-b/FloodAlert"
+
+    def test_url_with_extra_database_argument_is_rejected(self):
+        load_cluster(ha_descriptor("two"))
+        with pytest.raises(ConfigurationError, match="already names its virtual database"):
+            repro.connect("cjdbc://ha-two-a/hadbtwo?user=app&password=secret", "otherdb")
+
+    def test_cluster_shutdown_unregisters(self):
+        cluster = load_cluster(ha_descriptor("down"))
+        cluster.shutdown()
+        with pytest.raises(ControllerError):
+            repro.connect("cjdbc://ha-down-a/hadbdown?user=app&password=secret")
+
+    def test_shutdown_does_not_unregister_a_rebound_name(self):
+        first = load_cluster(
+            {
+                "virtual_databases": [{"name": "rebdb", "backends": ["b"]}],
+                "controllers": [{"name": "rebound-ctrl"}],
+            }
+        )
+        second = load_cluster(
+            {
+                "virtual_databases": [{"name": "rebdb2", "backends": ["b"]}],
+                "controllers": [{"name": "rebound-ctrl"}],  # re-binds the name
+            }
+        )
+        first.shutdown()
+        # the name now belongs to the second cluster and must survive
+        assert default_registry.resolve("rebound-ctrl") is second.controller("rebound-ctrl")
+
+    def test_lookup_errors_name_alternatives(self):
+        cluster = load_cluster(ha_descriptor("look"))
+        with pytest.raises(ConfigurationError, match="no controller 'ghost'"):
+            cluster.controller("ghost")
+        with pytest.raises(ConfigurationError, match="no engine 'ghost'"):
+            cluster.engine("ghost")
+        with pytest.raises(ConfigurationError, match="no virtual database 'ghost'"):
+            cluster.virtual_database("ghost")
+        # a bogus controller argument is rejected even for shared vdbs
+        with pytest.raises(ConfigurationError, match="no controller 'ghost'"):
+            cluster.virtual_database("hadblook", controller="ghost")
+
+    def test_shared_vdb_controller_argument_must_host_it(self):
+        cluster = load_cluster(
+            {
+                "virtual_databases": [
+                    {"name": "hosted", "backends": ["a"]},
+                    {"name": "unhosted", "backends": ["a"]},
+                ],
+                "controllers": [
+                    {"name": "host-ctrl", "virtual_databases": ["hosted", "unhosted"]},
+                    {"name": "other-ctrl", "virtual_databases": ["unhosted"]},
+                ],
+            }
+        )
+        assert cluster.virtual_database("hosted", controller="host-ctrl") is not None
+        with pytest.raises(ConfigurationError, match="does not host 'hosted'"):
+            cluster.virtual_database("hosted", controller="other-ctrl")
+
+
+class TestProgrammaticAssembly:
+    def test_from_configs_with_custom_engine(self):
+        engine = DatabaseEngine("prog-engine")
+        cluster = Cluster.from_configs(
+            VirtualDatabaseConfig(
+                name="progdb",
+                backends=[BackendConfig(name="b0", engine=engine)],
+                replication="single",
+            ),
+            controller_name="prog-ctrl",
+        )
+        connection = cluster.connect("cjdbc://prog-ctrl/progdb?user=u&password=p")
+        connection.execute("CREATE TABLE p (id INT PRIMARY KEY)")
+        assert engine.row_count("p") == 0
+        assert cluster.engines["prog-engine"] is engine
+
+    def test_private_registry_isolation(self):
+        registry = ControllerRegistry()
+        cluster = load_cluster(ha_descriptor("priv"), registry=registry)
+        # resolvable through the private registry...
+        connection = cluster.connect(
+            "cjdbc://ha-priv-a/hadbpriv?user=app&password=secret"
+        )
+        assert connection.current_controller.name == "ha-priv-a"
+        assert "ha-priv-a" in registry
+        # ...and invisible to the process-wide default registry
+        assert "ha-priv-a" not in default_registry
+
+    def test_private_registry_does_not_clobber_default_entries(self):
+        shared = Controller("clobber-shared")  # registered in default_registry
+        private = ControllerRegistry()
+        load_cluster(
+            {
+                "virtual_databases": [{"name": "privdb", "backends": ["b"]}],
+                "controllers": [{"name": "clobber-shared"}],
+            },
+            registry=private,
+        )
+        # the default registry still resolves the original controller
+        assert default_registry.resolve("clobber-shared") is shared
+
+
+class TestLegacyShims:
+    def test_old_driver_signature_still_works(self):
+        cluster = load_cluster(ha_descriptor("old"))
+        controller = cluster.controller("ha-old-a")
+        connection = driver_connect(controller, "hadbold", "app", "secret")
+        assert connection.execute("SELECT 1").scalar() == 1
+
+    def test_driver_connect_accepts_urls(self):
+        load_cluster(ha_descriptor("durl"))
+        connection = driver_connect(
+            "cjdbc://ha-durl-a,ha-durl-b/hadbdurl?user=app&password=secret"
+        )
+        assert connection.execute("SELECT 1").scalar() == 1
+
+    def test_build_virtual_database_registers_engines_via_public_path(self):
+        engine = DatabaseEngine("shim-engine")
+        from repro.core import build_virtual_database
+
+        vdb = build_virtual_database(
+            VirtualDatabaseConfig(
+                name="shimdb",
+                backends=[BackendConfig(name="b0", engine=engine)],
+                replication="single",
+            )
+        )
+        assert vdb.backend_engine("b0") is engine
+        assert [b.name for b in vdb.backends] == ["b0"]

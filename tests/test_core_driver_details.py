@@ -77,6 +77,34 @@ class TestCursorSurface:
         assert cursor.fetchone() == (123,)
 
 
+class TestExecutemanyCacheSafety:
+    def test_executemany_does_not_mutate_shared_cached_result(self):
+        controller, vdb, _engines = make_cluster("emfix", backend_count=1, cache_enabled=True)
+        connection = connect(controller, "emfix", "u", "p")
+        cursor = connection.cursor()
+        cursor.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        cursor.execute("INSERT INTO t VALUES (1)")
+        cursor.execute("SELECT id FROM t")  # cache miss: entry inserted
+        cursor.execute("SELECT id FROM t")  # cache hit: shared entry
+        assert cursor.from_cache
+        cached_entry = cursor._result
+        cursor.executemany("SELECT id FROM t", [(), ()])
+        # the accumulated count lives on a private copy, not the cache entry
+        assert cached_entry.update_count == -1
+        assert cursor._result is not cached_entry
+
+    def test_executemany_empty_sequence_leaves_result_untouched(self):
+        controller, _vdb, _engines = make_cluster("emempty", backend_count=1)
+        connection = connect(controller, "emempty", "u", "p")
+        cursor = connection.cursor()
+        cursor.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        cursor.execute("INSERT INTO t VALUES (1)")
+        previous = cursor._result
+        cursor.executemany("INSERT INTO t VALUES (?)", [])
+        assert cursor._result is previous
+        assert previous.update_count == 1
+
+
 class TestConnectionContextManager:
     def test_commit_on_clean_exit(self):
         controller, _, engines = make_cluster("ctxdb", backend_count=1)
@@ -109,6 +137,30 @@ class TestConnectionContextManager:
     def test_commit_without_transaction_is_noop(self, conn):
         conn.commit()
         conn.rollback()
+
+    def test_exit_on_closed_connection_preserves_original_exception(self):
+        controller, _, _engines = make_cluster("ctxdb4", backend_count=1)
+        connection = connect(controller, "ctxdb4", "u", "p")
+        with pytest.raises(RuntimeError, match="original"):
+            with connection:
+                connection.close()
+                raise RuntimeError("original")  # must not be masked by InterfaceError
+
+    def test_clean_exit_after_close_does_not_raise(self):
+        controller, _, _engines = make_cluster("ctxdb5", backend_count=1)
+        with connect(controller, "ctxdb5", "u", "p") as connection:
+            connection.close()
+
+    def test_failed_commit_on_exit_still_closes_connection(self):
+        from repro.errors import CJDBCError
+
+        controller, _, _engines = make_cluster("ctxdb6", backend_count=1)
+        connection = connect(controller, "ctxdb6", "u", "p")
+        with pytest.raises(CJDBCError):
+            with connection:
+                connection.begin()
+                controller.shutdown()  # commit at exit will fail
+        assert connection.closed
 
 
 class TestExplicitTransactionSemantics:

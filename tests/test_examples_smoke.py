@@ -1,0 +1,42 @@
+"""Smoke test: every example must run cleanly against the public API.
+
+Each ``examples/*.py`` is executed as a subprocess with ``PYTHONPATH=src``,
+exactly as the README tells users to run them, so examples can never drift
+from the public API again.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 6
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda path: path.name)
+def test_example_runs_cleanly(example):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    result = subprocess.run(
+        [sys.executable, str(example)],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{example.name} failed with code {result.returncode}\n"
+        f"--- stdout ---\n{result.stdout}\n--- stderr ---\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{example.name} produced no output"
