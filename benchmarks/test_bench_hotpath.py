@@ -1,0 +1,53 @@
+"""Hot-path micro-benchmark: parsing cache, cached reads, write invalidation.
+
+Regenerates the numbers committed in ``BENCH_hotpath.json`` (at reduced
+iteration counts) and asserts the two ablation claims of the hot-path
+overhaul: the parsing cache makes parse-heavy work at least 3x faster, and
+the inverted invalidation index keeps write-invalidate cost sub-linear in
+the cache size while a full scan degrades linearly.
+
+Refresh the committed baseline with::
+
+    PYTHONPATH=src python -m repro bench-hotpath --out BENCH_hotpath.json
+
+and gate a change against it with::
+
+    PYTHONPATH=src python -m repro bench-hotpath --check-baseline BENCH_hotpath.json
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_hotpath_report, run_hotpath_microbenchmark
+
+
+def test_hotpath_microbenchmark(benchmark, once, capsys):
+    results = once(
+        benchmark,
+        run_hotpath_microbenchmark,
+        parse_statements=6000,
+        read_statements=2000,
+        write_statements=400,
+        backend_counts=(1, 4, 16),
+        invalidate_cache_sizes=(250, 1000, 4000),
+        invalidate_writes=150,
+    )
+    with capsys.disabled():
+        print()
+        print(format_hotpath_report(results))
+
+    scenarios = results["scenarios"]
+    ablations = results["ablations"]
+    # acceptance: parse-heavy scenario at least 3x faster with the cache on
+    assert ablations["parse_cache_speedup"] >= 3.0
+    # cached reads must not collapse as backends are added (they bypass them)
+    assert (
+        scenarios["cached_read_16_backends"]["ops_per_second"]
+        > scenarios["cached_read_1_backends"]["ops_per_second"] * 0.3
+    )
+    # acceptance: indexed invalidation is sub-linear in cache size — growing
+    # the cache 16x must cost the index far less than it costs the full scan
+    index = ablations["invalidate_index_vs_scan"]
+    indexed_slowdown = index["indexed_slowdown_largest_vs_smallest"]
+    scan_slowdown = index["full_scan_slowdown_largest_vs_smallest"]
+    assert indexed_slowdown < scan_slowdown / 2
+    assert indexed_slowdown < 3.0

@@ -8,22 +8,37 @@ rows/series the paper reports.  The pytest-benchmark targets in
 """
 
 from repro.bench.harness import (
+    HOTPATH_REGRESSION_TOLERANCE,
+    HotpathScenarioResult,
     OverheadResult,
+    check_hotpath_baseline,
+    run_hotpath_microbenchmark,
     run_loadbalancer_ablation,
     run_optimization_ablation,
     run_overhead_microbenchmark,
     run_rubis_cache_experiment,
     run_tpcw_scalability,
+    write_hotpath_json,
 )
-from repro.bench.report import format_rubis_table, format_scalability_table
+from repro.bench.report import (
+    format_hotpath_report,
+    format_rubis_table,
+    format_scalability_table,
+)
 
 __all__ = [
+    "HOTPATH_REGRESSION_TOLERANCE",
+    "HotpathScenarioResult",
     "OverheadResult",
+    "check_hotpath_baseline",
+    "format_hotpath_report",
     "format_rubis_table",
     "format_scalability_table",
+    "run_hotpath_microbenchmark",
     "run_loadbalancer_ablation",
     "run_optimization_ablation",
     "run_overhead_microbenchmark",
     "run_rubis_cache_experiment",
     "run_tpcw_scalability",
+    "write_hotpath_json",
 ]

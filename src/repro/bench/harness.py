@@ -17,9 +17,11 @@
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.cluster import Cluster
 from repro.core import BackendConfig, VirtualDatabaseConfig
@@ -291,3 +293,286 @@ def run_overhead_microbenchmark(statements: int = 2000) -> OverheadResult:
         middleware_seconds=middleware_seconds,
         statements=statements,
     )
+
+
+# ---------------------------------------------------------------------------
+# Hot-path micro-benchmark: parsing cache, cached reads, write invalidation
+# ---------------------------------------------------------------------------
+
+#: bumped when scenario names or semantics change, so stale baselines fail loudly
+HOTPATH_BENCH_VERSION = 1
+
+#: relative ops/s drop vs the committed baseline that fails --check-baseline
+HOTPATH_REGRESSION_TOLERANCE = 0.30
+
+#: statement shapes cycled by the parse scenario (TPC-W-like shapes: joined
+#: selects, point reads, writes with and without macros)
+_PARSE_WORKLOAD = [
+    "SELECT * FROM item WHERE i_id = ?",
+    "SELECT i_title, i_cost FROM item WHERE i_subject = ? ORDER BY i_pub_date",
+    "SELECT * FROM item JOIN author ON item.i_a_id = author.a_id WHERE a_lname = ?",
+    "SELECT o.o_id, ol.ol_qty FROM orders o LEFT JOIN order_line ol"
+    " ON o.o_id = ol.ol_o_id WHERE o.o_c_id = ?",
+    "SELECT COUNT(*) FROM shopping_cart_line WHERE scl_sc_id = ?",
+    "INSERT INTO shopping_cart_line (scl_sc_id, scl_i_id, scl_qty) VALUES (?, ?, ?)",
+    "UPDATE item SET i_stock = i_stock - ? WHERE i_id = ?",
+    "UPDATE shopping_cart SET sc_time = NOW() WHERE sc_id = ?",
+    "DELETE FROM shopping_cart_line WHERE scl_sc_id = ?",
+    "INSERT INTO orders (o_c_id, o_date, o_total) VALUES (?, NOW(), ?)",
+]
+
+
+@dataclass
+class HotpathScenarioResult:
+    """Throughput of one hot-path scenario."""
+
+    name: str
+    operations: int
+    seconds: float
+
+    @property
+    def ops_per_second(self) -> float:
+        return self.operations / self.seconds if self.seconds > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "operations": self.operations,
+            "seconds": round(self.seconds, 6),
+            "ops_per_second": round(self.ops_per_second, 1),
+        }
+
+
+def _time_loop(operation: Callable[[int], object], operations: int) -> float:
+    start = time.perf_counter()
+    for index in range(operations):
+        operation(index)
+    return time.perf_counter() - start
+
+
+def _run_parse_scenarios(statements: int) -> Dict[str, HotpathScenarioResult]:
+    from repro.core.requestparser import RequestFactory
+
+    workload = _PARSE_WORKLOAD
+    count = len(workload)
+    scenarios = {}
+    for label, cache_size in (("parse_cache_on", 1024), ("parse_cache_off", 0)):
+        factory = RequestFactory(parsing_cache_size=cache_size)
+        seconds = _time_loop(
+            lambda i, f=factory: f.create_request(workload[i % count], (i,)), statements
+        )
+        scenarios[label] = HotpathScenarioResult(label, statements, seconds)
+    return scenarios
+
+
+def _build_hotpath_cluster(backends: int, label: str):
+    """A RAIDb-1 virtual database with result + parsing caches enabled."""
+    configs = [
+        BackendConfig(name=f"backend{i}", engine=DatabaseEngine(f"hotpath-{label}-{i}"))
+        for i in range(backends)
+    ]
+    cluster = Cluster.from_configs(
+        VirtualDatabaseConfig(
+            name=f"hotpath-{label}",
+            backends=configs,
+            replication="raidb1",
+            cache_enabled=True,
+            recovery_log="none",
+        ),
+        controller_name=f"hotpath-{label}",
+    )
+    vdb = cluster.virtual_database(f"hotpath-{label}")
+    manager = vdb.request_manager
+    manager.execute("CREATE TABLE kv (k INT PRIMARY KEY, v VARCHAR(32))")
+    manager.execute("CREATE TABLE audit (a_id INT PRIMARY KEY, note VARCHAR(32))")
+    for key in range(100):
+        manager.execute("INSERT INTO kv (k, v) VALUES (?, ?)", (key, f"value-{key}"))
+        manager.execute("INSERT INTO audit (a_id, note) VALUES (?, ?)", (key, f"note-{key}"))
+    return vdb
+
+
+def _run_cached_read_scenario(backends: int, statements: int) -> HotpathScenarioResult:
+    vdb = _build_hotpath_cluster(backends, f"read{backends}")
+    manager = vdb.request_manager
+    # warm the result cache with the 20 point reads the loop will cycle
+    for key in range(20):
+        manager.execute("SELECT v FROM kv WHERE k = ?", (key,))
+    seconds = _time_loop(
+        lambda i: manager.execute("SELECT v FROM kv WHERE k = ?", (i % 20,)), statements
+    )
+    return HotpathScenarioResult(f"cached_read_{backends}_backends", statements, seconds)
+
+
+def _run_write_invalidate_scenario(backends: int, statements: int) -> HotpathScenarioResult:
+    """Write throughput against a populated cache.
+
+    The cache holds entries on ``audit`` while the writes hit ``kv``: every
+    write runs invalidation against a full cache without emptying it, the
+    steady state the invalidation index is built for.
+    """
+    vdb = _build_hotpath_cluster(backends, f"write{backends}")
+    manager = vdb.request_manager
+    for key in range(100):
+        manager.execute("SELECT note FROM audit WHERE a_id = ?", (key,))
+    seconds = _time_loop(
+        lambda i: manager.execute(
+            "UPDATE kv SET v = ? WHERE k = ?", (f"updated-{i}", i % 100)
+        ),
+        statements,
+    )
+    return HotpathScenarioResult(f"write_invalidate_{backends}_backends", statements, seconds)
+
+
+def _run_invalidate_index_ablation(
+    cache_sizes: Sequence[int], tables: int, writes: int
+) -> dict:
+    """Invalidation cost vs cache size: inverted index vs full scan.
+
+    The cache is filled with entries spread over ``tables`` tables and the
+    measured writes hit a table that caches nothing, so no entries are
+    dropped and the cache stays at the configured size: the measurement
+    isolates the candidate-selection cost.  The full-scan variant uses a
+    table granularity that opts out of the index, i.e. the pre-index code
+    path.
+    """
+    from repro.core.cache import (
+        FullScanTableGranularity,
+        ResultCache,
+        TableGranularity,
+    )
+    from repro.core.request import RequestResult, SelectRequest, WriteRequest
+
+    write_request = WriteRequest(
+        sql="UPDATE uncached_table SET x = 1", tables=("uncached_table",)
+    )
+    result = {
+        "cache_sizes": list(cache_sizes),
+        "tables": tables,
+        "writes_per_size": writes,
+        "indexed_ops_per_second": [],
+        "full_scan_ops_per_second": [],
+    }
+    for size in cache_sizes:
+        for granularity, column in (
+            (TableGranularity(), "indexed_ops_per_second"),
+            (FullScanTableGranularity(), "full_scan_ops_per_second"),
+        ):
+            cache = ResultCache(granularity=granularity, max_entries=size)
+            for index in range(size):
+                table = f"table{index % tables}"
+                request = SelectRequest(
+                    sql=f"SELECT * FROM {table} WHERE id = ?",
+                    tables=(table,),
+                    parameters=(index,),
+                )
+                cache.put(request, RequestResult(columns=["id"], rows=[[index]]))
+            seconds = _time_loop(lambda i: cache.invalidate(write_request), writes)
+            result[column].append(round(writes / seconds, 1) if seconds > 0 else 0.0)
+
+    def slowdown(column: str) -> float:
+        series = result[column]
+        return round(series[0] / series[-1], 2) if series and series[-1] else 0.0
+
+    result["indexed_slowdown_largest_vs_smallest"] = slowdown("indexed_ops_per_second")
+    result["full_scan_slowdown_largest_vs_smallest"] = slowdown("full_scan_ops_per_second")
+    return result
+
+
+def run_hotpath_microbenchmark(
+    parse_statements: int = 20000,
+    read_statements: int = 5000,
+    write_statements: int = 1200,
+    backend_counts: Sequence[int] = (1, 4, 16),
+    invalidate_cache_sizes: Sequence[int] = (250, 1000, 4000),
+    invalidate_tables: int = 50,
+    invalidate_writes: int = 300,
+) -> dict:
+    """Measure the controller hot paths and the cache ablations.
+
+    Returns the machine-readable document written to ``BENCH_hotpath.json``:
+    ops/s for statement parsing (parsing cache on/off), cached reads and
+    write+invalidate at each backend count, plus two ablations — the parsing
+    cache speedup and the invalidation-index cost vs cache size.
+    """
+    scenarios: Dict[str, HotpathScenarioResult] = {}
+    scenarios.update(_run_parse_scenarios(parse_statements))
+    for backends in backend_counts:
+        read = _run_cached_read_scenario(backends, read_statements)
+        scenarios[read.name] = read
+        write = _run_write_invalidate_scenario(backends, write_statements)
+        scenarios[write.name] = write
+
+    index_ablation = _run_invalidate_index_ablation(
+        invalidate_cache_sizes, invalidate_tables, invalidate_writes
+    )
+    parse_on = scenarios["parse_cache_on"].ops_per_second
+    parse_off = scenarios["parse_cache_off"].ops_per_second
+    return {
+        "benchmark": "hotpath",
+        "version": HOTPATH_BENCH_VERSION,
+        "config": {
+            "parse_statements": parse_statements,
+            "read_statements": read_statements,
+            "write_statements": write_statements,
+            "backend_counts": list(backend_counts),
+        },
+        "scenarios": {name: result.as_dict() for name, result in scenarios.items()},
+        "ablations": {
+            "parse_cache_speedup": round(parse_on / parse_off, 2) if parse_off else 0.0,
+            "invalidate_index_vs_scan": index_ablation,
+        },
+    }
+
+
+def write_hotpath_json(results: dict, path: Union[str, Path]) -> Path:
+    """Write the hot-path results where the baseline gate will find them."""
+    path = Path(path)
+    path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def check_hotpath_baseline(
+    results: dict,
+    baseline: Union[dict, str, Path],
+    tolerance: float = HOTPATH_REGRESSION_TOLERANCE,
+) -> List[str]:
+    """Compare a hot-path run against a committed baseline.
+
+    Returns a list of human-readable regression messages; empty means the
+    run is within ``tolerance`` (relative ops/s drop) of the baseline for
+    every scenario.  A missing or structurally incompatible baseline is
+    reported as a regression so the gate fails loudly instead of silently
+    passing.
+    """
+    if not isinstance(baseline, dict):
+        baseline_path = Path(baseline)
+        if not baseline_path.exists():
+            return [f"baseline file {str(baseline_path)!r} does not exist"]
+        try:
+            baseline = json.loads(baseline_path.read_text())
+        except json.JSONDecodeError as exc:
+            return [f"baseline file {str(baseline_path)!r} is not valid JSON: {exc}"]
+    problems: List[str] = []
+    if baseline.get("version") != results.get("version"):
+        problems.append(
+            f"baseline version {baseline.get('version')!r} does not match"
+            f" harness version {results.get('version')!r}; regenerate the baseline"
+        )
+        return problems
+    current_scenarios = results.get("scenarios", {})
+    for name, baseline_scenario in sorted(baseline.get("scenarios", {}).items()):
+        current = current_scenarios.get(name)
+        if current is None:
+            problems.append(f"scenario {name!r} present in baseline but not in this run")
+            continue
+        reference = baseline_scenario.get("ops_per_second", 0.0)
+        measured = current.get("ops_per_second", 0.0)
+        if reference <= 0:
+            continue
+        drop = (reference - measured) / reference
+        if drop > tolerance:
+            problems.append(
+                f"scenario {name!r} regressed {drop:.0%} vs baseline"
+                f" ({measured:.0f} ops/s now vs {reference:.0f} ops/s baseline,"
+                f" tolerance {tolerance:.0%})"
+            )
+    return problems

@@ -18,12 +18,16 @@ import sys
 from typing import List, Optional
 
 from repro.bench import (
+    check_hotpath_baseline,
+    format_hotpath_report,
     format_rubis_table,
     format_scalability_table,
+    run_hotpath_microbenchmark,
     run_loadbalancer_ablation,
     run_overhead_microbenchmark,
     run_rubis_cache_experiment,
     run_tpcw_scalability,
+    write_hotpath_json,
 )
 
 
@@ -52,6 +56,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("ablation-lb", help="load-balancing policy ablation")
     subparsers.add_parser("overhead", help="middleware overhead micro-benchmark")
+
+    hotpath = subparsers.add_parser(
+        "bench-hotpath",
+        help="controller hot-path micro-benchmark (parsing cache, cached reads,"
+        " write invalidation)",
+    )
+    hotpath.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the machine-readable results to FILE (e.g. BENCH_hotpath.json)",
+    )
+    hotpath.add_argument(
+        "--check-baseline",
+        default=None,
+        metavar="FILE",
+        help="fail (exit 1) if any scenario regresses more than 30%% vs this baseline",
+    )
+    hotpath.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="scale every iteration count (use < 1 for a quick run)",
+    )
 
     console = subparsers.add_parser(
         "console", help="build a demo 2-backend virtual database and run admin commands"
@@ -109,6 +137,35 @@ def _run_ablation_lb() -> str:
     for policy, fraction in fractions.items():
         lines.append(f"  {policy:5}: {fraction:.2%}")
     return "\n".join(lines)
+
+
+def _run_bench_hotpath(args: argparse.Namespace, stdout) -> int:
+    scale = max(args.scale, 0.001)
+    results = run_hotpath_microbenchmark(
+        parse_statements=max(int(20000 * scale), 10),
+        read_statements=max(int(5000 * scale), 10),
+        write_statements=max(int(1200 * scale), 10),
+        # scale the ablation's cache fills too: they dominate quick-run setup
+        # time, and the sizes only appear in the ablation section, so the
+        # scenario names compared by --check-baseline stay stable
+        invalidate_cache_sizes=tuple(
+            max(int(size * scale), 10) for size in (250, 1000, 4000)
+        ),
+        invalidate_writes=max(int(300 * scale), 5),
+    )
+    print(format_hotpath_report(results), file=stdout)
+    if args.out:
+        path = write_hotpath_json(results, args.out)
+        print(f"\nresults written to {path}", file=stdout)
+    if args.check_baseline:
+        problems = check_hotpath_baseline(results, args.check_baseline)
+        if problems:
+            print("\nBASELINE CHECK FAILED:", file=stdout)
+            for problem in problems:
+                print(f"  - {problem}", file=stdout)
+            return 1
+        print(f"\nbaseline check OK ({args.check_baseline})", file=stdout)
+    return 0
 
 
 def _run_overhead() -> str:
@@ -182,7 +239,16 @@ def _run_check_config(config_path: str, stdout) -> int:
         for vdb_name in controller.virtual_database_names:
             vdb = controller.get_virtual_database(vdb_name)
             backends = ", ".join(backend.name for backend in vdb.backends)
-            print(f"    virtual database {vdb_name} (backends: {backends})", file=stdout)
+            spec = cluster.descriptor.virtual_database(vdb_name)
+            parsing = (
+                f"parsing cache: {spec.parsing_cache_size} statements"
+                if spec.parsing_cache_size
+                else "parsing cache: disabled"
+            )
+            print(
+                f"    virtual database {vdb_name} (backends: {backends}; {parsing})",
+                file=stdout,
+            )
     for vdb_name in cluster.virtual_database_names:
         print(f"  url: {cluster.url(vdb_name)}", file=stdout)
     return 0
@@ -238,6 +304,8 @@ def main(argv: Optional[List[str]] = None, stdout=None) -> int:
     if args.command == "overhead":
         print(_run_overhead(), file=stdout)
         return 0
+    if args.command == "bench-hotpath":
+        return _run_bench_hotpath(args, stdout)
     if args.command == "console":
         return _run_console(args, stdout=stdout)
     if args.command == "check-config":

@@ -65,6 +65,7 @@ _VDB_KEYS = {
     "scheduler",
     "lazy_transaction_begin",
     "cache",
+    "parsing_cache_size",
     "recovery_log",
     "users",
     "transparent_authentication",
@@ -109,6 +110,8 @@ class VirtualDatabaseSpec:
     cache_granularity: str = "table"
     cache_max_entries: int = 10000
     cache_relaxation_rules: List[RelaxationRule] = field(default_factory=list)
+    #: entries in the controller's SQL parsing cache; 0 disables it (on by default)
+    parsing_cache_size: int = 1024
     recovery_log: str = "memory"
     users: Dict[str, str] = field(default_factory=dict)
     transparent_authentication: bool = True
@@ -159,6 +162,7 @@ class VirtualDatabaseSpec:
             cache_granularity=self.cache_granularity,
             cache_max_entries=self.cache_max_entries,
             cache_relaxation_rules=list(self.cache_relaxation_rules),
+            parsing_cache_size=self.parsing_cache_size,
             recovery_log=self.recovery_log,
             users=dict(self.users),
             transparent_authentication=self.transparent_authentication,
@@ -371,6 +375,18 @@ def _parse_virtual_database(entry: Any, where: str) -> VirtualDatabaseSpec:
             "must be a non-empty group name (omit the key for a non-replicated vdb)",
         )
 
+    parsing_cache_size = entry.get("parsing_cache_size", 1024)
+    if (
+        isinstance(parsing_cache_size, bool)
+        or not isinstance(parsing_cache_size, int)
+        or parsing_cache_size < 0
+    ):
+        _fail(
+            f"{where}.parsing_cache_size",
+            "expected a non-negative integer number of cached statements"
+            f" (0 disables the parsing cache), got {parsing_cache_size!r}",
+        )
+
     return VirtualDatabaseSpec(
         name=name,
         backends=backends,
@@ -380,6 +396,7 @@ def _parse_virtual_database(entry: Any, where: str) -> VirtualDatabaseSpec:
         scheduler=_get_str(entry, "scheduler", where, "optimistic"),
         lazy_transaction_begin=_get_bool(entry, "lazy_transaction_begin", where, True),
         recovery_log=_get_str(entry, "recovery_log", where, "memory"),
+        parsing_cache_size=parsing_cache_size,
         users=dict(users),
         transparent_authentication=_get_bool(entry, "transparent_authentication", where, True),
         group_name=group_name,

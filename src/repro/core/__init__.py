@@ -26,6 +26,7 @@ from repro.core.controller import Controller
 from repro.core.driver import connect
 from repro.core.request import RequestResult
 from repro.core.request_manager import RequestManager
+from repro.core.requestparser import ParsingCache, RequestFactory
 from repro.core.virtualdb import VirtualDatabase
 
 __all__ = [
@@ -34,6 +35,8 @@ __all__ = [
     "BackendState",
     "Controller",
     "DatabaseBackend",
+    "ParsingCache",
+    "RequestFactory",
     "RequestManager",
     "RequestResult",
     "VirtualDatabase",

@@ -53,6 +53,9 @@ class DatabaseBackend:
         self._metadata_factory = metadata_factory
         self._state = BackendState.DISABLED
         self._state_lock = threading.RLock()
+        #: callbacks invoked with this backend after every state change; the
+        #: request manager uses this to invalidate its enabled-backend snapshot
+        self._state_listeners: List[Callable[["DatabaseBackend"], None]] = []
         #: table names hosted by this backend (lower-cased)
         self._tables: Set[str] = {t.lower() for t in (static_schema or ())}
         self._static_schema = static_schema is not None
@@ -73,27 +76,52 @@ class DatabaseBackend:
 
     @property
     def state(self) -> BackendState:
-        with self._state_lock:
-            return self._state
+        # a single attribute read is atomic; taking the lock here would put
+        # two lock acquisitions on every request's hot path
+        return self._state
 
     @property
     def is_enabled(self) -> bool:
-        return self.state is BackendState.ENABLED
+        return self._state is BackendState.ENABLED
+
+    def add_state_listener(self, listener: Callable[["DatabaseBackend"], None]) -> None:
+        with self._state_lock:
+            if listener not in self._state_listeners:
+                self._state_listeners.append(listener)
+
+    def remove_state_listener(self, listener: Callable[["DatabaseBackend"], None]) -> None:
+        with self._state_lock:
+            if listener in self._state_listeners:
+                self._state_listeners.remove(listener)
+
+    def _notify_state_change(self) -> None:
+        with self._state_lock:
+            listeners = list(self._state_listeners)
+        for listener in listeners:
+            listener(self)
 
     def enable(self) -> None:
         with self._state_lock:
             self._state = BackendState.ENABLED
-        if not self._static_schema:
-            self.refresh_schema()
+        try:
+            if not self._static_schema:
+                self.refresh_schema()
+        finally:
+            # listeners must see the new state even if schema refresh fails
+            self._notify_state_change()
 
     def disable(self) -> None:
         with self._state_lock:
             self._state = BackendState.DISABLED
-        self.abort_all_transactions()
+        try:
+            self.abort_all_transactions()
+        finally:
+            self._notify_state_change()
 
     def set_recovering(self) -> None:
         with self._state_lock:
             self._state = BackendState.RECOVERING
+        self._notify_state_change()
 
     # -- schema -------------------------------------------------------------------
 

@@ -12,6 +12,7 @@ from repro.core.cache.granularity import (
     CacheGranularity,
     ColumnGranularity,
     DatabaseGranularity,
+    FullScanTableGranularity,
     TableGranularity,
 )
 from repro.core.cache.result_cache import CacheEntry, CacheStatistics, ResultCache
@@ -23,6 +24,7 @@ __all__ = [
     "CacheStatistics",
     "ColumnGranularity",
     "DatabaseGranularity",
+    "FullScanTableGranularity",
     "RelaxationRule",
     "ResultCache",
     "TableGranularity",

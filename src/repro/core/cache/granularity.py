@@ -20,6 +20,12 @@ class CacheGranularity:
     """Strategy deciding whether a write invalidates a cached entry."""
 
     name = "abstract"
+    #: True when a write can only ever invalidate entries that read one of
+    #: the written tables (or entries with no parsed tables).  The result
+    #: cache then narrows invalidation to its inverted table index instead of
+    #: scanning every entry.  Custom granularities keep the conservative
+    #: default (full scan).
+    uses_table_index = False
 
     def invalidates(self, write: AbstractRequest, entry: "CacheEntry") -> bool:
         raise NotImplementedError  # pragma: no cover - interface
@@ -38,6 +44,7 @@ class TableGranularity(CacheGranularity):
     """A write invalidates entries whose SELECT touches any written table."""
 
     name = "table"
+    uses_table_index = True
 
     def invalidates(self, write: AbstractRequest, entry: "CacheEntry") -> bool:
         if not write.tables:
@@ -50,6 +57,19 @@ class TableGranularity(CacheGranularity):
         return bool(written & read)
 
 
+class FullScanTableGranularity(TableGranularity):
+    """Table granularity with the inverted invalidation index opted out.
+
+    Identical invalidation decisions to :class:`TableGranularity`, but every
+    write scans the whole cache — the pre-index code path.  Used by the
+    hot-path benchmark ablation and the index-equivalence tests as the
+    reference implementation; not intended for production configurations.
+    """
+
+    name = "table-fullscan"
+    uses_table_index = False
+
+
 class ColumnGranularity(CacheGranularity):
     """Table granularity refined with the columns named by the write.
 
@@ -60,6 +80,8 @@ class ColumnGranularity(CacheGranularity):
     """
 
     name = "column"
+    # column granularity first requires a table overlap, so the index applies
+    uses_table_index = True
 
     def invalidates(self, write: AbstractRequest, entry: "CacheEntry") -> bool:
         if not TableGranularity().invalidates(write, entry):

@@ -6,6 +6,16 @@ kept with LRU eviction.  Invalidation is delegated to a
 rules may keep an entry alive for a staleness window after an invalidating
 write (the entry is then flagged stale and dropped once the window closes).
 
+Invalidation is indexed: the cache maintains an inverted ``table name →
+entry keys`` map so a write only visits the entries that actually reference
+one of the written tables (plus a small fallback bucket of entries whose
+SELECT had no parsed tables, which table granularity must treat
+conservatively).  Granularities that are not table-based — e.g. database
+granularity, or custom strategies — advertise ``uses_table_index = False``
+and fall back to the full scan.  Expired (stale-window) entries are dropped
+lazily, when a lookup or an invalidation touches them, rather than by
+scanning the whole cache on every write.
+
 The cache accepts an injectable ``clock`` so that the discrete-event
 simulator and the tests can control time deterministically.
 """
@@ -16,7 +26,7 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.cache.granularity import CacheGranularity, TableGranularity
 from repro.core.cache.rules import RelaxationRule, first_matching_rule
@@ -49,6 +59,9 @@ class CacheStatistics:
     invalidations: int = 0
     stale_hits: int = 0
     evictions: int = 0
+    #: entries dropped because their staleness window closed (distinct from
+    #: ``invalidations``, which only counts entries dropped by a write)
+    expirations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -67,6 +80,7 @@ class CacheStatistics:
             "invalidations": self.invalidations,
             "stale_hits": self.stale_hits,
             "evictions": self.evictions,
+            "expirations": self.expirations,
             "hit_ratio": round(self.hit_ratio, 4),
         }
 
@@ -86,6 +100,10 @@ class ResultCache:
         self.relaxation_rules: List[RelaxationRule] = list(relaxation_rules)
         self._clock = clock or time.monotonic
         self._entries: "OrderedDict[Tuple[str, Tuple], CacheEntry]" = OrderedDict()
+        #: inverted index: lower-cased table name -> keys of entries reading it
+        self._table_index: Dict[str, Set[Tuple[str, Tuple]]] = {}
+        #: entries whose SELECT had no parsed tables (always candidates)
+        self._untabled_keys: Set[Tuple[str, Tuple]] = set()
         self._lock = threading.RLock()
         self.statistics = CacheStatistics()
 
@@ -101,7 +119,8 @@ class ResultCache:
                 self.statistics.misses += 1
                 return None
             if entry.is_expired(now):
-                del self._entries[key]
+                self._remove_entry(key, entry)
+                self.statistics.expirations += 1
                 self.statistics.misses += 1
                 return None
             self._entries.move_to_end(key)
@@ -124,11 +143,16 @@ class ResultCache:
             created_at=self._clock(),
         )
         with self._lock:
+            previous = self._entries.get(key)
+            if previous is not None:
+                self._deindex_entry(key, previous)
             self._entries[key] = entry
             self._entries.move_to_end(key)
+            self._index_entry(key, entry)
             self.statistics.inserts += 1
             while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+                evicted_key, evicted = self._entries.popitem(last=False)
+                self._deindex_entry(evicted_key, evicted)
                 self.statistics.evictions += 1
 
     # -- invalidation -----------------------------------------------------------------
@@ -136,15 +160,22 @@ class ResultCache:
     def invalidate(self, write: AbstractRequest) -> int:
         """Process a write: drop or mark-stale every affected entry.
 
-        Returns the number of entries dropped immediately.
+        Only entries referencing one of the written tables are visited (via
+        the inverted index) when the granularity is table-based; otherwise
+        every entry is scanned.  Returns the number of entries dropped by
+        this write; entries whose staleness window had already closed are
+        dropped too but counted as ``expirations``, not ``invalidations``.
         """
         now = self._clock()
         dropped = 0
         with self._lock:
-            for key, entry in list(self._entries.items()):
+            for key in self._candidate_keys(write):
+                entry = self._entries.get(key)
+                if entry is None:
+                    continue
                 if entry.is_expired(now):
-                    del self._entries[key]
-                    dropped += 1
+                    self._remove_entry(key, entry)
+                    self.statistics.expirations += 1
                     continue
                 if not self.granularity.invalidates(write, entry):
                     continue
@@ -153,10 +184,46 @@ class ResultCache:
                     if entry.stale_deadline is None:
                         entry.stale_deadline = now + rule.staleness_seconds
                     continue
-                del self._entries[key]
+                self._remove_entry(key, entry)
                 dropped += 1
             self.statistics.invalidations += dropped
         return dropped
+
+    def _candidate_keys(self, write: AbstractRequest) -> List[Tuple[str, Tuple]]:
+        """Keys a write may invalidate.  Callers must hold the lock.
+
+        A superset of the affected entries: the granularity still decides
+        entry by entry.  Falls back to the full key list when the write names
+        no tables (conservative) or the granularity is not table-based.
+        """
+        if not getattr(self.granularity, "uses_table_index", False) or not write.tables:
+            return list(self._entries)
+        candidates = set(self._untabled_keys)
+        for table in write.tables:
+            candidates.update(self._table_index.get(table.lower(), ()))
+        return list(candidates)
+
+    def _index_entry(self, key: Tuple[str, Tuple], entry: CacheEntry) -> None:
+        if not entry.tables:
+            self._untabled_keys.add(key)
+            return
+        for table in entry.tables:
+            self._table_index.setdefault(table.lower(), set()).add(key)
+
+    def _deindex_entry(self, key: Tuple[str, Tuple], entry: CacheEntry) -> None:
+        if not entry.tables:
+            self._untabled_keys.discard(key)
+            return
+        for table in entry.tables:
+            keys = self._table_index.get(table.lower())
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._table_index[table.lower()]
+
+    def _remove_entry(self, key: Tuple[str, Tuple], entry: CacheEntry) -> None:
+        del self._entries[key]
+        self._deindex_entry(key, entry)
 
     def _rule_for(self, entry: CacheEntry) -> Optional[RelaxationRule]:
         if not self.relaxation_rules:
@@ -168,6 +235,8 @@ class ResultCache:
     def flush(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._table_index.clear()
+            self._untabled_keys.clear()
 
     # -- introspection ------------------------------------------------------------------
 
@@ -178,6 +247,11 @@ class ResultCache:
     def entries(self) -> List[CacheEntry]:
         with self._lock:
             return list(self._entries.values())
+
+    def indexed_tables(self) -> List[str]:
+        """Tables currently present in the inverted index (for monitoring)."""
+        with self._lock:
+            return sorted(self._table_index)
 
 
 class _EntryShim:

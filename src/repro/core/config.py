@@ -33,6 +33,7 @@ from repro.core.loadbalancer import (
 )
 from repro.core.recovery.recovery_log import FileRecoveryLog, MemoryRecoveryLog
 from repro.core.request_manager import RequestManager
+from repro.core.requestparser import RequestFactory
 from repro.core.scheduler import (
     OptimisticTransactionLevelScheduler,
     PassThroughScheduler,
@@ -76,6 +77,8 @@ class VirtualDatabaseConfig:
     cache_granularity: str = "table"       # database | table | column
     cache_max_entries: int = 10000
     cache_relaxation_rules: List[RelaxationRule] = field(default_factory=list)
+    #: entries in the SQL parsing cache (0 disables it)
+    parsing_cache_size: int = 1024
     recovery_log: str = "memory"           # none | memory | file:<path>
     users: Dict[str, str] = field(default_factory=dict)
     transparent_authentication: bool = True
@@ -101,12 +104,18 @@ def build_virtual_database(config: VirtualDatabaseConfig) -> VirtualDatabase:
     result_cache = _build_cache(config)
     recovery_log = _build_recovery_log(config.recovery_log)
 
+    if config.parsing_cache_size < 0:
+        raise ConfigurationError(
+            f"parsing_cache_size must be >= 0 (0 disables the parsing cache),"
+            f" got {config.parsing_cache_size}"
+        )
     request_manager = RequestManager(
         backends=[],
         scheduler=scheduler,
         load_balancer=load_balancer,
         result_cache=result_cache,
         recovery_log=recovery_log,
+        request_factory=RequestFactory(parsing_cache_size=config.parsing_cache_size),
         lazy_transaction_begin=config.lazy_transaction_begin,
     )
     authentication = AuthenticationManager(transparent=config.transparent_authentication)

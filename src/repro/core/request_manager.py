@@ -68,6 +68,18 @@ class RequestManager:
         from repro.core.loadbalancer import RAIDb1LoadBalancer  # avoid import cycle
 
         self._backends = list(backends)
+        self._backends_by_name: Dict[str, DatabaseBackend] = {
+            backend.name: backend for backend in self._backends
+        }
+        #: cached list of enabled backends, dropped whenever a backend is
+        #: added/removed or changes state (see _on_backend_state_change); the
+        #: version counter prevents a concurrent state change during snapshot
+        #: computation from being masked by the stale result being published
+        self._enabled_snapshot: Optional[List[DatabaseBackend]] = None
+        self._backends_version = 0
+        self._snapshot_lock = threading.Lock()
+        for backend in self._backends:
+            backend.add_state_listener(self._on_backend_state_change)
         self.scheduler = scheduler or OptimisticTransactionLevelScheduler()
         self.load_balancer = load_balancer or RAIDb1LoadBalancer()
         self.result_cache = result_cache
@@ -95,21 +107,46 @@ class RequestManager:
         return list(self._backends)
 
     def add_backend(self, backend: DatabaseBackend) -> None:
-        if any(b.name == backend.name for b in self._backends):
+        if backend.name in self._backends_by_name:
             raise CJDBCError(f"backend {backend.name!r} already registered")
         self._backends.append(backend)
+        self._backends_by_name[backend.name] = backend
+        backend.add_state_listener(self._on_backend_state_change)
+        self._drop_enabled_snapshot()
 
     def remove_backend(self, backend_name: str) -> None:
+        removed = self._backends_by_name.pop(backend_name, None)
+        if removed is not None:
+            removed.remove_state_listener(self._on_backend_state_change)
         self._backends = [b for b in self._backends if b.name != backend_name]
+        self._drop_enabled_snapshot()
 
     def get_backend(self, backend_name: str) -> DatabaseBackend:
-        for backend in self._backends:
-            if backend.name == backend_name:
-                return backend
-        raise CJDBCError(f"unknown backend {backend_name!r}")
+        backend = self._backends_by_name.get(backend_name)
+        if backend is None:
+            raise CJDBCError(f"unknown backend {backend_name!r}")
+        return backend
+
+    def _on_backend_state_change(self, backend: DatabaseBackend) -> None:
+        self._drop_enabled_snapshot()
+
+    def _drop_enabled_snapshot(self) -> None:
+        with self._snapshot_lock:
+            self._backends_version += 1
+            self._enabled_snapshot = None
 
     def enabled_backends(self) -> List[DatabaseBackend]:
-        return [backend for backend in self._backends if backend.is_enabled]
+        with self._snapshot_lock:
+            version = self._backends_version
+            snapshot = self._enabled_snapshot
+        if snapshot is None:
+            snapshot = [backend for backend in self._backends if backend.is_enabled]
+            with self._snapshot_lock:
+                # publish only if no membership/state change raced the filter
+                if self._backends_version == version:
+                    self._enabled_snapshot = snapshot
+        # callers get a copy so the cached snapshot cannot be mutated
+        return list(snapshot)
 
     def _handle_backend_failure(self, backend: DatabaseBackend, exc: Exception) -> None:
         """Disable a backend that failed a write/commit/abort (paper §2.4.1)."""
@@ -351,4 +388,7 @@ class RequestManager:
         }
         if self.result_cache is not None:
             stats["cache"] = self.result_cache.statistics.as_dict()
+        parsing_cache = getattr(self.request_factory, "parsing_cache", None)
+        if parsing_cache is not None:
+            stats["parsing_cache"] = parsing_cache.as_dict()
         return stats

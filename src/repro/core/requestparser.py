@@ -11,13 +11,25 @@ Parsing uses the SQL substrate's tokenizer only (not the full parser), so the
 controller accepts any backend dialect as long as the statement shape is
 recognisable — the same trade-off made by C-JDBC, which did lightweight
 parsing of the SQL strings.
+
+Because applications issue the same statement shapes over and over (the
+paper's parsing cache, §2.4.2), :class:`RequestFactory` memoizes the outcome
+of classification and table extraction in an LRU :class:`ParsingCache` keyed
+by ``(sql, rewrite flag)``.  A cached template stamps its classification and
+tables onto a fresh request object; statements containing non-deterministic
+macros (NOW(), RAND(), ...) cache the template *pre-rewrite* and re-run the
+macro rewriter on every instantiation, so cached writes never reuse a stale
+timestamp or random value.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Type
 
-from repro.core.macros import rewrite_macros
+from repro.core.macros import contains_macro, rewrite_macros
 from repro.core.request import (
     AbstractRequest,
     BeginRequest,
@@ -31,16 +43,147 @@ from repro.errors import SQLSyntaxError
 from repro.sql.lexer import TokenType, tokenize
 
 
+class ParsedTemplate:
+    """The reusable outcome of parsing one SQL string.
+
+    ``sql`` is the stripped statement text *before* macro rewriting; when
+    ``needs_macro_rewrite`` is set the rewriter runs again for every request
+    instantiated from this template.
+    """
+
+    __slots__ = ("request_class", "sql", "tables", "needs_macro_rewrite")
+
+    def __init__(
+        self,
+        request_class: Type[AbstractRequest],
+        sql: str,
+        tables: Tuple[str, ...] = (),
+        needs_macro_rewrite: bool = False,
+    ):
+        self.request_class = request_class
+        self.sql = sql
+        self.tables = tables
+        self.needs_macro_rewrite = needs_macro_rewrite
+
+    def instantiate(
+        self,
+        parameters: Sequence[object],
+        login: str,
+        transaction_id: Optional[int],
+    ) -> AbstractRequest:
+        sql = self.sql
+        macros_rewritten = False
+        if self.needs_macro_rewrite:
+            sql, macros_rewritten = rewrite_macros(sql)
+        return self.request_class(
+            sql=sql,
+            tables=self.tables,
+            macros_rewritten=macros_rewritten,
+            parameters=tuple(parameters),
+            login=login,
+            transaction_id=transaction_id,
+        )
+
+
+@dataclass
+class ParsingCacheStatistics:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_ratio": round(self.hit_ratio, 4),
+        }
+
+
+class ParsingCache:
+    """Bounded LRU cache of :class:`ParsedTemplate` objects.
+
+    Keys are ``(sql, rewrite_write_macros)`` so factories with different
+    rewrite settings can share one cache without mixing templates.
+    """
+
+    def __init__(self, max_entries: int = 1024):
+        if max_entries < 1:
+            raise ValueError(f"parsing cache needs max_entries >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple[str, bool], ParsedTemplate]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.statistics = ParsingCacheStatistics()
+
+    def get(self, key: Tuple[str, bool]) -> Optional[ParsedTemplate]:
+        with self._lock:
+            template = self._entries.get(key)
+            if template is None:
+                self.statistics.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.statistics.hits += 1
+            return template
+
+    def put(self, key: Tuple[str, bool], template: ParsedTemplate) -> None:
+        with self._lock:
+            self._entries[key] = template
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.statistics.evictions += 1
+
+    def flush(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def as_dict(self) -> dict:
+        """Statistics plus occupancy, for controller monitoring."""
+        stats = self.statistics.as_dict()
+        stats["entries"] = len(self)
+        stats["max_entries"] = self.max_entries
+        return stats
+
+
 class RequestFactory:
     """Builds request objects from raw SQL strings.
 
     ``rewrite_write_macros`` mirrors the scheduler behaviour described in the
     paper: only statements that modify the database need deterministic
     rewriting (reads can evaluate NOW()/RAND() wherever they run).
+
+    ``parsing_cache_size`` bounds the LRU parsing cache; ``0`` disables
+    caching entirely (every statement is re-tokenized, the pre-cache
+    behaviour).  A pre-built :class:`ParsingCache` can be shared between
+    factories via ``parsing_cache``.
     """
 
-    def __init__(self, rewrite_write_macros: bool = True):
+    def __init__(
+        self,
+        rewrite_write_macros: bool = True,
+        parsing_cache_size: int = 1024,
+        parsing_cache: Optional[ParsingCache] = None,
+    ):
         self.rewrite_write_macros = rewrite_write_macros
+        if parsing_cache is not None:
+            self.parsing_cache: Optional[ParsingCache] = parsing_cache
+        elif parsing_cache_size > 0:
+            self.parsing_cache = ParsingCache(max_entries=parsing_cache_size)
+        else:
+            self.parsing_cache = None
 
     def create_request(
         self,
@@ -50,35 +193,40 @@ class RequestFactory:
         transaction_id: Optional[int] = None,
     ) -> AbstractRequest:
         """Parse ``sql`` and wrap it in the appropriate request object."""
+        cache = self.parsing_cache
+        if cache is None:
+            template = self._parse_template(sql)
+        else:
+            key = (sql, self.rewrite_write_macros)
+            template = cache.get(key)
+            if template is None:
+                template = self._parse_template(sql)
+                cache.put(key, template)
+        return template.instantiate(parameters, login, transaction_id)
+
+    def _parse_template(self, sql: str) -> ParsedTemplate:
         stripped = sql.strip()
         if not stripped:
             raise SQLSyntaxError("empty SQL statement")
         first_word = _first_word(stripped)
-        common = dict(
-            parameters=tuple(parameters),
-            login=login,
-            transaction_id=transaction_id,
-        )
         if first_word in ("BEGIN", "START"):
-            return BeginRequest(sql=stripped, **common)
+            return ParsedTemplate(BeginRequest, stripped)
         if first_word == "COMMIT":
-            return CommitRequest(sql=stripped, **common)
+            return ParsedTemplate(CommitRequest, stripped)
         if first_word == "ROLLBACK":
-            return RollbackRequest(sql=stripped, **common)
+            return ParsedTemplate(RollbackRequest, stripped)
         if first_word == "SELECT":
             tables = tuple(extract_tables(stripped))
-            return SelectRequest(sql=stripped, tables=tables, **common)
+            return ParsedTemplate(SelectRequest, stripped, tables)
         if first_word in ("INSERT", "UPDATE", "DELETE"):
-            rewritten, changed = (
-                rewrite_macros(stripped) if self.rewrite_write_macros else (stripped, False)
-            )
-            tables = tuple(extract_tables(rewritten))
-            return WriteRequest(
-                sql=rewritten, tables=tables, macros_rewritten=changed, **common
+            tables = tuple(extract_tables(stripped))
+            needs_rewrite = self.rewrite_write_macros and contains_macro(stripped)
+            return ParsedTemplate(
+                WriteRequest, stripped, tables, needs_macro_rewrite=needs_rewrite
             )
         if first_word in ("CREATE", "DROP", "ALTER"):
             tables = tuple(extract_tables(stripped))
-            return DDLRequest(sql=stripped, tables=tables, **common)
+            return ParsedTemplate(DDLRequest, stripped, tables)
         raise SQLSyntaxError(f"unsupported SQL statement: {stripped[:80]!r}")
 
 

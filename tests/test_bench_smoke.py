@@ -1,0 +1,134 @@
+"""Tier-1 smoke runs of every benchmark harness entry point.
+
+Each test runs one ``repro.bench`` driver at tiny iteration counts so the
+benchmarks cannot bit-rot between the full runs (marker: ``bench_smoke``;
+select them with ``pytest -m bench_smoke``).  The hot-path baseline gate is
+exercised both against the committed ``BENCH_hotpath.json`` (structure) and
+against synthetic data (regression detection).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    check_hotpath_baseline,
+    format_hotpath_report,
+    run_hotpath_microbenchmark,
+    run_loadbalancer_ablation,
+    run_optimization_ablation,
+    run_overhead_microbenchmark,
+    run_rubis_cache_experiment,
+    run_tpcw_scalability,
+    write_hotpath_json,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_hotpath.json"
+
+pytestmark = pytest.mark.bench_smoke
+
+
+def tiny_hotpath_run() -> dict:
+    return run_hotpath_microbenchmark(
+        parse_statements=200,
+        read_statements=100,
+        write_statements=30,
+        backend_counts=(1, 2),
+        invalidate_cache_sizes=(20, 80),
+        invalidate_tables=5,
+        invalidate_writes=10,
+    )
+
+
+class TestBenchSmoke:
+    def test_tpcw_scalability_smoke(self):
+        series = run_tpcw_scalability(
+            "ordering", backend_counts=[1, 2], clients_per_backend=20,
+            warmup=5, measurement=20,
+        )
+        assert set(series) == {"single", "full", "partial"}
+        assert all(result.sql_requests_per_minute > 0 for result in series["full"])
+
+    def test_rubis_cache_smoke(self):
+        results = run_rubis_cache_experiment(clients=30, warmup=5, measurement=20)
+        assert set(results) == {"none", "coherent", "relaxed"}
+
+    def test_optimization_ablation_smoke(self):
+        results = run_optimization_ablation(backends=2, clients=40, warmup=5, measurement=20)
+        assert set(results) == {"early_response", "wait_all"}
+
+    def test_loadbalancer_ablation_smoke(self):
+        fractions = run_loadbalancer_ablation(requests=60, backends=2)
+        assert set(fractions) == {"rr", "wrr", "lprf"}
+
+    def test_overhead_smoke(self):
+        result = run_overhead_microbenchmark(statements=50)
+        assert result.middleware_seconds > 0
+
+    def test_hotpath_smoke_and_report(self):
+        results = tiny_hotpath_run()
+        scenarios = results["scenarios"]
+        assert {"parse_cache_on", "parse_cache_off"} <= set(scenarios)
+        assert "cached_read_1_backends" in scenarios
+        assert "write_invalidate_2_backends" in scenarios
+        assert all(s["ops_per_second"] > 0 for s in scenarios.values())
+        report = format_hotpath_report(results)
+        assert "parsing cache speedup" in report
+        assert "write-invalidate cost vs cache size" in report
+
+
+class TestHotpathBaselineGate:
+    def test_committed_baseline_matches_harness_scenarios(self):
+        """BENCH_hotpath.json must stay structurally in sync with the harness."""
+        assert BASELINE_PATH.exists(), "BENCH_hotpath.json baseline not committed"
+        baseline = json.loads(BASELINE_PATH.read_text())
+        results = tiny_hotpath_run()
+        assert baseline["version"] == results["version"]
+        # every 1/4/16-backend scenario of the committed baseline must still
+        # be producible by the harness defaults
+        default_names = {
+            "parse_cache_on",
+            "parse_cache_off",
+            *(f"cached_read_{n}_backends" for n in (1, 4, 16)),
+            *(f"write_invalidate_{n}_backends" for n in (1, 4, 16)),
+        }
+        assert set(baseline["scenarios"]) == default_names
+        assert baseline["ablations"]["parse_cache_speedup"] >= 3.0
+        index = baseline["ablations"]["invalidate_index_vs_scan"]
+        # the committed run must show the index keeping invalidation cost
+        # sub-linear in cache size while the full scan degrades linearly
+        assert (
+            index["indexed_slowdown_largest_vs_smallest"]
+            < index["full_scan_slowdown_largest_vs_smallest"] / 2
+        )
+
+    def test_check_baseline_detects_regressions(self, tmp_path):
+        results = tiny_hotpath_run()
+        baseline_file = write_hotpath_json(results, tmp_path / "baseline.json")
+        assert check_hotpath_baseline(results, baseline_file) == []
+        # a >30% ops/s drop in any scenario must be reported
+        regressed = json.loads(json.dumps(results))
+        scenario = regressed["scenarios"]["parse_cache_on"]
+        scenario["ops_per_second"] = scenario["ops_per_second"] * 0.5
+        problems = check_hotpath_baseline(regressed, baseline_file)
+        assert len(problems) == 1
+        assert "parse_cache_on" in problems[0]
+        assert "regressed" in problems[0]
+
+    def test_check_baseline_fails_loudly_on_bad_baseline(self, tmp_path):
+        results = tiny_hotpath_run()
+        assert check_hotpath_baseline(results, tmp_path / "missing.json") != []
+        wrong_version = {"version": -1, "scenarios": {}}
+        assert any(
+            "version" in problem
+            for problem in check_hotpath_baseline(results, wrong_version)
+        )
+        # a scenario dropped from the harness is a failure, not a silent pass
+        baseline = json.loads(json.dumps(results))
+        baseline["scenarios"]["ghost_scenario"] = {"ops_per_second": 1000.0}
+        problems = check_hotpath_baseline(results, baseline)
+        assert any("ghost_scenario" in problem for problem in problems)

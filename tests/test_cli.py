@@ -118,3 +118,72 @@ class TestConfigCommands:
         out = io.StringIO()
         assert main(["check-config", str(bad)], stdout=out) == 1
         assert "invalid descriptor" in out.getvalue()
+
+    def test_check_config_reports_parsing_cache(self, tmp_path):
+        path = tmp_path / "cluster.json"
+        path.write_text(
+            '{"virtual_databases": [{"name": "clidb", "backends": ["b0"],'
+            ' "parsing_cache_size": 64}]}'
+        )
+        out = io.StringIO()
+        assert main(["check-config", str(path)], stdout=out) == 0
+        assert "parsing cache: 64 statements" in out.getvalue()
+
+        disabled = tmp_path / "disabled.json"
+        disabled.write_text(
+            '{"virtual_databases": [{"name": "clidb2", "backends": ["b0"],'
+            ' "parsing_cache_size": 0}]}'
+        )
+        out = io.StringIO()
+        assert main(["check-config", str(disabled)], stdout=out) == 0
+        assert "parsing cache: disabled" in out.getvalue()
+
+    def test_check_config_rejects_bad_parsing_cache_size(self, tmp_path):
+        path = tmp_path / "cluster.json"
+        path.write_text(
+            '{"virtual_databases": [{"name": "clidb", "backends": ["b0"],'
+            ' "parsing_cache_size": -5}]}'
+        )
+        out = io.StringIO()
+        assert main(["check-config", str(path)], stdout=out) == 1
+        assert "parsing_cache_size" in out.getvalue()
+
+
+class TestBenchHotpathCommand:
+    def test_registered_in_help(self):
+        assert "bench-hotpath" in build_parser().format_help()
+
+    def test_quick_run_writes_json_and_checks_baseline(self, tmp_path):
+        import json
+
+        out_path = tmp_path / "BENCH_hotpath.json"
+        out = io.StringIO()
+        code = main(
+            ["bench-hotpath", "--scale", "0.005", "--out", str(out_path)], stdout=out
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "parsing cache speedup" in text
+        assert f"results written to {out_path}" in text
+        document = json.loads(out_path.read_text())
+        assert document["benchmark"] == "hotpath"
+        assert "parse_cache_on" in document["scenarios"]
+
+        # the same numbers pass a baseline check against themselves ...
+        out = io.StringIO()
+        code = main(
+            ["bench-hotpath", "--scale", "0.005", "--check-baseline", str(out_path)],
+            stdout=out,
+        )
+        assert code in (0, 1)  # tiny runs may be noisy; the gate itself must run
+        assert "baseline check" in out.getvalue().lower()
+
+        # ... and a missing baseline fails loudly
+        out = io.StringIO()
+        code = main(
+            ["bench-hotpath", "--scale", "0.005", "--check-baseline",
+             str(tmp_path / "missing.json")],
+            stdout=out,
+        )
+        assert code == 1
+        assert "BASELINE CHECK FAILED" in out.getvalue()

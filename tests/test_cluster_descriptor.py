@@ -26,6 +26,20 @@ class TestDescriptorParsing:
         assert [c.name for c in descriptor.controllers] == ["controller0"]
         assert descriptor.controllers[0].virtual_databases == ["mydb"]
 
+    def test_parsing_cache_knob(self):
+        # default: on, 1024 statements
+        spec = load_descriptor(minimal_descriptor()).virtual_database("mydb")
+        assert spec.parsing_cache_size == 1024
+        # explicit size flows down to the built request factory
+        cluster = load_cluster(minimal_descriptor(parsing_cache_size=7))
+        factory = cluster.virtual_database("mydb").request_manager.request_factory
+        assert factory.parsing_cache is not None
+        assert factory.parsing_cache.max_entries == 7
+        # 0 disables the cache entirely
+        cluster = load_cluster(minimal_descriptor(parsing_cache_size=0))
+        factory = cluster.virtual_database("mydb").request_manager.request_factory
+        assert factory.parsing_cache is None
+
     def test_backend_mapping_form(self):
         descriptor = load_descriptor(
             minimal_descriptor(
@@ -182,6 +196,15 @@ class TestDescriptorValidation:
              "duplicate virtual database name"),
             ({"virtual_databases": [{"name": "d", "backends": ["a"], "group_name": ""}]},
              r"group_name: must be a non-empty group name"),
+            ({"virtual_databases": [{"name": "d", "backends": ["a"],
+                                     "parsing_cache_size": -1}]},
+             r"parsing_cache_size: expected a non-negative integer"),
+            ({"virtual_databases": [{"name": "d", "backends": ["a"],
+                                     "parsing_cache_size": "big"}]},
+             r"parsing_cache_size: expected a non-negative integer.*got 'big'"),
+            ({"virtual_databases": [{"name": "d", "backends": ["a"],
+                                     "parsing_cache_size": True}]},
+             r"parsing_cache_size: expected a non-negative integer"),
             ({"virtual_databases": [{"name": "d", "backends": ["a"]}],
               "controllers": [{"name": "c", "virtual_databases": ["ghost"]}]},
              r"controllers\[0\]\.virtual_databases: unknown virtual database 'ghost'"),

@@ -191,3 +191,32 @@ class TestRelaxedConsistency:
         cache.put(request, result())
         cache.invalidate(write())
         assert cache.get(request) is None
+
+    def test_expired_drop_on_invalidate_counts_as_expiration_not_invalidation(self):
+        clock = FakeClock()
+        cache = ResultCache(
+            relaxation_rules=[RelaxationRule(staleness_seconds=60.0)], clock=clock
+        )
+        request = select()
+        cache.put(request, result())
+        cache.invalidate(write())  # marks stale, drops nothing
+        assert cache.statistics.invalidations == 0
+        clock.advance(61)
+        dropped = cache.invalidate(write())
+        assert dropped == 0  # the expired entry is not a write invalidation
+        assert cache.statistics.expirations == 1
+        assert cache.statistics.invalidations == 0
+        assert len(cache) == 0
+
+    def test_expired_drop_on_get_counts_as_expiration(self):
+        clock = FakeClock()
+        cache = ResultCache(
+            relaxation_rules=[RelaxationRule(staleness_seconds=60.0)], clock=clock
+        )
+        request = select()
+        cache.put(request, result())
+        cache.invalidate(write())
+        clock.advance(61)
+        assert cache.get(request) is None
+        assert cache.statistics.expirations == 1
+        assert cache.statistics.as_dict()["expirations"] == 1

@@ -169,6 +169,26 @@ class TestBackendManagement:
         assert not request_manager.get_backend("backend1").is_enabled
         assert request_manager.enabled_backends()[0].name == "backend0"
 
+    def test_enabled_backends_snapshot_tracks_state_changes(self, manager):
+        """The cached enabled-backend snapshot follows enable/disable/remove."""
+        request_manager, _ = manager
+        assert [b.name for b in request_manager.enabled_backends()] == [
+            "backend0", "backend1",
+        ]
+        backend1 = request_manager.get_backend("backend1")
+        backend1.disable()
+        assert [b.name for b in request_manager.enabled_backends()] == ["backend0"]
+        backend1.enable()
+        assert len(request_manager.enabled_backends()) == 2
+        # mutating the returned list must not corrupt the snapshot
+        request_manager.enabled_backends().clear()
+        assert len(request_manager.enabled_backends()) == 2
+        request_manager.remove_backend("backend1")
+        assert [b.name for b in request_manager.enabled_backends()] == ["backend0"]
+        # a removed backend no longer notifies the manager
+        backend1.disable()
+        assert [b.name for b in request_manager.enabled_backends()] == ["backend0"]
+
     def test_statistics_aggregate_components(self, manager):
         request_manager, _ = manager
         request_manager.execute("SELECT COUNT(*) FROM kv")
@@ -176,6 +196,8 @@ class TestBackendManagement:
         assert stats["scheduler"]["reads_scheduled"] >= 1
         assert stats["load_balancer"]["raidb_level"] == "RAIDb-1"
         assert "cache" in stats
+        assert "parsing_cache" in stats
+        assert stats["parsing_cache"]["entries"] >= 1
         assert len(stats["backends"]) == 2
 
 
