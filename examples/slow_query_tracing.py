@@ -1,0 +1,100 @@
+"""Observability and admission control through the execution pipeline.
+
+Every request to a virtual database flows through a composable pipeline of
+stages (classify → authenticate → schedule → cache-lookup → transaction →
+recovery-log → cache-invalidate → load-balance); cross-cutting concerns
+attach as *interceptors* declared in the cluster descriptor — no middleware
+code is touched to add tracing, a slow-query log, per-type metrics or a
+rate limit.
+
+This example boots a cached RAIDb-1 cluster whose descriptor installs:
+
+* ``slow_query_log`` — every request slower than the threshold is kept;
+* ``tracing`` — per-request spans with per-stage timings;
+* ``rate_limit`` — a per-login sliding-window budget, enforced before any
+  work is queued on the scheduler;
+
+then drives it through plain DB-API code over ``repro.connect`` and reads
+the interceptors back through the cluster facade.
+
+Run with:  python examples/slow_query_tracing.py
+"""
+
+import repro
+from repro.errors import RateLimitExceededError
+
+DESCRIPTOR = {
+    "name": "observability-cluster",
+    "virtual_databases": [
+        {
+            "name": "shopdb",
+            "replication": "raidb1",
+            "cache": {"enabled": True},
+            # the pipeline interceptor chain, in order; "metrics" is always
+            # installed implicitly and kept first
+            "interceptors": [
+                {"name": "slow_query_log", "threshold_ms": 0.0, "max_entries": 16},
+                {"name": "tracing", "max_traces": 32},
+                {"name": "rate_limit", "max_requests": 40, "window_seconds": 60.0},
+            ],
+            "backends": [{"name": "shop-a"}, {"name": "shop-b"}],
+        }
+    ],
+    "controllers": [{"name": "shop-controller"}],
+}
+
+
+def main() -> None:
+    cluster = repro.load_cluster(DESCRIPTOR)
+    connection = repro.connect("cjdbc://shop-controller/shopdb?user=clerk&password=s3")
+    cursor = connection.cursor()
+
+    cursor.execute(
+        "CREATE TABLE orders (id INT PRIMARY KEY AUTO_INCREMENT,"
+        " item VARCHAR(40), qty INT)"
+    )
+    cursor.executemany(
+        "INSERT INTO orders (item, qty) VALUES (?, ?)",
+        [("keyboard", 2), ("monitor", 1), ("cable", 5)],
+    )
+    for _ in range(3):  # repeated read: second and third are cache hits
+        cursor.execute("SELECT item, qty FROM orders WHERE qty > ?", (1,))
+        cursor.fetchall()
+
+    # --- slow query log -------------------------------------------------------
+    slow_log = cluster.interceptor("shopdb", "slow_query_log")
+    print("slow queries (threshold 0ms, i.e. everything):")
+    for entry in slow_log.entries()[-3:]:
+        print(
+            f"  {entry['duration_ms']:8.3f} ms  {entry['category']:5}"
+            f"  cache={entry['cache']:6}  {entry['sql'][:48]}"
+        )
+
+    # --- tracing: per-stage timings ------------------------------------------
+    span = cluster.interceptor("shopdb", "tracing").traces()[-1]
+    print(f"\nlast span: {span['category']} ({span['duration_ms']} ms,"
+          f" cache={span['cache']})")
+    for stage, millis in span["stages"].items():
+        print(f"  {stage:16} {millis:8.3f} ms")
+
+    # --- per-request-type metrics --------------------------------------------
+    print("\nrequest metrics:", cluster.interceptor("shopdb", "metrics").statistics())
+
+    # --- rate limiting --------------------------------------------------------
+    rejected = 0
+    for i in range(60):  # blow through the 40-requests/minute budget
+        try:
+            cursor.execute("SELECT COUNT(*) FROM orders")
+        except RateLimitExceededError:
+            rejected += 1
+    limiter = cluster.interceptor("shopdb", "rate_limit").statistics()
+    print(
+        f"\nrate limit: {rejected} of 60 burst requests rejected"
+        f" (allowed={limiter['allowed']}, rejected={limiter['rejected']})"
+    )
+
+    cluster.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -300,7 +300,7 @@ def run_overhead_microbenchmark(statements: int = 2000) -> OverheadResult:
 # ---------------------------------------------------------------------------
 
 #: bumped when scenario names or semantics change, so stale baselines fail loudly
-HOTPATH_BENCH_VERSION = 1
+HOTPATH_BENCH_VERSION = 2
 
 #: relative ops/s drop vs the committed baseline that fails --check-baseline
 HOTPATH_REGRESSION_TOLERANCE = 0.30
@@ -477,6 +477,64 @@ def _run_invalidate_index_ablation(
     return result
 
 
+def _run_pipeline_overhead_scenarios(statements: int) -> Dict[str, HotpathScenarioResult]:
+    """Cached-read throughput: execution pipeline vs the inlined hot path.
+
+    Both variants parse the statement (hitting the parsing cache) and serve
+    the read from a warm result cache on one backend.  ``cached_read_inline``
+    replays the pre-pipeline code path — schedule, cache lookup, ticket
+    release, hand-wired exactly as ``RequestManager._execute_read`` was
+    before the pipeline redesign — so the ``pipeline_overhead`` ablation
+    isolates what the composable stage chain costs on the hottest request
+    shape the controller serves.
+    """
+    vdb = _build_hotpath_cluster(1, "pipeline-overhead")
+    manager = vdb.request_manager
+    for key in range(20):
+        manager.execute("SELECT v FROM kv WHERE k = ?", (key,))
+
+    scenarios: Dict[str, HotpathScenarioResult] = {}
+    seconds = _time_loop(
+        lambda i: manager.execute("SELECT v FROM kv WHERE k = ?", (i % 20,)), statements
+    )
+    scenarios["cached_read_pipeline"] = HotpathScenarioResult(
+        "cached_read_pipeline", statements, seconds
+    )
+
+    import threading
+
+    factory = manager.request_factory
+    scheduler = manager.scheduler
+    cache = manager.result_cache
+    load_balancer = manager.load_balancer
+    backends = manager._backends
+    stats_lock = threading.Lock()
+    stats = {"requests_executed": 0}
+
+    def inline_read(index: int) -> None:
+        # the PR2-era hard-wired read path (execute_request + _execute_read),
+        # replayed as the baseline: per-request stats counter included
+        request = factory.create_request("SELECT v FROM kv WHERE k = ?", (index % 20,))
+        with stats_lock:
+            stats["requests_executed"] += 1
+        ticket = scheduler.schedule_read(request)
+        try:
+            cached = cache.get(request)
+            if cached is not None:
+                return
+            result = load_balancer.execute_read_request(request, backends)
+            cache.put(request, result)
+            manager._note_transaction_participant(request)
+        finally:
+            ticket.release()
+
+    seconds = _time_loop(inline_read, statements)
+    scenarios["cached_read_inline"] = HotpathScenarioResult(
+        "cached_read_inline", statements, seconds
+    )
+    return scenarios
+
+
 def run_hotpath_microbenchmark(
     parse_statements: int = 20000,
     read_statements: int = 5000,
@@ -500,12 +558,22 @@ def run_hotpath_microbenchmark(
         scenarios[read.name] = read
         write = _run_write_invalidate_scenario(backends, write_statements)
         scenarios[write.name] = write
+    scenarios.update(_run_pipeline_overhead_scenarios(read_statements))
 
     index_ablation = _run_invalidate_index_ablation(
         invalidate_cache_sizes, invalidate_tables, invalidate_writes
     )
     parse_on = scenarios["parse_cache_on"].ops_per_second
     parse_off = scenarios["parse_cache_off"].ops_per_second
+    pipeline_ops = scenarios["cached_read_pipeline"].ops_per_second
+    inline_ops = scenarios["cached_read_inline"].ops_per_second
+    pipeline_overhead = {
+        "pipeline_ops_per_second": round(pipeline_ops, 1),
+        "inline_ops_per_second": round(inline_ops, 1),
+        "overhead_pct": (
+            round((inline_ops - pipeline_ops) / inline_ops * 100.0, 2) if inline_ops else 0.0
+        ),
+    }
     return {
         "benchmark": "hotpath",
         "version": HOTPATH_BENCH_VERSION,
@@ -519,6 +587,7 @@ def run_hotpath_microbenchmark(
         "ablations": {
             "parse_cache_speedup": round(parse_on / parse_off, 2) if parse_off else 0.0,
             "invalidate_index_vs_scan": index_ablation,
+            "pipeline_overhead": pipeline_overhead,
         },
     }
 

@@ -249,6 +249,12 @@ def _run_check_config(config_path: str, stdout) -> int:
                 f"    virtual database {vdb_name} (backends: {backends}; {parsing})",
                 file=stdout,
             )
+            chain = vdb.pipeline.interceptor_names
+            print(
+                f"      interceptors: {', '.join(chain) if chain else 'none'}"
+                f" (stages: {' -> '.join(vdb.pipeline.stage_names)})",
+                file=stdout,
+            )
     for vdb_name in cluster.virtual_database_names:
         print(f"  url: {cluster.url(vdb_name)}", file=stdout)
     return 0

@@ -12,6 +12,7 @@ from a JSON or TOML file — describing a whole cluster at once::
           "replication": "raidb1",
           "load_balancing_policy": "lprf",
           "cache": {"enabled": true, "granularity": "table"},
+          "interceptors": ["tracing", {"name": "rate_limit", "max_requests": 500}],
           "recovery_log": "memory",
           "users": {"app": "secret"},
           "backends": [
@@ -66,6 +67,7 @@ _VDB_KEYS = {
     "lazy_transaction_begin",
     "cache",
     "parsing_cache_size",
+    "interceptors",
     "recovery_log",
     "users",
     "transparent_authentication",
@@ -112,6 +114,8 @@ class VirtualDatabaseSpec:
     cache_relaxation_rules: List[RelaxationRule] = field(default_factory=list)
     #: entries in the controller's SQL parsing cache; 0 disables it (on by default)
     parsing_cache_size: int = 1024
+    #: validated ``interceptors:`` entries (built-in names or option mappings)
+    interceptors: List[Any] = field(default_factory=list)
     recovery_log: str = "memory"
     users: Dict[str, str] = field(default_factory=dict)
     transparent_authentication: bool = True
@@ -163,6 +167,7 @@ class VirtualDatabaseSpec:
             cache_max_entries=self.cache_max_entries,
             cache_relaxation_rules=list(self.cache_relaxation_rules),
             parsing_cache_size=self.parsing_cache_size,
+            interceptors=list(self.interceptors),
             recovery_log=self.recovery_log,
             users=dict(self.users),
             transparent_authentication=self.transparent_authentication,
@@ -325,6 +330,21 @@ def _parse_cache(vdb: Mapping, where: str) -> dict:
     }
 
 
+def _parse_interceptors(vdb: Mapping, where: str) -> List[Any]:
+    """Validate the ``interceptors:`` section against the built-in registry.
+
+    Each entry is a built-in name or a ``{"name": ..., option: ...}``
+    mapping; validation actually *builds* every interceptor (so option
+    values are checked too, not just key names) and keeps the raw specs,
+    which the virtual database materializes again at boot.
+    """
+    from repro.core.pipeline import build_interceptors
+
+    specs = _get_list(vdb, "interceptors", where)
+    build_interceptors(specs, where=f"{where}.interceptors")
+    return [dict(spec) if isinstance(spec, Mapping) else spec for spec in specs]
+
+
 def _parse_virtual_database(entry: Any, where: str) -> VirtualDatabaseSpec:
     if not isinstance(entry, Mapping):
         _fail(where, f"expected a mapping, got {type(entry).__name__}")
@@ -397,6 +417,7 @@ def _parse_virtual_database(entry: Any, where: str) -> VirtualDatabaseSpec:
         lazy_transaction_begin=_get_bool(entry, "lazy_transaction_begin", where, True),
         recovery_log=_get_str(entry, "recovery_log", where, "memory"),
         parsing_cache_size=parsing_cache_size,
+        interceptors=_parse_interceptors(entry, where),
         users=dict(users),
         transparent_authentication=_get_bool(entry, "transparent_authentication", where, True),
         group_name=group_name,

@@ -230,6 +230,17 @@ class Cluster:
             )
         return replica.local
 
+    def interceptor(self, vdb_name: str, interceptor_name: str, controller: Optional[str] = None):
+        """An interceptor installed on ``vdb_name``'s execution pipeline.
+
+        The handle for reaching descriptor-configured interceptors (metrics
+        counters, slow-query entries, rate-limit stats, traces) from the
+        facade without digging through controller internals.
+        """
+        return self.virtual_database(vdb_name, controller).pipeline.interceptor(
+            interceptor_name
+        )
+
     @property
     def virtual_database_names(self) -> List[str]:
         return sorted(self._vdb_names.values())

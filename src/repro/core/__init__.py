@@ -24,6 +24,18 @@ from repro.core.config import (
 )
 from repro.core.controller import Controller
 from repro.core.driver import connect
+from repro.core.pipeline import (
+    Interceptor,
+    MetricsInterceptor,
+    Pipeline,
+    RateLimitInterceptor,
+    RequestContext,
+    SlowQueryLogInterceptor,
+    Stage,
+    TracingInterceptor,
+    build_interceptor,
+    build_interceptors,
+)
 from repro.core.request import RequestResult
 from repro.core.request_manager import RequestManager
 from repro.core.requestparser import ParsingCache, RequestFactory
@@ -35,12 +47,22 @@ __all__ = [
     "BackendState",
     "Controller",
     "DatabaseBackend",
+    "Interceptor",
+    "MetricsInterceptor",
     "ParsingCache",
+    "Pipeline",
+    "RateLimitInterceptor",
+    "RequestContext",
     "RequestFactory",
     "RequestManager",
     "RequestResult",
+    "SlowQueryLogInterceptor",
+    "Stage",
+    "TracingInterceptor",
     "VirtualDatabase",
     "VirtualDatabaseConfig",
+    "build_interceptor",
+    "build_interceptors",
     "build_virtual_database",
     "connect",
 ]

@@ -128,18 +128,27 @@ class ResultCache:
             self.statistics.hits += 1
             if entry.stale_deadline is not None:
                 self.statistics.stale_hits += 1
-            result = entry.result.copy()
+            # copy-on-checkout: the stored master has tuple-frozen rows, so a
+            # shallow checkout (fresh row list, shared immutable rows) is both
+            # cheap and safe — no client can corrupt another reader's rows
+            result = entry.result.checkout()
             result.from_cache = True
             return result
 
-    def put(self, request: AbstractRequest, result: RequestResult) -> None:
-        """Cache the result of a SELECT request."""
+    def put(self, request: AbstractRequest, result: RequestResult) -> RequestResult:
+        """Cache the result of a SELECT request (rows frozen to tuples).
+
+        Returns a checkout of the stored master so callers can hand the
+        *same shape* to the client on a miss as later hits will see (rows
+        are tuples either way, never lists on the first call only).
+        """
         key = request.cache_key()
+        frozen = result.frozen()
         entry = CacheEntry(
             sql=request.sql,
             parameters=tuple(request.parameters),
             tables=tuple(request.tables),
-            result=result.copy(),
+            result=frozen,
             created_at=self._clock(),
         )
         with self._lock:
@@ -154,6 +163,7 @@ class ResultCache:
                 evicted_key, evicted = self._entries.popitem(last=False)
                 self._deindex_entry(evicted_key, evicted)
                 self.statistics.evictions += 1
+        return frozen.checkout()
 
     # -- invalidation -----------------------------------------------------------------
 

@@ -79,6 +79,9 @@ class VirtualDatabaseConfig:
     cache_relaxation_rules: List[RelaxationRule] = field(default_factory=list)
     #: entries in the SQL parsing cache (0 disables it)
     parsing_cache_size: int = 1024
+    #: pipeline interceptors: built-in names ("tracing"), option mappings
+    #: ({"name": "rate_limit", "max_requests": 100}) or Interceptor instances
+    interceptors: List[Any] = field(default_factory=list)
     recovery_log: str = "memory"           # none | memory | file:<path>
     users: Dict[str, str] = field(default_factory=dict)
     transparent_authentication: bool = True
@@ -127,6 +130,7 @@ def build_virtual_database(config: VirtualDatabaseConfig) -> VirtualDatabase:
         request_manager=request_manager,
         authentication_manager=authentication,
         group_name=config.group_name,
+        interceptors=config.interceptors,
     )
     # Attach backends through the public assembly path so engine registration
     # (checkpoint/restore support) is not duplicated here.

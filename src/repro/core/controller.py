@@ -101,10 +101,19 @@ class Controller:
     def statistics(self) -> dict:
         with self._lock:
             virtual_databases = list(self._virtual_databases.values())
+        per_vdb = {vdb.name: vdb.statistics() for vdb in virtual_databases}
+        # controller-wide request totals, summed over every hosted virtual
+        # database's pipeline metrics (reads/writes/begins/commits/rollbacks/
+        # cache_hits/errors/total)
+        requests: Dict[str, int] = {}
+        for stats in per_vdb.values():
+            for counter, value in stats.get("requests", {}).items():
+                requests[counter] = requests.get(counter, 0) + value
         return {
             "controller": self.name,
             "shutdown": self._shutdown,
-            "virtual_databases": {vdb.name: vdb.statistics() for vdb in virtual_databases},
+            "requests": requests,
+            "virtual_databases": per_vdb,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

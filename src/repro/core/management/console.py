@@ -31,6 +31,7 @@ class AdminConsole:
             "checkpoint": self._cmd_checkpoint,
             "recover": self._cmd_recover,
             "stats": self._cmd_stats,
+            "interceptors": self._cmd_interceptors,
         }
 
     def execute(self, command_line: str) -> str:
@@ -57,7 +58,8 @@ class AdminConsole:
             "  disable <vdb> <backend> [checkpoint]\n"
             "  checkpoint <vdb> <backend> [<name>]\n"
             "  recover <vdb> <backend> [<checkpoint>]\n"
-            "  stats <vdb>"
+            "  stats <vdb>\n"
+            "  interceptors <vdb>"
         )
 
     def _cmd_show(self, args: List[str]) -> str:
@@ -108,6 +110,22 @@ class AdminConsole:
         checkpoint = args[2] if len(args) > 2 else None
         replayed = vdb.recover_backend(args[1], checkpoint_name=checkpoint)
         return f"backend {args[1]} recovered ({replayed} log entries replayed)"
+
+    def _cmd_interceptors(self, args: List[str]) -> str:
+        if not args:
+            return "usage: interceptors <vdb>"
+        vdb = self.controller.get_virtual_database(args[0])
+        pipeline = vdb.pipeline
+        lines = [f"stages: {' -> '.join(pipeline.stage_names)}"]
+        interceptors = pipeline.interceptors
+        if not interceptors:
+            lines.append("interceptors: none")
+        for interceptor in interceptors:
+            lines.append(
+                f"{interceptor.name}: "
+                + json.dumps(interceptor.statistics(), sort_keys=True, default=str)
+            )
+        return "\n".join(lines)
 
     def _cmd_stats(self, args: List[str]) -> str:
         if not args:

@@ -1,0 +1,1154 @@
+"""Composable request execution pipeline (the controller's middleware stack).
+
+The paper describes the C-JDBC controller as a stack of cooperating stages —
+scheduler, query result cache, load balancer, recovery log (§2.4, Figure 1).
+This module makes that stack *explicit*: every client request flows through
+an ordered chain of :class:`Stage` objects as a :class:`RequestContext`, and
+cross-cutting concerns (tracing, metrics, slow-query logging, rate limiting)
+attach as :class:`Interceptor` objects that wrap the whole chain with
+before/after hooks, observe the context, or short-circuit execution.
+
+Stage order (a stage that does not apply to a request category is a no-op)::
+
+    classify ─ authenticate ─ schedule ─ cache-lookup ─ transaction
+        ─ recovery-log ─ cache-invalidate ─ load-balance
+
+* **classify** derives the request category (read/write/begin/commit/
+  rollback) and validates transaction demarcation;
+* **authenticate** resolves the virtual login against the authentication
+  manager when one is attached to the pipeline;
+* **schedule** acquires the scheduler ticket appropriate for the category
+  and *guarantees* its release on every exit path (success, short-circuit
+  below it, or exception);
+* **cache-lookup** serves cacheable reads from the result cache
+  (short-circuiting the rest of the chain on a hit) and stores the result
+  on a miss;
+* **transaction** allocates/derives the transaction id for ``BEGIN`` and
+  pops the controller-side transaction context for ``COMMIT``/``ROLLBACK``;
+* **recovery-log** records writes and demarcation before they reach any
+  backend, so recovery can replay them;
+* **cache-invalidate** runs result-cache invalidation after a successful
+  write;
+* **load-balance** is the terminal stage: it hands the request to the load
+  balancer (reads and writes) or broadcasts demarcation to the
+  participating backends.
+
+The chain is *compiled once* — each stage contributes a closure wrapping the
+next — so steady-state execution allocates nothing beyond the context
+object, keeping pipeline overhead within a few percent of the previous
+hard-wired code path (measured by ``bench-hotpath``'s ``pipeline_overhead``
+ablation).
+
+Interceptors are declaratively configurable: a cluster descriptor's
+``interceptors:`` section names built-ins from :data:`BUILTIN_INTERCEPTORS`
+(``tracing``, ``slow_query_log``, ``metrics``, ``rate_limit``) with their
+options; :func:`build_interceptor` validates names and options so
+``check-config`` can reject typos before a cluster boots.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import weakref
+from collections import deque
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.core.request import (
+    AbstractRequest,
+    BeginRequest,
+    CommitRequest,
+    DDLRequest,
+    RequestResult,
+    RollbackRequest,
+    RequestType,
+    SelectRequest,
+    WriteRequest,
+)
+from repro.errors import CJDBCError, ConfigurationError, RateLimitExceededError
+
+#: request categories flowed through the pipeline (string constants rather
+#: than an Enum: identity comparison on interned strings is the hot path)
+READ = "read"
+WRITE = "write"
+BEGIN = "begin"
+COMMIT = "commit"
+ROLLBACK = "rollback"
+
+_CATEGORY_BY_TYPE = {
+    RequestType.SELECT: READ,
+    RequestType.WRITE: WRITE,
+    RequestType.DDL: WRITE,
+    RequestType.BEGIN: BEGIN,
+    RequestType.COMMIT: COMMIT,
+    RequestType.ROLLBACK: ROLLBACK,
+}
+
+#: fast path for the concrete request classes; subclasses fall back to the
+#: request_type property lookup above
+_CATEGORY_BY_CLASS = {
+    SelectRequest: READ,
+    WriteRequest: WRITE,
+    DDLRequest: WRITE,
+    BeginRequest: BEGIN,
+    CommitRequest: COMMIT,
+    RollbackRequest: ROLLBACK,
+}
+
+
+class RequestContext:
+    """Everything the pipeline knows about one in-flight request.
+
+    The context is created by the request manager, threaded through every
+    stage and interceptor, and read back for the final result.  Interceptors
+    may stash private state in :attr:`data` (keyed by interceptor name).
+
+    Construction is on the hottest path the controller has, so every field
+    except the request itself defaults at class level and is only written
+    when a stage actually sets it.
+    """
+
+    #: one of READ/WRITE/BEGIN/COMMIT/ROLLBACK, set by the classify stage
+    category: Optional[str] = None
+    result: Optional[RequestResult] = None
+    error: Optional[BaseException] = None
+    #: pipeline entry/exit clocks; 0.0 unless a timing interceptor is installed
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    #: scheduler ticket held while the request executes (schedule stage)
+    ticket = None
+    #: "hit" | "miss" | "bypass" — how the result cache saw this request
+    cache_verdict: str = "bypass"
+    backend_name: Optional[str] = None
+    backends_executed: int = 0
+    #: transaction id allocated for a BEGIN (reads/writes use request.transaction_id)
+    transaction_id: Optional[int] = None
+    #: id supplied by a distributed request manager for BEGIN (§4.1)
+    requested_transaction_id: Optional[int] = None
+    #: name of the stage or interceptor that ended execution early
+    short_circuited_by: Optional[str] = None
+    #: per-stage seconds, populated only when the pipeline is timed
+    stage_timings: Optional[Dict[str, float]] = None
+    _data: Optional[Dict[str, Any]] = None
+
+    def __init__(self, request: AbstractRequest, manager=None):
+        self.request = request
+        self.manager = manager
+
+    @property
+    def data(self) -> Dict[str, Any]:
+        """Scratch space for interceptors, keyed by interceptor name (lazy)."""
+        scratch = self._data
+        if scratch is None:
+            scratch = self._data = {}
+        return scratch
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds from pipeline entry to completion."""
+        return max(0.0, self.finished_at - self.started_at)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RequestContext({self.category or '?'}, {self.request!r},"
+            f" cache={self.cache_verdict})"
+        )
+
+
+Handler = Callable[[RequestContext], None]
+
+
+# ---------------------------------------------------------------------------
+# stages
+# ---------------------------------------------------------------------------
+
+
+class Stage:
+    """One step of the execution chain.
+
+    A stage *compiles* into a handler closing over the request manager and
+    the rest of the chain: work before ``proceed(context)`` happens on the
+    way in (in stage order), work after it happens on the way out (in
+    reverse order), and ``try/finally`` around ``proceed`` gives guaranteed
+    cleanup.  Stages that keep no per-request state are shared by every
+    request, so they must not store anything on ``self`` at run time.
+    """
+
+    name = "stage"
+
+    def compile(self, manager, proceed: Handler) -> Handler:
+        raise NotImplementedError
+
+
+class ClassifyStage(Stage):
+    """Derive the request category and validate transaction demarcation."""
+
+    name = "classify"
+
+    def compile(self, manager, proceed: Handler) -> Handler:
+        def classify(context: RequestContext) -> None:
+            request = context.request
+            category = _CATEGORY_BY_CLASS.get(type(request))
+            if category is None:
+                category = _CATEGORY_BY_TYPE[request.request_type]
+            context.category = category
+            if category is COMMIT and request.transaction_id is None:
+                raise CJDBCError("COMMIT outside of a transaction")
+            if category is ROLLBACK and request.transaction_id is None:
+                raise CJDBCError("ROLLBACK outside of a transaction")
+            proceed(context)
+
+        return classify
+
+
+class AuthenticateStage(Stage):
+    """Check the request's virtual login when authentication is enforced.
+
+    The C-JDBC driver authenticates once, when the connection opens; this
+    stage re-validates per request only when the pipeline was built with a
+    non-transparent authentication manager, so middleware deployments that
+    accept raw requests (no driver handshake) still reject unknown logins.
+    """
+
+    name = "authenticate"
+
+    def __init__(self, authentication_manager=None):
+        self.authentication_manager = authentication_manager
+
+    def compile(self, manager, proceed: Handler) -> Handler:
+        auth = self.authentication_manager
+        if auth is None or getattr(auth, "transparent", True):
+            return proceed
+
+        def authenticate(context: RequestContext) -> None:
+            login = context.request.login
+            if login and login not in auth.virtual_logins:
+                from repro.errors import AuthenticationError
+
+                raise AuthenticationError(f"unknown virtual login {login!r}")
+            proceed(context)
+
+        return authenticate
+
+
+class ScheduleStage(Stage):
+    """Acquire the scheduler ticket; release it on *every* exit path."""
+
+    name = "schedule"
+
+    def compile(self, manager, proceed: Handler) -> Handler:
+        def schedule(context: RequestContext) -> None:
+            scheduler = manager.scheduler
+            category = context.category
+            if category is READ:
+                ticket = scheduler.schedule_read(context.request)
+            elif category is BEGIN and manager.lazy_transaction_begin:
+                # lazy begin does no backend work: nothing to order (§2.4.4)
+                ticket = None
+            else:
+                ticket = scheduler.schedule_write(context.request)
+            context.ticket = ticket
+            if ticket is None:
+                proceed(context)
+                return
+            try:
+                proceed(context)
+            finally:
+                ticket.release()
+
+        return schedule
+
+
+class CacheLookupStage(Stage):
+    """Serve cacheable reads from the result cache; store misses."""
+
+    name = "cache_lookup"
+
+    def compile(self, manager, proceed: Handler) -> Handler:
+        def cache_lookup(context: RequestContext) -> None:
+            cache = manager.result_cache
+            if (
+                cache is None
+                or context.category is not READ
+                or context.request.transaction_id is not None
+            ):
+                proceed(context)
+                return
+            cached = cache.get(context.request)
+            if cached is not None:
+                context.cache_verdict = "hit"
+                context.short_circuited_by = self.name
+                context.result = cached
+                return
+            context.cache_verdict = "miss"
+            proceed(context)
+            if context.result is not None:
+                # hand the client the same tuple-frozen row shape later
+                # cache hits will see, never list rows on the miss only
+                context.result = cache.put(context.request, context.result)
+
+        return cache_lookup
+
+
+class TransactionStage(Stage):
+    """Controller-side transaction bookkeeping around demarcation requests."""
+
+    name = "transaction"
+
+    def compile(self, manager, proceed: Handler) -> Handler:
+        def transaction(context: RequestContext) -> None:
+            category = context.category
+            if category is BEGIN:
+                context.transaction_id = manager._register_transaction(
+                    context.request.login, context.requested_transaction_id
+                )
+            elif category is COMMIT or category is ROLLBACK:
+                manager._pop_transaction(context.request.transaction_id)
+            proceed(context)
+
+        return transaction
+
+
+class RecoveryLogStage(Stage):
+    """Record writes and demarcation in the recovery log before execution."""
+
+    name = "recovery_log"
+
+    def compile(self, manager, proceed: Handler) -> Handler:
+        def recovery_log(context: RequestContext) -> None:
+            log = manager.recovery_log
+            if log is not None:
+                category = context.category
+                request = context.request
+                if category is WRITE:
+                    log.log_request(
+                        request.sql,
+                        request.parameters,
+                        login=request.login,
+                        transaction_id=request.transaction_id,
+                    )
+                elif category is BEGIN:
+                    log.log_begin(request.login, context.transaction_id)
+                elif category is COMMIT:
+                    log.log_commit(request.login, request.transaction_id)
+                elif category is ROLLBACK:
+                    log.log_rollback(request.login, request.transaction_id)
+            proceed(context)
+
+        return recovery_log
+
+
+class CacheInvalidateStage(Stage):
+    """Invalidate result-cache entries after a successful write."""
+
+    name = "cache_invalidate"
+
+    def compile(self, manager, proceed: Handler) -> Handler:
+        def cache_invalidate(context: RequestContext) -> None:
+            proceed(context)
+            cache = manager.result_cache
+            if cache is not None and context.category is WRITE:
+                cache.invalidate(context.request)
+
+        return cache_invalidate
+
+
+class LoadBalanceStage(Stage):
+    """Terminal stage: execute on the backends through the load balancer."""
+
+    name = "load_balance"
+
+    def compile(self, manager, proceed: Handler) -> Handler:
+        def load_balance(context: RequestContext) -> None:
+            category = context.category
+            if category is READ:
+                result = manager.load_balancer.execute_read_request(
+                    context.request, manager._backends
+                )
+                manager._note_transaction_participant(context.request)
+                context.backend_name = result.backend_name
+                context.result = result
+            elif category is WRITE:
+                context.result = manager._execute_write_on_backends(context)
+            elif category is BEGIN:
+                context.result = manager._execute_begin_on_backends(context)
+            elif category is COMMIT:
+                context.result = manager._execute_commit_on_backends(context)
+            else:
+                context.result = manager._execute_rollback_on_backends(context)
+
+        return load_balance
+
+
+#: default stage chain, in execution order
+def default_stages(authentication_manager=None) -> List[Stage]:
+    return [
+        ClassifyStage(),
+        AuthenticateStage(authentication_manager),
+        ScheduleStage(),
+        CacheLookupStage(),
+        TransactionStage(),
+        RecoveryLogStage(),
+        CacheInvalidateStage(),
+        LoadBalanceStage(),
+    ]
+
+
+#: the stage composition eligible for read fast-path fusion (see below)
+_DEFAULT_STAGE_CLASSES = (
+    ClassifyStage,
+    AuthenticateStage,
+    ScheduleStage,
+    CacheLookupStage,
+    TransactionStage,
+    RecoveryLogStage,
+    CacheInvalidateStage,
+    LoadBalanceStage,
+)
+
+
+def _compile_fused_read(manager, chain: Handler) -> Handler:
+    """Fuse the default stages into one handler for plain SELECTs.
+
+    Stage-by-stage dispatch costs a Python frame per stage — measurable on
+    the cached-read hot path, the most frequent request shape a read-mostly
+    cluster serves.  When the pipeline is exactly the default composition
+    (checked by ``Pipeline._recompile``), this fusion executes the identical
+    operations in the identical order with the identical context effects,
+    without the per-stage frames; every other request type, and any
+    customized pipeline, takes the general chain.  Behavioural equivalence
+    between the two paths is pinned by tests (``test_pipeline.py``).
+    """
+
+    def fused_read(context: RequestContext) -> None:
+        request = context.request
+        if type(request) is not SelectRequest:
+            chain(context)
+            return
+        # classify
+        context.category = READ
+        # schedule (ticket released on every path)
+        ticket = manager.scheduler.schedule_read(request)
+        context.ticket = ticket
+        try:
+            # cache lookup
+            cache = manager.result_cache
+            cacheable = cache is not None and request.transaction_id is None
+            if cacheable:
+                cached = cache.get(request)
+                if cached is not None:
+                    context.cache_verdict = "hit"
+                    context.short_circuited_by = CacheLookupStage.name
+                    context.result = cached
+                    return
+                context.cache_verdict = "miss"
+            # load balance
+            result = manager.load_balancer.execute_read_request(
+                request, manager._backends
+            )
+            manager._note_transaction_participant(request)
+            context.backend_name = result.backend_name
+            if cacheable:
+                result = cache.put(request, result)
+            context.result = result
+        finally:
+            ticket.release()
+
+    return fused_read
+
+
+# ---------------------------------------------------------------------------
+# interceptors
+# ---------------------------------------------------------------------------
+
+
+class Interceptor:
+    """A cross-cutting hook wrapped around the whole stage chain.
+
+    ``before`` runs on the way in (interceptor order); returning a
+    :class:`RequestResult` short-circuits everything below, and raising
+    rejects the request.  ``after`` runs on the way out in reverse order,
+    whatever happened below — success, cache short-circuit or error (the
+    error, if any, is on ``context.error``) — for every interceptor *at or
+    before the one that ended execution*: when an interceptor's ``before``
+    rejects or short-circuits, interceptors positioned after it were never
+    entered and their ``after`` hooks are skipped, exactly like stages below
+    a short-circuit (so order interceptors that must see every request,
+    e.g. audit, before gating ones like ``rate_limit``).  Set
+    :attr:`needs_timing` to make the pipeline stamp
+    ``context.started_at``/``finished_at`` (so ``context.duration`` is
+    meaningful), and :attr:`needs_stage_timings` to additionally record
+    per-stage durations in ``context.stage_timings``.
+    """
+
+    name = "interceptor"
+    #: request True to get wall-clock stamps on the context (duration)
+    needs_timing = False
+    #: request True to additionally get per-stage timings (implies timing)
+    needs_stage_timings = False
+
+    def before(self, context: RequestContext) -> Optional[RequestResult]:
+        return None
+
+    def after(self, context: RequestContext) -> None:
+        return None
+
+    def statistics(self) -> dict:
+        return {}
+
+
+class MetricsInterceptor(Interceptor):
+    """Per-request-type counters: the controller's primary request metrics.
+
+    Replaces the old single ``requests_executed`` counter with a breakdown
+    by category plus cache hits and errors; totals are derived, never
+    double-counted.
+
+    The counters are *thread-striped*: each thread increments its own
+    per-thread dict (no lock, no contention on the hot path) and readers
+    sum the stripes under a lock, so counts stay exact under concurrency
+    without taxing every request.  A dead thread's stripe is folded into a
+    base counter when its Thread object is collected, so thread churn does
+    not grow the stripe list without bound.
+    """
+
+    name = "metrics"
+
+    _COUNTER_BY_CATEGORY = {
+        READ: "reads",
+        WRITE: "writes",
+        BEGIN: "begins",
+        COMMIT: "commits",
+        ROLLBACK: "rollbacks",
+    }
+    _FIELDS = (
+        "reads",
+        "writes",
+        "begins",
+        "commits",
+        "rollbacks",
+        #: requests served by an interceptor's before-hook short-circuit,
+        #: never classified into a category (still part of the total)
+        "intercepted",
+        "cache_hits",
+        "errors",
+    )
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        #: every live stripe, appended once per thread under the lock
+        self._stripes: List[Dict[str, int]] = []
+        #: totals folded in from threads that have since died
+        self._retired: Dict[str, int] = {field: 0 for field in self._FIELDS}
+
+    def _stripe(self) -> Dict[str, int]:
+        try:
+            return self._local.counters
+        except AttributeError:
+            stripe = {field: 0 for field in self._FIELDS}
+            with self._lock:
+                self._stripes.append(stripe)
+            self._local.counters = stripe
+            weakref.finalize(threading.current_thread(), self._retire_stripe, stripe)
+            return stripe
+
+    def _retire_stripe(self, stripe: Dict[str, int]) -> None:
+        """Fold a dead thread's stripe into the retired totals."""
+        with self._lock:
+            try:
+                self._stripes.remove(stripe)
+            except ValueError:
+                return
+            for field in self._FIELDS:
+                self._retired[field] += stripe[field]
+
+    def after(self, context: RequestContext) -> None:
+        try:
+            counters = self._local.counters
+        except AttributeError:
+            counters = self._stripe()
+        counter = self._COUNTER_BY_CATEGORY.get(context.category)
+        if counter is not None:
+            counters[counter] += 1
+        elif context.error is None:
+            # served by an interceptor before classification could run
+            counters["intercepted"] += 1
+        if context.cache_verdict == "hit":
+            counters["cache_hits"] += 1
+        if context.error is not None:
+            counters["errors"] += 1
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Aggregated view over every thread's stripe plus retired totals."""
+        with self._lock:
+            totals = dict(self._retired)
+            stripes = list(self._stripes)
+        for stripe in stripes:
+            for field in self._FIELDS:
+                totals[field] += stripe[field]
+        return totals
+
+    _TOTAL_FIELDS = ("reads", "writes", "begins", "commits", "rollbacks", "intercepted")
+
+    @property
+    def total_requests(self) -> int:
+        counters = self.counters
+        return sum(counters[field] for field in self._TOTAL_FIELDS)
+
+    def statistics(self) -> dict:
+        stats = self.counters
+        stats["total"] = sum(stats[field] for field in self._TOTAL_FIELDS)
+        return stats
+
+
+class TracingInterceptor(Interceptor):
+    """Record a span per request (category, SQL, per-stage timings, outcome).
+
+    Spans land in a bounded ring buffer for the admin console and tests; the
+    pipeline switches on per-stage timing collection when this interceptor
+    is installed.
+    """
+
+    name = "tracing"
+    needs_timing = True
+    needs_stage_timings = True
+
+    def __init__(self, max_traces: int = 128):
+        if max_traces < 1:
+            raise ConfigurationError("tracing: max_traces must be >= 1")
+        self.max_traces = max_traces
+        self._lock = threading.Lock()
+        self._traces: deque = deque(maxlen=max_traces)
+        self.traces_recorded = 0
+
+    def after(self, context: RequestContext) -> None:
+        span = {
+            "category": context.category,
+            "sql": context.request.sql,
+            "duration_ms": round(context.duration * 1000.0, 3),
+            "cache": context.cache_verdict,
+            "backend": context.backend_name,
+            "stages": {
+                name: round(seconds * 1000.0, 3)
+                for name, seconds in (context.stage_timings or {}).items()
+            },
+            "error": type(context.error).__name__ if context.error else None,
+        }
+        with self._lock:
+            self._traces.append(span)
+            self.traces_recorded += 1
+
+    def traces(self) -> List[dict]:
+        with self._lock:
+            return list(self._traces)
+
+    def statistics(self) -> dict:
+        with self._lock:
+            return {
+                "traces_recorded": self.traces_recorded,
+                "traces_kept": len(self._traces),
+                "max_traces": self.max_traces,
+            }
+
+
+class SlowQueryLogInterceptor(Interceptor):
+    """Keep the slowest offenders: every request over a latency threshold."""
+
+    name = "slow_query_log"
+    needs_timing = True
+
+    def __init__(self, threshold_ms: float = 100.0, max_entries: int = 64):
+        if threshold_ms < 0:
+            raise ConfigurationError("slow_query_log: threshold_ms must be >= 0")
+        if max_entries < 1:
+            raise ConfigurationError("slow_query_log: max_entries must be >= 1")
+        self.threshold_seconds = threshold_ms / 1000.0
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: deque = deque(maxlen=max_entries)
+        self.slow_queries = 0
+
+    def after(self, context: RequestContext) -> None:
+        duration = context.duration
+        if duration < self.threshold_seconds:
+            return
+        entry = {
+            "sql": context.request.sql,
+            "category": context.category,
+            "duration_ms": round(duration * 1000.0, 3),
+            "cache": context.cache_verdict,
+            "login": context.request.login,
+        }
+        with self._lock:
+            self._entries.append(entry)
+            self.slow_queries += 1
+
+    def entries(self) -> List[dict]:
+        with self._lock:
+            return list(self._entries)
+
+    def statistics(self) -> dict:
+        with self._lock:
+            return {
+                "threshold_ms": round(self.threshold_seconds * 1000.0, 3),
+                "slow_queries": self.slow_queries,
+                "entries_kept": len(self._entries),
+            }
+
+
+class RateLimitInterceptor(Interceptor):
+    """Reject logins exceeding a sliding-window request budget.
+
+    Admission control at the controller door: each login (or the whole
+    virtual database with ``per_login=False``) gets ``max_requests`` per
+    ``window_seconds``; excess requests are rejected with
+    :class:`repro.errors.RateLimitExceededError` before they reach the
+    scheduler, so an abusive client cannot queue work.
+    """
+
+    name = "rate_limit"
+
+    def __init__(
+        self,
+        max_requests: int = 1000,
+        window_seconds: float = 1.0,
+        per_login: bool = True,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        if max_requests < 1:
+            raise ConfigurationError("rate_limit: max_requests must be >= 1")
+        if window_seconds <= 0:
+            raise ConfigurationError("rate_limit: window_seconds must be > 0")
+        self.max_requests = max_requests
+        self.window_seconds = float(window_seconds)
+        self.per_login = per_login
+        self._clock = clock or time.monotonic
+        self._lock = threading.Lock()
+        #: login -> deque of request timestamps inside the current window
+        self._windows: Dict[str, deque] = {}
+        #: requests until the next sweep of idle logins' windows
+        self._sweep_countdown = self._SWEEP_EVERY
+        self.allowed = 0
+        self.rejected = 0
+
+    #: amortized cleanup period: with per-login windows and clients that
+    #: rotate login names, windows of idle logins would otherwise accumulate
+    #: forever; every N admissions, fully-expired windows are dropped
+    _SWEEP_EVERY = 1024
+
+    def before(self, context: RequestContext) -> Optional[RequestResult]:
+        request = context.request
+        # demarcation of already-admitted work is never gated: a client over
+        # budget must still be able to commit or roll back its transaction
+        # (blocking those would strand backend transactions for the window)
+        if isinstance(request, (CommitRequest, RollbackRequest)):
+            return None
+        key = request.login if self.per_login else "*"
+        now = self._clock()
+        horizon = now - self.window_seconds
+        with self._lock:
+            self._sweep_countdown -= 1
+            if self._sweep_countdown <= 0:
+                self._sweep_countdown = self._SWEEP_EVERY
+                for login in [
+                    login
+                    for login, window in self._windows.items()
+                    if not window or window[-1] <= horizon
+                ]:
+                    if login != key:
+                        del self._windows[login]
+            window = self._windows.get(key)
+            if window is None:
+                window = self._windows[key] = deque()
+            while window and window[0] <= horizon:
+                window.popleft()
+            if len(window) >= self.max_requests:
+                self.rejected += 1
+                raise RateLimitExceededError(
+                    f"login {key!r} exceeded {self.max_requests} requests"
+                    f" per {self.window_seconds:g}s"
+                )
+            window.append(now)
+            self.allowed += 1
+        return None
+
+    def statistics(self) -> dict:
+        with self._lock:
+            return {
+                "max_requests": self.max_requests,
+                "window_seconds": self.window_seconds,
+                "per_login": self.per_login,
+                "allowed": self.allowed,
+                "rejected": self.rejected,
+                "active_logins": len(self._windows),
+            }
+
+
+# ---------------------------------------------------------------------------
+# the pipeline
+# ---------------------------------------------------------------------------
+
+
+class Pipeline:
+    """An ordered stage chain wrapped by an ordered interceptor list."""
+
+    def __init__(
+        self,
+        manager,
+        stages: Optional[Sequence[Stage]] = None,
+        interceptors: Sequence[Interceptor] = (),
+    ):
+        self._manager = manager
+        self.stages: List[Stage] = list(stages) if stages is not None else default_stages()
+        self._interceptors: List[Interceptor] = []
+        self._lock = threading.Lock()
+        self._chain: Handler = _noop_handler
+        self._timed = False
+        self.requests_started = 0
+        for interceptor in interceptors:
+            _check_interceptor(interceptor)
+            self._check_duplicate_name(interceptor)
+            self._interceptors.append(interceptor)
+        self._recompile()
+
+    # -- composition ---------------------------------------------------------------
+
+    @property
+    def interceptors(self) -> List[Interceptor]:
+        with self._lock:
+            return list(self._interceptors)
+
+    @property
+    def stage_names(self) -> List[str]:
+        return [stage.name for stage in self.stages]
+
+    @property
+    def interceptor_names(self) -> List[str]:
+        return [interceptor.name for interceptor in self.interceptors]
+
+    def interceptor(self, name: str) -> Interceptor:
+        for interceptor in self.interceptors:
+            if interceptor.name == name:
+                return interceptor
+        known = ", ".join(self.interceptor_names) or "none installed"
+        raise ConfigurationError(f"no interceptor {name!r} in pipeline ({known})")
+
+    def has_interceptor(self, name: str) -> bool:
+        return any(i.name == name for i in self.interceptors)
+
+    def _check_duplicate_name(self, interceptor: Interceptor) -> None:
+        if any(existing.name == interceptor.name for existing in self._interceptors):
+            raise ConfigurationError(
+                f"an interceptor named {interceptor.name!r} is already installed"
+                f" (names identify interceptors for lookup and removal)"
+            )
+
+    def add_interceptor(self, interceptor: Interceptor, index: Optional[int] = None) -> None:
+        _check_interceptor(interceptor)
+        with self._lock:
+            self._check_duplicate_name(interceptor)
+            if index is None:
+                self._interceptors.append(interceptor)
+            else:
+                self._interceptors.insert(index, interceptor)
+        self._recompile()
+
+    def remove_interceptor(self, name: str) -> Interceptor:
+        with self._lock:
+            for index, interceptor in enumerate(self._interceptors):
+                if interceptor.name == name:
+                    if interceptor is getattr(self._manager, "metrics", None):
+                        raise ConfigurationError(
+                            "the metrics interceptor is built in and cannot be"
+                            " removed (requests_executed and statistics depend"
+                            " on it)"
+                        )
+                    del self._interceptors[index]
+                    break
+            else:
+                known = ", ".join(i.name for i in self._interceptors) or "none installed"
+                raise ConfigurationError(
+                    f"no interceptor {name!r} in pipeline ({known})"
+                )
+        self._recompile()
+        return interceptor
+
+    def _fusable(self) -> bool:
+        """True when the read fast path may be fused (default composition).
+
+        Fusion is disabled as soon as anything observable differs from the
+        default chain: reordered/custom/extra stages, per-stage timing, or
+        an enforcing authentication manager (its per-request check applies
+        to reads too).  Callers hold ``self._lock``.
+        """
+        if self._timed or len(self.stages) != len(_DEFAULT_STAGE_CLASSES):
+            return False
+        for stage, expected in zip(self.stages, _DEFAULT_STAGE_CLASSES):
+            if type(stage) is not expected:
+                return False
+        # same default as AuthenticateStage.compile: a manager without a
+        # `transparent` attribute compiles to a pass-through, so it must not
+        # disable the fusion either
+        authentication_manager = self.stages[1].authentication_manager
+        return authentication_manager is None or getattr(
+            authentication_manager, "transparent", True
+        )
+
+    def use_authentication_manager(self, authentication_manager) -> None:
+        """Point the authenticate stage at a (possibly enforcing) manager."""
+        for stage in self.stages:
+            if isinstance(stage, AuthenticateStage):
+                stage.authentication_manager = authentication_manager
+        self._recompile()
+
+    def _recompile(self) -> None:
+        """Rebuild the compiled handler chain and interceptor hook tables.
+
+        Hooks are filtered at compile time — an interceptor that does not
+        override ``before`` (or ``after``) costs nothing per request — and
+        wall clocks are only read when some interceptor asked for timing.
+        """
+        with self._lock:
+            interceptors = self._interceptors
+            self._clocked = any(
+                i.needs_timing or i.needs_stage_timings for i in interceptors
+            )
+            self._timed = any(i.needs_stage_timings for i in interceptors)
+            handler: Handler = _noop_handler
+            for stage in reversed(self.stages):
+                handler = stage.compile(self._manager, handler)
+                if self._timed:
+                    handler = _timed_handler(stage.name, handler)
+            if self._fusable():
+                handler = _compile_fused_read(self._manager, handler)
+            self._chain = handler
+            #: (position, name, bound hook) for interceptors overriding before
+            self._befores = tuple(
+                (position, interceptor.name, interceptor.before)
+                for position, interceptor in enumerate(interceptors)
+                if type(interceptor).before is not Interceptor.before
+            )
+            #: (position, bound hook) in reverse order for overridden afters
+            self._afters = tuple(
+                (position, interceptor.after)
+                for position, interceptor in reversed(list(enumerate(interceptors)))
+                if type(interceptor).after is not Interceptor.after
+            )
+            self._barrier = len(interceptors)
+            # one atomically-swapped snapshot of everything execute() needs:
+            # an in-flight request must never see a half-recompiled mixture
+            # of old and new hook tables when interceptors change at runtime
+            self._compiled = (
+                self._clocked,
+                self._timed,
+                self._chain,
+                self._befores,
+                self._afters,
+                self._barrier,
+            )
+
+    # -- execution -----------------------------------------------------------------
+
+    def execute(self, context: RequestContext) -> RequestContext:
+        """Run one request through interceptors and stages.
+
+        Interceptor ``before`` hooks run in order (any may short-circuit by
+        returning a result, or reject by raising); the stage chain runs
+        next; ``after`` hooks then run in reverse order whatever happened —
+        for every interceptor whose ``before`` was reached — and the error,
+        if any, is on the context and propagates after the last hook.
+        """
+        clocked, timed, chain, befores, afters, full_barrier = self._compiled
+        if clocked:
+            context.started_at = time.perf_counter()
+            if timed:
+                context.stage_timings = {}
+        # monitoring aid only: unsynchronized, may undercount under
+        # concurrency (the exact counters live on the metrics interceptor)
+        self.requests_started += 1
+        # afters run for interceptor positions <= barrier: everything when
+        # the chain is reached, only the attempted prefix when a before
+        # raises or short-circuits
+        barrier = full_barrier
+        try:
+            for position, name, before in befores:
+                barrier = position
+                early = before(context)
+                if early is not None:
+                    context.result = early
+                    context.short_circuited_by = name
+                    return context
+            barrier = full_barrier
+            chain(context)
+            return context
+        except BaseException as exc:
+            context.error = exc
+            raise
+        finally:
+            if clocked:
+                context.finished_at = time.perf_counter()
+            hook_error: Optional[BaseException] = None
+            for position, after in afters:
+                if position > barrier:
+                    continue
+                try:
+                    after(context)
+                except BaseException as exc:  # noqa: BLE001 - isolated per hook
+                    if hook_error is None:
+                        hook_error = exc
+            # a failing hook must not mask the request's own error, and must
+            # not stop outer hooks; re-raise only on an otherwise-clean request
+            if hook_error is not None and context.error is None:
+                raise hook_error
+
+    # -- monitoring ----------------------------------------------------------------
+
+    def statistics(self) -> dict:
+        return {
+            "stages": self.stage_names,
+            "requests_started": self.requests_started,
+            "interceptors": {
+                interceptor.name: interceptor.statistics()
+                for interceptor in self.interceptors
+            },
+        }
+
+
+def _noop_handler(context: RequestContext) -> None:
+    return None
+
+
+def _timed_handler(name: str, handler: Handler) -> Handler:
+    def timed(context: RequestContext) -> None:
+        start = time.perf_counter()
+        try:
+            handler(context)
+        finally:
+            timings = context.stage_timings
+            if timings is not None:
+                # inclusive span: time from stage entry to exit, inner stages
+                # included (the nesting mirrors the chain structure)
+                timings[name] = time.perf_counter() - start
+
+    return timed
+
+
+def _check_interceptor(interceptor: Interceptor) -> Interceptor:
+    if not isinstance(interceptor, Interceptor):
+        raise ConfigurationError(
+            f"expected an Interceptor instance, got {type(interceptor).__name__}"
+        )
+    return interceptor
+
+
+# ---------------------------------------------------------------------------
+# declarative interceptor construction (descriptor `interceptors:` section)
+# ---------------------------------------------------------------------------
+
+#: name -> (constructor, allowed option keys)
+BUILTIN_INTERCEPTORS: Dict[str, Tuple[Callable[..., Interceptor], frozenset]] = {
+    "metrics": (MetricsInterceptor, frozenset()),
+    "tracing": (TracingInterceptor, frozenset({"max_traces"})),
+    "slow_query_log": (
+        SlowQueryLogInterceptor,
+        frozenset({"threshold_ms", "max_entries"}),
+    ),
+    "rate_limit": (
+        RateLimitInterceptor,
+        frozenset({"max_requests", "window_seconds", "per_login"}),
+    ),
+}
+
+InterceptorSpec = Union[str, Mapping, Interceptor]
+
+
+def build_interceptor(spec: InterceptorSpec, where: str = "interceptors") -> Interceptor:
+    """Materialize one interceptor from a descriptor entry.
+
+    Accepts a bare built-in name (``"tracing"``), a mapping with a ``name``
+    and options (``{"name": "slow_query_log", "threshold_ms": 50}``) or an
+    already-constructed :class:`Interceptor` (programmatic configs).  Raises
+    :class:`ConfigurationError` naming ``where`` for unknown names, unknown
+    options and bad option values.
+    """
+    if isinstance(spec, Interceptor):
+        return spec
+    if isinstance(spec, str):
+        name, options = spec, {}
+    elif isinstance(spec, Mapping):
+        options = dict(spec)
+        name = options.pop("name", None)
+        if not isinstance(name, str) or not name.strip():
+            raise ConfigurationError(
+                f"{where}: an interceptor mapping needs a non-empty 'name' key"
+            )
+    else:
+        raise ConfigurationError(
+            f"{where}: expected an interceptor name or mapping,"
+            f" got {type(spec).__name__}"
+        )
+    builder = BUILTIN_INTERCEPTORS.get(name.lower())
+    if builder is None:
+        known = ", ".join(sorted(BUILTIN_INTERCEPTORS))
+        raise ConfigurationError(
+            f"{where}: unknown interceptor {name!r} (built-ins: {known})"
+        )
+    constructor, allowed = builder
+    unknown = sorted(set(options) - allowed)
+    if unknown:
+        expected = ", ".join(sorted(allowed)) or "no options"
+        raise ConfigurationError(
+            f"{where}.{name}: unknown option{'s' if len(unknown) > 1 else ''}"
+            f" {', '.join(map(repr, unknown))} (expected: {expected})"
+        )
+    try:
+        return constructor(**options)
+    except TypeError as exc:
+        raise ConfigurationError(f"{where}.{name}: {exc}") from exc
+
+
+def build_interceptors(
+    specs: Sequence[InterceptorSpec], where: str = "interceptors"
+) -> List[Interceptor]:
+    """Materialize a whole ``interceptors:`` list, pinpointing bad entries."""
+    interceptors = []
+    for index, spec in enumerate(specs):
+        interceptors.append(build_interceptor(spec, where=f"{where}[{index}]"))
+    return interceptors
+
+
+__all__ = [
+    "BUILTIN_INTERCEPTORS",
+    "AuthenticateStage",
+    "CacheInvalidateStage",
+    "CacheLookupStage",
+    "ClassifyStage",
+    "Interceptor",
+    "InterceptorSpec",
+    "LoadBalanceStage",
+    "MetricsInterceptor",
+    "Pipeline",
+    "RateLimitInterceptor",
+    "RequestContext",
+    "RecoveryLogStage",
+    "ScheduleStage",
+    "SlowQueryLogInterceptor",
+    "Stage",
+    "TracingInterceptor",
+    "TransactionStage",
+    "build_interceptor",
+    "build_interceptors",
+    "default_stages",
+]

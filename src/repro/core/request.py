@@ -11,6 +11,7 @@ backends in the same order as writes.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import threading
 from dataclasses import dataclass, field
@@ -165,13 +166,28 @@ class RequestResult:
         return self.rows[0][0]
 
     def copy(self) -> "RequestResult":
-        return RequestResult(
-            columns=list(self.columns),
-            rows=[list(row) for row in self.rows],
-            update_count=self.update_count,
-            backend_name=self.backend_name,
-            backends_executed=self.backends_executed,
-            from_cache=self.from_cache,
+        # dataclasses.replace carries every field (incl. any added later);
+        # only the containers are rebuilt
+        return dataclasses.replace(
+            self, columns=list(self.columns), rows=[list(row) for row in self.rows]
+        )
+
+    def frozen(self) -> "RequestResult":
+        """A copy whose rows are immutable tuples.
+
+        Used by the query result cache: the frozen master copy can be
+        checked out to many clients with a cheap shallow copy (fresh row
+        list, shared immutable rows) instead of a per-hit deep copy, and no
+        client can mutate a row another client sees.
+        """
+        return dataclasses.replace(
+            self, columns=list(self.columns), rows=[tuple(row) for row in self.rows]
+        )
+
+    def checkout(self) -> "RequestResult":
+        """A per-client view of a frozen master copy (rows shared, container not)."""
+        return dataclasses.replace(
+            self, columns=list(self.columns), rows=list(self.rows)
         )
 
     def __len__(self) -> int:

@@ -15,6 +15,16 @@ The flow implemented here follows the paper:
 * optimizations: parallel transactions (per-transaction backend
   connections), early response to update/commit/abort (wait-for-completion
   policy in the load balancer) and lazy transaction begin.
+
+That flow is realised by the composable pipeline of
+:mod:`repro.core.pipeline`: the entry points here (:meth:`execute`,
+:meth:`execute_request`, :meth:`begin`, :meth:`commit`, :meth:`rollback`)
+are thin shims that wrap the request in a
+:class:`repro.core.pipeline.RequestContext` and run it through the stage
+chain; the methods prefixed ``_execute_*_on_backends`` and the transaction
+bookkeeping helpers are the stage callbacks.  Cross-cutting behaviour
+(metrics, tracing, slow-query logging, rate limiting, ...) attaches as
+interceptors on :attr:`pipeline` instead of being patched into this class.
 """
 
 from __future__ import annotations
@@ -26,7 +36,14 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.backend import DatabaseBackend
 from repro.core.cache import ResultCache
-from repro.core.loadbalancer.base import AbstractLoadBalancer, WriteOutcome
+from repro.core.loadbalancer.base import AbstractLoadBalancer
+from repro.core.pipeline import (
+    InterceptorSpec,
+    MetricsInterceptor,
+    Pipeline,
+    RequestContext,
+    build_interceptors,
+)
 from repro.core.recovery.recovery_log import RecoveryLog
 from repro.core.request import (
     AbstractRequest,
@@ -34,11 +51,10 @@ from repro.core.request import (
     CommitRequest,
     RequestResult,
     RollbackRequest,
-    SelectRequest,
 )
 from repro.core.requestparser import RequestFactory
 from repro.core.scheduler import AbstractScheduler, OptimisticTransactionLevelScheduler
-from repro.errors import CJDBCError, NoMoreBackendError
+from repro.errors import CJDBCError
 
 
 @dataclass
@@ -64,6 +80,7 @@ class RequestManager:
         recovery_log: Optional[RecoveryLog] = None,
         request_factory: Optional[RequestFactory] = None,
         lazy_transaction_begin: bool = True,
+        interceptors: Sequence[InterceptorSpec] = (),
     ):
         from repro.core.loadbalancer import RAIDb1LoadBalancer  # avoid import cycle
 
@@ -94,11 +111,24 @@ class RequestManager:
         #: virtual database to log and by tests to observe failover)
         self.on_backend_disabled: Optional[Callable[[DatabaseBackend, Exception], None]] = None
         # statistics
-        self.requests_executed = 0
         self.transactions_started = 0
         self.transactions_committed = 0
         self.transactions_aborted = 0
         self._stats_lock = threading.Lock()
+        # the execution pipeline; the metrics interceptor is always installed
+        # (it carries the per-request-type counters behind requests_executed)
+        built = build_interceptors(interceptors)
+        self.metrics = next(
+            (i for i in built if isinstance(i, MetricsInterceptor)), None
+        )
+        if self.metrics is None:
+            self.metrics = MetricsInterceptor()
+        else:
+            built.remove(self.metrics)
+        # metrics always sits first so its after hook runs for every request,
+        # including those rejected by interceptors further down the list
+        built.insert(0, self.metrics)
+        self.pipeline = Pipeline(self, interceptors=built)
 
     # -- backend management ----------------------------------------------------------
 
@@ -167,71 +197,61 @@ class RequestManager:
         request = self.request_factory.create_request(
             sql, parameters, login=login, transaction_id=transaction_id
         )
-        return self.execute_request(request)
+        context = RequestContext(request, manager=self)
+        self.pipeline.execute(context)
+        return context.result
 
     def execute_request(self, request: AbstractRequest) -> RequestResult:
+        """Run one request through the execution pipeline."""
+        context = RequestContext(request, manager=self)
+        self.pipeline.execute(context)
+        return context.result
+
+    # -- stage callbacks (invoked by the pipeline's load-balance stage) ----------------
+
+    def _execute_write_on_backends(self, context: RequestContext) -> RequestResult:
+        request = context.request
+        outcome = self.load_balancer.execute_write_request(request, self._backends)
+        if request.alters_schema:
+            for backend in self.enabled_backends():
+                if backend.name in outcome.successes:
+                    backend.note_ddl(request)
+        self._note_transaction_participant(request)
+        result = outcome.result
+        result.backends_executed = outcome.backends_executed
+        context.backends_executed = outcome.backends_executed
+        return result
+
+    def _execute_begin_on_backends(self, context: RequestContext) -> RequestResult:
+        transaction_id = context.transaction_id
+        if not self.lazy_transaction_begin:
+            self.load_balancer.broadcast_transaction_operation(
+                self.enabled_backends(),
+                lambda backend: backend.begin_transaction(transaction_id),
+            )
+        return RequestResult(update_count=0, transaction_id=transaction_id)
+
+    def _execute_commit_on_backends(self, context: RequestContext) -> RequestResult:
+        transaction_id = context.request.transaction_id
+        participants = self._participants(transaction_id)
+        if participants:
+            self.load_balancer.broadcast_transaction_operation(
+                participants, lambda backend: backend.commit(transaction_id)
+            )
         with self._stats_lock:
-            self.requests_executed += 1
-        if isinstance(request, BeginRequest):
-            transaction_id = self.begin(request.login)
-            return RequestResult(update_count=0, transaction_id=transaction_id)
-        if isinstance(request, CommitRequest):
-            if request.transaction_id is None:
-                raise CJDBCError("COMMIT outside of a transaction")
-            self.commit(request.transaction_id, request.login)
-            return RequestResult(update_count=0)
-        if isinstance(request, RollbackRequest):
-            if request.transaction_id is None:
-                raise CJDBCError("ROLLBACK outside of a transaction")
-            self.rollback(request.transaction_id, request.login)
-            return RequestResult(update_count=0)
-        if request.is_read_only:
-            return self._execute_read(request)
-        return self._execute_write(request)
+            self.transactions_committed += 1
+        return RequestResult(update_count=0)
 
-    # -- reads -------------------------------------------------------------------------
-
-    def _execute_read(self, request: SelectRequest) -> RequestResult:
-        ticket = self.scheduler.schedule_read(request)
-        try:
-            cacheable = self.result_cache is not None and request.transaction_id is None
-            if cacheable:
-                cached = self.result_cache.get(request)
-                if cached is not None:
-                    return cached
-            result = self.load_balancer.execute_read_request(request, self._backends)
-            if cacheable:
-                self.result_cache.put(request, result)
-            self._note_transaction_participant(request)
-            return result
-        finally:
-            ticket.release()
-
-    # -- writes -------------------------------------------------------------------------
-
-    def _execute_write(self, request: AbstractRequest) -> RequestResult:
-        ticket = self.scheduler.schedule_write(request)
-        try:
-            if self.recovery_log is not None:
-                self.recovery_log.log_request(
-                    request.sql,
-                    request.parameters,
-                    login=request.login,
-                    transaction_id=request.transaction_id,
-                )
-            outcome = self.load_balancer.execute_write_request(request, self._backends)
-            if request.alters_schema:
-                for backend in self.enabled_backends():
-                    if backend.name in outcome.successes:
-                        backend.note_ddl(request)
-            if self.result_cache is not None:
-                self.result_cache.invalidate(request)
-            self._note_transaction_participant(request)
-            result = outcome.result
-            result.backends_executed = outcome.backends_executed
-            return result
-        finally:
-            ticket.release()
+    def _execute_rollback_on_backends(self, context: RequestContext) -> RequestResult:
+        transaction_id = context.request.transaction_id
+        participants = self._participants(transaction_id)
+        if participants:
+            self.load_balancer.broadcast_transaction_operation(
+                participants, lambda backend: backend.rollback(transaction_id)
+            )
+        with self._stats_lock:
+            self.transactions_aborted += 1
+        return RequestResult(update_count=0)
 
     def _note_transaction_participant(self, request: AbstractRequest) -> None:
         if request.transaction_id is None:
@@ -262,6 +282,26 @@ class RequestManager:
         that every controller of a replicated virtual database uses the same
         identifier for a given client transaction (paper §4.1).
         """
+        request = BeginRequest(sql="begin", login=login)
+        context = RequestContext(request, manager=self)
+        context.requested_transaction_id = transaction_id
+        self.pipeline.execute(context)
+        return context.result.transaction_id
+
+    def commit(self, transaction_id: int, login: str = "") -> None:
+        """Commit on every backend that participated in the transaction."""
+        request = CommitRequest(sql="commit", login=login, transaction_id=transaction_id)
+        self.pipeline.execute(RequestContext(request, manager=self))
+
+    def rollback(self, transaction_id: int, login: str = "") -> None:
+        """Abort on every backend that participated in the transaction."""
+        request = RollbackRequest(sql="rollback", login=login, transaction_id=transaction_id)
+        self.pipeline.execute(RequestContext(request, manager=self))
+
+    def _register_transaction(
+        self, login: str, transaction_id: Optional[int] = None
+    ) -> int:
+        """Allocate (or adopt) a transaction id and register its context."""
         if transaction_id is None:
             transaction_id = next(self._transaction_ids)
         context = TransactionContext(transaction_id=transaction_id, login=login, begun=True)
@@ -269,55 +309,7 @@ class RequestManager:
             self._transactions[transaction_id] = context
         with self._stats_lock:
             self.transactions_started += 1
-        if self.recovery_log is not None:
-            self.recovery_log.log_begin(login, transaction_id)
-        if not self.lazy_transaction_begin:
-            request = BeginRequest(sql="begin", login=login, transaction_id=transaction_id)
-            ticket = self.scheduler.schedule_write(request)
-            try:
-                self.load_balancer.broadcast_transaction_operation(
-                    self.enabled_backends(),
-                    lambda backend: backend.begin_transaction(transaction_id),
-                )
-            finally:
-                ticket.release()
         return transaction_id
-
-    def commit(self, transaction_id: int, login: str = "") -> None:
-        """Commit on every backend that participated in the transaction."""
-        context = self._pop_transaction(transaction_id)
-        request = CommitRequest(sql="commit", login=login, transaction_id=transaction_id)
-        ticket = self.scheduler.schedule_write(request)
-        try:
-            if self.recovery_log is not None:
-                self.recovery_log.log_commit(login, transaction_id)
-            participants = self._participants(transaction_id)
-            if participants:
-                self.load_balancer.broadcast_transaction_operation(
-                    participants, lambda backend: backend.commit(transaction_id)
-                )
-            with self._stats_lock:
-                self.transactions_committed += 1
-        finally:
-            ticket.release()
-
-    def rollback(self, transaction_id: int, login: str = "") -> None:
-        """Abort on every backend that participated in the transaction."""
-        self._pop_transaction(transaction_id)
-        request = RollbackRequest(sql="rollback", login=login, transaction_id=transaction_id)
-        ticket = self.scheduler.schedule_write(request)
-        try:
-            if self.recovery_log is not None:
-                self.recovery_log.log_rollback(login, transaction_id)
-            participants = self._participants(transaction_id)
-            if participants:
-                self.load_balancer.broadcast_transaction_operation(
-                    participants, lambda backend: backend.rollback(transaction_id)
-                )
-            with self._stats_lock:
-                self.transactions_aborted += 1
-        finally:
-            ticket.release()
 
     def _participants(self, transaction_id: int) -> List[DatabaseBackend]:
         return [
@@ -375,9 +367,20 @@ class RequestManager:
 
     # -- statistics ---------------------------------------------------------------------------
 
+    @property
+    def requests_executed(self) -> int:
+        """Total requests processed by the pipeline (all categories).
+
+        Kept for backward compatibility; the per-category breakdown lives on
+        the ``metrics`` interceptor (``statistics()["requests"]``).
+        """
+        return self.metrics.total_requests
+
     def statistics(self) -> dict:
         stats = {
             "requests_executed": self.requests_executed,
+            "requests": self.metrics.statistics(),
+            "pipeline": self.pipeline.statistics(),
             "transactions_started": self.transactions_started,
             "transactions_committed": self.transactions_committed,
             "transactions_aborted": self.transactions_aborted,

@@ -4,6 +4,12 @@ A virtual database groups an authentication manager, a request manager
 (scheduler + load balancer + optional cache and recovery log) and a set of
 database backends.  It also owns the checkpointing service used to take
 backend snapshots and to re-integrate failed or new backends.
+
+The virtual database is where the execution pipeline is *assembled*: it
+points the pipeline's authenticate stage at its authentication manager and
+installs the interceptors declared by the cluster descriptor (or passed
+programmatically), so cross-cutting behaviour is composed here rather than
+hard-wired into the request manager.
 """
 
 from __future__ import annotations
@@ -13,6 +19,13 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.authentication import AuthenticationManager
 from repro.core.backend import DatabaseBackend
+from repro.core.pipeline import (
+    Interceptor,
+    InterceptorSpec,
+    MetricsInterceptor,
+    Pipeline,
+    build_interceptors,
+)
 from repro.core.recovery.checkpoint import CheckpointingService
 from repro.core.recovery.recovery_log import MemoryRecoveryLog, RecoveryLog
 from repro.core.request import RequestResult
@@ -31,12 +44,24 @@ class VirtualDatabase:
         authentication_manager: Optional[AuthenticationManager] = None,
         checkpointing_service: Optional[CheckpointingService] = None,
         group_name: Optional[str] = None,
+        interceptors: Sequence[InterceptorSpec] = (),
     ):
         self.name = name
         self.request_manager = request_manager
         self.authentication_manager = authentication_manager or AuthenticationManager(
             transparent=True
         )
+        # assemble the execution pipeline: authenticate against this vdb's
+        # manager and install the declaratively configured interceptors
+        request_manager.pipeline.use_authentication_manager(self.authentication_manager)
+        for interceptor in build_interceptors(interceptors):
+            if isinstance(interceptor, MetricsInterceptor) and (
+                request_manager.pipeline.has_interceptor(MetricsInterceptor.name)
+            ):
+                # metrics is always installed implicitly; a descriptor listing
+                # it is a statement of intent, not a second copy
+                continue
+            request_manager.pipeline.add_interceptor(interceptor)
         recovery_log = (
             request_manager.recovery_log
             if request_manager.recovery_log is not None
@@ -174,6 +199,22 @@ class VirtualDatabase:
 
     def rollback(self, transaction_id: int, login: str = "") -> None:
         self.request_manager.rollback(transaction_id, login)
+
+    # -- pipeline composition -------------------------------------------------------------------
+
+    @property
+    def pipeline(self) -> Pipeline:
+        """The execution pipeline every request to this database flows through."""
+        return self.request_manager.pipeline
+
+    def add_interceptor(self, interceptor: InterceptorSpec) -> Interceptor:
+        """Install an interceptor (instance, built-in name or spec mapping)."""
+        built = build_interceptors([interceptor])[0]
+        self.pipeline.add_interceptor(built)
+        return built
+
+    def remove_interceptor(self, name: str) -> Interceptor:
+        return self.pipeline.remove_interceptor(name)
 
     # -- monitoring -----------------------------------------------------------------------------
 

@@ -133,3 +133,7 @@ class GroupCommunicationError(CJDBCError):
 
 class PoolExhaustedError(CJDBCError):
     """The client-side connection pool has no free connection left."""
+
+
+class RateLimitExceededError(CJDBCError):
+    """A login exceeded its request budget (``rate_limit`` interceptor)."""

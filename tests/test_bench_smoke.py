@@ -75,9 +75,15 @@ class TestBenchSmoke:
         assert {"parse_cache_on", "parse_cache_off"} <= set(scenarios)
         assert "cached_read_1_backends" in scenarios
         assert "write_invalidate_2_backends" in scenarios
+        assert {"cached_read_pipeline", "cached_read_inline"} <= set(scenarios)
         assert all(s["ops_per_second"] > 0 for s in scenarios.values())
+        overhead = results["ablations"]["pipeline_overhead"]
+        assert overhead["pipeline_ops_per_second"] > 0
+        assert overhead["inline_ops_per_second"] > 0
+        assert "overhead_pct" in overhead
         report = format_hotpath_report(results)
         assert "parsing cache speedup" in report
+        assert "pipeline overhead" in report
         assert "write-invalidate cost vs cache size" in report
 
 
@@ -93,11 +99,19 @@ class TestHotpathBaselineGate:
         default_names = {
             "parse_cache_on",
             "parse_cache_off",
+            "cached_read_pipeline",
+            "cached_read_inline",
             *(f"cached_read_{n}_backends" for n in (1, 4, 16)),
             *(f"write_invalidate_{n}_backends" for n in (1, 4, 16)),
         }
         assert set(baseline["scenarios"]) == default_names
         assert baseline["ablations"]["parse_cache_speedup"] >= 3.0
+        # the composable pipeline must stay cheap on the hottest request
+        # shape: cached reads through the full pipeline keep a bounded cost
+        # vs the hand-inlined (pre-pipeline) code path
+        overhead = baseline["ablations"]["pipeline_overhead"]
+        assert overhead["pipeline_ops_per_second"] > 0
+        assert overhead["overhead_pct"] < 40.0
         index = baseline["ablations"]["invalidate_index_vs_scan"]
         # the committed run must show the index keeping invalidation cost
         # sub-linear in cache size while the full scan degrades linearly

@@ -43,7 +43,7 @@ class TestBasicCaching:
         cache.put(request, result(42))
         hit = cache.get(request)
         assert hit is not None
-        assert hit.rows == [[42]]
+        assert hit.rows == [(42,)]
         assert hit.from_cache is True
 
     def test_different_parameters_are_different_entries(self):
@@ -54,12 +54,20 @@ class TestBasicCaching:
         assert cache.get(second) is None
 
     def test_cached_result_is_a_copy(self):
+        """Copy-on-checkout: rows are tuple-frozen, containers are private."""
         cache = ResultCache()
         request = select()
         cache.put(request, result(1))
         hit = cache.get(request)
-        hit.rows[0][0] = 999
-        assert cache.get(request).rows == [[1]]
+        # the row container is per-checkout: draining one client's cursor
+        # cannot affect what other clients see
+        hit.rows.clear()
+        assert cache.get(request).rows == [(1,)]
+        # the rows themselves are immutable: in-place mutation is impossible
+        other = cache.get(request)
+        with pytest.raises(TypeError):
+            other.rows[0][0] = 999
+        assert cache.get(request).rows == [(1,)]
 
     def test_lru_eviction(self):
         cache = ResultCache(max_entries=2)

@@ -51,7 +51,8 @@ class TestExecutionPipeline:
         request_manager.execute("SELECT v FROM kv WHERE k = 1")
         request_manager.execute("UPDATE kv SET v = 'b' WHERE k = 1")
         result = request_manager.execute("SELECT v FROM kv WHERE k = 1")
-        assert result.rows == [["b"]]
+        # cacheable reads return tuple-frozen rows on miss and hit alike
+        assert result.rows == [("b",)]
         assert result.from_cache is False
 
     def test_reads_are_cached(self, manager):
