@@ -300,7 +300,7 @@ def run_overhead_microbenchmark(statements: int = 2000) -> OverheadResult:
 # ---------------------------------------------------------------------------
 
 #: bumped when scenario names or semantics change, so stale baselines fail loudly
-HOTPATH_BENCH_VERSION = 2
+HOTPATH_BENCH_VERSION = 3
 
 #: relative ops/s drop vs the committed baseline that fails --check-baseline
 HOTPATH_REGRESSION_TOLERANCE = 0.30
@@ -535,6 +535,43 @@ def _run_pipeline_overhead_scenarios(statements: int) -> Dict[str, HotpathScenar
     return scenarios
 
 
+def _run_batch_insert_scenarios(
+    batch_size: int, batches: int
+) -> Dict[str, HotpathScenarioResult]:
+    """Bulk-insert throughput: looped ``executemany`` vs server-side batch.
+
+    Both variants insert ``batches`` groups of ``batch_size`` rows into a
+    2-backend RAIDb-1 virtual database.  ``batch_insert_looped`` replays the
+    pre-batching client loop — one full pipeline traversal (scheduler
+    ticket, recovery-log entry, cache-invalidation pass, per-backend
+    broadcast) per row.  ``batch_insert_server`` ships each group through
+    the pipeline once as a :class:`repro.core.request.BatchWriteRequest`.
+    Operations are counted in *rows inserted* so the two ops/s figures are
+    directly comparable; their ratio is the ``batch_speedup`` ablation.
+    """
+    sql = "INSERT INTO bulk (b_id, payload) VALUES (?, ?)"
+    scenarios: Dict[str, HotpathScenarioResult] = {}
+    for label, batched in (("batch_insert_looped", False), ("batch_insert_server", True)):
+        vdb = _build_hotpath_cluster(2, label.replace("_", "-"))
+        manager = vdb.request_manager
+        manager.execute("CREATE TABLE bulk (b_id INT PRIMARY KEY, payload VARCHAR(32))")
+
+        def run_batch(index: int) -> None:
+            base = index * batch_size
+            parameter_sets = [
+                (base + offset, f"row-{base + offset}") for offset in range(batch_size)
+            ]
+            if batched:
+                manager.execute_batch(sql, parameter_sets)
+            else:
+                for parameters in parameter_sets:
+                    manager.execute(sql, parameters)
+
+        seconds = _time_loop(run_batch, batches)
+        scenarios[label] = HotpathScenarioResult(label, batches * batch_size, seconds)
+    return scenarios
+
+
 def run_hotpath_microbenchmark(
     parse_statements: int = 20000,
     read_statements: int = 5000,
@@ -543,13 +580,17 @@ def run_hotpath_microbenchmark(
     invalidate_cache_sizes: Sequence[int] = (250, 1000, 4000),
     invalidate_tables: int = 50,
     invalidate_writes: int = 300,
+    batch_size: int = 100,
+    batch_count: int = 10,
 ) -> dict:
     """Measure the controller hot paths and the cache ablations.
 
     Returns the machine-readable document written to ``BENCH_hotpath.json``:
-    ops/s for statement parsing (parsing cache on/off), cached reads and
-    write+invalidate at each backend count, plus two ablations — the parsing
-    cache speedup and the invalidation-index cost vs cache size.
+    ops/s for statement parsing (parsing cache on/off), cached reads,
+    write+invalidate at each backend count and bulk inserts (looped vs
+    server-side batch), plus three ablations — the parsing cache speedup,
+    the invalidation-index cost vs cache size, and the server-side batching
+    speedup.
     """
     scenarios: Dict[str, HotpathScenarioResult] = {}
     scenarios.update(_run_parse_scenarios(parse_statements))
@@ -559,6 +600,7 @@ def run_hotpath_microbenchmark(
         write = _run_write_invalidate_scenario(backends, write_statements)
         scenarios[write.name] = write
     scenarios.update(_run_pipeline_overhead_scenarios(read_statements))
+    scenarios.update(_run_batch_insert_scenarios(batch_size, batch_count))
 
     index_ablation = _run_invalidate_index_ablation(
         invalidate_cache_sizes, invalidate_tables, invalidate_writes
@@ -574,6 +616,15 @@ def run_hotpath_microbenchmark(
             round((inline_ops - pipeline_ops) / inline_ops * 100.0, 2) if inline_ops else 0.0
         ),
     }
+    looped_ops = scenarios["batch_insert_looped"].ops_per_second
+    server_ops = scenarios["batch_insert_server"].ops_per_second
+    batch_ablation = {
+        "batch_size": batch_size,
+        "batches": batch_count,
+        "looped_rows_per_second": round(looped_ops, 1),
+        "server_rows_per_second": round(server_ops, 1),
+        "speedup": round(server_ops / looped_ops, 2) if looped_ops else 0.0,
+    }
     return {
         "benchmark": "hotpath",
         "version": HOTPATH_BENCH_VERSION,
@@ -582,12 +633,15 @@ def run_hotpath_microbenchmark(
             "read_statements": read_statements,
             "write_statements": write_statements,
             "backend_counts": list(backend_counts),
+            "batch_size": batch_size,
+            "batch_count": batch_count,
         },
         "scenarios": {name: result.as_dict() for name, result in scenarios.items()},
         "ablations": {
             "parse_cache_speedup": round(parse_on / parse_off, 2) if parse_off else 0.0,
             "invalidate_index_vs_scan": index_ablation,
             "pipeline_overhead": pipeline_overhead,
+            "batch_speedup": batch_ablation,
         },
     }
 

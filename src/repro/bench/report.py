@@ -85,6 +85,14 @@ def format_hotpath_report(results: Dict) -> str:
             f" ({pipeline['pipeline_ops_per_second']:,.0f} vs"
             f" {pipeline['inline_ops_per_second']:,.0f} ops/s)"
         )
+    batch = ablations.get("batch_speedup", {})
+    if batch:
+        lines.append(
+            f"server-side batching speedup ({batch['batch_size']}-row batches,"
+            f" vs looped executemany): {batch['speedup']}x"
+            f" ({batch['server_rows_per_second']:,.0f} vs"
+            f" {batch['looped_rows_per_second']:,.0f} rows/s)"
+        )
     index = ablations.get("invalidate_index_vs_scan", {})
     if index:
         lines.append(

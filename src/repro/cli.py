@@ -18,6 +18,7 @@ import sys
 from typing import List, Optional
 
 from repro.bench import (
+    HOTPATH_REGRESSION_TOLERANCE,
     check_hotpath_baseline,
     format_hotpath_report,
     format_rubis_table,
@@ -72,7 +73,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--check-baseline",
         default=None,
         metavar="FILE",
-        help="fail (exit 1) if any scenario regresses more than 30%% vs this baseline",
+        help="fail (exit 1) if any scenario regresses more than the tolerance"
+        " vs this baseline",
+    )
+    hotpath.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="relative ops/s drop tolerated by --check-baseline"
+        f" (default {HOTPATH_REGRESSION_TOLERANCE:g}; raise on noisy CI runners)",
     )
     hotpath.add_argument(
         "--scale",
@@ -140,6 +150,9 @@ def _run_ablation_lb() -> str:
 
 
 def _run_bench_hotpath(args: argparse.Namespace, stdout) -> int:
+    if args.tolerance is not None and not args.check_baseline:
+        print("--tolerance has no effect without --check-baseline", file=stdout)
+        return 2
     scale = max(args.scale, 0.001)
     results = run_hotpath_microbenchmark(
         parse_statements=max(int(20000 * scale), 10),
@@ -152,13 +165,21 @@ def _run_bench_hotpath(args: argparse.Namespace, stdout) -> int:
             max(int(size * scale), 10) for size in (250, 1000, 4000)
         ),
         invalidate_writes=max(int(300 * scale), 5),
+        # keep the 100-row batch shape (it defines the ablation); scale how
+        # many batches run so quick runs stay quick
+        batch_count=max(int(10 * scale), 1),
     )
     print(format_hotpath_report(results), file=stdout)
     if args.out:
         path = write_hotpath_json(results, args.out)
         print(f"\nresults written to {path}", file=stdout)
     if args.check_baseline:
-        problems = check_hotpath_baseline(results, args.check_baseline)
+        # the tolerance default lives on check_hotpath_baseline; only an
+        # explicit --tolerance overrides it
+        tolerance_kwargs = {} if args.tolerance is None else {"tolerance": args.tolerance}
+        problems = check_hotpath_baseline(
+            results, args.check_baseline, **tolerance_kwargs
+        )
         if problems:
             print("\nBASELINE CHECK FAILED:", file=stdout)
             for problem in problems:

@@ -12,6 +12,16 @@ assembles middleware components by hand.
     cluster = repro.load_cluster("cluster.json")      # boot controllers + vdbs
     connection = repro.connect("cjdbc://ctrl-a,ctrl-b/mydb?user=app&password=s")
 
+    statement = connection.prepare("INSERT INTO t (a, b) VALUES (?, ?)")
+    for row in rows:                                  # server-side batch:
+        statement.add_batch(row)                      # one pipeline pass for
+    statement.execute_batch()                         # the whole batch
+
+Connections obtained here — directly, through :meth:`Cluster.connect`, or
+from a :class:`repro.cluster.pool.ConnectionPool` checkout — all expose the
+prepared-statement / batching surface of
+:class:`repro.core.driver.PreparedStatement`.
+
 :class:`Cluster` owns everything the descriptor declared: controllers
 (registered in the controller registry so URLs resolve), virtual databases,
 the in-memory engines standing in for real database backends, and — for

@@ -62,6 +62,13 @@ class PooledConnection:
             self._pool.checkin(self._connection)
 
     def __getattr__(self, name):
+        # No forwarding after release: the underlying connection may already
+        # be checked out by another borrower, and a cursor, statement or
+        # prepared handle obtained here would run inside *their* session.
+        if self._released:
+            raise InterfaceError(
+                f"cannot use {name!r} on a connection returned to the pool"
+            )
         return getattr(self._connection, name)
 
     def __enter__(self) -> "PooledConnection":

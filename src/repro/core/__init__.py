@@ -23,7 +23,7 @@ from repro.core.config import (
     build_virtual_database,
 )
 from repro.core.controller import Controller
-from repro.core.driver import connect
+from repro.core.driver import PreparedStatement, connect
 from repro.core.pipeline import (
     Interceptor,
     MetricsInterceptor,
@@ -36,8 +36,8 @@ from repro.core.pipeline import (
     build_interceptor,
     build_interceptors,
 )
-from repro.core.request import RequestResult
-from repro.core.request_manager import RequestManager
+from repro.core.request import BatchWriteRequest, RequestResult
+from repro.core.request_manager import PreparedStatementHandle, RequestManager
 from repro.core.requestparser import ParsingCache, RequestFactory
 from repro.core.virtualdb import VirtualDatabase
 
@@ -45,12 +45,15 @@ __all__ = [
     "AuthenticationManager",
     "BackendConfig",
     "BackendState",
+    "BatchWriteRequest",
     "Controller",
     "DatabaseBackend",
     "Interceptor",
     "MetricsInterceptor",
     "ParsingCache",
     "Pipeline",
+    "PreparedStatement",
+    "PreparedStatementHandle",
     "RateLimitInterceptor",
     "RequestContext",
     "RequestFactory",

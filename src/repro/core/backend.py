@@ -68,6 +68,8 @@ class DatabaseBackend:
         self.total_requests = 0
         self.total_reads = 0
         self.total_writes = 0
+        self.total_batches = 0
+        self.total_batched_statements = 0
         self.total_transactions_begun = 0
         self.failures = 0
         self.last_known_checkpoint: Optional[str] = None
@@ -216,6 +218,47 @@ class DatabaseBackend:
         finally:
             self._request_finished()
 
+    def execute_batch(self, request) -> RequestResult:
+        """Execute every parameter set of a batch on a single connection.
+
+        The batch counts as *one* request against this backend: one
+        connection checkout (or the transaction's dedicated connection), one
+        pending-request increment, and the parameter sets run back to back
+        on that connection.  The returned update count aggregates all sets.
+        Like JDBC batches, a mid-batch failure does not undo the sets that
+        already executed in autocommit mode; inside a transaction the
+        client's rollback covers them.
+        """
+        self._request_started(is_read=False)
+        try:
+            if request.transaction_id is None:
+                connection = self.connection_manager.get_connection()
+                try:
+                    return self._execute_batch_on(connection, request)
+                finally:
+                    self.connection_manager.release_connection(connection)
+            connection = self._connection_for_transaction(request.transaction_id)
+            return self._execute_batch_on(connection, request)
+        except DatabaseError as exc:
+            self.failures += 1
+            raise BackendError(f"backend {self.name!r}: {exc}") from exc
+        finally:
+            self._request_finished()
+
+    def _execute_batch_on(self, connection, request) -> RequestResult:
+        # the native driver's executemany parses the template once and
+        # re-executes the plan per set (and a nested controller forwards the
+        # whole batch downstream), so per-row cost is execution only
+        cursor = connection.cursor()
+        cursor.executemany(request.sql, request.parameter_sets)
+        total = cursor.rowcount
+        with self._counters_lock:
+            self.total_batches += 1
+            self.total_batched_statements += len(request.parameter_sets)
+        result = RequestResult(update_count=max(total, 0))
+        result.backend_name = self.name
+        return result
+
     def _execute_on(self, connection, request: AbstractRequest) -> RequestResult:
         cursor = connection.cursor()
         cursor.execute(request.sql, request.parameters)
@@ -313,6 +356,8 @@ class DatabaseBackend:
             "total_requests": self.total_requests,
             "total_reads": self.total_reads,
             "total_writes": self.total_writes,
+            "total_batches": self.total_batches,
+            "total_batched_statements": self.total_batched_statements,
             "total_transactions": self.total_transactions_begun,
             "failures": self.failures,
             "tables": sorted(self.tables),

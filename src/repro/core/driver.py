@@ -6,6 +6,16 @@ database-specific JDBC driver but offers the same interface."  Here the
 against :mod:`repro.sql.dbapi` work unchanged when pointed at a virtual
 database through this module.
 
+Like the JDBC original, the driver implements the *full* statement surface:
+besides one-shot ``cursor.execute(sql, params)``,
+:meth:`VirtualConnection.prepare` returns a :class:`PreparedStatement` bound
+to a controller-side parsed template — repeated executions skip SQL
+classification entirely — with JDBC-style ``add_batch``/``execute_batch``
+shipping every queued parameter set through the controller pipeline as a
+single server-side batch (one scheduler ticket, one recovery-log group, one
+cache-invalidation pass, one broadcast task per backend).
+``cursor.executemany`` is a thin shim over the same batch path.
+
 The driver also implements transparent controller failover: it can be given
 several controllers hosting the same virtual database (horizontal
 scalability) and it re-routes a connection to the next controller when the
@@ -16,7 +26,7 @@ controller and handed to the driver, so clients browse results locally.
 from __future__ import annotations
 
 import threading
-from typing import Any, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.controller import Controller
 from repro.core.request import RequestResult
@@ -181,6 +191,16 @@ class VirtualConnection:
         cursor.execute(sql, parameters)
         return cursor
 
+    def prepare(self, sql: str) -> "PreparedStatement":
+        """Prepare ``sql`` once; the statement re-executes without re-parsing.
+
+        The returned :class:`PreparedStatement` binds a controller-side
+        parsed template, offers DB-API cursor semantics for its results, and
+        adds JDBC-style batching (``add_batch``/``execute_batch``).
+        """
+        self._check_open()
+        return PreparedStatement(self, sql)
+
     # -- internals ----------------------------------------------------------------------------
 
     def _ensure_transaction(self) -> Optional[int]:
@@ -192,20 +212,24 @@ class VirtualConnection:
             self._transaction_id = self._virtual_database().begin(self.user)
             return self._transaction_id
 
-    def _run(self, sql: str, parameters: Sequence[Any]) -> RequestResult:
-        self._check_open()
-        transaction_id = self._ensure_transaction()
+    def _execute_with_failover(
+        self,
+        operation: Callable[[VirtualDatabase], RequestResult],
+        transaction_id: Optional[int],
+    ) -> RequestResult:
+        """Run ``operation`` against the current controller, failing over.
+
+        Shared by one-shot, prepared and batch execution.  A controller dying
+        mid-request rotates to the next one; in-flight transactions cannot be
+        transparently migrated (the paper's driver aborts them), so those
+        surface an error instead of retrying.
+        """
         last_error: Optional[Exception] = None
         for _attempt in range(len(self._controllers)):
             virtual_database = self._virtual_database()
             try:
-                return virtual_database.execute(
-                    sql, parameters, login=self.user, transaction_id=transaction_id
-                )
+                return operation(virtual_database)
             except ControllerError as exc:
-                # Controller died mid-request: fail over.  In-flight
-                # transactions cannot be transparently migrated (the paper's
-                # driver aborts them), so surface an error in that case.
                 last_error = exc
                 with self._lock:
                     self._controller_index = (self._controller_index + 1) % len(
@@ -218,6 +242,55 @@ class VirtualConnection:
                         "controller failed during a transaction; transaction aborted"
                     ) from exc
         raise DatabaseError(f"all controllers failed: {last_error}")
+
+    def _run(self, sql: str, parameters: Sequence[Any]) -> RequestResult:
+        self._check_open()
+        transaction_id = self._ensure_transaction()
+        return self._execute_with_failover(
+            lambda virtual_database: virtual_database.execute(
+                sql, parameters, login=self.user, transaction_id=transaction_id
+            ),
+            transaction_id,
+        )
+
+    def _run_batch(
+        self,
+        sql: str,
+        parameter_sets: Sequence[Sequence[Any]],
+        handles: Optional["_HandleCache"] = None,
+    ) -> RequestResult:
+        """Ship a whole batch through the controller pipeline in one pass.
+
+        ``handles`` carries an already-resolved controller-side template
+        (from a prepared statement or a just-classified ``executemany``), so
+        the batch never re-parses the SQL; it is resolved here only when no
+        caller prepared one.
+        """
+        self._check_open()
+        if not parameter_sets:
+            # an empty batch executes nothing and reports zero affected rows
+            return RequestResult(update_count=0)
+        if handles is None:
+            handles = _HandleCache(sql)
+        transaction_id = self._ensure_transaction()
+        return self._execute_with_failover(
+            lambda virtual_database: handles.handle_for(virtual_database).execute_batch(
+                parameter_sets, login=self.user, transaction_id=transaction_id
+            ),
+            transaction_id,
+        )
+
+    def _run_prepared(
+        self, statement: "PreparedStatement", parameters: Sequence[Any]
+    ) -> RequestResult:
+        self._check_open()
+        transaction_id = self._ensure_transaction()
+        return self._execute_with_failover(
+            lambda virtual_database: statement._handle_for(virtual_database).execute(
+                parameters, login=self.user, transaction_id=transaction_id
+            ),
+            transaction_id,
+        )
 
     def _check_open(self) -> None:
         if self._closed:
@@ -242,6 +315,31 @@ class VirtualConnection:
                 self.rollback()
             finally:
                 self.close()
+
+
+class _HandleCache:
+    """The controller-side statement handle, re-resolved after failover.
+
+    Parsed templates carry no controller state, but the handle binds the
+    request manager of one virtual database; when failover routes the
+    connection to a different controller the handle is prepared again there
+    (a parsing-cache hit at worst).  One instance serves one driver-side
+    statement for its whole lifetime, so steady-state executions pay a single
+    identity check.
+    """
+
+    __slots__ = ("sql", "handle", "database")
+
+    def __init__(self, sql: str):
+        self.sql = sql
+        self.handle = None
+        self.database = None
+
+    def handle_for(self, virtual_database):
+        if self.handle is None or self.database is not virtual_database:
+            self.handle = virtual_database.prepare(self.sql)
+            self.database = virtual_database
+        return self.handle
 
 
 class VirtualCursor:
@@ -294,15 +392,34 @@ class VirtualCursor:
         return self
 
     def executemany(self, sql: str, seq_of_parameters: Sequence[Sequence[Any]]) -> "VirtualCursor":
+        """Execute ``sql`` for every parameter set.
+
+        INSERT/UPDATE/DELETE statements take the server-side batch path: the
+        whole sequence traverses the controller pipeline *once* and the
+        cursor reports the aggregate update count.  Other statement shapes
+        (SELECT, DDL) keep the legacy per-set loop.  An empty sequence
+        executes nothing and leaves a fresh zero-count result — not the
+        previous statement's stale result — on the cursor.
+        """
         self._check_open()
+        parameter_sets = [tuple(parameters) for parameters in seq_of_parameters]
+        if not parameter_sets:
+            self._result = RequestResult(update_count=0)
+            self._position = 0
+            return self
+        handles = _HandleCache(sql)
+        if handles.handle_for(self._connection._virtual_database()).is_write:
+            # hand the resolved template along: the batch run re-parses
+            # nothing (and re-prepares only across a failover)
+            self._result = self._connection._run_batch(sql, parameter_sets, handles)
+            self._position = 0
+            return self
         total = 0
-        executed = False
-        for parameters in seq_of_parameters:
+        for parameters in parameter_sets:
             self.execute(sql, parameters)
-            executed = True
             if self._result is not None and self._result.update_count > 0:
                 total += self._result.update_count
-        if executed and self._result is not None:
+        if self._result is not None:
             # The last result may be a shared cached RequestResult; report the
             # accumulated count on a private copy instead of mutating it.
             summary = self._result.copy()
@@ -373,3 +490,96 @@ class VirtualCursor:
         self._check_open()
         if self._result is None:
             raise InterfaceError("no statement executed yet")
+
+
+class PreparedStatement(VirtualCursor):
+    """A reusable statement handle bound to one SQL template (paper §2.3).
+
+    The JDBC driver's ``PreparedStatement``, ported to DB-API idiom: the SQL
+    is parsed (classified, tables extracted) once on the controller, and
+    every later execution instantiates a request straight from that template.
+    The statement *is* a cursor — ``fetchall``, ``rowcount``, ``description``
+    and iteration work on its last result — plus JDBC-style batching:
+
+    >>> statement = connection.prepare("INSERT INTO t (a, b) VALUES (?, ?)")
+    >>> statement.execute((1, "x"))              # one row, one pipeline pass
+    >>> for row in rows:
+    ...     statement.add_batch(row)
+    >>> statement.execute_batch()                # N rows, ONE pipeline pass
+    >>> statement.rowcount                       # aggregate update count
+
+    The controller-side handle is re-prepared transparently after a
+    controller failover (templates carry no controller state).
+    """
+
+    def __init__(self, connection: VirtualConnection, sql: str):
+        super().__init__(connection)
+        self.sql = sql
+        self._batch: List[Tuple[Any, ...]] = []
+        self._handles = _HandleCache(sql)
+        # parse eagerly so malformed SQL fails at prepare() time, like JDBC
+        self._handle_for(connection._virtual_database())
+
+    def _handle_for(self, virtual_database):
+        """The controller-side handle, re-prepared after a failover."""
+        return self._handles.handle_for(virtual_database)
+
+    # -- statement surface -------------------------------------------------------------
+
+    @property
+    def is_write(self) -> bool:
+        """True when the template is an INSERT/UPDATE/DELETE (batchable)."""
+        return self._handles.handle.is_write
+
+    @property
+    def is_read_only(self) -> bool:
+        return self._handles.handle.is_read_only
+
+    def execute(self, parameters: Sequence[Any] = ()) -> "PreparedStatement":  # type: ignore[override]
+        """Execute the prepared template with one parameter set."""
+        self._check_open()
+        self._result = self._connection._run_prepared(self, tuple(parameters))
+        self._position = 0
+        return self
+
+    def executemany(self, seq_of_parameters: Sequence[Sequence[Any]]) -> "PreparedStatement":  # type: ignore[override]
+        """DB-API spelling of ``add_batch`` + ``execute_batch``."""
+        for parameters in seq_of_parameters:
+            self.add_batch(parameters)
+        return self.execute_batch()
+
+    # -- batching ----------------------------------------------------------------------
+
+    def add_batch(self, parameters: Sequence[Any] = ()) -> "PreparedStatement":
+        """Queue one parameter set for the next :meth:`execute_batch`."""
+        self._check_open()
+        self._handles.handle.template.require_batchable(InterfaceError)
+        self._batch.append(tuple(parameters))
+        return self
+
+    @property
+    def batch_size(self) -> int:
+        """Parameter sets queued for the next :meth:`execute_batch`."""
+        return len(self._batch)
+
+    def clear_batch(self) -> None:
+        """Drop every queued parameter set without executing."""
+        self._batch.clear()
+
+    def execute_batch(self) -> "PreparedStatement":
+        """Ship every queued parameter set through the pipeline as one batch.
+
+        The queue is consumed whatever the outcome (JDBC ``executeBatch``
+        semantics); an empty queue executes nothing and reports an update
+        count of zero.
+        """
+        self._check_open()
+        parameter_sets, self._batch = self._batch, []
+        # through the bound template: the batch never re-classifies the SQL
+        self._result = self._connection._run_batch(self.sql, parameter_sets, self._handles)
+        self._position = 0
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        text = self.sql if len(self.sql) <= 60 else self.sql[:57] + "..."
+        return f"PreparedStatement({text!r}, queued={len(self._batch)})"

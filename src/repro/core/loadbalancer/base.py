@@ -67,6 +67,7 @@ class AbstractLoadBalancer:
         self.on_backend_failure: Optional[Callable[[DatabaseBackend, Exception], None]] = None
         self.reads_executed = 0
         self.writes_executed = 0
+        self.batches_executed = 0
         self._stats_lock = threading.Lock()
 
     # -- candidate selection (overridden per RAIDb level) -------------------------
@@ -121,6 +122,26 @@ class AbstractLoadBalancer:
         outcome = self._broadcast(targets, lambda backend: backend.execute_request(request))
         with self._stats_lock:
             self.writes_executed += 1
+        return outcome
+
+    def execute_batch_request(
+        self, request: AbstractRequest, backends: Sequence[DatabaseBackend]
+    ) -> WriteOutcome:
+        """Broadcast a whole batch to every backend hosting the written tables.
+
+        Each backend receives *one* task that checks out a single connection
+        and executes every parameter set on it — the per-statement broadcast
+        overhead (thread hop, connection checkout, counters) is paid once per
+        backend per batch instead of once per row.
+        """
+        targets = self.write_targets(request, backends)
+        if not targets:
+            raise NoMoreBackendError(
+                f"no enabled backend hosts tables {list(request.tables)!r}"
+            )
+        outcome = self._broadcast(targets, lambda backend: backend.execute_batch(request))
+        with self._stats_lock:
+            self.batches_executed += 1
         return outcome
 
     def broadcast_transaction_operation(
@@ -218,6 +239,7 @@ class AbstractLoadBalancer:
             "wait_for_completion": self.wait_for_completion.value,
             "reads_executed": self.reads_executed,
             "writes_executed": self.writes_executed,
+            "batches_executed": self.batches_executed,
         }
 
     def shutdown(self) -> None:

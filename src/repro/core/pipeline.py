@@ -13,8 +13,8 @@ Stage order (a stage that does not apply to a request category is a no-op)::
     classify ─ authenticate ─ schedule ─ cache-lookup ─ transaction
         ─ recovery-log ─ cache-invalidate ─ load-balance
 
-* **classify** derives the request category (read/write/begin/commit/
-  rollback) and validates transaction demarcation;
+* **classify** derives the request category (read/write/batch/begin/
+  commit/rollback) and validates transaction demarcation;
 * **authenticate** resolves the virtual login against the authentication
   manager when one is attached to the pipeline;
 * **schedule** acquires the scheduler ticket appropriate for the category
@@ -66,6 +66,7 @@ from typing import (
 
 from repro.core.request import (
     AbstractRequest,
+    BatchWriteRequest,
     BeginRequest,
     CommitRequest,
     DDLRequest,
@@ -81,6 +82,7 @@ from repro.errors import CJDBCError, ConfigurationError, RateLimitExceededError
 #: than an Enum: identity comparison on interned strings is the hot path)
 READ = "read"
 WRITE = "write"
+BATCH = "batch"
 BEGIN = "begin"
 COMMIT = "commit"
 ROLLBACK = "rollback"
@@ -99,6 +101,7 @@ _CATEGORY_BY_TYPE = {
 _CATEGORY_BY_CLASS = {
     SelectRequest: READ,
     WriteRequest: WRITE,
+    BatchWriteRequest: BATCH,
     DDLRequest: WRITE,
     BeginRequest: BEGIN,
     CommitRequest: COMMIT,
@@ -337,6 +340,15 @@ class RecoveryLogStage(Stage):
                         login=request.login,
                         transaction_id=request.transaction_id,
                     )
+                elif category is BATCH:
+                    # one replayable group entry for the whole batch: recovery
+                    # re-executes it as a single server-side batch too
+                    log.log_batch(
+                        request.sql,
+                        request.parameter_sets,
+                        login=request.login,
+                        transaction_id=request.transaction_id,
+                    )
                 elif category is BEGIN:
                     log.log_begin(request.login, context.transaction_id)
                 elif category is COMMIT:
@@ -357,7 +369,11 @@ class CacheInvalidateStage(Stage):
         def cache_invalidate(context: RequestContext) -> None:
             proceed(context)
             cache = manager.result_cache
-            if cache is not None and context.category is WRITE:
+            if cache is not None and (
+                context.category is WRITE or context.category is BATCH
+            ):
+                # for a batch this is ONE pass over the union of written
+                # tables (request.tables), not one pass per parameter set
                 cache.invalidate(context.request)
 
         return cache_invalidate
@@ -380,6 +396,8 @@ class LoadBalanceStage(Stage):
                 context.result = result
             elif category is WRITE:
                 context.result = manager._execute_write_on_backends(context)
+            elif category is BATCH:
+                context.result = manager._execute_batch_on_backends(context)
             elif category is BEGIN:
                 context.result = manager._execute_begin_on_backends(context)
             elif category is COMMIT:
@@ -527,6 +545,7 @@ class MetricsInterceptor(Interceptor):
     _COUNTER_BY_CATEGORY = {
         READ: "reads",
         WRITE: "writes",
+        BATCH: "batches",
         BEGIN: "begins",
         COMMIT: "commits",
         ROLLBACK: "rollbacks",
@@ -534,6 +553,7 @@ class MetricsInterceptor(Interceptor):
     _FIELDS = (
         "reads",
         "writes",
+        "batches",
         "begins",
         "commits",
         "rollbacks",
@@ -600,7 +620,15 @@ class MetricsInterceptor(Interceptor):
                 totals[field] += stripe[field]
         return totals
 
-    _TOTAL_FIELDS = ("reads", "writes", "begins", "commits", "rollbacks", "intercepted")
+    _TOTAL_FIELDS = (
+        "reads",
+        "writes",
+        "batches",
+        "begins",
+        "commits",
+        "rollbacks",
+        "intercepted",
+    )
 
     @property
     def total_requests(self) -> int:

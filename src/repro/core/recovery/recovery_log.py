@@ -22,6 +22,20 @@ import threading
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Iterable, List, Optional
 
+from repro.core.request import freeze_parameter_sets
+
+
+def _freeze_parameters(entry_type: str, parameters) -> tuple:
+    """Normalize deserialized parameters to the in-memory representation.
+
+    ``batch`` entries store a tuple of parameter *sets*; JSON round-trips
+    turn the inner tuples into lists, so they are re-frozen here to keep
+    entry equality and replay behaviour independent of the storage flavour.
+    """
+    if entry_type == "batch":
+        return freeze_parameter_sets(parameters)
+    return tuple(parameters)
+
 
 @dataclass
 class LogEntry:
@@ -32,10 +46,20 @@ class LogEntry:
     transaction_id: Optional[int]
     sql: str
     parameters: tuple = ()
-    #: "begin" | "commit" | "rollback" | "write" | "checkpoint"
+    #: "begin" | "commit" | "rollback" | "write" | "batch" | "checkpoint"
     entry_type: str = "write"
     #: checkpoint name for checkpoint markers
     checkpoint_name: Optional[str] = None
+
+    @property
+    def parameter_sets(self) -> tuple:
+        """The parameter sets of a ``batch`` group entry."""
+        if self.entry_type != "batch":
+            raise ValueError(
+                f"log entry {self.log_id} is a {self.entry_type!r} entry,"
+                f" not a batch group"
+            )
+        return freeze_parameter_sets(self.parameters)
 
     def to_json(self) -> str:
         payload = asdict(self)
@@ -45,7 +69,10 @@ class LogEntry:
     @classmethod
     def from_json(cls, text: str) -> "LogEntry":
         payload = json.loads(text)
-        payload["parameters"] = tuple(payload.get("parameters", ()))
+        entry_type = payload.get("entry_type", "write")
+        payload["parameters"] = _freeze_parameters(
+            entry_type, payload.get("parameters", ())
+        )
         return cls(**payload)
 
 
@@ -82,6 +109,27 @@ class RecoveryLog:
         )
         self._append(entry)
         return entry
+
+    def log_batch(
+        self,
+        sql: str,
+        parameter_sets,
+        login: str = "",
+        transaction_id: Optional[int] = None,
+    ) -> LogEntry:
+        """Record one server-side batch as a single replayable group entry.
+
+        The whole batch (template + every parameter set) is one log record,
+        so recovery replays it atomically as one backend batch instead of N
+        independent statements.
+        """
+        return self.log_request(
+            sql,
+            freeze_parameter_sets(parameter_sets),
+            login,
+            transaction_id,
+            entry_type="batch",
+        )
 
     def log_begin(self, login: str, transaction_id: int) -> LogEntry:
         return self.log_request("begin", (), login, transaction_id, entry_type="begin")
@@ -256,14 +304,17 @@ class DatabaseRecoveryLog(RecoveryLog):
             connection.close()
         entries = []
         for row in rows:
+            entry_type = row[5] or "write"
             entries.append(
                 LogEntry(
                     log_id=row[0],
                     login=row[1] or "",
                     transaction_id=row[2],
                     sql=row[3] or "",
-                    parameters=tuple(json.loads(row[4] or "[]")),
-                    entry_type=row[5] or "write",
+                    parameters=_freeze_parameters(
+                        entry_type, json.loads(row[4] or "[]")
+                    ),
+                    entry_type=entry_type,
                     checkpoint_name=row[6],
                 )
             )

@@ -107,6 +107,43 @@ class DDLRequest(AbstractRequest):
         return RequestType.DDL
 
 
+def freeze_parameter_sets(parameter_sets) -> Tuple[Tuple[Any, ...], ...]:
+    """A tuple-of-tuples view of ``parameter_sets``, copying only if needed.
+
+    Batch parameter sets cross several layers (driver → factory → request →
+    recovery log); each one requires the frozen shape, and this helper makes
+    re-freezing an already-frozen batch free instead of an O(rows) copy.
+    """
+    if type(parameter_sets) is tuple and all(
+        type(parameters) is tuple for parameters in parameter_sets
+    ):
+        return parameter_sets
+    return tuple(tuple(parameters) for parameters in parameter_sets)
+
+
+@dataclass(repr=False)
+class BatchWriteRequest(AbstractRequest):
+    """One write template executed with many parameter sets (server-side batch).
+
+    The whole batch flows through the controller pipeline *once*: one
+    scheduler ticket, one recovery-log group, one cache-invalidation pass
+    over the written tables, and one broadcast task per backend that checks
+    out a single connection and executes every parameter set on it.  This is
+    the server-side counterpart of JDBC's ``addBatch``/``executeBatch``.
+    """
+
+    #: the parameter sets to execute, in order, against :attr:`sql`
+    parameter_sets: Tuple[Tuple[Any, ...], ...] = ()
+
+    @property
+    def request_type(self) -> RequestType:
+        return RequestType.WRITE
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.parameter_sets)
+
+
 @dataclass(repr=False)
 class TransactionMarkerRequest(AbstractRequest):
     """Base class for begin/commit/rollback markers."""

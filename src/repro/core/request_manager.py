@@ -47,14 +47,86 @@ from repro.core.pipeline import (
 from repro.core.recovery.recovery_log import RecoveryLog
 from repro.core.request import (
     AbstractRequest,
+    BatchWriteRequest,
     BeginRequest,
     CommitRequest,
     RequestResult,
     RollbackRequest,
 )
-from repro.core.requestparser import RequestFactory
+from repro.core.requestparser import ParsedTemplate, RequestFactory
 from repro.core.scheduler import AbstractScheduler, OptimisticTransactionLevelScheduler
 from repro.errors import CJDBCError
+
+
+class PreparedStatementHandle:
+    """Controller-side prepared statement: a parsed template bound to a manager.
+
+    Obtained from :meth:`RequestManager.prepare` (or
+    :meth:`repro.core.virtualdb.VirtualDatabase.prepare`); repeated
+    executions instantiate requests straight from the template, skipping SQL
+    classification and table extraction entirely — the statement is parsed
+    once for the lifetime of the handle, not once per execution.
+    """
+
+    __slots__ = ("_manager", "sql", "template")
+
+    def __init__(self, manager: "RequestManager", sql: str, template: ParsedTemplate):
+        self._manager = manager
+        self.sql = sql
+        self.template = template
+
+    @property
+    def is_write(self) -> bool:
+        """True for INSERT/UPDATE/DELETE — the statements that can batch."""
+        return self.template.is_write
+
+    @property
+    def is_read_only(self) -> bool:
+        return self.template.is_read_only
+
+    @property
+    def tables(self):
+        return self.template.tables
+
+    def execute(
+        self,
+        parameters: Sequence[object] = (),
+        login: str = "",
+        transaction_id: Optional[int] = None,
+    ) -> RequestResult:
+        request = self.template.instantiate(parameters, login, transaction_id)
+        return self._manager.execute_request(request)
+
+    def execute_batch(
+        self,
+        parameter_sets: Sequence[Sequence[object]],
+        login: str = "",
+        transaction_id: Optional[int] = None,
+    ) -> RequestResult:
+        """Run every parameter set through the pipeline as one batch.
+
+        Non-write templates and empty batches are rejected by
+        :meth:`ParsedTemplate.instantiate_batch`.
+        """
+        request = self.template.instantiate_batch(parameter_sets, login, transaction_id)
+        return self._manager.execute_request(request)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        text = self.sql if len(self.sql) <= 60 else self.sql[:57] + "..."
+        return f"PreparedStatementHandle({text!r})"
+
+
+#: upper bounds of the ``statements_per_batch`` histogram buckets
+_BATCH_HISTOGRAM_BOUNDS = (1, 4, 16, 64, 256, 1024)
+
+
+def _batch_histogram_bucket(size: int) -> str:
+    lower = 1
+    for bound in _BATCH_HISTOGRAM_BOUNDS:
+        if size <= bound:
+            return str(bound) if bound == lower else f"{lower}-{bound}"
+        lower = bound + 1
+    return f">{_BATCH_HISTOGRAM_BOUNDS[-1]}"
 
 
 @dataclass
@@ -114,6 +186,10 @@ class RequestManager:
         self.transactions_started = 0
         self.transactions_committed = 0
         self.transactions_aborted = 0
+        self.batches_executed = 0
+        self.statements_batched = 0
+        #: bucket label -> number of batches whose size fell in the bucket
+        self._batch_histogram: Dict[str, int] = {}
         self._stats_lock = threading.Lock()
         # the execution pipeline; the metrics interceptor is always installed
         # (it carries the per-request-type counters behind requests_executed)
@@ -207,6 +283,28 @@ class RequestManager:
         self.pipeline.execute(context)
         return context.result
 
+    def prepare(self, sql: str) -> PreparedStatementHandle:
+        """Parse ``sql`` once and return a reusable statement handle."""
+        return PreparedStatementHandle(self, sql, self.request_factory.get_template(sql))
+
+    def execute_batch(
+        self,
+        sql: str,
+        parameter_sets: Sequence[Sequence[object]],
+        login: str = "",
+        transaction_id: Optional[int] = None,
+    ) -> RequestResult:
+        """Execute one write template with N parameter sets as a single batch.
+
+        The batch traverses the pipeline once: one scheduler ticket, one
+        recovery-log group entry, one cache-invalidation pass, and one
+        broadcast task per backend executing all N sets on one connection.
+        """
+        request = self.request_factory.create_batch_request(
+            sql, parameter_sets, login=login, transaction_id=transaction_id
+        )
+        return self.execute_request(request)
+
     # -- stage callbacks (invoked by the pipeline's load-balance stage) ----------------
 
     def _execute_write_on_backends(self, context: RequestContext) -> RequestResult:
@@ -220,6 +318,21 @@ class RequestManager:
         result = outcome.result
         result.backends_executed = outcome.backends_executed
         context.backends_executed = outcome.backends_executed
+        return result
+
+    def _execute_batch_on_backends(self, context: RequestContext) -> RequestResult:
+        request: BatchWriteRequest = context.request
+        outcome = self.load_balancer.execute_batch_request(request, self._backends)
+        self._note_transaction_participant(request)
+        result = outcome.result
+        result.backends_executed = outcome.backends_executed
+        context.backends_executed = outcome.backends_executed
+        batch_size = request.batch_size
+        bucket = _batch_histogram_bucket(batch_size)
+        with self._stats_lock:
+            self.batches_executed += 1
+            self.statements_batched += batch_size
+            self._batch_histogram[bucket] = self._batch_histogram.get(bucket, 0) + 1
         return result
 
     def _execute_begin_on_backends(self, context: RequestContext) -> RequestResult:
@@ -335,10 +448,24 @@ class RequestManager:
         Transactions are replayed faithfully: begin/commit/rollback entries
         drive per-transaction connections on the backend; entries belonging
         to transactions that never committed are rolled back at the end.
+        ``batch`` group entries replay atomically as one server-side batch
+        on the backend (one connection, every parameter set), mirroring how
+        they originally executed.
         """
         open_transactions = set()
         for entry in entries:
             if entry.entry_type == "checkpoint":
+                continue
+            if entry.entry_type == "batch":
+                request = self.request_factory.create_batch_request(
+                    entry.sql,
+                    entry.parameter_sets,
+                    login=entry.login,
+                    transaction_id=entry.transaction_id
+                    if entry.transaction_id in open_transactions
+                    else None,
+                )
+                backend.execute_batch(request)
                 continue
             if entry.entry_type == "begin":
                 if entry.transaction_id is not None:
@@ -376,11 +503,21 @@ class RequestManager:
         """
         return self.metrics.total_requests
 
+    def batch_statistics(self) -> dict:
+        """Server-side batching counters and the batch-size histogram."""
+        with self._stats_lock:
+            return {
+                "batches_executed": self.batches_executed,
+                "statements_batched": self.statements_batched,
+                "statements_per_batch": dict(self._batch_histogram),
+            }
+
     def statistics(self) -> dict:
         stats = {
             "requests_executed": self.requests_executed,
             "requests": self.metrics.statistics(),
             "pipeline": self.pipeline.statistics(),
+            "batches": self.batch_statistics(),
             "transactions_started": self.transactions_started,
             "transactions_committed": self.transactions_committed,
             "transactions_aborted": self.transactions_aborted,

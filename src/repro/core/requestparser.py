@@ -32,14 +32,16 @@ from typing import List, Optional, Sequence, Tuple, Type
 from repro.core.macros import contains_macro, rewrite_macros
 from repro.core.request import (
     AbstractRequest,
+    BatchWriteRequest,
     BeginRequest,
     CommitRequest,
     DDLRequest,
     RollbackRequest,
     SelectRequest,
     WriteRequest,
+    freeze_parameter_sets,
 )
-from repro.errors import SQLSyntaxError
+from repro.errors import CJDBCError, SQLSyntaxError
 from repro.sql.lexer import TokenType, tokenize
 
 
@@ -65,6 +67,29 @@ class ParsedTemplate:
         self.tables = tables
         self.needs_macro_rewrite = needs_macro_rewrite
 
+    @property
+    def is_write(self) -> bool:
+        """True for INSERT/UPDATE/DELETE templates (the batchable shapes)."""
+        return self.request_class is WriteRequest
+
+    @property
+    def is_read_only(self) -> bool:
+        return self.request_class is SelectRequest
+
+    def require_batchable(self, error_class: type = CJDBCError) -> None:
+        """Raise unless this template may be executed as a batch.
+
+        The single source of the batchability rule: every layer (driver
+        ``add_batch``, controller handle, distributed replica) funnels
+        through here, with ``error_class`` selecting the layer's idiom
+        (``InterfaceError`` at the driver, ``CJDBCError`` elsewhere).
+        """
+        if not self.is_write:
+            raise error_class(
+                f"only INSERT/UPDATE/DELETE statements can be batched,"
+                f" got: {self.sql[:80]!r}"
+            )
+
     def instantiate(
         self,
         parameters: Sequence[object],
@@ -80,6 +105,35 @@ class ParsedTemplate:
             tables=self.tables,
             macros_rewritten=macros_rewritten,
             parameters=tuple(parameters),
+            login=login,
+            transaction_id=transaction_id,
+        )
+
+    def instantiate_batch(
+        self,
+        parameter_sets: Sequence[Sequence[object]],
+        login: str,
+        transaction_id: Optional[int],
+    ) -> BatchWriteRequest:
+        """One :class:`BatchWriteRequest` covering every parameter set.
+
+        Macros are rewritten once per batch, so every row of the batch (and
+        every backend it is broadcast to) sees the same NOW()/RAND() value —
+        the same determinism guarantee a single write gets.
+        """
+        self.require_batchable()
+        parameter_sets = freeze_parameter_sets(parameter_sets)
+        if not parameter_sets:
+            raise CJDBCError("a batch needs at least one parameter set")
+        sql = self.sql
+        macros_rewritten = False
+        if self.needs_macro_rewrite:
+            sql, macros_rewritten = rewrite_macros(sql)
+        return BatchWriteRequest(
+            sql=sql,
+            tables=self.tables,
+            macros_rewritten=macros_rewritten,
+            parameter_sets=parameter_sets,
             login=login,
             transaction_id=transaction_id,
         )
@@ -185,6 +239,23 @@ class RequestFactory:
         else:
             self.parsing_cache = None
 
+    def get_template(self, sql: str) -> ParsedTemplate:
+        """The (cached) parse outcome for ``sql``.
+
+        This is the handle behind prepared statements: holding on to the
+        template lets repeated executions skip classification and table
+        extraction entirely, paying only request instantiation.
+        """
+        cache = self.parsing_cache
+        if cache is None:
+            return self._parse_template(sql)
+        key = (sql, self.rewrite_write_macros)
+        template = cache.get(key)
+        if template is None:
+            template = self._parse_template(sql)
+            cache.put(key, template)
+        return template
+
     def create_request(
         self,
         sql: str,
@@ -193,16 +264,19 @@ class RequestFactory:
         transaction_id: Optional[int] = None,
     ) -> AbstractRequest:
         """Parse ``sql`` and wrap it in the appropriate request object."""
-        cache = self.parsing_cache
-        if cache is None:
-            template = self._parse_template(sql)
-        else:
-            key = (sql, self.rewrite_write_macros)
-            template = cache.get(key)
-            if template is None:
-                template = self._parse_template(sql)
-                cache.put(key, template)
-        return template.instantiate(parameters, login, transaction_id)
+        return self.get_template(sql).instantiate(parameters, login, transaction_id)
+
+    def create_batch_request(
+        self,
+        sql: str,
+        parameter_sets: Sequence[Sequence[object]],
+        login: str = "",
+        transaction_id: Optional[int] = None,
+    ) -> BatchWriteRequest:
+        """Parse a write template and bind N parameter sets to it."""
+        return self.get_template(sql).instantiate_batch(
+            parameter_sets, login, transaction_id
+        )
 
     def _parse_template(self, sql: str) -> ParsedTemplate:
         stripped = sql.strip()

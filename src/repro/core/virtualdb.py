@@ -191,6 +191,29 @@ class VirtualDatabase:
             sql, parameters, login=login, transaction_id=transaction_id
         )
 
+    def prepare(self, sql: str):
+        """Parse ``sql`` once; the handle's executions skip classification.
+
+        Returns a :class:`repro.core.request_manager.PreparedStatementHandle`
+        whose ``execute(parameters, ...)`` and ``execute_batch(parameter_sets,
+        ...)`` instantiate requests straight from the parsed template.  This
+        is the controller half of the driver's
+        :class:`repro.core.driver.PreparedStatement`.
+        """
+        return self.request_manager.prepare(sql)
+
+    def execute_batch(
+        self,
+        sql: str,
+        parameter_sets: Sequence[Sequence[object]],
+        login: str = "",
+        transaction_id: Optional[int] = None,
+    ) -> RequestResult:
+        """Execute a write template with N parameter sets as one batch."""
+        return self.request_manager.execute_batch(
+            sql, parameter_sets, login=login, transaction_id=transaction_id
+        )
+
     def begin(self, login: str = "", transaction_id: Optional[int] = None) -> int:
         return self.request_manager.begin(login, transaction_id=transaction_id)
 

@@ -24,10 +24,10 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.core.request import RequestResult
+from repro.core.request import RequestResult, freeze_parameter_sets
 from repro.core.requestparser import RequestFactory
 from repro.core.virtualdb import VirtualDatabase
-from repro.errors import GroupCommunicationError
+from repro.errors import CJDBCError, GroupCommunicationError
 from repro.groupcomm.channel import GroupChannel
 from repro.groupcomm.message import GroupMessage, ViewChange
 from repro.groupcomm.transport import GroupTransport
@@ -37,9 +37,11 @@ from repro.groupcomm.transport import GroupTransport
 class _WriteCommand:
     """Payload multicast for a write statement."""
 
-    kind: str  # "execute" | "begin" | "commit" | "rollback"
+    kind: str  # "execute" | "batch" | "begin" | "commit" | "rollback"
     sql: str = ""
     parameters: tuple = ()
+    #: parameter sets of a "batch" command (one template, N sets)
+    parameter_sets: tuple = ()
     login: str = ""
     transaction_id: Optional[int] = None
     origin: str = ""
@@ -140,6 +142,40 @@ class DistributedVirtualDatabase:
         )
         return self._multicast_command(command)
 
+    def prepare(self, sql: str) -> "_DistributedPreparedStatement":
+        """Prepared-statement surface of the distributed replica.
+
+        Classification happens on the local replica's parsing cache; the
+        handle routes executions like :meth:`execute` does — reads stay
+        local, writes and batches are multicast in total order.
+        """
+        return _DistributedPreparedStatement(self, sql)
+
+    def execute_batch(
+        self,
+        sql: str,
+        parameter_sets: Sequence[Sequence[Any]],
+        login: str = "",
+        transaction_id: Optional[int] = None,
+    ) -> RequestResult:
+        """Multicast one batch so every controller applies it as one group."""
+        # validate up front (non-writes and empty batches must fail on the
+        # caller, not asynchronously on every group member) without building
+        # a throwaway request — the template check is enough
+        self._request_factory.get_template(sql).require_batchable()
+        parameter_sets = freeze_parameter_sets(parameter_sets)
+        if not parameter_sets:
+            raise CJDBCError("a batch needs at least one parameter set")
+        command = _WriteCommand(
+            kind="batch",
+            sql=sql,
+            parameter_sets=parameter_sets,
+            login=login,
+            transaction_id=transaction_id,
+            origin=self.controller_name,
+        )
+        return self._multicast_command(command)
+
     def begin(self, login: str = "", transaction_id: Optional[int] = None) -> int:
         with self._lock:
             self._transaction_counter += 1
@@ -224,6 +260,13 @@ class DistributedVirtualDatabase:
         if command.kind == "rollback":
             self.local.rollback(command.transaction_id, command.login)
             return RequestResult(update_count=0)
+        if command.kind == "batch":
+            return self.local.execute_batch(
+                command.sql,
+                command.parameter_sets,
+                login=command.login,
+                transaction_id=command.transaction_id,
+            )
         return self.local.execute(
             command.sql,
             command.parameters,
@@ -233,6 +276,63 @@ class DistributedVirtualDatabase:
 
     def _on_view_change(self, view: ViewChange) -> None:
         self.view_changes.append(view)
+
+
+class _DistributedPreparedStatement:
+    """Prepared handle over a distributed replica (driver-facing surface).
+
+    Mirrors :class:`repro.core.request_manager.PreparedStatementHandle`:
+    ``execute``/``execute_batch`` plus the classification properties the
+    driver consults, with routing delegated to the replica wrapper.
+    """
+
+    __slots__ = ("_replica", "sql", "_local_handle")
+
+    def __init__(self, replica: DistributedVirtualDatabase, sql: str):
+        self._replica = replica
+        self.sql = sql
+        self._local_handle = replica.local.prepare(sql)
+
+    @property
+    def template(self):
+        return self._local_handle.template
+
+    @property
+    def is_write(self) -> bool:
+        return self._local_handle.is_write
+
+    @property
+    def is_read_only(self) -> bool:
+        return self._local_handle.is_read_only
+
+    @property
+    def tables(self):
+        return self._local_handle.tables
+
+    def execute(
+        self,
+        parameters: Sequence[Any] = (),
+        login: str = "",
+        transaction_id: Optional[int] = None,
+    ) -> RequestResult:
+        if self._local_handle.is_read_only:
+            # reads stay local, straight through the pre-parsed template
+            return self._local_handle.execute(
+                parameters, login=login, transaction_id=transaction_id
+            )
+        return self._replica.execute(
+            self.sql, parameters, login=login, transaction_id=transaction_id
+        )
+
+    def execute_batch(
+        self,
+        parameter_sets: Sequence[Sequence[Any]],
+        login: str = "",
+        transaction_id: Optional[int] = None,
+    ) -> RequestResult:
+        return self._replica.execute_batch(
+            self.sql, parameter_sets, login=login, transaction_id=transaction_id
+        )
 
 
 class ControllerReplicator:

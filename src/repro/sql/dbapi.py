@@ -135,6 +135,35 @@ class Connection:
             self._engine.note_statement(sql)
             return result
 
+    def _run_many(
+        self, sql: str, seq_of_parameters: Sequence[Sequence[Any]]
+    ) -> Optional[ResultSet]:
+        """Parse once, execute per parameter set, aggregate update counts.
+
+        Returns the last result with the aggregated update count, or None
+        when the sequence was empty.
+        """
+        self._check_open()
+        from repro.sql.parser import parse
+
+        with self._lock:
+            try:
+                statement = parse(sql)
+                result: Optional[ResultSet] = None
+                total = 0
+                for parameters in seq_of_parameters:
+                    result = self._session.execute_statement(statement, parameters)
+                    self._engine.note_statement(sql)
+                    if result.update_count > 0:
+                        total += result.update_count
+            except SQLSyntaxError as exc:
+                raise ProgrammingError(str(exc)) from exc
+            except SQLError as exc:
+                raise DatabaseError(str(exc)) from exc
+            if result is not None:
+                result.update_count = total
+            return result
+
     def __enter__(self) -> "Connection":
         return self
 
@@ -195,14 +224,22 @@ class Cursor:
         return self
 
     def executemany(self, sql: str, seq_of_parameters: Sequence[Sequence[Any]]) -> "Cursor":
+        """Execute ``sql`` once per parameter set, parsing it only once.
+
+        This is the engine-side half of server-side batching: the statement
+        is parsed a single time and the resulting plan is re-executed for
+        every parameter set, so a controller batch pays per-row execution
+        cost only, not per-row parsing.  An empty sequence executes nothing
+        and reports an update count of zero.
+        """
         self._check_open()
-        total = 0
-        for parameters in seq_of_parameters:
-            self.execute(sql, parameters)
-            if self._result is not None and self._result.update_count > 0:
-                total += self._result.update_count
-        if self._result is not None:
-            self._result.update_count = total
+        result = self._connection._run_many(sql, seq_of_parameters)
+        if result is None:
+            # nothing executed: report zero, never the previous statement's
+            # stale result
+            result = ResultSet(update_count=0)
+        self._result = result
+        self._position = 0
         return self
 
     # -- fetching -------------------------------------------------------------------

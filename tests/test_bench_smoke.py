@@ -41,6 +41,8 @@ def tiny_hotpath_run() -> dict:
         invalidate_cache_sizes=(20, 80),
         invalidate_tables=5,
         invalidate_writes=10,
+        # keep the 100-row batch shape; run only a couple of batches
+        batch_count=2,
     )
 
 
@@ -76,14 +78,19 @@ class TestBenchSmoke:
         assert "cached_read_1_backends" in scenarios
         assert "write_invalidate_2_backends" in scenarios
         assert {"cached_read_pipeline", "cached_read_inline"} <= set(scenarios)
+        assert {"batch_insert_looped", "batch_insert_server"} <= set(scenarios)
         assert all(s["ops_per_second"] > 0 for s in scenarios.values())
         overhead = results["ablations"]["pipeline_overhead"]
         assert overhead["pipeline_ops_per_second"] > 0
         assert overhead["inline_ops_per_second"] > 0
         assert "overhead_pct" in overhead
+        batch = results["ablations"]["batch_speedup"]
+        assert batch["batch_size"] == 100
+        assert batch["server_rows_per_second"] > 0
         report = format_hotpath_report(results)
         assert "parsing cache speedup" in report
         assert "pipeline overhead" in report
+        assert "server-side batching speedup" in report
         assert "write-invalidate cost vs cache size" in report
 
 
@@ -101,11 +108,18 @@ class TestHotpathBaselineGate:
             "parse_cache_off",
             "cached_read_pipeline",
             "cached_read_inline",
+            "batch_insert_looped",
+            "batch_insert_server",
             *(f"cached_read_{n}_backends" for n in (1, 4, 16)),
             *(f"write_invalidate_{n}_backends" for n in (1, 4, 16)),
         }
         assert set(baseline["scenarios"]) == default_names
         assert baseline["ablations"]["parse_cache_speedup"] >= 3.0
+        # server-side batching must amortize the per-statement pipeline cost:
+        # >= 3x over looped executemany for 100-row batches on 2 backends
+        batch = baseline["ablations"]["batch_speedup"]
+        assert batch["batch_size"] == 100
+        assert batch["speedup"] >= 3.0
         # the composable pipeline must stay cheap on the hottest request
         # shape: cached reads through the full pipeline keep a bounded cost
         # vs the hand-inlined (pre-pipeline) code path

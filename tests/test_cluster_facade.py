@@ -46,7 +46,10 @@ class TestControllerRegistry:
 
     def test_unknown_name_lists_known_controllers(self):
         registry = ControllerRegistry()
-        registry.register(Controller("known-ctrl", register=False))
+        # keep a strong reference: the registry only holds weakrefs, and a
+        # collected controller would drop out of the known-controllers list
+        known = Controller("known-ctrl", register=False)
+        registry.register(known)
         with pytest.raises(ControllerError, match="unknown controller 'ghost'.*known-ctrl"):
             registry.resolve("ghost")
 

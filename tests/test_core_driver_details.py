@@ -93,7 +93,9 @@ class TestExecutemanyCacheSafety:
         assert cached_entry.update_count == -1
         assert cursor._result is not cached_entry
 
-    def test_executemany_empty_sequence_leaves_result_untouched(self):
+    def test_executemany_empty_sequence_reports_zero_not_stale_result(self):
+        """Regression: an empty executemany used to leave the previous
+        statement's result (and its rowcount) visible on the cursor."""
         controller, _vdb, _engines = make_cluster("emempty", backend_count=1)
         connection = connect(controller, "emempty", "u", "p")
         cursor = connection.cursor()
@@ -101,8 +103,11 @@ class TestExecutemanyCacheSafety:
         cursor.execute("INSERT INTO t VALUES (1)")
         previous = cursor._result
         cursor.executemany("INSERT INTO t VALUES (?)", [])
-        assert cursor._result is previous
-        assert previous.update_count == 1
+        assert cursor._result is not previous
+        assert cursor.rowcount == 0
+        # nothing executed: the table still holds exactly the one row
+        cursor.execute("SELECT COUNT(*) FROM t")
+        assert cursor.scalar() == 1
 
 
 class TestConnectionContextManager:

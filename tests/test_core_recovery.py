@@ -68,6 +68,11 @@ class TestFileRecoveryLog:
         entry = LogEntry(5, "bob", 3, "UPDATE t SET a = ?", (9,), "write", None)
         assert LogEntry.from_json(entry.to_json()) == entry
 
+    def test_parameter_sets_rejected_on_non_batch_entries(self):
+        entry = LogEntry(6, "bob", 3, "UPDATE t SET a = ?", (9,), "write", None)
+        with pytest.raises(ValueError, match="not a batch group"):
+            entry.parameter_sets
+
 
 class TestDatabaseRecoveryLog:
     def test_entries_stored_through_dbapi(self):
@@ -179,6 +184,85 @@ class TestCheckpointingWithVirtualDatabase:
         assert replayed >= 1
         assert vdb.get_backend("backend1").is_enabled
         assert engines[1].execute("SELECT COUNT(*) FROM t").scalar() == 3
+
+    def test_recover_backend_after_batched_writes(self):
+        """Batch log groups replay atomically: a backend wiped after a
+        checkpoint catches up on writes that arrived as server-side batches."""
+        from tests.conftest import make_cluster
+        from repro.core import connect as cjdbc_connect
+
+        controller, vdb, engines = make_cluster("cpbatch", backend_count=2)
+        connection = cjdbc_connect(controller, "cpbatch", "admin", "admin")
+        cursor = connection.cursor()
+        cursor.execute("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(10))")
+        checkpoint_name = vdb.checkpoint_backend("backend1")
+
+        # everything after the checkpoint arrives as batches
+        statement = connection.prepare("INSERT INTO t VALUES (?, ?)")
+        statement.executemany([(i, f"v{i}") for i in range(40)])
+        cursor.executemany("INSERT INTO t VALUES (?, ?)", [(100, "x"), (101, "y")])
+        # the recovery log holds batch groups, not per-row entries
+        batch_entries = [
+            e
+            for e in vdb.request_manager.recovery_log.entries_since_checkpoint(
+                checkpoint_name
+            )
+            if e.entry_type == "batch"
+        ]
+        assert [len(e.parameter_sets) for e in batch_entries] == [40, 2]
+
+        vdb.get_backend("backend1").disable()
+        engines[1].catalog.drop_table("t")
+        replayed = vdb.recover_backend("backend1", checkpoint_name)
+        assert replayed >= 2
+        assert vdb.get_backend("backend1").is_enabled
+        assert engines[1].execute("SELECT COUNT(*) FROM t").scalar() == 42
+        # replay executed each group as one backend batch
+        assert vdb.get_backend("backend1").total_batches >= 2
+
+    def test_replay_rolls_back_uncommitted_batch_groups(self):
+        """A batch inside a transaction that never committed must not
+        survive replay; a committed one must."""
+        from tests.conftest import make_cluster
+        from repro.core import connect as cjdbc_connect
+
+        controller, vdb, engines = make_cluster("cpbatch2", backend_count=2)
+        connection = cjdbc_connect(controller, "cpbatch2", "admin", "admin")
+        connection.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        checkpoint_name = vdb.checkpoint_backend("backend1")
+
+        committed = connection.prepare("INSERT INTO t VALUES (?)")
+        connection.begin()
+        committed.executemany([(1,), (2,)])
+        connection.commit()
+        # an uncommitted batch: log it as an in-transaction group, no commit
+        log = vdb.request_manager.recovery_log
+        log.log_begin("admin", 999)
+        log.log_batch("INSERT INTO t VALUES (?)", [(50,), (51,)], "admin", 999)
+
+        vdb.get_backend("backend1").disable()
+        engines[1].catalog.drop_table("t")
+        vdb.recover_backend("backend1", checkpoint_name)
+        ids = [
+            row[0]
+            for row in engines[1].execute("SELECT id FROM t ORDER BY id").rows
+        ]
+        assert ids == [1, 2]
+
+    def test_batch_log_entry_round_trips_through_file_and_database_logs(self, tmp_path):
+        sets = ((1, "a"), (2, "b"))
+        file_log = FileRecoveryLog(str(tmp_path / "batch.jsonl"))
+        file_log.log_batch("INSERT INTO t VALUES (?, ?)", sets, "alice", 7)
+        reloaded = FileRecoveryLog(str(tmp_path / "batch.jsonl")).entries()[0]
+        assert reloaded.entry_type == "batch"
+        assert reloaded.parameter_sets == sets
+
+        engine = DatabaseEngine("batchlogdb")
+        db_log = DatabaseRecoveryLog(lambda: dbapi.connect(engine))
+        db_log.log_batch("INSERT INTO t VALUES (?, ?)", sets, "alice", 7)
+        stored = DatabaseRecoveryLog(lambda: dbapi.connect(engine)).entries()[0]
+        assert stored.entry_type == "batch"
+        assert stored.parameter_sets == sets
 
     def test_disable_with_checkpoint(self):
         from tests.conftest import make_cluster

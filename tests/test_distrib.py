@@ -93,6 +93,35 @@ class TestHorizontalScalability:
         assert engine_b.execute("SELECT COUNT(*) FROM t").scalar() == 2
         assert connection.failovers >= 1
 
+    def test_batches_propagate_to_every_controller_as_one_group(self):
+        """A prepared-statement batch through one controller is multicast and
+        applied as one server-side batch by every replica."""
+        (ctrl_a, replica_a, engine_a), (_, replica_b, engine_b), _ = (
+            build_replicated_pair()
+        )
+        connection = connect(ctrl_a, "appdb", "u", "p")
+        connection.execute("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(10))")
+        statement = connection.prepare("INSERT INTO t VALUES (?, ?)")
+        assert statement.is_write
+        statement.executemany([(i, f"v{i}") for i in range(30)])
+        assert statement.rowcount == 30
+        assert engine_a.execute("SELECT COUNT(*) FROM t").scalar() == 30
+        assert engine_b.execute("SELECT COUNT(*) FROM t").scalar() == 30
+        # each replica applied the batch as ONE group, not 30 writes
+        for replica in (replica_a, replica_b):
+            assert replica.local.request_manager.batches_executed == 1
+
+    def test_prepared_reads_stay_local_on_each_replica(self):
+        (ctrl_a, _, _), (ctrl_b, replica_b, _), _ = build_replicated_pair()
+        connection_a = connect(ctrl_a, "appdb", "u", "p")
+        connection_a.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        connection_a.execute("INSERT INTO t VALUES (1)")
+        local_reads_before = replica_b.local.backends[0].total_reads
+        connection_b = connect(ctrl_b, "appdb", "u", "p")
+        statement = connection_b.prepare("SELECT COUNT(*) FROM t")
+        assert statement.execute().scalar() == 1
+        assert replica_b.local.backends[0].total_reads == local_reads_before + 1
+
     def test_peer_backend_advertisement(self):
         (_, replica_a, _), (_, replica_b, _), _ = build_replicated_pair()
         assert set(replica_a.peer_backends) == {replica_b.controller_name}

@@ -664,6 +664,128 @@ class TestCachedReadCheckout:
             cluster.shutdown()
 
 
+class TestBatchPipeline:
+    """Server-side batches: one pipeline pass for N parameter sets."""
+
+    INSERT = "INSERT INTO kv (k, v) VALUES (?, ?)"
+
+    def make_batch(self, start, count):
+        return [(start + i, f"bulk-{start + i}") for i in range(count)]
+
+    def test_batch_takes_one_ticket_and_one_invalidation_pass(self):
+        """Acceptance: a 100-row batch on a 2-backend RAIDb-1 vdb acquires
+        exactly one scheduler ticket and runs exactly one cache-invalidation
+        pass — not one per parameter set."""
+        manager, engines = make_manager(backends=2)
+        # populate the result cache so invalidation has real work to do
+        manager.execute("SELECT v FROM kv WHERE k = 1")
+        assert len(manager.result_cache._entries) == 1
+        invalidation_passes = []
+        original_invalidate = manager.result_cache.invalidate
+
+        def counting_invalidate(write):
+            invalidation_passes.append(write)
+            return original_invalidate(write)
+
+        manager.result_cache.invalidate = counting_invalidate
+        writes_before = manager.scheduler.writes_scheduled
+        result = manager.execute_batch(self.INSERT, self.make_batch(100, 100))
+        assert manager.scheduler.writes_scheduled == writes_before + 1
+        assert len(invalidation_passes) == 1
+        assert invalidation_passes[0].tables == ("kv",)
+        # the cached SELECT on kv was dropped by that single pass
+        assert len(manager.result_cache._entries) == 0
+        # aggregate update count, broadcast to both backends
+        assert result.update_count == 100
+        assert result.backends_executed == 2
+        for engine in engines:
+            assert engine.execute("SELECT COUNT(*) FROM kv").scalar() == 101
+
+    def test_batch_is_one_request_per_backend(self):
+        manager, _ = make_manager(backends=2, cache=False)
+        manager.execute_batch(self.INSERT, self.make_batch(200, 50))
+        for backend in manager.backends:
+            assert backend.total_batches == 1
+            assert backend.total_batched_statements == 50
+        assert manager.load_balancer.batches_executed == 1
+
+    def test_batch_counted_once_by_metrics_and_rate_limit(self):
+        manager, _ = make_manager(
+            backends=2,
+            interceptors=[
+                # budget: 2 setup statements + 1 batch + 1 follow-up read
+                {"name": "rate_limit", "max_requests": 4, "window_seconds": 3600}
+            ],
+        )
+        counters_before = manager.metrics.counters
+        manager.execute_batch(self.INSERT, self.make_batch(300, 40))
+        counters = manager.metrics.counters
+        assert counters["batches"] - counters_before["batches"] == 1
+        assert counters["writes"] == counters_before["writes"]
+        # the whole batch consumed ONE admission, so one more request fits
+        manager.execute("SELECT v FROM kv WHERE k = 1")
+        with pytest.raises(RateLimitExceededError):
+            manager.execute("SELECT v FROM kv WHERE k = 1")
+
+    def test_batch_logged_as_single_replayable_group(self):
+        manager, _ = make_manager(backends=2, cache=False)
+        log = manager.recovery_log
+        entries_before = len(log.entries())
+        sets = self.make_batch(400, 5)
+        manager.execute_batch(self.INSERT, sets)
+        new_entries = log.entries()[entries_before:]
+        assert [e.entry_type for e in new_entries] == ["batch"]
+        assert new_entries[0].sql == self.INSERT
+        assert new_entries[0].parameter_sets == tuple(sets)
+
+    def test_batch_statistics_surface(self):
+        manager, _ = make_manager(backends=2, cache=False)
+        manager.execute_batch(self.INSERT, self.make_batch(500, 3))
+        manager.execute_batch(self.INSERT, self.make_batch(510, 120))
+        stats = manager.statistics()["batches"]
+        assert stats["batches_executed"] == 2
+        assert stats["statements_batched"] == 123
+        assert stats["statements_per_batch"] == {"2-4": 1, "65-256": 1}
+
+    def test_batch_inside_transaction_commits_and_rolls_back(self):
+        manager, engines = make_manager(backends=2, cache=False)
+        transaction_id = manager.begin("alice")
+        manager.execute_batch(
+            self.INSERT, self.make_batch(600, 10),
+            login="alice", transaction_id=transaction_id,
+        )
+        manager.rollback(transaction_id, "alice")
+        assert engines[0].execute("SELECT COUNT(*) FROM kv").scalar() == 1
+        transaction_id = manager.begin("alice")
+        manager.execute_batch(
+            self.INSERT, self.make_batch(700, 10),
+            login="alice", transaction_id=transaction_id,
+        )
+        manager.commit(transaction_id, "alice")
+        for engine in engines:
+            assert engine.execute("SELECT COUNT(*) FROM kv").scalar() == 11
+
+    def test_non_write_and_empty_batches_rejected(self):
+        manager, _ = make_manager(backends=1, cache=False)
+        with pytest.raises(CJDBCError, match="can be batched"):
+            manager.execute_batch("SELECT v FROM kv WHERE k = ?", [(1,)])
+        with pytest.raises(CJDBCError, match="can be batched"):
+            manager.execute_batch("CREATE TABLE nope (x INT)", [()])
+        with pytest.raises(CJDBCError, match="at least one parameter set"):
+            manager.execute_batch(self.INSERT, [])
+
+    def test_batch_failure_releases_ticket(self):
+        manager, engines = make_manager(backends=2, cache=False)
+        for engine in engines:
+            engine.catalog.drop_table("kv")
+        with pytest.raises(BackendError):
+            manager.execute_batch(self.INSERT, self.make_batch(800, 3))
+        assert manager.scheduler.pending_writes == 0
+        for backend in manager.backends:
+            backend.enable()
+        manager.execute("CREATE TABLE kv4 (k INT PRIMARY KEY)")
+
+
 class TestRegistryCompleteness:
     def test_all_builtins_constructible_with_defaults(self):
         for name in BUILTIN_INTERCEPTORS:

@@ -1,0 +1,287 @@
+"""DB-API conformance and batching semantics of the driver's PreparedStatement.
+
+Covers the prepared-statement surface introduced by the request-API
+redesign:
+
+* qmark parameter binding, description/rowcount/fetch semantics;
+* classification happens once per prepared statement (parsing-cache
+  accounting proves re-executions never re-parse);
+* JDBC-style ``add_batch``/``execute_batch`` with aggregate rowcount;
+* ``executemany`` as a thin shim over the server-side batch path;
+* interleaving with explicit transactions;
+* behaviour under the rate_limit and metrics interceptors;
+* exposure through the cluster facade and the client-side connection pool;
+* transparent re-prepare after controller failover.
+"""
+
+import pytest
+
+import repro
+from tests.conftest import make_cluster
+
+from repro.core import Controller, PreparedStatement, connect
+from repro.errors import InterfaceError, RateLimitExceededError
+
+
+@pytest.fixture
+def conn():
+    controller, _vdb, _engines = make_cluster("preparedb", backend_count=2)
+    connection = connect(controller, "preparedb", "app", "pw")
+    connection.execute("CREATE TABLE item (i_id INT PRIMARY KEY, i_title VARCHAR(40))")
+    connection.execute("INSERT INTO item VALUES (1, 'one')")
+    return connection
+
+
+class TestPreparedExecution:
+    def test_prepared_select_binds_qmark_parameters(self, conn):
+        statement = conn.prepare("SELECT i_title FROM item WHERE i_id = ?")
+        assert isinstance(statement, PreparedStatement)
+        assert statement.is_read_only and not statement.is_write
+        statement.execute((1,))
+        assert statement.fetchall() == [("one",)]
+        assert [d[0] for d in statement.description] == ["i_title"]
+        # re-execution with different parameters, same handle
+        statement.execute((999,))
+        assert statement.fetchall() == []
+
+    def test_prepared_write_reports_update_count(self, conn):
+        statement = conn.prepare("INSERT INTO item VALUES (?, ?)")
+        statement.execute((2, "two"))
+        assert statement.rowcount == 1
+        assert statement.description is None
+        assert conn.execute("SELECT COUNT(*) FROM item").scalar() == 2
+
+    def test_prepared_statement_parses_once(self, conn):
+        """Re-executions go straight from the template: the controller's
+        parsing cache sees no further lookups for the prepared SQL."""
+        vdb = conn._virtual_database()
+        cache = vdb.request_manager.request_factory.parsing_cache
+        statement = conn.prepare("SELECT i_title FROM item WHERE i_id = ?")
+        lookups_before = cache.statistics.lookups
+        for i in range(5):
+            statement.execute((i,))
+        assert cache.statistics.lookups == lookups_before
+
+    def test_execute_batch_reuses_bound_template(self, conn):
+        """Batch execution goes through the bound template too: no parsing
+        cache traffic, even with many batches on one handle."""
+        cache = conn._virtual_database().request_manager.request_factory.parsing_cache
+        statement = conn.prepare("INSERT INTO item VALUES (?, ?)")
+        lookups_before = cache.statistics.lookups
+        for base in (500, 520, 540):
+            for i in range(base, base + 10):
+                statement.add_batch((i, "t"))
+            statement.execute_batch()
+        assert cache.statistics.lookups == lookups_before
+
+    def test_prepare_rejects_malformed_sql_eagerly(self, conn):
+        from repro.errors import SQLSyntaxError
+
+        with pytest.raises(SQLSyntaxError):
+            conn.prepare("FROBNICATE THE DATABASE")
+
+    def test_prepared_select_hits_result_cache(self):
+        controller, _vdb, _engines = make_cluster(
+            "prepcache", backend_count=1, cache_enabled=True
+        )
+        connection = connect(controller, "prepcache", "app", "pw")
+        connection.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        connection.execute("INSERT INTO t VALUES (1)")
+        statement = connection.prepare("SELECT id FROM t WHERE id = ?")
+        statement.execute((1,))
+        assert not statement.from_cache
+        statement.execute((1,))
+        assert statement.from_cache
+        assert statement.fetchall() == [(1,)]
+
+
+class TestBatching:
+    def test_add_batch_execute_batch_aggregates_rowcount(self, conn):
+        statement = conn.prepare("INSERT INTO item VALUES (?, ?)")
+        for i in range(2, 12):
+            statement.add_batch((i, f"title-{i}"))
+        assert statement.batch_size == 10
+        statement.execute_batch()
+        assert statement.rowcount == 10
+        # the queue is consumed (JDBC executeBatch semantics)
+        assert statement.batch_size == 0
+        assert conn.execute("SELECT COUNT(*) FROM item").scalar() == 11
+
+    def test_batch_is_one_pipeline_pass(self, conn):
+        manager = conn._virtual_database().request_manager
+        writes_before = manager.scheduler.writes_scheduled
+        batches_before = manager.metrics.counters["batches"]
+        statement = conn.prepare("INSERT INTO item VALUES (?, ?)")
+        for i in range(100, 150):
+            statement.add_batch((i, "x"))
+        statement.execute_batch()
+        assert manager.scheduler.writes_scheduled == writes_before + 1
+        assert manager.metrics.counters["batches"] == batches_before + 1
+
+    def test_empty_batch_executes_nothing_and_reports_zero(self, conn):
+        statement = conn.prepare("INSERT INTO item VALUES (?, ?)")
+        statement.execute((50, "fifty"))
+        assert statement.rowcount == 1
+        statement.execute_batch()
+        # no stale result from the earlier execute
+        assert statement.rowcount == 0
+
+    def test_clear_batch_discards_queued_sets(self, conn):
+        statement = conn.prepare("INSERT INTO item VALUES (?, ?)")
+        statement.add_batch((60, "sixty"))
+        statement.clear_batch()
+        statement.execute_batch()
+        assert statement.rowcount == 0
+        assert conn.execute("SELECT COUNT(*) FROM item").scalar() == 1
+
+    def test_add_batch_rejected_for_non_write(self, conn):
+        statement = conn.prepare("SELECT i_title FROM item WHERE i_id = ?")
+        with pytest.raises(InterfaceError, match="can be batched"):
+            statement.add_batch((1,))
+
+    def test_prepared_executemany_is_batch_shorthand(self, conn):
+        statement = conn.prepare("INSERT INTO item VALUES (?, ?)")
+        statement.executemany([(70, "a"), (71, "b"), (72, "c")])
+        assert statement.rowcount == 3
+        manager = conn._virtual_database().request_manager
+        assert manager.metrics.counters["batches"] >= 1
+
+    def test_cursor_executemany_rides_the_batch_path(self, conn):
+        manager = conn._virtual_database().request_manager
+        writes_before = manager.scheduler.writes_scheduled
+        cursor = conn.cursor()
+        cursor.executemany(
+            "INSERT INTO item VALUES (?, ?)", [(80 + i, "bulk") for i in range(20)]
+        )
+        assert cursor.rowcount == 20
+        # one scheduler ticket for the whole sequence, not twenty
+        assert manager.scheduler.writes_scheduled == writes_before + 1
+
+    def test_batch_rows_visible_on_every_backend(self, conn):
+        statement = conn.prepare("INSERT INTO item VALUES (?, ?)")
+        for i in range(200, 210):
+            statement.add_batch((i, "replicated"))
+        statement.execute_batch()
+        for backend in conn._virtual_database().backends:
+            assert backend.total_batches >= 1
+
+
+class TestTransactionInterleaving:
+    def test_batch_inside_explicit_transaction(self, conn):
+        statement = conn.prepare("INSERT INTO item VALUES (?, ?)")
+        conn.begin()
+        statement.add_batch((300, "tx"))
+        statement.add_batch((301, "tx"))
+        statement.execute_batch()
+        # uncommitted rows visible inside the transaction...
+        probe = conn.prepare("SELECT COUNT(*) FROM item")
+        assert probe.execute().scalar() == 3
+        conn.rollback()
+        # ...and gone after rollback
+        assert probe.execute().scalar() == 1
+        conn.begin()
+        statement.add_batch((302, "tx"))
+        statement.execute_batch()
+        conn.commit()
+        assert probe.execute().scalar() == 2
+
+    def test_prepared_reads_and_writes_interleave_with_autocommit(self, conn):
+        writer = conn.prepare("UPDATE item SET i_title = ? WHERE i_id = ?")
+        reader = conn.prepare("SELECT i_title FROM item WHERE i_id = ?")
+        writer.execute(("renamed", 1))
+        reader.execute((1,))
+        assert reader.fetchone() == ("renamed",)
+
+
+class TestInterceptorInteraction:
+    def test_batch_consumes_one_rate_limit_admission(self):
+        controller, vdb, _engines = make_cluster("preprl", backend_count=1)
+        vdb.add_interceptor(
+            {"name": "rate_limit", "max_requests": 2, "window_seconds": 3600}
+        )
+        connection = connect(controller, "preprl", "alice", "pw")
+        connection.execute("CREATE TABLE t (id INT PRIMARY KEY)")  # admission 1
+        statement = connection.prepare("INSERT INTO t VALUES (?)")
+        for i in range(50):
+            statement.add_batch((i,))
+        statement.execute_batch()  # admission 2: the whole batch
+        with pytest.raises(RateLimitExceededError):
+            connection.execute("SELECT COUNT(*) FROM t")
+        # yet all 50 rows landed: the batch was admitted as one request
+        assert vdb.request_manager.batch_statistics()["statements_batched"] == 50
+
+    def test_metrics_and_statistics_surface_batches(self, conn):
+        statement = conn.prepare("INSERT INTO item VALUES (?, ?)")
+        statement.executemany([(400 + i, "m") for i in range(7)])
+        stats = conn._virtual_database().statistics()
+        assert stats["requests"]["batches"] == 1
+        assert stats["batches"]["batches_executed"] == 1
+        assert stats["batches"]["statements_per_batch"] == {"5-16": 1}
+
+
+class TestFacadeAndPool:
+    def test_prepare_through_cluster_facade(self):
+        cluster = repro.load_cluster(
+            {
+                "virtual_databases": [
+                    {"name": "prepdb", "backends": ["p1", "p2"]}
+                ],
+                "controllers": [{"name": "prep-ctrl"}],
+            }
+        )
+        try:
+            connection = cluster.connect("cjdbc://prep-ctrl/prepdb?user=u&password=p")
+            connection.execute("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(8))")
+            statement = connection.prepare("INSERT INTO t VALUES (?, ?)")
+            statement.executemany([(i, f"v{i}") for i in range(25)])
+            assert statement.rowcount == 25
+            vdb = cluster.virtual_database("prepdb")
+            assert vdb.request_manager.batch_statistics()["batches_executed"] == 1
+        finally:
+            cluster.shutdown()
+
+    def test_prepare_through_pool_checkout(self):
+        cluster = repro.load_cluster(
+            {
+                "virtual_databases": [{"name": "pooldb", "backends": ["q1"]}],
+                "controllers": [{"name": "pool-ctrl"}],
+            }
+        )
+        try:
+            pool = cluster.pool("pooldb", user="u", password="p")
+            with pool.checkout() as borrowed:
+                borrowed.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+                statement = borrowed.prepare("INSERT INTO t VALUES (?)")
+                statement.executemany([(1,), (2,)])
+                assert statement.rowcount == 2
+            # nothing is usable on a returned connection: the underlying
+            # driver connection may already serve another borrower
+            borrowed2 = pool.checkout()
+            borrowed2.release()
+            with pytest.raises(InterfaceError, match="returned to the pool"):
+                borrowed2.prepare("INSERT INTO t VALUES (?)")
+            with pytest.raises(InterfaceError, match="returned to the pool"):
+                borrowed2.cursor()
+            with pytest.raises(InterfaceError, match="returned to the pool"):
+                borrowed2.execute("SELECT COUNT(*) FROM t")
+        finally:
+            cluster.shutdown()
+
+
+class TestFailover:
+    def test_prepared_statement_survives_controller_failover(self):
+        controller_a, vdb, engines = make_cluster("prepfo", backend_count=1)
+        controller_b = Controller("prepfo-standby")
+        controller_b.add_virtual_database(vdb)
+        connection = connect([controller_a, controller_b], "prepfo", "u", "p")
+        connection.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        statement = connection.prepare("INSERT INTO t VALUES (?)")
+        statement.execute((1,))
+        controller_a.shutdown()
+        # the handle is re-prepared against the standby transparently
+        statement.execute((2,))
+        statement.add_batch((3,))
+        statement.add_batch((4,))
+        statement.execute_batch()
+        assert connection.failovers >= 1
+        assert engines[0].execute("SELECT COUNT(*) FROM t").scalar() == 4

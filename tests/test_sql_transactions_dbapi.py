@@ -194,6 +194,16 @@ class TestDBAPIDriver:
         )
         assert cursor.rowcount == 2
 
+    def test_executemany_empty_sequence_reports_zero(self, populated_engine):
+        connection = dbapi.connect(populated_engine)
+        cursor = connection.cursor()
+        cursor.execute("INSERT INTO accounts (owner, balance, branch) VALUES ('gina', 7.0, 'z')")
+        assert cursor.rowcount == 1
+        cursor.executemany("INSERT INTO accounts (owner, balance, branch) VALUES (?, ?, ?)", [])
+        # no stale rowcount from the earlier insert, and nothing executed
+        assert cursor.rowcount == 0
+        assert populated_engine.execute("SELECT COUNT(*) FROM accounts").scalar() == 5
+
     def test_autocommit_toggle(self, populated_engine):
         connection = dbapi.connect(populated_engine)
         connection.autocommit = False
