@@ -7,6 +7,15 @@ rows/series the paper reports.  The pytest-benchmark targets in
 ``benchmarks/`` are thin wrappers around these functions.
 """
 
+from repro.bench.chaos import (
+    CHAOS_SCENARIOS,
+    CHAOS_SMOKE_SCENARIOS,
+    ChaosResult,
+    format_chaos_report,
+    run_chaos_scenario,
+    run_chaos_suite,
+    table_digests,
+)
 from repro.bench.harness import (
     HOTPATH_REGRESSION_TOLERANCE,
     HotpathScenarioResult,
@@ -27,18 +36,25 @@ from repro.bench.report import (
 )
 
 __all__ = [
+    "CHAOS_SCENARIOS",
+    "CHAOS_SMOKE_SCENARIOS",
+    "ChaosResult",
     "HOTPATH_REGRESSION_TOLERANCE",
     "HotpathScenarioResult",
     "OverheadResult",
     "check_hotpath_baseline",
+    "format_chaos_report",
     "format_hotpath_report",
     "format_rubis_table",
     "format_scalability_table",
+    "run_chaos_scenario",
+    "run_chaos_suite",
     "run_hotpath_microbenchmark",
     "run_loadbalancer_ablation",
     "run_optimization_ablation",
     "run_overhead_microbenchmark",
     "run_rubis_cache_experiment",
     "run_tpcw_scalability",
+    "table_digests",
     "write_hotpath_json",
 ]

@@ -1,0 +1,709 @@
+"""Chaos scenario harness: seeded failure scenarios with cluster invariants.
+
+The paper's headline claim is availability: a backend can fail mid-write,
+be disabled, and later be re-integrated from the recovery log while the
+cluster keeps serving traffic.  Each scenario here injects a deterministic
+fault schedule (:mod:`repro.core.faults`) into a running RAIDb cluster
+under a workload, lets the failure detector and resynchronizer
+(:mod:`repro.core.failover`) react, and then asserts the cluster
+invariants:
+
+* **no committed write lost** — every write acknowledged to a client is
+  present on every enabled backend at the end;
+* **replica convergence** — all enabled backends are table-by-table
+  digest-identical after re-integration;
+* **no read from a disabled backend** — a read that started while a backend
+  was disabled is never served by it;
+* **failover latency** — the time from fault activation to the detector
+  disabling the backend is measured and reported.
+
+Scenarios are seeded: the fault schedules and workloads replay identically
+for a given seed.  ``scale`` shrinks operation counts for smoke runs (the
+``bench_smoke`` tier-1 marker runs three tiny scenarios on every PR).
+
+Run from the command line::
+
+    python -m repro chaos                 # the full suite
+    python -m repro chaos --list
+    python -m repro chaos --scenario crash_mid_transaction --seed 11
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from random import Random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster import Cluster
+from repro.cluster.registry import ControllerRegistry
+from repro.core import BackendConfig, VirtualDatabaseConfig
+from repro.errors import CJDBCError
+from repro.sql import DatabaseEngine
+from repro.sql.metadata import DatabaseMetaData
+
+#: distinguishes chaos controller names across scenarios and test sessions
+_LABELS = itertools.count(1)
+
+
+# ---------------------------------------------------------------------------
+# invariant helpers
+# ---------------------------------------------------------------------------
+
+
+def table_digests(engine: DatabaseEngine) -> Dict[str, str]:
+    """Order-independent per-table content digest of one engine."""
+    digests: Dict[str, str] = {}
+    for table in sorted(DatabaseMetaData(engine).get_table_names()):
+        rows = engine.dump_table_rows(table)
+        canonical = sorted(
+            json.dumps(row, sort_keys=True, default=str) for row in rows
+        )
+        digests[table] = hashlib.sha256("\n".join(canonical).encode()).hexdigest()
+    return digests
+
+
+def digest_mismatches(engines: Dict[str, DatabaseEngine]) -> List[str]:
+    """Human-readable divergences between the given engines (empty = equal)."""
+    if len(engines) < 2:
+        return []
+    names = sorted(engines)
+    reference_name = names[0]
+    reference = table_digests(engines[reference_name])
+    problems: List[str] = []
+    for name in names[1:]:
+        digests = table_digests(engines[name])
+        tables = set(reference) | set(digests)
+        for table in sorted(tables):
+            if reference.get(table) != digests.get(table):
+                problems.append(
+                    f"table {table!r} diverged between {reference_name!r} and {name!r}"
+                )
+    return problems
+
+
+class BackendStateLog:
+    """Records backend state transitions so reads can be checked afterwards.
+
+    A read is a violation when the backend that served it was continuously
+    not-ENABLED from before the read started until after it finished — an
+    in-flight read racing the disable moment is inherent and allowed.
+    """
+
+    def __init__(self, backends):
+        self._lock = threading.Lock()
+        #: backend name -> list of (monotonic time, enabled?) transitions
+        self._transitions: Dict[str, List[Tuple[float, bool]]] = {}
+        for backend in backends:
+            self._transitions[backend.name] = [(0.0, backend.is_enabled)]
+            backend.add_state_listener(self._on_state_change)
+
+    def _on_state_change(self, backend) -> None:
+        with self._lock:
+            self._transitions.setdefault(backend.name, []).append(
+                (time.monotonic(), backend.is_enabled)
+            )
+
+    def served_while_disabled(self, backend_name: str, started: float, finished: float) -> bool:
+        with self._lock:
+            transitions = list(self._transitions.get(backend_name, ()))
+        enabled_at_start = True
+        for at, enabled in transitions:
+            if at <= started:
+                enabled_at_start = enabled
+            elif at < finished and enabled:
+                return False  # re-enabled mid-read: not provably wrong
+        return not enabled_at_start
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one scenario: violations (empty = pass) plus telemetry."""
+
+    name: str
+    seed: int
+    violations: List[str] = field(default_factory=list)
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "ok": self.ok,
+            "violations": list(self.violations),
+            "details": dict(self.details),
+        }
+
+
+# ---------------------------------------------------------------------------
+# cluster scaffolding
+# ---------------------------------------------------------------------------
+
+
+class _ChaosCluster:
+    """One disposable RAIDb cluster with a ``kv`` schema and genesis dumps."""
+
+    def __init__(
+        self,
+        backends: int = 3,
+        replication: str = "raidb1",
+        wait_for_completion: str = "all",
+        read_error_threshold: int = 3,
+        auto_resync: bool = False,
+        seed_rows: int = 10,
+    ):
+        label = f"chaos{next(_LABELS)}"
+        self.engines: Dict[str, DatabaseEngine] = {
+            f"b{i}": DatabaseEngine(f"{label}-b{i}") for i in range(backends)
+        }
+        config = VirtualDatabaseConfig(
+            name=label,
+            backends=[
+                BackendConfig(name=name, engine=engine)
+                for name, engine in self.engines.items()
+            ],
+            replication=replication,
+            wait_for_completion=wait_for_completion,
+            recovery_log="memory",
+            read_error_threshold=read_error_threshold,
+            auto_resync=auto_resync,
+        )
+        # a private registry keeps chaos controllers out of the process-wide one
+        self.cluster = Cluster.from_configs(
+            config, controller_name=label, registry=ControllerRegistry()
+        )
+        self.vdb = self.cluster.virtual_database(label)
+        self.manager = self.vdb.request_manager
+        self.manager.execute("CREATE TABLE kv (k INT PRIMARY KEY, v VARCHAR(40))")
+        for key in range(seed_rows):
+            self.manager.execute(
+                "INSERT INTO kv (k, v) VALUES (?, ?)", (key, f"seed-{key}")
+            )
+        # genesis dump per backend so re-integration has a restore point
+        for name in self.engines:
+            self.vdb.checkpoint_backend(name, name=f"genesis-{label}-{name}")
+        self.state_log = BackendStateLog(self.vdb.backends)
+
+    def injector(self, backend_name: str, seed: int = 0):
+        return self.vdb.fault_injector(backend_name, seed=seed)
+
+    def enabled_engines(self) -> Dict[str, DatabaseEngine]:
+        return {
+            backend.name: self.engines[backend.name]
+            for backend in self.vdb.backends
+            if backend.is_enabled and backend.name in self.engines
+        }
+
+    def check_acked(self, acked: Dict[int, str], violations: List[str]) -> None:
+        """Every acknowledged write must be visible on every enabled backend."""
+        for name, engine in self.enabled_engines().items():
+            rows = {
+                row["k"]: row["v"] for row in engine.dump_table_rows("kv")
+            }
+            for key, value in sorted(acked.items()):
+                if rows.get(key) != value:
+                    violations.append(
+                        f"committed write k={key} (v={value!r}) lost on enabled"
+                        f" backend {name!r} (found {rows.get(key)!r})"
+                    )
+
+    def check_convergence(self, violations: List[str]) -> None:
+        violations.extend(digest_mismatches(self.enabled_engines()))
+
+    def failover_latency(self, fault_armed_at: float) -> Optional[float]:
+        events = self.vdb.failure_detector.events
+        if not events:
+            return None
+        return max(0.0, events[0]["at"] - fault_armed_at)
+
+    def shutdown(self) -> None:
+        self.cluster.shutdown()
+
+
+def _wait_until(predicate: Callable[[], bool], timeout: float = 5.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+# ---------------------------------------------------------------------------
+# scenarios
+# ---------------------------------------------------------------------------
+
+
+def scenario_crash_mid_transaction(seed: int, scale: float = 1.0) -> ChaosResult:
+    """A backend hard-crashes between two statements of a client transaction.
+
+    The failed write disables the backend, the transaction commits on the
+    survivors, and re-integration replays the whole transaction from the
+    recovery log.
+    """
+    result = ChaosResult("crash_mid_transaction", seed)
+    chaos = _ChaosCluster(backends=3)
+    try:
+        manager = chaos.manager
+        acked: Dict[int, str] = {}
+        tid = manager.begin("chaos")
+        manager.execute(
+            "INSERT INTO kv (k, v) VALUES (?, ?)", (1000, "txn-a"), transaction_id=tid
+        )
+        injector = chaos.injector("b2", seed=seed)
+        armed_at = time.monotonic()
+        injector.crash()
+        # this write fails on b2 -> detector disables it mid-transaction
+        manager.execute(
+            "INSERT INTO kv (k, v) VALUES (?, ?)", (1001, "txn-b"), transaction_id=tid
+        )
+        manager.execute(
+            "INSERT INTO kv (k, v) VALUES (?, ?)", (1002, "txn-c"), transaction_id=tid
+        )
+        manager.commit(tid, "chaos")
+        acked.update({1000: "txn-a", 1001: "txn-b", 1002: "txn-c"})
+        if manager.get_backend("b2").is_enabled:
+            result.violations.append("b2 still enabled after failing a write")
+        # a post-failure read must not come from the disabled backend
+        read_started = time.monotonic()
+        read = manager.execute("SELECT v FROM kv WHERE k = ?", (1000,))
+        if chaos.state_log.served_while_disabled(
+            read.backend_name, read_started, time.monotonic()
+        ):
+            result.violations.append(
+                f"read served by disabled backend {read.backend_name!r}"
+            )
+        injector.recover()
+        replayed = chaos.vdb.resynchronize_backend("b2")
+        chaos.check_acked(acked, result.violations)
+        chaos.check_convergence(result.violations)
+        result.details.update(
+            {
+                "replayed": replayed,
+                "failover_latency_s": chaos.failover_latency(armed_at),
+                "detector_events": len(chaos.vdb.failure_detector.events),
+            }
+        )
+    finally:
+        chaos.shutdown()
+    return result
+
+
+def scenario_crash_mid_batch(seed: int, scale: float = 1.0) -> ChaosResult:
+    """A backend crashes while executing a server-side batch.
+
+    The batch succeeds on the survivors (one log group entry), the crashed
+    backend is disabled, and replay re-executes the batches atomically.
+    """
+    result = ChaosResult("crash_mid_batch", seed)
+    chaos = _ChaosCluster(backends=3)
+    try:
+        manager = chaos.manager
+        injector = chaos.injector("b1", seed=seed)
+        # crash on b1's second batch execution, deterministically
+        injector.inject("crash", after_n_ops=2, operations=("executemany",))
+        armed_at = time.monotonic()
+        acked: Dict[int, str] = {}
+        batch = max(int(4 * scale), 3)
+        rows_per_batch = max(int(5 * scale), 3)
+        sql = "INSERT INTO kv (k, v) VALUES (?, ?)"
+        for group in range(batch):
+            base = 2000 + group * rows_per_batch
+            sets = [
+                (base + offset, f"batch-{base + offset}")
+                for offset in range(rows_per_batch)
+            ]
+            manager.execute_batch(sql, sets)
+            acked.update({key: value for key, value in sets})
+        if manager.get_backend("b1").is_enabled:
+            result.violations.append("b1 still enabled after failing a batch")
+        injector.recover()
+        replayed = chaos.vdb.resynchronize_backend("b1")
+        chaos.check_acked(acked, result.violations)
+        chaos.check_convergence(result.violations)
+        result.details.update(
+            {
+                "batches": batch,
+                "replayed": replayed,
+                "failover_latency_s": chaos.failover_latency(armed_at),
+            }
+        )
+    finally:
+        chaos.shutdown()
+    return result
+
+
+def scenario_transient_error_storm(seed: int, scale: float = 1.0) -> ChaosResult:
+    """One backend's reads fail probabilistically until the threshold trips.
+
+    Reads transparently fail over to healthy backends (the client sees no
+    errors); once the read-error budget is exhausted the backend is
+    disabled, and after the storm clears it is re-integrated.
+    """
+    result = ChaosResult("transient_error_storm", seed)
+    chaos = _ChaosCluster(backends=3, read_error_threshold=3)
+    try:
+        manager = chaos.manager
+        injector = chaos.injector("b0", seed=seed)
+        injector.inject(
+            "error", probability=0.6, match_sql="SELECT", operations=("execute",)
+        )
+        armed_at = time.monotonic()
+        rng = Random(seed)
+        reads = max(int(40 * scale), 12)
+        client_errors = 0
+        acked: Dict[int, str] = {}
+        index = 0
+        # run the planned mix, then keep reading (bounded) until the error
+        # budget actually trips — the storm must always reach the threshold,
+        # whatever the scale and seed
+        while index < reads or (
+            manager.get_backend("b0").is_enabled and index < reads + 100
+        ):
+            index += 1
+            try:
+                if rng.random() < 0.3 and index <= reads:
+                    key = 3000 + index
+                    manager.execute(
+                        "INSERT INTO kv (k, v) VALUES (?, ?)", (key, f"storm-{key}")
+                    )
+                    acked[key] = f"storm-{key}"
+                else:
+                    started = time.monotonic()
+                    read = manager.execute(
+                        "SELECT v FROM kv WHERE k = ?", (rng.randrange(10),)
+                    )
+                    if chaos.state_log.served_while_disabled(
+                        read.backend_name, started, time.monotonic()
+                    ):
+                        result.violations.append(
+                            f"read served by disabled backend {read.backend_name!r}"
+                        )
+            except CJDBCError:
+                client_errors += 1
+        if client_errors:
+            result.violations.append(
+                f"{client_errors} read/write errors leaked to the client despite"
+                " transparent failover"
+            )
+        if manager.get_backend("b0").is_enabled:
+            result.violations.append(
+                "b0 still enabled after exceeding the read-error threshold"
+            )
+        events = chaos.vdb.failure_detector.events
+        if events and events[0]["kind"] != "read":
+            result.violations.append(
+                f"expected a read-threshold disable, got {events[0]['kind']!r}"
+            )
+        injector.clear()
+        injector.recover()
+        replayed = chaos.vdb.resynchronize_backend("b0")
+        chaos.check_acked(acked, result.violations)
+        chaos.check_convergence(result.violations)
+        balancer = manager.load_balancer
+        result.details.update(
+            {
+                "operations": index,
+                "read_failovers": balancer.read_failovers,
+                "faults_injected": injector.statistics()["faults_injected"],
+                "replayed": replayed,
+                "failover_latency_s": chaos.failover_latency(armed_at),
+            }
+        )
+    finally:
+        chaos.shutdown()
+    return result
+
+
+def scenario_slow_backend_first_policy(seed: int, scale: float = 1.0) -> ChaosResult:
+    """A slow backend must not slow clients down under the FIRST policy.
+
+    Early response (paper §2.4.4) answers after the first backend commits;
+    the slow replica finishes in the background and still converges.  No
+    backend is disabled: slow is degraded, not failed.
+    """
+    result = ChaosResult("slow_backend_first_policy", seed)
+    chaos = _ChaosCluster(backends=3, wait_for_completion="first")
+    try:
+        manager = chaos.manager
+        injector = chaos.injector("b2", seed=seed)
+        delay_ms = 25.0
+        injector.inject("latency", latency_ms=delay_ms, operations=("execute",))
+        writes = max(int(8 * scale), 4)
+        started = time.monotonic()
+        acked: Dict[int, str] = {}
+        for index in range(writes):
+            key = 4000 + index
+            manager.execute("INSERT INTO kv (k, v) VALUES (?, ?)", (key, f"slow-{key}"))
+            acked[key] = f"slow-{key}"
+        elapsed = time.monotonic() - started
+        worst_case = writes * delay_ms / 1000.0
+        if elapsed >= 0.8 * worst_case:
+            result.violations.append(
+                f"early response did not hide the slow backend: {writes} writes"
+                f" took {elapsed:.3f}s (slow path would be {worst_case:.3f}s)"
+            )
+        if chaos.vdb.failure_detector.events:
+            result.violations.append("a merely-slow backend was disabled")
+        injector.clear()
+        # wait for the stragglers to drain, then the replicas must converge
+        converged = _wait_until(
+            lambda: not digest_mismatches(chaos.enabled_engines()), timeout=5.0
+        )
+        if not converged:
+            chaos.check_convergence(result.violations)
+        chaos.check_acked(acked, result.violations)
+        result.details.update(
+            {
+                "writes": writes,
+                "client_seconds": round(elapsed, 4),
+                "slow_path_seconds": round(worst_case, 4),
+                "hidden_latency_factor": round(worst_case / elapsed, 2)
+                if elapsed > 0
+                else None,
+            }
+        )
+    finally:
+        chaos.shutdown()
+    return result
+
+
+def scenario_crash_reintegration_under_writes(seed: int, scale: float = 1.0) -> ChaosResult:
+    """Crash + live re-integration while writer threads keep the cluster busy.
+
+    Auto-resync is on: the detector hands the crashed backend to the
+    resynchronizer, which (once the fault is lifted) restores the genesis
+    dump, replays the log tail online under sustained writes, and catches
+    up the final entries under a brief scheduler write barrier.
+    """
+    result = ChaosResult("crash_reintegration_under_writes", seed)
+    chaos = _ChaosCluster(backends=3, auto_resync=True)
+    try:
+        manager = chaos.manager
+        injector = chaos.injector("b1", seed=seed)
+        per_writer = max(int(40 * scale), 15)
+        acked: Dict[int, str] = {}
+        acked_lock = threading.Lock()
+        crash_after = per_writer // 3
+
+        def writer(writer_id: int) -> None:
+            base = 5000 + writer_id * 10000
+            for index in range(per_writer):
+                key = base + index
+                try:
+                    manager.execute(
+                        "INSERT INTO kv (k, v) VALUES (?, ?)", (key, f"w{writer_id}-{index}")
+                    )
+                except CJDBCError:
+                    continue
+                with acked_lock:
+                    acked[key] = f"w{writer_id}-{index}"
+                if writer_id == 0 and index == crash_after:
+                    injector.crash()
+                if writer_id == 0 and index == 2 * crash_after:
+                    injector.recover()
+
+        threads = [
+            threading.Thread(target=writer, args=(writer_id,)) for writer_id in range(2)
+        ]
+        armed_at = time.monotonic()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # the auto-resync worker may still be catching up (or may have burned
+        # its retries while the backend was crashed): wait, then force one
+        chaos.vdb.resynchronizer.wait(timeout=5.0)
+        if not manager.get_backend("b1").is_enabled:
+            chaos.vdb.resynchronize_backend("b1")
+        if not manager.get_backend("b1").is_enabled:
+            result.violations.append("b1 was not re-integrated")
+        chaos.check_acked(acked, result.violations)
+        chaos.check_convergence(result.violations)
+        resync_stats = chaos.vdb.resynchronizer.statistics()
+        result.details.update(
+            {
+                "writes_acknowledged": len(acked),
+                "failover_latency_s": chaos.failover_latency(armed_at),
+                "resyncs_started": resync_stats["resyncs_started"],
+                "resyncs_succeeded": resync_stats["resyncs_succeeded"],
+                "write_barriers": manager.scheduler.statistics()["write_barriers"],
+            }
+        )
+        if resync_stats["resyncs_succeeded"] < 1:
+            result.violations.append("no resynchronization succeeded")
+    finally:
+        chaos.shutdown()
+    return result
+
+
+def scenario_distributed_controller_backend_failure(
+    seed: int, scale: float = 1.0
+) -> ChaosResult:
+    """A backend fails under a horizontally replicated (two-controller) vdb.
+
+    The owning controller disables it and multicasts the failure event to
+    its peers; writes keep replicating through the group, and the backend is
+    re-integrated from the local recovery log.
+    """
+    result = ChaosResult("distributed_controller_backend_failure", seed)
+    label = f"chaosdist{next(_LABELS)}"
+    descriptor = {
+        "name": label,
+        "virtual_databases": [
+            {
+                "name": "chaosdb",
+                "replication": "raidb1",
+                "group_name": f"{label}-group",
+                "recovery_log": "memory",
+                "backends": [{"name": "b0"}, {"name": "b1"}],
+            }
+        ],
+        "controllers": [{"name": f"{label}-a"}, {"name": f"{label}-b"}],
+    }
+    cluster = Cluster(descriptor, registry=ControllerRegistry())
+    try:
+        connection = cluster.connect("chaosdb", "chaos", "chaos")
+        cursor = connection.cursor()
+        cursor.execute("CREATE TABLE kv (k INT PRIMARY KEY, v VARCHAR(40))")
+        writes = max(int(20 * scale), 8)
+        acked: Dict[int, str] = {}
+        for index in range(writes // 2):
+            cursor.execute("INSERT INTO kv (k, v) VALUES (?, ?)", (index, f"pre-{index}"))
+            acked[index] = f"pre-{index}"
+        vdb_a = cluster.virtual_database("chaosdb", controller=f"{label}-a")
+        # genesis dumps so re-integration restores instead of bootstrapping
+        vdb_a.checkpoint_backend("b0", name=f"genesis-{label}-b0")
+        injector = cluster.fault_injector("chaosdb", "b0", controller=f"{label}-a")
+        armed_at = time.monotonic()
+        injector.crash()
+        for index in range(writes // 2, writes):
+            cursor.execute("INSERT INTO kv (k, v) VALUES (?, ?)", (index, f"post-{index}"))
+            acked[index] = f"post-{index}"
+        if vdb_a.get_backend("b0").is_enabled:
+            result.violations.append("controller A's b0 still enabled after the crash")
+        replica_b = cluster.replicas[(f"{label}-b", "chaosdb")]
+        # the failure event is announced asynchronously: give it a moment
+        event_seen = _wait_until(
+            lambda: any(
+                event["backend"] == "b0" and event["controller"] == f"{label}-a"
+                for event in replica_b.peer_failures
+            ),
+            timeout=5.0,
+        )
+        if not event_seen:
+            result.violations.append(
+                "controller B never learned about controller A's backend failure"
+            )
+        injector.recover()
+        replayed = cluster.resynchronize("chaosdb", "b0", controller=f"{label}-a")
+        engines = dict(cluster.engines)
+        mismatches = digest_mismatches(engines)
+        result.violations.extend(mismatches)
+        for name, engine in engines.items():
+            rows = {row["k"]: row["v"] for row in engine.dump_table_rows("kv")}
+            for key, value in acked.items():
+                if rows.get(key) != value:
+                    result.violations.append(
+                        f"committed write k={key} lost on engine {name!r}"
+                    )
+        result.details.update(
+            {
+                "writes_acknowledged": len(acked),
+                "replayed": replayed,
+                "peer_failures_seen": len(replica_b.peer_failures),
+                "failover_latency_s": (
+                    max(0.0, vdb_a.failure_detector.events[0]["at"] - armed_at)
+                    if vdb_a.failure_detector.events
+                    else None
+                ),
+            }
+        )
+    finally:
+        cluster.shutdown()
+    return result
+
+
+#: scenario name -> callable(seed, scale) -> ChaosResult
+CHAOS_SCENARIOS: Dict[str, Callable[[int, float], ChaosResult]] = {
+    "crash_mid_transaction": scenario_crash_mid_transaction,
+    "crash_mid_batch": scenario_crash_mid_batch,
+    "transient_error_storm": scenario_transient_error_storm,
+    "slow_backend_first_policy": scenario_slow_backend_first_policy,
+    "crash_reintegration_under_writes": scenario_crash_reintegration_under_writes,
+    "distributed_controller_backend_failure": scenario_distributed_controller_backend_failure,
+}
+
+#: the three cheapest scenarios, run on every PR via the bench_smoke marker
+CHAOS_SMOKE_SCENARIOS = (
+    "crash_mid_transaction",
+    "crash_mid_batch",
+    "transient_error_storm",
+)
+
+
+def run_chaos_scenario(name: str, seed: int = 7, scale: float = 1.0) -> ChaosResult:
+    """Run one named scenario; raises for unknown names."""
+    scenario = CHAOS_SCENARIOS.get(name)
+    if scenario is None:
+        known = ", ".join(sorted(CHAOS_SCENARIOS))
+        raise CJDBCError(f"unknown chaos scenario {name!r} (scenarios: {known})")
+    return scenario(seed, scale)
+
+
+def run_chaos_suite(
+    names: Optional[Sequence[str]] = None, seed: int = 7, scale: float = 1.0
+) -> List[ChaosResult]:
+    """Run a list of scenarios (default: every registered one)."""
+    selected = list(names) if names else sorted(CHAOS_SCENARIOS)
+    unknown = sorted(set(selected) - set(CHAOS_SCENARIOS))
+    if unknown:
+        # fail before any (expensive) scenario runs, not midway through
+        known = ", ".join(sorted(CHAOS_SCENARIOS))
+        raise CJDBCError(
+            f"unknown chaos scenario{'s' if len(unknown) > 1 else ''}"
+            f" {', '.join(map(repr, unknown))} (scenarios: {known})"
+        )
+    return [run_chaos_scenario(name, seed=seed, scale=scale) for name in selected]
+
+
+def format_chaos_report(results: Sequence[ChaosResult]) -> str:
+    """Render scenario outcomes the way the other bench reports read."""
+    lines = ["chaos scenario suite", "====================", ""]
+    for result in results:
+        status = "PASS" if result.ok else "FAIL"
+        lines.append(f"[{status}] {result.name} (seed {result.seed})")
+        latency = result.details.get("failover_latency_s")
+        if latency is not None:
+            lines.append(f"    failover latency: {latency * 1000.0:.1f}ms")
+        for key in sorted(result.details):
+            if key == "failover_latency_s":
+                continue
+            lines.append(f"    {key}: {result.details[key]}")
+        for violation in result.violations:
+            lines.append(f"    VIOLATION: {violation}")
+    passed = sum(1 for result in results if result.ok)
+    lines.append("")
+    lines.append(f"{passed}/{len(results)} scenarios passed")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "CHAOS_SCENARIOS",
+    "CHAOS_SMOKE_SCENARIOS",
+    "BackendStateLog",
+    "ChaosResult",
+    "digest_mismatches",
+    "format_chaos_report",
+    "run_chaos_scenario",
+    "run_chaos_suite",
+    "table_digests",
+]

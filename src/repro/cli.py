@@ -58,6 +58,30 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("ablation-lb", help="load-balancing policy ablation")
     subparsers.add_parser("overhead", help="middleware overhead micro-benchmark")
 
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run seeded fault-injection scenarios and check cluster invariants"
+        " (no committed write lost, replica convergence, reads never served"
+        " by disabled backends)",
+    )
+    chaos.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="scenario to run (may be repeated; default: the whole suite)",
+    )
+    chaos.add_argument("--seed", type=int, default=7, help="fault/workload seed")
+    chaos.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="scale the per-scenario operation counts (use < 1 for a quick run)",
+    )
+    chaos.add_argument(
+        "--list", action="store_true", dest="list_scenarios", help="list scenarios and exit"
+    )
+
     hotpath = subparsers.add_parser(
         "bench-hotpath",
         help="controller hot-path micro-benchmark (parsing cache, cached reads,"
@@ -187,6 +211,23 @@ def _run_bench_hotpath(args: argparse.Namespace, stdout) -> int:
             return 1
         print(f"\nbaseline check OK ({args.check_baseline})", file=stdout)
     return 0
+
+
+def _run_chaos(args: argparse.Namespace, stdout) -> int:
+    from repro.bench import CHAOS_SCENARIOS, format_chaos_report, run_chaos_suite
+    from repro.errors import CJDBCError
+
+    if args.list_scenarios:
+        for name in sorted(CHAOS_SCENARIOS):
+            print(name, file=stdout)
+        return 0
+    try:
+        results = run_chaos_suite(args.scenario, seed=args.seed, scale=args.scale)
+    except CJDBCError as exc:
+        print(f"error: {exc}", file=stdout)
+        return 2
+    print(format_chaos_report(results), file=stdout)
+    return 0 if all(result.ok for result in results) else 1
 
 
 def _run_overhead() -> str:
@@ -333,6 +374,8 @@ def main(argv: Optional[List[str]] = None, stdout=None) -> int:
         return 0
     if args.command == "bench-hotpath":
         return _run_bench_hotpath(args, stdout)
+    if args.command == "chaos":
+        return _run_chaos(args, stdout)
     if args.command == "console":
         return _run_console(args, stdout=stdout)
     if args.command == "check-config":

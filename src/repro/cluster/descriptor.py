@@ -74,8 +74,10 @@ _VDB_KEYS = {
     "group_name",
     "replication_map",
     "partition_map",
+    "failure_detector",
 }
-_BACKEND_KEYS = {"name", "engine", "weight", "connection_manager", "pool_size"}
+_BACKEND_KEYS = {"name", "engine", "weight", "connection_manager", "pool_size", "faults"}
+_FAILURE_DETECTOR_KEYS = {"read_error_threshold", "auto_resync"}
 _CACHE_KEYS = {"enabled", "granularity", "max_entries", "relaxation_rules"}
 _RULE_KEYS = {"staleness_seconds", "tables", "sql_pattern", "keep_on_write"}
 _CONTROLLER_KEYS = {"name", "virtual_databases"}
@@ -95,6 +97,8 @@ class BackendSpec:
     weight: int = 1
     connection_manager: str = "variable"
     pool_size: int = 10
+    #: validated ``faults:`` section ({"seed": ..., "rules": [...]}) or None
+    faults: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -122,6 +126,10 @@ class VirtualDatabaseSpec:
     group_name: Optional[str] = None
     replication_map: Dict[str, List[str]] = field(default_factory=dict)
     partition_map: Dict[str, str] = field(default_factory=dict)
+    #: reads failing this many times on one backend disable it
+    read_error_threshold: int = 3
+    #: automatically re-integrate disabled backends from the recovery log
+    auto_resync: bool = False
 
     @property
     def backend_names(self) -> List[str]:
@@ -152,6 +160,7 @@ class VirtualDatabaseSpec:
                     weight=backend.weight,
                     connection_manager=backend.connection_manager,
                     pool_size=backend.pool_size,
+                    faults=dict(backend.faults) if backend.faults else None,
                 )
             )
         return VirtualDatabaseConfig(
@@ -174,6 +183,8 @@ class VirtualDatabaseSpec:
             group_name=self.group_name,
             replication_map={t: list(b) for t, b in self.replication_map.items()},
             partition_map=dict(self.partition_map),
+            read_error_threshold=self.read_error_threshold,
+            auto_resync=self.auto_resync,
         )
 
 
@@ -287,12 +298,18 @@ def _parse_backend(entry: Any, where: str) -> BackendSpec:
         _fail(where, f"expected a backend mapping or name, got {type(entry).__name__}")
     _check_keys(entry, _BACKEND_KEYS, where)
     name = _get_str(entry, "name", where, required=True)
+    faults = None
+    if "faults" in entry:
+        from repro.core.faults import parse_faults_section
+
+        faults = parse_faults_section(entry["faults"], f"{where}.faults")
     return BackendSpec(
         name=name,
         engine_name=_get_str(entry, "engine", where, default=name) or name,
         weight=_get_int(entry, "weight", where, default=1),
         connection_manager=_get_str(entry, "connection_manager", where, default="variable"),
         pool_size=_get_int(entry, "pool_size", where, default=10),
+        faults=faults,
     )
 
 
@@ -388,6 +405,15 @@ def _parse_virtual_database(entry: Any, where: str) -> VirtualDatabaseSpec:
             _fail(f"{where}.partition_map.{table}", f"unknown backend {host!r}")
         partition_map[table] = host
 
+    failure_detector = _get_mapping(entry, "failure_detector", where)
+    _check_keys(failure_detector, _FAILURE_DETECTOR_KEYS, f"{where}.failure_detector")
+    read_error_threshold = _get_int(
+        failure_detector, "read_error_threshold", f"{where}.failure_detector", default=3
+    )
+    auto_resync = _get_bool(
+        failure_detector, "auto_resync", f"{where}.failure_detector", False
+    )
+
     group_name = _get_str(entry, "group_name", where)
     if group_name is not None and not group_name.strip():
         _fail(
@@ -423,6 +449,8 @@ def _parse_virtual_database(entry: Any, where: str) -> VirtualDatabaseSpec:
         group_name=group_name,
         replication_map=replication_map,
         partition_map=partition_map,
+        read_error_threshold=read_error_threshold,
+        auto_resync=auto_resync,
         **_parse_cache(entry, where),
     )
 

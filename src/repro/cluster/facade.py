@@ -251,6 +251,29 @@ class Cluster:
             interceptor_name
         )
 
+    def fault_injector(
+        self, vdb_name: str, backend_name: str, controller: Optional[str] = None
+    ):
+        """The fault injector of one backend (created idle on first access).
+
+        The facade's runtime chaos toggle: arm latency/error/crash/hang
+        rules, ``crash()``/``recover()`` the backend, read injection stats —
+        all while the cluster serves traffic.
+        """
+        return self.virtual_database(vdb_name, controller).fault_injector(backend_name)
+
+    def failure_detector(self, vdb_name: str, controller: Optional[str] = None):
+        """The failure detector policy of one virtual database."""
+        return self.virtual_database(vdb_name, controller).failure_detector
+
+    def resynchronize(
+        self, vdb_name: str, backend_name: str, controller: Optional[str] = None
+    ) -> int:
+        """Synchronously re-integrate a disabled backend from the recovery log."""
+        return self.virtual_database(vdb_name, controller).resynchronize_backend(
+            backend_name
+        )
+
     @property
     def virtual_database_names(self) -> List[str]:
         return sorted(self._vdb_names.values())

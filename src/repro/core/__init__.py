@@ -24,6 +24,8 @@ from repro.core.config import (
 )
 from repro.core.controller import Controller
 from repro.core.driver import PreparedStatement, connect
+from repro.core.failover import BackendResynchronizer, FailureDetector
+from repro.core.faults import FaultInjector, FaultRule
 from repro.core.pipeline import (
     Interceptor,
     MetricsInterceptor,
@@ -44,10 +46,14 @@ from repro.core.virtualdb import VirtualDatabase
 __all__ = [
     "AuthenticationManager",
     "BackendConfig",
+    "BackendResynchronizer",
     "BackendState",
     "BatchWriteRequest",
     "Controller",
     "DatabaseBackend",
+    "FailureDetector",
+    "FaultInjector",
+    "FaultRule",
     "Interceptor",
     "MetricsInterceptor",
     "ParsingCache",

@@ -21,6 +21,7 @@ from repro.core.connection_manager import (
     ConnectionManager,
     VariablePoolConnectionManager,
 )
+from repro.core.faults import FaultInjector
 from repro.core.request import AbstractRequest, RequestResult
 from repro.errors import BackendError, DatabaseError
 
@@ -73,6 +74,9 @@ class DatabaseBackend:
         self.total_transactions_begun = 0
         self.failures = 0
         self.last_known_checkpoint: Optional[str] = None
+        #: optional deterministic fault source wrapped around the connection
+        #: layer (chaos testing); None costs nothing on the hot path
+        self._fault_injector: Optional[FaultInjector] = None
 
     # -- state --------------------------------------------------------------------
 
@@ -124,6 +128,27 @@ class DatabaseBackend:
         with self._state_lock:
             self._state = BackendState.RECOVERING
         self._notify_state_change()
+
+    # -- fault injection -----------------------------------------------------------
+
+    @property
+    def fault_injector(self) -> Optional[FaultInjector]:
+        return self._fault_injector
+
+    def set_fault_injector(self, injector: Optional[FaultInjector]) -> None:
+        """Wrap this backend's connection layer with a fault source."""
+        self._fault_injector = injector
+
+    def ensure_fault_injector(self, seed: int = 0) -> FaultInjector:
+        """The installed injector, creating an idle one on first use."""
+        if self._fault_injector is None:
+            self._fault_injector = FaultInjector(seed=seed)
+        return self._fault_injector
+
+    def _fault(self, operation: str, sql: str = "") -> None:
+        injector = self._fault_injector
+        if injector is not None:
+            injector.invoke(operation, sql)
 
     # -- schema -------------------------------------------------------------------
 
@@ -249,6 +274,7 @@ class DatabaseBackend:
         # the native driver's executemany parses the template once and
         # re-executes the plan per set (and a nested controller forwards the
         # whole batch downstream), so per-row cost is execution only
+        self._fault("executemany", request.sql)
         cursor = connection.cursor()
         cursor.executemany(request.sql, request.parameter_sets)
         total = cursor.rowcount
@@ -260,6 +286,7 @@ class DatabaseBackend:
         return result
 
     def _execute_on(self, connection, request: AbstractRequest) -> RequestResult:
+        self._fault("execute", request.sql)
         cursor = connection.cursor()
         cursor.execute(request.sql, request.parameters)
         if cursor.description is None:
@@ -283,6 +310,7 @@ class DatabaseBackend:
         with self._transaction_lock:
             connection = self._transaction_connections.get(transaction_id)
             if connection is None:
+                self._fault("begin")
                 connection = self.connection_manager.get_connection()
                 connection.begin()
                 self._transaction_connections[transaction_id] = connection
@@ -303,11 +331,13 @@ class DatabaseBackend:
         if connection is None:
             return False
         try:
+            self._fault("commit")
             connection.commit()
         except DatabaseError as exc:
             self.failures += 1
             raise BackendError(f"backend {self.name!r} commit failed: {exc}") from exc
         finally:
+            self._restore_autocommit(connection)
             self.connection_manager.release_connection(connection)
         return True
 
@@ -317,11 +347,13 @@ class DatabaseBackend:
         if connection is None:
             return False
         try:
+            self._fault("rollback")
             connection.rollback()
         except DatabaseError as exc:
             self.failures += 1
             raise BackendError(f"backend {self.name!r} rollback failed: {exc}") from exc
         finally:
+            self._restore_autocommit(connection)
             self.connection_manager.release_connection(connection)
         return True
 
@@ -334,7 +366,38 @@ class DatabaseBackend:
                 connection.rollback()
             except Exception:  # noqa: BLE001 - best effort during disable
                 pass
+            self._restore_autocommit(connection)
             self.connection_manager.release_connection(connection)
+
+    @staticmethod
+    def _restore_autocommit(connection) -> None:
+        """Return a transaction connection to autocommit before pooling it.
+
+        ``commit()``/``rollback()`` on a manual-commit connection re-open a
+        transaction (the JDBC contract the driver follows).  Handing such a
+        connection back to the pool poisons it: the next statement that
+        borrows it for an autocommit request would silently run inside that
+        open transaction and hold its table locks until the pool rotates it
+        out — stalling every later write on the backend.  Chaos scenario
+        workloads (mixed transactions + autocommit writes) surfaced this.
+
+        The open transaction is rolled back, never committed: on the
+        failure paths (an injected or real error raised before the
+        connection's own commit/rollback ran) the transaction's writes are
+        still pending, and setting ``autocommit = True`` directly would
+        durably commit work the client was just told failed.  On the
+        success paths the freshly re-opened transaction is empty, so the
+        rollback is a no-op.
+        """
+        try:
+            if getattr(connection, "autocommit", True) is False:
+                try:
+                    connection.rollback()
+                except Exception:  # noqa: BLE001 - reset must be best-effort
+                    pass
+                connection.autocommit = True
+        except Exception:  # noqa: BLE001 - a broken connection is the pool's problem
+            pass
 
     @property
     def active_transactions(self) -> List[int]:
@@ -362,6 +425,11 @@ class DatabaseBackend:
             "failures": self.failures,
             "tables": sorted(self.tables),
             "last_known_checkpoint": self.last_known_checkpoint,
+            "faults": (
+                self._fault_injector.statistics()
+                if self._fault_injector is not None
+                else None
+            ),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

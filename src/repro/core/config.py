@@ -23,6 +23,7 @@ from repro.core.connection_manager import (
     SimpleConnectionManager,
     VariablePoolConnectionManager,
 )
+from repro.core.faults import build_fault_injector
 from repro.core.loadbalancer import (
     RAIDb0LoadBalancer,
     RAIDb1LoadBalancer,
@@ -60,6 +61,9 @@ class BackendConfig:
     connection_manager: str = "variable"
     pool_size: int = 10
     static_schema: Optional[Sequence[str]] = None
+    #: validated ``faults:`` document ({"seed": ..., "rules": [...]}) arming
+    #: a deterministic fault injector on the backend at build time
+    faults: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -90,6 +94,10 @@ class VirtualDatabaseConfig:
     replication_map: Dict[str, List[str]] = field(default_factory=dict)
     #: table -> backend name, for RAIDb-0 DDL placement
     partition_map: Dict[str, str] = field(default_factory=dict)
+    #: reads failing this many times on one backend disable it
+    read_error_threshold: int = 3
+    #: automatically re-integrate disabled backends from the recovery log
+    auto_resync: bool = False
 
 
 def build_virtual_database(config: VirtualDatabaseConfig) -> VirtualDatabase:
@@ -131,6 +139,8 @@ def build_virtual_database(config: VirtualDatabaseConfig) -> VirtualDatabase:
         authentication_manager=authentication,
         group_name=config.group_name,
         interceptors=config.interceptors,
+        read_error_threshold=config.read_error_threshold,
+        auto_resync=config.auto_resync,
     )
     # Attach backends through the public assembly path so engine registration
     # (checkpoint/restore support) is not duplicated here.
@@ -167,7 +177,7 @@ def _build_backend(config: BackendConfig) -> DatabaseBackend:
         manager = VariablePoolConnectionManager(factory, initial_pool_size=config.pool_size)
     else:
         raise ConfigurationError(f"unknown connection manager {config.connection_manager!r}")
-    return DatabaseBackend(
+    backend = DatabaseBackend(
         name=config.name,
         connection_factory=factory,
         connection_manager=manager,
@@ -175,6 +185,9 @@ def _build_backend(config: BackendConfig) -> DatabaseBackend:
         static_schema=config.static_schema,
         metadata_factory=metadata_factory,
     )
+    if config.faults:
+        backend.set_fault_injector(build_fault_injector(config.faults))
+    return backend
 
 
 def _build_scheduler(name: str):

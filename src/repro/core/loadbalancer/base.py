@@ -65,9 +65,20 @@ class AbstractLoadBalancer:
         #: called with (backend, exception) whenever a backend fails a write;
         #: the request manager plugs backend disabling in here (paper §2.4.1)
         self.on_backend_failure: Optional[Callable[[DatabaseBackend, Exception], None]] = None
+        #: called with (backend, exception) whenever a backend fails a read;
+        #: the failure detector counts these against its error threshold
+        self.on_backend_read_failure: Optional[
+            Callable[[DatabaseBackend, Exception], None]
+        ] = None
         self.reads_executed = 0
         self.writes_executed = 0
         self.batches_executed = 0
+        #: reads transparently retried on another backend after a failure
+        self.read_failovers = 0
+        #: write/batch/demarcation failures observed after the early-response
+        #: threshold had already answered the client (still routed through
+        #: on_backend_failure so the failure detector sees them)
+        self.late_failures = 0
         self._stats_lock = threading.Lock()
 
     # -- candidate selection (overridden per RAIDb level) -------------------------
@@ -98,15 +109,34 @@ class AbstractLoadBalancer:
             raise NoMoreBackendError(
                 f"no enabled backend hosts tables {list(request.tables)!r}"
             )
+        sticky = False
         if request.transaction_id is not None:
             bound = [b for b in candidates if b.has_transaction(request.transaction_id)]
             if bound:
                 candidates = bound
-        backend = self.read_policy.choose(candidates)
-        result = backend.execute_request(request)
-        with self._stats_lock:
-            self.reads_executed += 1
-        return result
+                sticky = True
+        while True:
+            backend = self.read_policy.choose(candidates)
+            try:
+                result = backend.execute_request(request)
+            except Exception as exc:  # noqa: BLE001 - reported, then failed over
+                if self.on_backend_read_failure is not None:
+                    self.on_backend_read_failure(backend, exc)
+                if sticky:
+                    # transaction-bound reads must observe the transaction's
+                    # own uncommitted writes: no transparent failover
+                    raise
+                candidates = [
+                    b for b in candidates if b is not backend and b.is_enabled
+                ]
+                if not candidates:
+                    raise
+                with self._stats_lock:
+                    self.read_failovers += 1
+                continue
+            with self._stats_lock:
+                self.reads_executed += 1
+            return result
 
     # -- writes -----------------------------------------------------------------------
 
@@ -162,37 +192,46 @@ class AbstractLoadBalancer:
         targets: Sequence[DatabaseBackend],
         operation: Callable[[DatabaseBackend], object],
     ) -> WriteOutcome:
-        outcome = WriteOutcome(result=RequestResult(update_count=0))
-        outcome_lock = threading.Lock()
+        successes: List[str] = []
+        failures: Dict[str, str] = {}
         first_result: List[RequestResult] = []
+        state_lock = threading.Lock()
+        #: set once the caller has been answered (early response); failures
+        #: observed after that are "late" — invisible to the caller's
+        #: WriteOutcome but still routed through on_backend_failure so the
+        #: failure detector disables the diverged backend
+        answered = [False]
 
         def run(backend: DatabaseBackend):
             try:
                 result = operation(backend)
             except Exception as exc:  # noqa: BLE001 - failure handling below
-                with outcome_lock:
-                    outcome.failures[backend.name] = str(exc)
+                with state_lock:
+                    failures[backend.name] = str(exc)
+                    late = answered[0]
+                if late:
+                    with self._stats_lock:
+                        self.late_failures += 1
                 if self.on_backend_failure is not None:
                     self.on_backend_failure(backend, exc)
                 raise
-            with outcome_lock:
-                outcome.successes.append(backend.name)
+            with state_lock:
+                successes.append(backend.name)
                 if isinstance(result, RequestResult) and not first_result:
                     first_result.append(result)
             return result
 
         if len(targets) == 1:
             # Fast path: no thread hop for single-backend virtual databases.
+            # run() routes the failure through on_backend_failure exactly
+            # like the multi-backend path before the BackendError is raised.
             try:
-                result = run(targets[0])
+                run(targets[0])
             except Exception as exc:
                 raise BackendError(
-                    f"write failed on every backend: {outcome.failures}"
+                    f"write failed on every backend: {failures}"
                 ) from exc
-            if isinstance(result, RequestResult):
-                outcome.result = result
-            outcome.result.backends_executed = 1
-            return outcome
+            return self._snapshot_outcome(successes, failures, first_result)
 
         futures: Dict[Future, DatabaseBackend] = {
             self._executor.submit(run, backend): backend for backend in targets
@@ -201,21 +240,39 @@ class AbstractLoadBalancer:
         pending = set(futures)
         while pending:
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            with outcome_lock:
-                successes = len(outcome.successes)
-                failures = len(outcome.failures)
-            if successes >= required:
+            with state_lock:
+                succeeded = len(successes)
+            if succeeded >= required:
                 break
-            if successes + (len(targets) - successes - failures) < required:
-                # Even if everything still pending succeeds we cannot reach
-                # the threshold: all backends failed.
-                break
-        with outcome_lock:
-            if not outcome.successes and outcome.failures:
-                raise BackendError(f"write failed on every backend: {outcome.failures}")
-            if first_result:
-                outcome.result = first_result[0]
-            outcome.result.backends_executed = len(outcome.successes)
+            # Below the threshold we keep waiting for the stragglers — even
+            # when the threshold is no longer reachable: a still-pending
+            # success decides between "partial success" (failed backends are
+            # disabled, there is no 2-phase commit) and "failed everywhere".
+        with state_lock:
+            if not successes and failures:
+                answered[0] = True
+                raise BackendError(f"write failed on every backend: {failures}")
+            outcome = self._snapshot_outcome(successes, failures, first_result)
+            answered[0] = True
+        return outcome
+
+    @staticmethod
+    def _snapshot_outcome(
+        successes: List[str],
+        failures: Dict[str, str],
+        first_result: List[RequestResult],
+    ) -> WriteOutcome:
+        """Freeze the broadcast state into the outcome handed to the caller.
+
+        The returned object is a snapshot: backends still executing after an
+        early response never mutate it under the caller's feet.
+        """
+        outcome = WriteOutcome(
+            result=first_result[0] if first_result else RequestResult(update_count=0),
+            successes=list(successes),
+            failures=dict(failures),
+        )
+        outcome.result.backends_executed = len(outcome.successes)
         return outcome
 
     def _required_successes(self, target_count: int) -> int:
@@ -240,6 +297,8 @@ class AbstractLoadBalancer:
             "reads_executed": self.reads_executed,
             "writes_executed": self.writes_executed,
             "batches_executed": self.batches_executed,
+            "read_failovers": self.read_failovers,
+            "late_failures": self.late_failures,
         }
 
     def shutdown(self) -> None:

@@ -32,6 +32,8 @@ class AdminConsole:
             "recover": self._cmd_recover,
             "stats": self._cmd_stats,
             "interceptors": self._cmd_interceptors,
+            "fault": self._cmd_fault,
+            "resync": self._cmd_resync,
         }
 
     def execute(self, command_line: str) -> str:
@@ -59,7 +61,11 @@ class AdminConsole:
             "  checkpoint <vdb> <backend> [<name>]\n"
             "  recover <vdb> <backend> [<checkpoint>]\n"
             "  stats <vdb>\n"
-            "  interceptors <vdb>"
+            "  interceptors <vdb>\n"
+            "  fault <vdb> <backend> status|crash|recover|clear\n"
+            "  fault <vdb> <backend> latency <ms> [probability]\n"
+            "  fault <vdb> <backend> error [probability]\n"
+            "  resync <vdb> <backend>"
         )
 
     def _cmd_show(self, args: List[str]) -> str:
@@ -126,6 +132,57 @@ class AdminConsole:
                 + json.dumps(interceptor.statistics(), sort_keys=True, default=str)
             )
         return "\n".join(lines)
+
+    def _cmd_fault(self, args: List[str]) -> str:
+        usage = (
+            "usage: fault <vdb> <backend> status|crash|recover|clear"
+            " | latency <ms> [probability] | error [probability]"
+        )
+        if len(args) < 3:
+            return usage
+        vdb = self.controller.get_virtual_database(args[0])
+        injector = vdb.fault_injector(args[1])
+        action = args[2].lower()
+        if action == "status":
+            return json.dumps(injector.statistics(), indent=2, sort_keys=True, default=str)
+        if action == "crash":
+            injector.crash()
+            return f"backend {args[1]} crashed (every operation now fails)"
+        if action == "recover":
+            injector.recover()
+            return f"backend {args[1]} fault state cleared (operations succeed again)"
+        if action == "clear":
+            injector.clear()
+            return f"fault rules cleared on backend {args[1]}"
+        try:
+            if action == "latency":
+                if len(args) < 4:
+                    return usage
+                latency_ms = float(args[3])
+                probability = float(args[4]) if len(args) > 4 else None
+                injector.inject("latency", latency_ms=latency_ms, probability=probability)
+                return (
+                    f"latency fault armed on backend {args[1]}:"
+                    f" {latency_ms:g}ms"
+                    + (f" with probability {probability:g}" if probability is not None else "")
+                )
+            if action == "error":
+                probability = float(args[3]) if len(args) > 3 else None
+                injector.inject("error", probability=probability)
+                return (
+                    f"transient-error fault armed on backend {args[1]}"
+                    + (f" with probability {probability:g}" if probability is not None else "")
+                )
+        except ValueError:
+            return usage
+        return usage
+
+    def _cmd_resync(self, args: List[str]) -> str:
+        if len(args) < 2:
+            return "usage: resync <vdb> <backend>"
+        vdb = self.controller.get_virtual_database(args[0])
+        replayed = vdb.resynchronize_backend(args[1])
+        return f"backend {args[1]} resynchronized ({replayed} log entries replayed)"
 
     def _cmd_stats(self, args: List[str]) -> str:
         if not args:

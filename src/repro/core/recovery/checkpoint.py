@@ -74,6 +74,21 @@ class CheckpointingService:
             latest = max(self._checkpoints)
             return self._checkpoints[latest]
 
+    def last_checkpoint_for(self, backend_name: str) -> Optional[Checkpoint]:
+        """The most recent checkpoint dumped from the named backend.
+
+        Backend re-integration prefers a dump of the backend itself: under
+        partial replication (RAIDb-0/2) another backend's dump holds a
+        different table subset and must not be restored blindly.
+        """
+        with self._lock:
+            names = sorted(
+                name
+                for name, checkpoint in self._checkpoints.items()
+                if checkpoint.backend_name == backend_name
+            )
+            return self._checkpoints[names[-1]] if names else None
+
     def next_checkpoint_name(self, prefix: str = "checkpoint") -> str:
         with self._lock:
             self._counter += 1

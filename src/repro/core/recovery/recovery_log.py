@@ -170,6 +170,15 @@ class RecoveryLog:
             raise KeyError(f"unknown checkpoint {checkpoint_name!r}")
         return selected
 
+    def entries_after_id(self, log_id: int) -> List[LogEntry]:
+        """All entries recorded after the given log id.
+
+        Used by phased backend re-integration: the online replay notes the
+        id of the last entry it applied, and the barrier catch-up replays
+        only what was appended in the meantime.
+        """
+        return [entry for entry in self.entries() if entry.log_id > log_id]
+
     def checkpoint_names(self) -> List[str]:
         return [
             entry.checkpoint_name

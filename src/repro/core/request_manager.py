@@ -179,9 +179,15 @@ class RequestManager:
         self._transactions_lock = threading.RLock()
         self._transaction_ids = itertools.count(1)
         self.load_balancer.on_backend_failure = self._handle_backend_failure
+        self.load_balancer.on_backend_read_failure = self._handle_backend_read_failure
         #: optional listener invoked with the disabled backend (used by the
         #: virtual database to log and by tests to observe failover)
         self.on_backend_disabled: Optional[Callable[[DatabaseBackend, Exception], None]] = None
+        #: optional :class:`repro.core.failover.FailureDetector` owning the
+        #: disable decision; installed by the virtual database.  Without one
+        #: the manager falls back to the paper's bare rule: any write-path
+        #: failure disables the backend immediately.
+        self.failure_detector = None
         # statistics
         self.transactions_started = 0
         self.transactions_committed = 0
@@ -256,9 +262,21 @@ class RequestManager:
 
     def _handle_backend_failure(self, backend: DatabaseBackend, exc: Exception) -> None:
         """Disable a backend that failed a write/commit/abort (paper §2.4.1)."""
+        detector = self.failure_detector
+        if detector is not None:
+            # the detector inserts the failover marker, disables, notifies
+            # on_backend_disabled and kicks off resynchronization
+            detector.record_write_failure(backend, exc)
+            return
         backend.disable()
         if self.on_backend_disabled is not None:
             self.on_backend_disabled(backend, exc)
+
+    def _handle_backend_read_failure(self, backend: DatabaseBackend, exc: Exception) -> None:
+        """Count a read failure against the detector's error threshold."""
+        detector = self.failure_detector
+        if detector is not None:
+            detector.record_read_failure(backend, exc)
 
     # -- statement entry point ----------------------------------------------------------
 
@@ -442,7 +460,13 @@ class RequestManager:
 
     # -- recovery support -------------------------------------------------------------------
 
-    def replay_log_entries(self, backend: DatabaseBackend, entries) -> None:
+    def replay_log_entries(
+        self,
+        backend: DatabaseBackend,
+        entries,
+        rollback_unfinished: bool = True,
+        open_transactions=None,
+    ) -> None:
         """Replay recovery-log entries on one backend (used by recovery).
 
         Transactions are replayed faithfully: begin/commit/rollback entries
@@ -451,8 +475,16 @@ class RequestManager:
         ``batch`` group entries replay atomically as one server-side batch
         on the backend (one connection, every parameter set), mirroring how
         they originally executed.
+
+        Phased replay (backend re-integration) passes
+        ``rollback_unfinished=False`` together with a shared
+        ``open_transactions`` set: transactions still open at the end of one
+        phase are left open on the backend (making it a commit/abort
+        participant for the client's own demarcation) and the set carries
+        them into the next phase so their later entries keep joining them.
         """
-        open_transactions = set()
+        if open_transactions is None:
+            open_transactions = set()
         for entry in entries:
             if entry.entry_type == "checkpoint":
                 continue
@@ -489,8 +521,10 @@ class RequestManager:
                 transaction_id=entry.transaction_id if entry.transaction_id in open_transactions else None,
             )
             backend.execute_request(request)
-        for transaction_id in open_transactions:
-            backend.rollback(transaction_id)
+        if rollback_unfinished:
+            for transaction_id in open_transactions:
+                backend.rollback(transaction_id)
+            open_transactions.clear()
 
     # -- statistics ---------------------------------------------------------------------------
 
@@ -526,6 +560,8 @@ class RequestManager:
             "load_balancer": self.load_balancer.statistics(),
             "backends": [backend.statistics() for backend in self._backends],
         }
+        if self.failure_detector is not None:
+            stats["failure_detector"] = self.failure_detector.statistics()
         if self.result_cache is not None:
             stats["cache"] = self.result_cache.statistics.as_dict()
         parsing_cache = getattr(self.request_factory, "parsing_cache", None)

@@ -50,6 +50,7 @@ class AbstractScheduler:
         self.reads_scheduled = 0
         self.writes_scheduled = 0
         self.pending_writes = 0
+        self.write_barriers = 0
 
     # -- public API -----------------------------------------------------------
 
@@ -67,6 +68,25 @@ class AbstractScheduler:
             self.pending_writes += 1
             order = next(self._order_counter)
         return SchedulerTicket(self, request, order=order)
+
+    @contextmanager
+    def write_barrier(self) -> Iterator[None]:
+        """Briefly block new writes/commits/aborts while the context is held.
+
+        Used by backend re-integration (:mod:`repro.core.failover`): the
+        resynchronizer replays the recovery-log tail online, then acquires
+        this barrier to catch up the last entries and re-enable the backend
+        with no write racing the switch.  Reads are not blocked.  The
+        barrier takes the same mutual-exclusion path as a write, so it
+        waits for the in-flight write (if any) and excludes new ones.
+        """
+        self._acquire_write(None)
+        with self._order_lock:
+            self.write_barriers += 1
+        try:
+            yield
+        finally:
+            self._release_write(None)
 
     # -- hooks ------------------------------------------------------------------
 
@@ -98,6 +118,7 @@ class AbstractScheduler:
             "reads_scheduled": self.reads_scheduled,
             "writes_scheduled": self.writes_scheduled,
             "pending_writes": self.pending_writes,
+            "write_barriers": self.write_barriers,
         }
 
 

@@ -19,6 +19,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.authentication import AuthenticationManager
 from repro.core.backend import DatabaseBackend
+from repro.core.failover import BackendResynchronizer, FailureDetector
+from repro.core.faults import FaultInjector
 from repro.core.pipeline import (
     Interceptor,
     InterceptorSpec,
@@ -45,6 +47,9 @@ class VirtualDatabase:
         checkpointing_service: Optional[CheckpointingService] = None,
         group_name: Optional[str] = None,
         interceptors: Sequence[InterceptorSpec] = (),
+        failure_detector: Optional[FailureDetector] = None,
+        read_error_threshold: int = 3,
+        auto_resync: bool = False,
     ):
         self.name = name
         self.request_manager = request_manager
@@ -68,6 +73,18 @@ class VirtualDatabase:
             else MemoryRecoveryLog()
         )
         self.checkpointing_service = checkpointing_service or CheckpointingService(recovery_log)
+        # failure detection & self-healing: the detector owns the disable
+        # decision (write failures disable immediately, read failures count
+        # against a threshold); the resynchronizer re-integrates disabled
+        # backends from the recovery log while the cluster keeps serving
+        self.failure_detector = failure_detector or FailureDetector(
+            request_manager, read_error_threshold=read_error_threshold
+        )
+        request_manager.failure_detector = self.failure_detector
+        self.resynchronizer = BackendResynchronizer(self)
+        self._auto_resync = False
+        if auto_resync:
+            self.enable_auto_resync()
         #: group name used for horizontal scalability (JGroups group in the paper)
         self.group_name = group_name
         #: engines backing each backend, registered so the checkpointing
@@ -173,6 +190,49 @@ class VirtualDatabase:
             enable=True,
         )
 
+    # -- failure detection / self-healing ---------------------------------------------
+
+    def enable_auto_resync(self) -> None:
+        """Resynchronize every backend the failure detector disables.
+
+        Once enabled, a backend that fails a write (or crosses the read
+        error threshold) is disabled, then handed to the background
+        resynchronizer, which restores it from the last dump checkpoint,
+        replays the recovery-log tail online, catches up under a brief write
+        barrier and re-enables it — live re-integration, no operator in the
+        loop.  (A crashed backend keeps failing the replay; the worker
+        retries a few times and records the outcome.)
+        """
+        if self._auto_resync:
+            return
+        self._auto_resync = True
+        self.failure_detector.add_listener(self._on_backend_disabled_event)
+
+    def disable_auto_resync(self) -> None:
+        if self._auto_resync:
+            self._auto_resync = False
+            self.failure_detector.remove_listener(self._on_backend_disabled_event)
+
+    @property
+    def auto_resync(self) -> bool:
+        return self._auto_resync
+
+    def _on_backend_disabled_event(self, backend, exc, event) -> None:
+        self.resynchronizer.schedule(backend.name)
+
+    def resynchronize_backend(self, backend_name: str) -> int:
+        """Synchronously re-integrate one disabled backend; returns entries replayed."""
+        return self.resynchronizer.resynchronize(backend_name)
+
+    def fault_injector(self, backend_name: str, seed: int = 0) -> FaultInjector:
+        """The fault injector of one backend, created idle on first access.
+
+        This is the runtime toggle for chaos testing: arm/disarm
+        :class:`repro.core.faults.FaultRule` schedules, crash and recover
+        the backend, read injection statistics.
+        """
+        return self.get_backend(backend_name).ensure_fault_injector(seed=seed)
+
     # -- client entry points ----------------------------------------------------------------
 
     def check_credentials(self, login: str, password: str) -> None:
@@ -246,6 +306,8 @@ class VirtualDatabase:
         stats["virtual_database"] = self.name
         stats["total_connections"] = self.total_connections
         stats["checkpoints"] = self.checkpointing_service.checkpoint_names()
+        stats["auto_resync"] = self._auto_resync
+        stats["resynchronizer"] = self.resynchronizer.statistics()
         return stats
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -55,6 +55,23 @@ class _BackendAdvertisement:
     backends: List[dict] = field(default_factory=list)
 
 
+@dataclass
+class _BackendFailureEvent:
+    """Multicast when a controller's failure detector disables a backend.
+
+    Peers record the event (visible in statistics and to operators) so a
+    surviving controller knows which backends of the failed/degraded
+    controller are out of service — the §4.1 "controllers exchange their
+    respective configurations" story extended to runtime failures.
+    """
+
+    controller: str
+    backend: str
+    kind: str = "write"
+    error: str = ""
+    checkpoint: Optional[str] = None
+
+
 class DistributedVirtualDatabase:
     """One controller's replica of a distributed virtual database."""
 
@@ -82,6 +99,12 @@ class DistributedVirtualDatabase:
         self._transaction_base = (zlib.crc32(controller_name.encode()) % 90000 + 1) * 100000
         self._transaction_counter = 0
         self.view_changes: List[ViewChange] = []
+        #: backend failures reported by other controllers of the group
+        self.peer_failures: List[dict] = []
+        # multicast our own failure detector's disable events to the group
+        detector = getattr(virtual_database, "failure_detector", None)
+        if detector is not None:
+            detector.add_listener(self._on_local_backend_disabled)
 
     # -- membership -----------------------------------------------------------------
 
@@ -115,6 +138,18 @@ class DistributedVirtualDatabase:
 
     def get_backend(self, backend_name: str):
         return self.local.get_backend(backend_name)
+
+    def fault_injector(self, backend_name: str, seed: int = 0):
+        """Fault injector of one *local* backend (chaos testing surface)."""
+        return self.local.fault_injector(backend_name, seed=seed)
+
+    @property
+    def failure_detector(self):
+        return self.local.failure_detector
+
+    def resynchronize_backend(self, backend_name: str) -> int:
+        """Re-integrate one of this controller's own backends."""
+        return self.local.resynchronize_backend(backend_name)
 
     def check_credentials(self, login: str, password: str) -> None:
         self.local.check_credentials(login, password)
@@ -207,6 +242,7 @@ class DistributedVirtualDatabase:
             "group": self.group_name,
             "members": self.group_members,
             "peer_backends": {peer: len(b) for peer, b in self.peer_backends.items()},
+            "peer_failures": [dict(event) for event in self.peer_failures],
             "view_changes": len(self.view_changes),
         }
         return stats
@@ -223,8 +259,50 @@ class DistributedVirtualDatabase:
             result = self._local_results.pop(message.message_id, None)
         return result if result is not None else RequestResult(update_count=0)
 
+    def _on_local_backend_disabled(self, backend, exc, event) -> None:
+        """Failure-detector listener: tell the group one of our backends fell.
+
+        The multicast happens on a separate thread: the listener fires from
+        inside a write broadcast (possibly itself a group delivery holding
+        the transport), so multicasting inline would deadlock the sequencer
+        against the in-flight write.
+        """
+        if not self.channel.connected:
+            return
+        notice = _BackendFailureEvent(
+            controller=self.controller_name,
+            backend=backend.name,
+            kind=event.get("kind", "write"),
+            error=event.get("error", str(exc)),
+            checkpoint=event.get("checkpoint"),
+        )
+
+        def announce() -> None:
+            try:
+                self.channel.multicast(notice)
+            except GroupCommunicationError:
+                pass  # a partitioned controller still handles its local failure
+
+        threading.Thread(
+            target=announce,
+            name=f"cjdbc-failure-event-{backend.name}",
+            daemon=True,
+        ).start()
+
     def _on_message(self, message: GroupMessage) -> None:
         payload = message.payload
+        if isinstance(payload, _BackendFailureEvent):
+            if payload.controller != self.controller_name:
+                self.peer_failures.append(
+                    {
+                        "controller": payload.controller,
+                        "backend": payload.backend,
+                        "kind": payload.kind,
+                        "error": payload.error,
+                        "checkpoint": payload.checkpoint,
+                    }
+                )
+            return
         if isinstance(payload, _BackendAdvertisement):
             if payload.controller != self.controller_name:
                 is_new_peer = payload.controller not in self.peer_backends

@@ -1,0 +1,102 @@
+"""Tier-1 runs of the chaos scenario harness.
+
+The three cheapest scenarios are additionally marked ``bench_smoke`` so the
+CI perf-gate job replays them on every PR (the satellite requirement of at
+least 3 tiny seeded failover scenarios per PR).
+"""
+
+import pytest
+
+from repro.bench import (
+    CHAOS_SCENARIOS,
+    CHAOS_SMOKE_SCENARIOS,
+    format_chaos_report,
+    run_chaos_scenario,
+    run_chaos_suite,
+)
+from repro.bench.chaos import digest_mismatches, table_digests
+from repro.errors import CJDBCError
+from repro.sql import DatabaseEngine
+
+
+class TestChaosSmoke:
+    """Tiny seeded failover scenarios, replayed on every PR."""
+
+    pytestmark = pytest.mark.bench_smoke
+
+    @pytest.mark.parametrize("name", CHAOS_SMOKE_SCENARIOS)
+    def test_smoke_scenario_passes(self, name):
+        result = run_chaos_scenario(name, seed=7, scale=0.3)
+        assert result.ok, result.violations
+
+
+class TestChaosSuite:
+    def test_full_suite_passes_at_reduced_scale(self):
+        results = run_chaos_suite(seed=7, scale=0.5)
+        assert len(results) == len(CHAOS_SCENARIOS) >= 6
+        failures = [result for result in results if not result.ok]
+        assert not failures, [
+            (result.name, result.violations) for result in failures
+        ]
+
+    def test_scenarios_report_failover_latency(self):
+        result = run_chaos_scenario("crash_mid_transaction", seed=3, scale=0.3)
+        assert result.ok, result.violations
+        assert result.details["failover_latency_s"] is not None
+        assert result.details["failover_latency_s"] >= 0.0
+
+    def test_reintegration_scenario_uses_the_write_barrier(self):
+        result = run_chaos_scenario(
+            "crash_reintegration_under_writes", seed=5, scale=0.4
+        )
+        assert result.ok, result.violations
+        assert result.details["write_barriers"] >= 1
+        assert result.details["resyncs_succeeded"] >= 1
+
+    def test_distributed_scenario_multicasts_failure_events(self):
+        result = run_chaos_scenario(
+            "distributed_controller_backend_failure", seed=9, scale=0.5
+        )
+        assert result.ok, result.violations
+        assert result.details["peer_failures_seen"] >= 1
+
+    def test_seeds_are_deterministic(self):
+        first = run_chaos_scenario("crash_mid_batch", seed=21, scale=0.3)
+        second = run_chaos_scenario("crash_mid_batch", seed=21, scale=0.3)
+        assert first.ok and second.ok
+        assert first.details["replayed"] == second.details["replayed"]
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(CJDBCError, match="unknown chaos scenario"):
+            run_chaos_scenario("meteor_strike")
+
+    def test_report_formatting(self):
+        results = run_chaos_suite(["crash_mid_transaction"], seed=7, scale=0.3)
+        report = format_chaos_report(results)
+        assert "chaos scenario suite" in report
+        assert "crash_mid_transaction" in report
+        assert "failover latency" in report
+        assert "1/1 scenarios passed" in report
+
+
+class TestDigests:
+    def test_table_digests_are_order_independent(self):
+        left = DatabaseEngine("digest-left")
+        right = DatabaseEngine("digest-right")
+        for engine in (left, right):
+            engine.execute("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(10))")
+        for key in (1, 2, 3):
+            left.execute("INSERT INTO t VALUES (?, ?)", (key, f"v{key}"))
+        for key in (3, 1, 2):
+            right.execute("INSERT INTO t VALUES (?, ?)", (key, f"v{key}"))
+        assert table_digests(left) == table_digests(right)
+        assert digest_mismatches({"l": left, "r": right}) == []
+
+    def test_digest_mismatch_is_reported(self):
+        left = DatabaseEngine("digest-a")
+        right = DatabaseEngine("digest-b")
+        for engine in (left, right):
+            engine.execute("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(10))")
+        left.execute("INSERT INTO t VALUES (1, 'only-left')")
+        problems = digest_mismatches({"l": left, "r": right})
+        assert problems and "t" in problems[0]

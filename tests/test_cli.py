@@ -50,6 +50,33 @@ class TestExperimentsViaCLI:
         assert "through C-JDBC" in out.getvalue()
 
 
+class TestChaosCommand:
+    def test_chaos_list(self):
+        out = io.StringIO()
+        assert main(["chaos", "--list"], stdout=out) == 0
+        text = out.getvalue()
+        assert "crash_mid_transaction" in text
+        assert "distributed_controller_backend_failure" in text
+
+    def test_chaos_single_scenario(self):
+        out = io.StringIO()
+        code = main(
+            ["chaos", "--scenario", "crash_mid_transaction", "--seed", "11",
+             "--scale", "0.3"],
+            stdout=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "[PASS] crash_mid_transaction" in text
+        assert "failover latency" in text
+        assert "1/1 scenarios passed" in text
+
+    def test_chaos_unknown_scenario(self):
+        out = io.StringIO()
+        assert main(["chaos", "--scenario", "nope"], stdout=out) == 2
+        assert "unknown chaos scenario" in out.getvalue()
+
+
 class TestConsoleCommand:
     def test_execute_console_commands(self):
         out = io.StringIO()

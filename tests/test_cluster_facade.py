@@ -115,11 +115,15 @@ class TestDescriptorBoot:
     def test_unknown_vdb_in_url(self):
         from repro.errors import UnknownVirtualDatabaseError
 
-        load_cluster(ha_descriptor("vdb"))
+        # keep a strong reference: the default registry holds weakrefs, so a
+        # GC pass between boot and connect would otherwise drop the
+        # controller and change the error this test asserts on
+        cluster = load_cluster(ha_descriptor("vdb"))
         with pytest.raises(
             UnknownVirtualDatabaseError, match="does not host virtual database 'ghostdb'"
         ):
             repro.connect("cjdbc://ha-vdb-a/ghostdb?user=app&password=secret")
+        cluster.shutdown()
 
     def test_cluster_connect_by_vdb_name_uses_descriptor_order(self):
         cluster = load_cluster(ha_descriptor("name"))

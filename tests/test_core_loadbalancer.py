@@ -233,6 +233,222 @@ class TestRAIDb0:
         assert [b.name for b in targets] == ["b0"]
 
 
+class _StubBackend:
+    """Minimal backend stand-in for driving _broadcast deterministically."""
+
+    def __init__(self, name):
+        self.name = name
+        self.is_enabled = True
+
+
+class TestBroadcastSemantics:
+    """WaitForCompletion semantics under mixed success/failure (paper §2.4.4)."""
+
+    def _operation(self, behaviors):
+        """behaviors: name -> callable() raising or returning a result."""
+        from repro.core.request import RequestResult
+
+        def operation(backend):
+            outcome = behaviors[backend.name]()
+            if outcome is None:
+                return RequestResult(update_count=1)
+            return outcome
+
+        return operation
+
+    def test_all_with_one_failure_reports_partial_success(self):
+        balancer = RAIDb1LoadBalancer(wait_for_completion=WaitForCompletion.ALL)
+        reported = []
+        balancer.on_backend_failure = lambda backend, exc: reported.append(backend.name)
+        backends = [_StubBackend("a"), _StubBackend("b"), _StubBackend("c")]
+
+        def fail():
+            raise RuntimeError("boom")
+
+        outcome = balancer.broadcast_transaction_operation(
+            backends,
+            self._operation({"a": lambda: None, "b": fail, "c": lambda: None}),
+        )
+        assert sorted(outcome.successes) == ["a", "c"]
+        assert set(outcome.failures) == {"b"}
+        assert reported == ["b"]
+        assert outcome.backends_executed == 2
+        balancer.shutdown()
+
+    def test_majority_answers_after_quorum_with_mixed_results(self):
+        balancer = RAIDb1LoadBalancer(wait_for_completion=WaitForCompletion.MAJORITY)
+        reported = []
+        balancer.on_backend_failure = lambda backend, exc: reported.append(backend.name)
+        backends = [_StubBackend("a"), _StubBackend("b"), _StubBackend("c")]
+
+        def fail():
+            raise RuntimeError("boom")
+
+        outcome = balancer.broadcast_transaction_operation(
+            backends,
+            self._operation({"a": lambda: None, "b": lambda: None, "c": fail}),
+        )
+        assert len(outcome.successes) >= 2
+        balancer.shutdown()
+
+    def test_majority_unreachable_still_waits_for_pending_success(self):
+        """2 targets, MAJORITY=2, one fast failure: the slow success decides.
+
+        Regression: the broadcast used to conclude "failed on every backend"
+        while a success was still in flight.
+        """
+        import threading as _threading
+
+        balancer = RAIDb1LoadBalancer(wait_for_completion=WaitForCompletion.MAJORITY)
+        balancer.on_backend_failure = lambda backend, exc: None
+        release = _threading.Event()
+
+        def fail():
+            raise RuntimeError("boom")
+
+        def slow_success():
+            release.wait(5.0)
+            return None
+
+        release.set()
+        outcome = balancer.broadcast_transaction_operation(
+            [_StubBackend("a"), _StubBackend("b")],
+            self._operation({"a": fail, "b": slow_success}),
+        )
+        assert outcome.successes == ["b"]
+        assert set(outcome.failures) == {"a"}
+        balancer.shutdown()
+
+    def test_first_late_failure_still_reaches_the_failure_callback(self):
+        """Under FIRST, a failure completing after the early response must
+        not vanish: it is routed through on_backend_failure (so the failure
+        detector disables the diverged backend) and counted as late, and the
+        outcome already returned to the caller is a frozen snapshot."""
+        import threading as _threading
+
+        balancer = RAIDb1LoadBalancer(wait_for_completion=WaitForCompletion.FIRST)
+        reported = []
+        seen = _threading.Event()
+
+        def on_failure(backend, exc):
+            reported.append(backend.name)
+            seen.set()
+
+        balancer.on_backend_failure = on_failure
+        release = _threading.Event()
+
+        def late_fail():
+            release.wait(5.0)
+            raise RuntimeError("late boom")
+
+        try:
+            outcome = balancer.broadcast_transaction_operation(
+                [_StubBackend("a"), _StubBackend("b")],
+                self._operation({"a": lambda: None, "b": late_fail}),
+            )
+            # answered after the first success; the failure has not happened yet
+            assert outcome.successes == ["a"]
+            assert outcome.failures == {}
+            release.set()
+            assert seen.wait(5.0), "late failure never reached on_backend_failure"
+            assert reported == ["b"]
+            # the caller's outcome is a snapshot: the late failure is
+            # reported through the callback and counters, not by mutating it
+            assert outcome.failures == {}
+            deadline = 50
+            while balancer.late_failures == 0 and deadline:
+                import time as _time
+
+                _time.sleep(0.01)
+                deadline -= 1
+            assert balancer.late_failures == 1
+            assert balancer.statistics()["late_failures"] == 1
+        finally:
+            release.set()
+            balancer.shutdown()
+
+    def test_every_backend_failing_raises_and_reports_each(self):
+        balancer = RAIDb1LoadBalancer(wait_for_completion=WaitForCompletion.FIRST)
+        reported = []
+        balancer.on_backend_failure = lambda backend, exc: reported.append(backend.name)
+
+        def fail():
+            raise RuntimeError("boom")
+
+        with pytest.raises(BackendError, match="every backend"):
+            balancer.broadcast_transaction_operation(
+                [_StubBackend("a"), _StubBackend("b")],
+                self._operation({"a": fail, "b": fail}),
+            )
+        assert sorted(reported) == ["a", "b"]
+        balancer.shutdown()
+
+    def test_single_target_failure_invokes_failure_callback(self):
+        """Regression: the single-backend fast path must route the failure
+        through on_backend_failure exactly like the multi-backend path."""
+        balancer = RAIDb1LoadBalancer()
+        reported = []
+        balancer.on_backend_failure = lambda backend, exc: reported.append(backend.name)
+
+        def fail():
+            raise RuntimeError("boom")
+
+        with pytest.raises(BackendError, match="every backend"):
+            balancer.broadcast_transaction_operation(
+                [_StubBackend("solo")], self._operation({"solo": fail})
+            )
+        assert reported == ["solo"]
+        balancer.shutdown()
+
+
+class TestReadFailover:
+    def test_read_failure_reroutes_and_reports(self):
+        good, _ = make_backend("good", tables=("kv",))
+        bad, _ = make_backend("bad", tables=("kv",))
+        bad.ensure_fault_injector().inject(
+            "error", match_sql="SELECT", operations=("execute",)
+        )
+        balancer = RAIDb1LoadBalancer()
+        reported = []
+        balancer.on_backend_read_failure = (
+            lambda backend, exc: reported.append(backend.name)
+        )
+        read = factory.create_request("SELECT * FROM kv")
+        # whichever backend the policy picks first, the read must succeed
+        for _ in range(4):
+            result = balancer.execute_read_request(read, [good, bad])
+            assert result.backend_name == "good"
+        assert set(reported) <= {"bad"}
+        assert balancer.read_failovers == len(reported)
+        balancer.shutdown()
+
+    def test_read_with_no_surviving_candidate_raises(self):
+        only, _ = make_backend("only", tables=("kv",))
+        only.ensure_fault_injector().inject("error", operations=("execute",))
+        balancer = RAIDb1LoadBalancer()
+        read = factory.create_request("SELECT * FROM kv")
+        with pytest.raises(BackendError):
+            balancer.execute_read_request(read, [only])
+        balancer.shutdown()
+
+    def test_transaction_bound_read_does_not_fail_over(self):
+        backends = [make_backend(f"tb{i}", tables=("kv",))[0] for i in range(2)]
+        balancer = RAIDb1LoadBalancer()
+        write = factory.create_request(
+            "INSERT INTO kv (id, v) VALUES (1, 'x')", transaction_id=9
+        )
+        balancer.execute_write_request(write, backends)
+        for backend in backends:
+            backend.ensure_fault_injector().inject(
+                "error", match_sql="SELECT", operations=("execute",)
+            )
+        read = factory.create_request("SELECT v FROM kv WHERE id = 1", transaction_id=9)
+        with pytest.raises(BackendError):
+            balancer.execute_read_request(read, backends)
+        assert balancer.read_failovers == 0
+        balancer.shutdown()
+
+
 class TestSingleDB:
     def test_everything_routed_to_single_backend(self):
         backend, engine = make_backend("solo", tables=("kv",))

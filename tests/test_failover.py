@@ -1,0 +1,321 @@
+"""Tests for failure detection and live backend re-integration."""
+
+import threading
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.registry import ControllerRegistry
+from repro.core import BackendConfig, VirtualDatabaseConfig
+from repro.core.failover import FailureDetector
+from repro.core.scheduler import (
+    OptimisticTransactionLevelScheduler,
+    PassThroughScheduler,
+    PessimisticTransactionLevelScheduler,
+)
+from repro.errors import CheckpointError
+from repro.sql import DatabaseEngine
+
+
+def build_cluster(backends=3, label="failover", **config_kwargs):
+    engines = [DatabaseEngine(f"{label}-{i}") for i in range(backends)]
+    config_kwargs.setdefault("recovery_log", "memory")
+    cluster = Cluster.from_configs(
+        VirtualDatabaseConfig(
+            name=f"{label}-db",
+            backends=[
+                BackendConfig(name=f"b{i}", engine=engine)
+                for i, engine in enumerate(engines)
+            ],
+            **config_kwargs,
+        ),
+        controller_name=f"{label}-ctrl",
+        registry=ControllerRegistry(),
+    )
+    vdb = cluster.virtual_database(f"{label}-db")
+    vdb.execute("CREATE TABLE kv (k INT PRIMARY KEY, v VARCHAR(20))")
+    for key in range(5):
+        vdb.execute("INSERT INTO kv (k, v) VALUES (?, ?)", (key, f"v{key}"))
+    return cluster, vdb, engines
+
+
+class TestFailureDetector:
+    def test_write_failure_disables_and_records_marker(self):
+        cluster, vdb, _ = build_cluster(label="fd-write")
+        vdb.fault_injector("b1").crash()
+        vdb.execute("INSERT INTO kv (k, v) VALUES (100, 'x')")
+        backend = vdb.get_backend("b1")
+        assert not backend.is_enabled
+        events = vdb.failure_detector.events
+        assert len(events) == 1
+        assert events[0]["kind"] == "write"
+        assert events[0]["checkpoint"] in vdb.request_manager.recovery_log.checkpoint_names()
+        cluster.shutdown()
+
+    def test_on_backend_disabled_listener_still_fires(self):
+        cluster, vdb, _ = build_cluster(label="fd-listener")
+        disabled = []
+        vdb.request_manager.on_backend_disabled = (
+            lambda backend, exc: disabled.append(backend.name)
+        )
+        vdb.fault_injector("b2").crash()
+        vdb.execute("INSERT INTO kv (k, v) VALUES (101, 'x')")
+        assert disabled == ["b2"]
+        cluster.shutdown()
+
+    def test_read_errors_disable_after_threshold(self):
+        cluster, vdb, _ = build_cluster(label="fd-read", read_error_threshold=3)
+        vdb.fault_injector("b0").inject(
+            "error", match_sql="SELECT", operations=("execute",)
+        )
+        # reads fail over transparently; the detector counts each failure
+        for _ in range(6):
+            vdb.execute("SELECT v FROM kv WHERE k = 1")
+        assert not vdb.get_backend("b0").is_enabled
+        assert vdb.failure_detector.events[0]["kind"] == "read"
+        assert vdb.request_manager.load_balancer.read_failovers >= 3
+        cluster.shutdown()
+
+    def test_one_read_error_does_not_disable(self):
+        cluster, vdb, _ = build_cluster(label="fd-read1", read_error_threshold=3)
+        vdb.fault_injector("b0").inject(
+            "error", one_shot=True, match_sql="SELECT", operations=("execute",)
+        )
+        for _ in range(4):
+            vdb.execute("SELECT v FROM kv WHERE k = 1")
+        assert vdb.get_backend("b0").is_enabled
+        assert vdb.failure_detector.read_error_count("b0") == 1
+        cluster.shutdown()
+
+    def test_detector_counter_resets_on_recovery(self):
+        cluster, vdb, _ = build_cluster(label="fd-reset", read_error_threshold=5)
+        detector = vdb.failure_detector
+        backend = vdb.get_backend("b0")
+        detector.record_read_failure(backend, RuntimeError("boom"))
+        assert detector.read_error_count("b0") == 1
+        detector.note_backend_recovered(backend)
+        assert detector.read_error_count("b0") == 0
+        cluster.shutdown()
+
+    def test_duplicate_failures_produce_one_event(self):
+        cluster, vdb, _ = build_cluster(label="fd-dup")
+        detector = vdb.failure_detector
+        backend = vdb.get_backend("b1")
+        assert detector.record_write_failure(backend, RuntimeError("a"))
+        assert not detector.record_write_failure(backend, RuntimeError("b"))
+        assert len(detector.events) == 1
+        cluster.shutdown()
+
+    def test_invalid_threshold_rejected(self):
+        cluster, vdb, _ = build_cluster(label="fd-bad")
+        with pytest.raises(Exception):
+            FailureDetector(vdb.request_manager, read_error_threshold=0)
+        cluster.shutdown()
+
+
+class TestBackendResynchronizer:
+    def test_resync_restores_and_replays(self):
+        cluster, vdb, engines = build_cluster(label="rs-basic")
+        vdb.checkpoint_backend("b1", name="rs-basic-genesis")
+        injector = vdb.fault_injector("b1")
+        injector.crash()
+        vdb.execute("INSERT INTO kv (k, v) VALUES (200, 'after')")
+        assert not vdb.get_backend("b1").is_enabled
+        vdb.execute("INSERT INTO kv (k, v) VALUES (201, 'later')")
+        injector.recover()
+        replayed = vdb.resynchronize_backend("b1")
+        assert replayed >= 2
+        assert vdb.get_backend("b1").is_enabled
+        counts = {e.name: e.execute("SELECT COUNT(*) FROM kv").scalar() for e in engines}
+        assert len(set(counts.values())) == 1
+        cluster.shutdown()
+
+    def test_resync_exercises_write_barrier(self):
+        cluster, vdb, _ = build_cluster(label="rs-barrier")
+        vdb.checkpoint_backend("b2", name="rs-barrier-genesis")
+        vdb.fault_injector("b2").crash()
+        vdb.execute("INSERT INTO kv (k, v) VALUES (300, 'x')")
+        vdb.fault_injector("b2").recover()
+        before = vdb.request_manager.scheduler.statistics()["write_barriers"]
+        vdb.resynchronize_backend("b2")
+        after = vdb.request_manager.scheduler.statistics()["write_barriers"]
+        assert after == before + 1
+        cluster.shutdown()
+
+    def test_resync_leaves_open_transactions_for_client_commit(self):
+        """A transaction still open during resync commits on the recovered backend."""
+        cluster, vdb, engines = build_cluster(label="rs-open")
+        vdb.checkpoint_backend("b1", name="rs-open-genesis")
+        vdb.fault_injector("b1").crash()
+        vdb.execute("INSERT INTO kv (k, v) VALUES (400, 'x')")  # disables b1
+        tid = vdb.begin("alice")
+        vdb.execute(
+            "INSERT INTO kv (k, v) VALUES (401, 'open')", transaction_id=tid, login="alice"
+        )
+        vdb.fault_injector("b1").recover()
+        vdb.resynchronize_backend("b1")
+        backend = vdb.get_backend("b1")
+        assert backend.is_enabled
+        # the replayed-but-uncommitted transaction is open on b1, so the
+        # client's own commit reaches it through the normal broadcast
+        assert backend.has_transaction(tid)
+        vdb.commit(tid, "alice")
+        counts = {e.name: e.execute("SELECT COUNT(*) FROM kv").scalar() for e in engines}
+        assert len(set(counts.values())) == 1
+        cluster.shutdown()
+
+    def test_resync_retries_and_reports_failure_while_crashed(self):
+        cluster, vdb, _ = build_cluster(label="rs-fail")
+        vdb.checkpoint_backend("b0", name="rs-fail-genesis")
+        vdb.fault_injector("b0").crash()
+        vdb.execute("INSERT INTO kv (k, v) VALUES (500, 'x')")
+        vdb.resynchronizer.max_attempts = 2
+        vdb.resynchronizer.retry_delay = 0.001
+        with pytest.raises(CheckpointError, match="2 attempts"):
+            vdb.resynchronize_backend("b0")
+        stats = vdb.resynchronizer.statistics()
+        assert stats["resyncs_failed"] == 1
+        assert stats["history"][0]["attempts"] == 2
+        cluster.shutdown()
+
+    def test_bootstrap_from_peer_without_checkpoint(self):
+        """RAIDb-1 re-integration works with no dump: snapshot a healthy peer."""
+        cluster, vdb, engines = build_cluster(label="rs-boot")
+        vdb.fault_injector("b1").crash()
+        vdb.execute("INSERT INTO kv (k, v) VALUES (600, 'x')")
+        vdb.fault_injector("b1").recover()
+        vdb.resynchronize_backend("b1")
+        assert vdb.get_backend("b1").is_enabled
+        counts = {e.name: e.execute("SELECT COUNT(*) FROM kv").scalar() for e in engines}
+        assert len(set(counts.values())) == 1
+        cluster.shutdown()
+
+    def test_auto_resync_reintegrates_in_background(self):
+        cluster, vdb, engines = build_cluster(label="rs-auto", auto_resync=True)
+        assert vdb.auto_resync
+        vdb.checkpoint_backend("b2", name="rs-auto-genesis")
+        injector = vdb.fault_injector("b2")
+        injector.inject("error", after_n_ops=1, one_shot=True)
+        vdb.execute("INSERT INTO kv (k, v) VALUES (700, 'x')")
+        # the transient error disabled b2 and scheduled a background resync;
+        # the fault is one-shot so the resync succeeds on its own
+        vdb.resynchronizer.wait(timeout=10.0)
+        assert vdb.get_backend("b2").is_enabled
+        assert vdb.resynchronizer.statistics()["resyncs_succeeded"] == 1
+        cluster.shutdown()
+
+    def test_resync_requires_recovery_log(self):
+        cluster, vdb, _ = build_cluster(label="rs-nolog", recovery_log="none")
+        vdb.get_backend("b0").disable()
+        vdb.resynchronizer.max_attempts = 1
+        with pytest.raises(CheckpointError, match="recovery log"):
+            vdb.resynchronize_backend("b0")
+        cluster.shutdown()
+
+
+class TestTransactionConnectionHygiene:
+    """Failure paths must never silently commit, and pooled connections
+    must come back in autocommit mode (chaos-found bugs)."""
+
+    def build_single(self, label):
+        engine = DatabaseEngine(f"hyg-{label}")
+        cluster = Cluster.from_configs(
+            VirtualDatabaseConfig(
+                name=f"hyg-{label}",
+                backends=[BackendConfig(name="b0", engine=engine)],
+                replication="single",
+                recovery_log="memory",
+            ),
+            controller_name=f"hyg-{label}",
+            registry=ControllerRegistry(),
+        )
+        vdb = cluster.virtual_database(f"hyg-{label}")
+        vdb.execute("CREATE TABLE kv (k INT PRIMARY KEY, v VARCHAR(20))")
+        return cluster, vdb, engine
+
+    def test_failed_rollback_does_not_commit_the_transaction(self):
+        cluster, vdb, engine = self.build_single("rb")
+        tid = vdb.begin("alice")
+        vdb.execute(
+            "INSERT INTO kv (k, v) VALUES (1, 'x')", transaction_id=tid, login="alice"
+        )
+        vdb.fault_injector("b0").inject("error", operations=("rollback",), one_shot=True)
+        with pytest.raises(Exception):
+            vdb.rollback(tid, "alice")
+        # the client was told the rollback failed; the writes must NOT be
+        # durably committed behind its back
+        assert engine.execute("SELECT COUNT(*) FROM kv").scalar() == 0
+        cluster.shutdown()
+
+    def test_failed_commit_does_not_commit_locally(self):
+        cluster, vdb, engine = self.build_single("cm")
+        tid = vdb.begin("alice")
+        vdb.execute(
+            "INSERT INTO kv (k, v) VALUES (2, 'y')", transaction_id=tid, login="alice"
+        )
+        vdb.fault_injector("b0").inject("error", operations=("commit",), one_shot=True)
+        with pytest.raises(Exception):
+            vdb.commit(tid, "alice")
+        assert engine.execute("SELECT COUNT(*) FROM kv").scalar() == 0
+        cluster.shutdown()
+
+    def test_pooled_connection_returns_to_autocommit_after_commit(self):
+        """A transaction commit must not leave its pooled connection in
+        manual-commit mode: the next autocommit statement on it would hold
+        table locks forever and stall every later write."""
+        cluster, vdb, engine = self.build_single("pool")
+        tid = vdb.begin("alice")
+        vdb.execute(
+            "INSERT INTO kv (k, v) VALUES (3, 'z')", transaction_id=tid, login="alice"
+        )
+        vdb.commit(tid, "alice")
+        # rotate through the pool with autocommit writes; none may leave an
+        # open engine transaction holding a write lock behind
+        for index in range(10, 22):
+            vdb.execute("INSERT INTO kv (k, v) VALUES (?, ?)", (index, "a"))
+        for table_lock in engine.lock_manager._locks.values():
+            assert table_lock._writer is None, "autocommit write left a lock held"
+        cluster.shutdown()
+
+
+class TestWriteBarrier:
+    @pytest.mark.parametrize(
+        "scheduler_class",
+        [PassThroughScheduler, OptimisticTransactionLevelScheduler,
+         PessimisticTransactionLevelScheduler],
+    )
+    def test_barrier_enters_and_exits(self, scheduler_class):
+        scheduler = scheduler_class()
+        with scheduler.write_barrier():
+            pass
+        assert scheduler.statistics()["write_barriers"] == 1
+
+    def test_barrier_blocks_writes_until_released(self):
+        from repro.core.requestparser import RequestFactory
+
+        scheduler = OptimisticTransactionLevelScheduler()
+        factory = RequestFactory()
+        order = []
+        entered = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with scheduler.write_barrier():
+                entered.set()
+                release.wait(5.0)
+                order.append("barrier")
+
+        def writer():
+            entered.wait(5.0)
+            ticket = scheduler.schedule_write(factory.create_request("UPDATE t SET a = 1"))
+            order.append("write")
+            ticket.release()
+
+        threads = [threading.Thread(target=holder), threading.Thread(target=writer)]
+        for thread in threads:
+            thread.start()
+        entered.wait(5.0)
+        release.set()
+        for thread in threads:
+            thread.join(5.0)
+        assert order == ["barrier", "write"]

@@ -1,0 +1,323 @@
+"""Tests for the deterministic fault-injection layer (repro.core.faults)."""
+
+import pytest
+
+from repro.cluster import Cluster, load_descriptor
+from repro.cluster.registry import ControllerRegistry
+from repro.core import BackendConfig, VirtualDatabaseConfig
+from repro.core.faults import (
+    BackendCrashedError,
+    FaultInjector,
+    FaultRule,
+    InjectedFaultError,
+    build_fault_injector,
+    parse_faults_section,
+)
+from repro.core.management import AdminConsole
+from repro.errors import BackendError, ConfigurationError
+from repro.sql import DatabaseEngine
+
+
+class TestFaultRules:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultRule(kind="meteor")
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultRule(kind="error", probability=1.5)
+
+    def test_bad_operations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultRule(kind="error", operations=("telepathy",))
+
+    def test_after_n_ops_fires_on_nth_operation(self):
+        injector = FaultInjector()
+        injector.inject("error", after_n_ops=3)
+        injector.invoke("execute")
+        injector.invoke("execute")
+        with pytest.raises(InjectedFaultError):
+            injector.invoke("execute")
+        # not one-shot: keeps firing afterwards
+        with pytest.raises(InjectedFaultError):
+            injector.invoke("execute")
+
+    def test_one_shot_disarms_after_first_firing(self):
+        injector = FaultInjector()
+        injector.inject("error", after_n_ops=1, one_shot=True)
+        with pytest.raises(InjectedFaultError):
+            injector.invoke("execute")
+        injector.invoke("execute")  # disarmed: no error
+        assert injector.statistics()["faults_injected"] == 1
+
+    def test_probability_is_seeded_and_deterministic(self):
+        def firings(seed):
+            injector = FaultInjector(seed=seed)
+            injector.inject("error", probability=0.5)
+            fired = []
+            for index in range(50):
+                try:
+                    injector.invoke("execute")
+                    fired.append(False)
+                except InjectedFaultError:
+                    fired.append(True)
+            return fired
+
+        assert firings(11) == firings(11)
+        assert firings(11) != firings(12)
+        assert any(firings(11)) and not all(firings(11))
+
+    def test_match_sql_filters_operations(self):
+        injector = FaultInjector()
+        injector.inject("error", match_sql="SELECT")
+        injector.invoke("execute", "INSERT INTO t VALUES (1)")
+        with pytest.raises(InjectedFaultError):
+            injector.invoke("execute", "SELECT * FROM t")
+
+    def test_operation_filter(self):
+        injector = FaultInjector()
+        injector.inject("error", operations=("commit",))
+        injector.invoke("execute", "UPDATE t SET a = 1")
+        with pytest.raises(InjectedFaultError):
+            injector.invoke("commit")
+
+    def test_crash_rule_is_sticky_until_recover(self):
+        injector = FaultInjector()
+        injector.inject("crash", after_n_ops=2)
+        injector.invoke("execute")
+        with pytest.raises(BackendCrashedError):
+            injector.invoke("execute")
+        assert injector.crashed
+        # every operation fails while crashed, whatever the rules say
+        with pytest.raises(BackendCrashedError):
+            injector.invoke("commit")
+        injector.recover()
+        # the crash rule disarmed itself on firing: recovery is real
+        injector.invoke("execute")
+
+    def test_latency_rule_sleeps(self):
+        sleeps = []
+        injector = FaultInjector(clock_sleep=sleeps.append)
+        injector.inject("latency", latency_ms=25)
+        injector.invoke("execute")
+        assert sleeps == [0.025]
+
+    def test_hang_then_recover_proceeds_after_sleep(self):
+        sleeps = []
+        injector = FaultInjector(clock_sleep=sleeps.append)
+        injector.inject("hang", latency_ms=500, one_shot=True)
+        injector.invoke("execute")  # no exception: the operation proceeds
+        assert sleeps == [0.5]
+
+    def test_clear_disarms_rules_but_keeps_crash_state(self):
+        injector = FaultInjector()
+        injector.crash()
+        injector.inject("error")
+        injector.clear()
+        assert injector.rules == []
+        with pytest.raises(BackendCrashedError):
+            injector.invoke("execute")
+
+    def test_statistics_account_by_kind(self):
+        injector = FaultInjector()
+        injector.inject("error", one_shot=True)
+        with pytest.raises(InjectedFaultError):
+            injector.invoke("execute")
+        stats = injector.statistics()
+        assert stats["faults_injected"] == 1
+        assert stats["injected_by_kind"]["error"] == 1
+        assert stats["rules"][0]["fired"] == 1
+
+
+class TestFaultsSection:
+    def test_parse_and_build_round_trip(self):
+        document = parse_faults_section(
+            {
+                "seed": 3,
+                "rules": [
+                    {"kind": "latency", "latency_ms": 5, "probability": 0.5},
+                    {"kind": "crash", "after_n_ops": 10, "operations": ["executemany"]},
+                ],
+            },
+            "backend.faults",
+        )
+        injector = build_fault_injector(document)
+        assert injector.seed == 3
+        assert [rule.kind for rule in injector.rules] == ["latency", "crash"]
+
+    def test_unknown_keys_pinpointed(self):
+        with pytest.raises(ConfigurationError, match=r"backend\.faults\.rules\[0\]"):
+            parse_faults_section(
+                {"rules": [{"kind": "error", "boom": 1}]}, "backend.faults"
+            )
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            parse_faults_section({"rules": [{"probability": 0.5}]}, "f")
+
+    def test_descriptor_validates_faults_section(self):
+        descriptor = {
+            "name": "faulty",
+            "virtual_databases": [
+                {
+                    "name": "db",
+                    "backends": [
+                        {
+                            "name": "b0",
+                            "faults": {
+                                "seed": 9,
+                                "rules": [{"kind": "error", "probability": 0.1}],
+                            },
+                        },
+                        {"name": "b1"},
+                    ],
+                }
+            ],
+        }
+        spec = load_descriptor(descriptor).virtual_databases[0]
+        assert spec.backends[0].faults["seed"] == 9
+        assert spec.backends[1].faults is None
+
+    def test_descriptor_rejects_bad_faults(self):
+        descriptor = {
+            "name": "faulty",
+            "virtual_databases": [
+                {
+                    "name": "db",
+                    "backends": [
+                        {"name": "b0", "faults": {"rules": [{"kind": "meteor"}]}}
+                    ],
+                }
+            ],
+        }
+        with pytest.raises(ConfigurationError, match="meteor"):
+            load_descriptor(descriptor)
+
+    def test_cluster_boot_arms_descriptor_faults(self):
+        descriptor = {
+            "name": "faulty-cluster",
+            "virtual_databases": [
+                {
+                    "name": "db",
+                    "backends": [
+                        {
+                            "name": "b0",
+                            "faults": {"rules": [{"kind": "error", "after_n_ops": 1}]},
+                        },
+                        {"name": "b1"},
+                    ],
+                }
+            ],
+            "controllers": [{"name": "faults-ctrl"}],
+        }
+        cluster = Cluster(descriptor, registry=ControllerRegistry())
+        vdb = cluster.virtual_database("db")
+        injector = cluster.fault_injector("db", "b0")
+        assert [rule.kind for rule in injector.rules] == ["error"]
+        # the armed rule actually fires: the first write fails on b0 and the
+        # failure detector disables it while b1 carries on
+        vdb.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        assert not vdb.get_backend("b0").is_enabled
+        assert vdb.get_backend("b1").is_enabled
+        cluster.shutdown()
+
+
+class TestBackendFaultWiring:
+    def build_vdb(self):
+        engines = [DatabaseEngine(f"fw-{i}") for i in range(2)]
+        cluster = Cluster.from_configs(
+            VirtualDatabaseConfig(
+                name="faultdb",
+                backends=[
+                    BackendConfig(name=f"b{i}", engine=engine)
+                    for i, engine in enumerate(engines)
+                ],
+            ),
+            controller_name="fault-wiring",
+            registry=ControllerRegistry(),
+        )
+        vdb = cluster.virtual_database("faultdb")
+        vdb.execute("CREATE TABLE kv (k INT PRIMARY KEY, v VARCHAR(10))")
+        return cluster, vdb
+
+    def test_injected_error_disables_backend_on_write(self):
+        cluster, vdb = self.build_vdb()
+        vdb.fault_injector("b1").inject("error", after_n_ops=1)
+        vdb.execute("INSERT INTO kv (k, v) VALUES (1, 'x')")
+        assert not vdb.get_backend("b1").is_enabled
+        assert vdb.get_backend("b1").fault_injector.statistics()["faults_injected"] == 1
+        cluster.shutdown()
+
+    def test_single_backend_crash_surfaces_backend_error(self):
+        engine = DatabaseEngine("fw-solo")
+        cluster = Cluster.from_configs(
+            VirtualDatabaseConfig(
+                name="solo",
+                backends=[BackendConfig(name="b0", engine=engine)],
+                replication="single",
+            ),
+            controller_name="fault-solo",
+            registry=ControllerRegistry(),
+        )
+        vdb = cluster.virtual_database("solo")
+        vdb.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        vdb.fault_injector("b0").crash()
+        with pytest.raises(BackendError):
+            vdb.execute("INSERT INTO t (id) VALUES (1)")
+        cluster.shutdown()
+
+    def test_backend_statistics_expose_fault_state(self):
+        cluster, vdb = self.build_vdb()
+        stats = vdb.get_backend("b0").statistics()
+        assert stats["faults"] is None
+        vdb.fault_injector("b0", seed=5).inject("latency", latency_ms=1)
+        stats = vdb.get_backend("b0").statistics()
+        assert stats["faults"]["seed"] == 5
+        cluster.shutdown()
+
+
+class TestConsoleFaultCommands:
+    def build_console(self):
+        cluster = Cluster(
+            {
+                "name": "console-faults",
+                "virtual_databases": [
+                    {
+                        "name": "db",
+                        "recovery_log": "memory",
+                        "backends": [{"name": "b0"}, {"name": "b1"}],
+                    }
+                ],
+                "controllers": [{"name": "cf-ctrl"}],
+            },
+            registry=ControllerRegistry(),
+        )
+        return cluster, AdminConsole(cluster.controller("cf-ctrl"))
+
+    def test_fault_crash_recover_and_status(self):
+        cluster, console = self.build_console()
+        assert "crashed" in console.execute("fault db b0 crash")
+        vdb = cluster.virtual_database("db")
+        assert vdb.fault_injector("b0").crashed
+        assert '"crashed": true' in console.execute("fault db b0 status")
+        assert "cleared" in console.execute("fault db b0 recover")
+        assert not vdb.fault_injector("b0").crashed
+        cluster.shutdown()
+
+    def test_fault_latency_and_error_arm_rules(self):
+        cluster, console = self.build_console()
+        console.execute("fault db b1 latency 15 0.5")
+        console.execute("fault db b1 error 0.25")
+        rules = cluster.virtual_database("db").fault_injector("b1").rules
+        assert [rule.kind for rule in rules] == ["latency", "error"]
+        assert rules[0].latency_ms == 15.0 and rules[0].probability == 0.5
+        assert "cleared" in console.execute("fault db b1 clear")
+        assert cluster.virtual_database("db").fault_injector("b1").rules == []
+        cluster.shutdown()
+
+    def test_fault_usage_messages(self):
+        cluster, console = self.build_console()
+        assert console.execute("fault db b0").startswith("usage:")
+        assert console.execute("fault db b0 latency").startswith("usage:")
+        assert console.execute("fault db b0 latency nan?").startswith("usage:")
+        cluster.shutdown()

@@ -186,6 +186,101 @@ class TestSchedulerProperties:
         assert len(set(orders)) == len(orders)
 
 
+class TestChaosConvergenceProperties:
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_raidb1_converges_after_mid_run_fault_and_reintegration(self, seed):
+        """Seeded random read/write/transaction workload with a mid-run crash.
+
+        Whatever the seed, after the crashed backend is re-integrated every
+        backend's table digest must be identical and every acknowledged
+        write must be present.
+        """
+        from random import Random
+
+        from repro.bench.chaos import digest_mismatches
+        from repro.cluster import Cluster
+        from repro.cluster.registry import ControllerRegistry
+        from repro.core import BackendConfig, VirtualDatabaseConfig
+        from repro.errors import CJDBCError
+
+        rng = Random(seed)
+        engines = {f"b{i}": DatabaseEngine(f"prop-chaos-{seed}-{i}") for i in range(3)}
+        cluster = Cluster.from_configs(
+            VirtualDatabaseConfig(
+                name="prop-chaos",
+                backends=[
+                    BackendConfig(name=name, engine=engine)
+                    for name, engine in engines.items()
+                ],
+                recovery_log="memory",
+            ),
+            controller_name=f"prop-chaos-{seed}",
+            registry=ControllerRegistry(),
+        )
+        vdb = cluster.virtual_database("prop-chaos")
+        vdb.execute("CREATE TABLE kv (k INT PRIMARY KEY, v VARCHAR(24))")
+        victim = f"b{rng.randrange(3)}"
+        vdb.checkpoint_backend(victim, name=f"prop-genesis-{seed}")
+        injector = vdb.fault_injector(victim, seed=seed)
+        injector.inject(
+            "crash",
+            after_n_ops=rng.randint(2, 20),
+            operations=("execute", "executemany"),
+        )
+        acked = {}
+        next_key = 0
+        for index in range(30):
+            try:
+                roll = rng.random()
+                if roll < 0.45:
+                    next_key += 1
+                    vdb.execute(
+                        "INSERT INTO kv (k, v) VALUES (?, ?)",
+                        (next_key, f"i-{index}"),
+                    )
+                    acked[next_key] = f"i-{index}"
+                elif roll < 0.6 and acked:
+                    key = rng.choice(sorted(acked))
+                    vdb.execute(
+                        "UPDATE kv SET v = ? WHERE k = ?", (f"u-{index}", key)
+                    )
+                    acked[key] = f"u-{index}"
+                elif roll < 0.8:
+                    vdb.execute("SELECT v FROM kv WHERE k = ?", (rng.randint(0, 30),))
+                else:
+                    tid = vdb.begin("prop")
+                    keys = []
+                    for _ in range(rng.randint(1, 2)):
+                        next_key += 1
+                        vdb.execute(
+                            "INSERT INTO kv (k, v) VALUES (?, ?)",
+                            (next_key, f"t-{index}"),
+                            transaction_id=tid,
+                        )
+                        keys.append(next_key)
+                    if rng.random() < 0.8:
+                        vdb.commit(tid, "prop")
+                        for key in keys:
+                            acked[key] = f"t-{index}"
+                    else:
+                        vdb.rollback(tid, "prop")
+            except CJDBCError:
+                continue  # a failed operation is never acknowledged
+        backend = vdb.get_backend(victim)
+        if not backend.is_enabled:
+            injector.recover()
+            vdb.resynchronize_backend(victim)
+        assert digest_mismatches(engines) == []
+        for name, engine in engines.items():
+            rows = {row["k"]: row["v"] for row in engine.dump_table_rows("kv")}
+            for key, value in acked.items():
+                assert rows.get(key) == value, (
+                    f"acknowledged write k={key} lost on {name} (seed {seed})"
+                )
+        cluster.shutdown()
+
+
 class TestSimulatorProperties:
     @settings(max_examples=30, deadline=None)
     @given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50))
