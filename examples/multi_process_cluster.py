@@ -1,0 +1,133 @@
+"""Client/server deployment: one server process, concurrent client processes.
+
+Every other example runs the controller *in-process*; this one reproduces
+the paper's actual deployment picture (§2.2-§2.3): the controller is a
+separate server program, and applications in **other processes** reach it
+through the driver over TCP.
+
+The script plays both roles:
+
+* run with no arguments, it is the *launcher*: it starts a server process
+  (``repro serve --config ...``) on ephemeral ports, waits for its
+  ``ready`` line, then spawns several concurrent client processes that all
+  write into the same virtual database through ``cjdbc://host:port/db``
+  URLs — and finally verifies every client's rows arrived;
+* run with ``--client <url> <client-id>``, it is one of those clients.
+
+Run with:  python examples/multi_process_cluster.py
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+DESCRIPTOR = {
+    "name": "served-cluster",
+    "virtual_databases": [
+        {
+            "name": "appdb",
+            "replication": "raidb1",
+            "backends": [
+                {"name": "node-a", "engine": "served-node-a"},
+                {"name": "node-b", "engine": "served-node-b"},
+            ],
+            "users": {"app": "secret"},
+        }
+    ],
+    # port 0 = ephemeral: the server prints the actual port on stdout, so
+    # the example never collides with an occupied port.
+    "controllers": [
+        {"name": "ctrl-a", "listen": {"port": 0}},
+        {"name": "ctrl-b", "listen": {"port": 0}},
+    ],
+}
+
+CLIENTS = 3
+ROWS_PER_CLIENT = 5
+
+
+def run_client(url: str, client_id: int) -> int:
+    """One client process: connect over TCP, write rows, read them back."""
+    import repro
+
+    connection = repro.connect(f"{url}?user=app&password=secret")
+    statement = connection.prepare("INSERT INTO events (client, seq) VALUES (?, ?)")
+    for seq in range(ROWS_PER_CLIENT):
+        statement.add_batch((client_id, seq))
+    statement.execute_batch()  # one pipeline pass for the whole batch
+    count = connection.execute(
+        "SELECT COUNT(*) FROM events WHERE client = ?", (client_id,)
+    ).scalar()
+    connection.close()
+    print(f"client {client_id}: wrote {ROWS_PER_CLIENT}, sees {count}")
+    return 0 if count == ROWS_PER_CLIENT else 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--client", nargs=2, metavar=("URL", "ID"), default=None)
+    args = parser.parse_args()
+    if args.client:
+        return run_client(args.client[0], int(args.client[1]))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        config = Path(tmp) / "cluster.json"
+        config.write_text(json.dumps(DESCRIPTOR))
+
+        # ---- the server process: a cluster served over TCP -----------------
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--config", str(config)],
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            url = None
+            for line in server.stdout:
+                if line.startswith("url "):
+                    url = line.split()[1]
+                if line.strip() == "ready":
+                    break
+            if url is None:
+                print("server never became ready")
+                return 1
+            print(f"server ready: {url}")
+
+            # the schema is created once, by the launcher, over the same wire
+            import repro
+
+            admin = repro.connect(f"{url}?user=app&password=secret")
+            admin.execute(
+                "CREATE TABLE events ("
+                " id INT PRIMARY KEY AUTO_INCREMENT,"
+                " client INT NOT NULL,"
+                " seq INT NOT NULL)"
+            )
+
+            # ---- concurrent client processes -------------------------------
+            clients = [
+                subprocess.Popen(
+                    [sys.executable, __file__, "--client", url, str(client_id)]
+                )
+                for client_id in range(CLIENTS)
+            ]
+            failures = sum(client.wait(timeout=60) != 0 for client in clients)
+
+            total = admin.execute("SELECT COUNT(*) FROM events").scalar()
+            admin.close()
+            expected = CLIENTS * ROWS_PER_CLIENT
+            print(f"total rows from {CLIENTS} client processes: {total}/{expected}")
+            if failures or total != expected:
+                print("FAILED")
+                return 1
+            print("all client processes served over one TCP cluster: OK")
+            return 0
+        finally:
+            server.terminate()
+            server.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

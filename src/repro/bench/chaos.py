@@ -632,6 +632,84 @@ def scenario_distributed_controller_backend_failure(
     return result
 
 
+def scenario_remote_disconnect_failover(seed: int, scale: float = 1.0) -> ChaosResult:
+    """The wire to the primary controller is cut mid-session (remote driver).
+
+    Two TCP front-ends serve the same virtual database; the client talks to
+    them through the remote driver (``cjdbc://host:port,host2:port2/db``).
+    A seeded ``disconnect`` fault on the primary's server severs the client
+    socket before a write is dispatched; the driver must fail over to the
+    second controller transparently — no error leaks to the client, no
+    acknowledged write is lost or duplicated, and the prepared statement in
+    use is re-prepared on the survivor.
+    """
+    result = ChaosResult("remote_disconnect_failover", seed)
+    chaos = _ChaosCluster(backends=2)
+    try:
+        from repro.core.controller import Controller
+        from repro.net.client import connect_remote
+        from repro.net.server import ControllerServer
+
+        primary = next(iter(chaos.cluster.controllers.values()))
+        standby = Controller(f"{chaos.vdb.name}-standby", register=False)
+        standby.add_virtual_database(chaos.vdb)
+        primary_server = ControllerServer(primary)
+        standby_server = ControllerServer(standby)
+        addresses = [
+            "%s:%d" % primary_server.start(),
+            "%s:%d" % standby_server.start(),
+        ]
+        try:
+            # sever the client's socket right before its 4th write dispatches
+            injector = primary_server.ensure_fault_injector(seed)
+            injector.inject("disconnect", after_n_ops=4, operations=("execute",))
+
+            connection = connect_remote(addresses, chaos.vdb.name, "chaos", "chaos")
+            statement = connection.prepare("INSERT INTO kv (k, v) VALUES (?, ?)")
+            writes = max(int(20 * scale), 8)
+            acked: Dict[int, str] = {}
+            client_errors = 0
+            for index in range(writes):
+                key = 9000 + index
+                try:
+                    statement.execute((key, f"remote-{key}"))
+                except CJDBCError:
+                    client_errors += 1
+                    continue
+                acked[key] = f"remote-{key}"
+            count = connection.execute("SELECT COUNT(*) FROM kv").scalar()
+            connection.close()
+
+            if client_errors:
+                result.violations.append(
+                    f"{client_errors} write errors leaked to the client despite"
+                    " transparent controller failover"
+                )
+            if connection.failovers < 1:
+                result.violations.append(
+                    "the injected disconnect never made the driver fail over"
+                )
+            disconnects = primary_server.statistics()["fault_disconnects"]
+            if disconnects < 1:
+                result.violations.append("the disconnect fault never fired")
+            chaos.check_acked(acked, result.violations)
+            chaos.check_convergence(result.violations)
+            result.details.update(
+                {
+                    "writes_acknowledged": len(acked),
+                    "driver_failovers": connection.failovers,
+                    "fault_disconnects": disconnects,
+                    "rows_visible_after_failover": count,
+                }
+            )
+        finally:
+            primary_server.stop(drain=False)
+            standby_server.stop(drain=False)
+    finally:
+        chaos.shutdown()
+    return result
+
+
 #: scenario name -> callable(seed, scale) -> ChaosResult
 CHAOS_SCENARIOS: Dict[str, Callable[[int, float], ChaosResult]] = {
     "crash_mid_transaction": scenario_crash_mid_transaction,
@@ -640,6 +718,7 @@ CHAOS_SCENARIOS: Dict[str, Callable[[int, float], ChaosResult]] = {
     "slow_backend_first_policy": scenario_slow_backend_first_policy,
     "crash_reintegration_under_writes": scenario_crash_reintegration_under_writes,
     "distributed_controller_backend_failure": scenario_distributed_controller_backend_failure,
+    "remote_disconnect_failover": scenario_remote_disconnect_failover,
 }
 
 #: the three cheapest scenarios, run on every PR via the bench_smoke marker

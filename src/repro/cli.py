@@ -142,6 +142,23 @@ def build_parser() -> argparse.ArgumentParser:
         "check-config", help="validate a cluster descriptor file and print its topology"
     )
     check.add_argument("config", metavar="FILE", help="JSON/TOML cluster descriptor")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="boot a cluster from a descriptor and serve its controllers over TCP"
+        " (controllers need a listen: section; clients connect with"
+        " cjdbc://host:port/db URLs)",
+    )
+    serve.add_argument(
+        "--config", required=True, metavar="FILE", help="JSON/TOML cluster descriptor"
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="serve for this long then exit cleanly (default: until SIGINT/SIGTERM)",
+    )
     return parser
 
 
@@ -283,7 +300,7 @@ def _build_config_console(config_path: str, controller_name: Optional[str]):
     cluster = load_cluster(config_path)
     if controller_name is None:
         controller_name = next(iter(cluster.controllers.values())).name
-    return AdminConsole(cluster.controller(controller_name))
+    return AdminConsole(cluster.controller(controller_name), cluster=cluster)
 
 
 def _run_check_config(config_path: str, stdout) -> int:
@@ -317,8 +334,69 @@ def _run_check_config(config_path: str, stdout) -> int:
                 f" (stages: {' -> '.join(vdb.pipeline.stage_names)})",
                 file=stdout,
             )
+    for spec in cluster.descriptor.controllers:
+        if spec.listen is not None:
+            idle = (
+                f", idle_timeout {spec.listen.idle_timeout:g}s"
+                if spec.listen.idle_timeout is not None
+                else ""
+            )
+            print(
+                f"  listen: {spec.name} on {spec.listen.host}:{spec.listen.port}"
+                f" (max {spec.listen.max_connections} connections{idle})",
+                file=stdout,
+            )
     for vdb_name in cluster.virtual_database_names:
         print(f"  url: {cluster.url(vdb_name)}", file=stdout)
+    return 0
+
+
+def _run_serve(args: argparse.Namespace, stdout) -> int:
+    """Boot a cluster and serve its controllers over TCP until stopped."""
+    import signal
+    import threading
+
+    from repro.cluster import load_cluster
+    from repro.errors import ConfigurationError
+
+    try:
+        cluster = load_cluster(args.config)
+        addresses = cluster.start_servers()
+    except (ConfigurationError, OSError) as exc:
+        print(f"error: {exc}", file=stdout)
+        return 1
+    if not addresses:
+        print(
+            "error: no controller in the descriptor has a 'listen:' section;"
+            " nothing to serve",
+            file=stdout,
+        )
+        cluster.shutdown()
+        return 1
+    for name, (host, port) in addresses.items():
+        print(f"listening {name} {host} {port}", file=stdout)
+    for vdb_name in cluster.virtual_database_names:
+        try:
+            print(f"url {cluster.remote_url(vdb_name)}", file=stdout)
+        except ConfigurationError:  # vdb hosted only by non-listening controllers
+            pass
+    print("ready", file=stdout, flush=True)
+
+    stop = threading.Event()
+    try:  # signal handlers only work in the main thread
+        previous = {
+            sig: signal.signal(sig, lambda signum, frame: stop.set())
+            for sig in (signal.SIGINT, signal.SIGTERM)
+        }
+    except ValueError:
+        previous = {}
+    try:
+        stop.wait(timeout=args.duration)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        cluster.shutdown()
+        print("stopped", file=stdout, flush=True)
     return 0
 
 
@@ -380,6 +458,8 @@ def main(argv: Optional[List[str]] = None, stdout=None) -> int:
         return _run_console(args, stdout=stdout)
     if args.command == "check-config":
         return _run_check_config(args.config, stdout)
+    if args.command == "serve":
+        return _run_serve(args, stdout)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

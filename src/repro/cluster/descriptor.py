@@ -80,7 +80,8 @@ _BACKEND_KEYS = {"name", "engine", "weight", "connection_manager", "pool_size", 
 _FAILURE_DETECTOR_KEYS = {"read_error_threshold", "auto_resync"}
 _CACHE_KEYS = {"enabled", "granularity", "max_entries", "relaxation_rules"}
 _RULE_KEYS = {"staleness_seconds", "tables", "sql_pattern", "keep_on_write"}
-_CONTROLLER_KEYS = {"name", "virtual_databases"}
+_CONTROLLER_KEYS = {"name", "virtual_databases", "listen"}
+_LISTEN_KEYS = {"host", "port", "max_connections", "idle_timeout", "backlog"}
 
 
 # ---------------------------------------------------------------------------
@@ -189,11 +190,28 @@ class VirtualDatabaseSpec:
 
 
 @dataclass
+class ListenSpec:
+    """A controller's ``listen:`` section: its TCP front-end configuration.
+
+    ``port: 0`` binds an ephemeral port (useful for tests and examples);
+    the actual port is reported by :meth:`ControllerServer.start`.
+    """
+
+    port: int
+    host: str = "127.0.0.1"
+    max_connections: int = 64
+    idle_timeout: Optional[float] = None
+    backlog: int = 128
+
+
+@dataclass
 class ControllerSpec:
     """One controller entry: a name plus the virtual databases it hosts."""
 
     name: str
     virtual_databases: List[str] = field(default_factory=list)
+    #: TCP front-end configuration, or None for an in-process-only controller
+    listen: Optional[ListenSpec] = None
 
 
 @dataclass
@@ -455,6 +473,40 @@ def _parse_virtual_database(entry: Any, where: str) -> VirtualDatabaseSpec:
     )
 
 
+def _parse_listen(entry: Mapping, where: str) -> Optional[ListenSpec]:
+    if "listen" not in entry:
+        return None
+    listen = entry["listen"]
+    if not isinstance(listen, Mapping):
+        _fail(f"{where}.listen", f"expected a mapping, got {type(listen).__name__}")
+    _check_keys(listen, _LISTEN_KEYS, f"{where}.listen")
+    if "port" not in listen:
+        _fail(f"{where}.listen", "missing required key 'port'")
+    port = listen["port"]
+    if isinstance(port, bool) or not isinstance(port, int) or not 0 <= port <= 65535:
+        _fail(
+            f"{where}.listen.port",
+            f"expected a TCP port number (0-65535, 0 = ephemeral), got {port!r}",
+        )
+    idle_timeout = listen.get("idle_timeout")
+    if idle_timeout is not None and (
+        isinstance(idle_timeout, bool)
+        or not isinstance(idle_timeout, (int, float))
+        or idle_timeout <= 0
+    ):
+        _fail(
+            f"{where}.listen.idle_timeout",
+            f"expected a positive number of seconds (or omit it), got {idle_timeout!r}",
+        )
+    return ListenSpec(
+        port=port,
+        host=_get_str(listen, "host", f"{where}.listen", "127.0.0.1") or "127.0.0.1",
+        max_connections=_get_int(listen, "max_connections", f"{where}.listen", 64),
+        idle_timeout=float(idle_timeout) if idle_timeout is not None else None,
+        backlog=_get_int(listen, "backlog", f"{where}.listen", 128),
+    )
+
+
 def parse_descriptor(document: Mapping) -> ClusterDescriptor:
     """Validate a descriptor mapping into a :class:`ClusterDescriptor`."""
     if not isinstance(document, Mapping):
@@ -493,13 +545,33 @@ def parse_descriptor(document: Mapping) -> ClusterDescriptor:
                     f"unknown virtual database {vdb_name!r}"
                     f" (defined: {', '.join(sorted(known_vdbs.values()))})",
                 )
-        controllers.append(ControllerSpec(name=controller_name, virtual_databases=list(hosted)))
+        controllers.append(
+            ControllerSpec(
+                name=controller_name,
+                virtual_databases=list(hosted),
+                listen=_parse_listen(entry, where),
+            )
+        )
     if not controllers:
         controllers = [ControllerSpec(name="controller0", virtual_databases=[s.name for s in specs])]
     controller_names = [controller.name.lower() for controller in controllers]
     for name in controller_names:
         if controller_names.count(name) > 1:
             _fail("descriptor.controllers", f"duplicate controller name {name!r}")
+
+    bound: Dict[tuple, str] = {}
+    for controller in controllers:
+        listen = controller.listen
+        if listen is None or listen.port == 0:  # ephemeral ports cannot collide
+            continue
+        address = (listen.host, listen.port)
+        if address in bound:
+            _fail(
+                "descriptor.controllers",
+                f"controllers {bound[address]!r} and {controller.name!r} both"
+                f" listen on {listen.host}:{listen.port}",
+            )
+        bound[address] = controller.name
 
     hosted_anywhere = {
         vdb_name.lower() for controller in controllers for vdb_name in controller.virtual_databases

@@ -32,6 +32,7 @@ replicas (§4.1).
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.cluster.descriptor import (
@@ -64,6 +65,13 @@ def connect(
     whose controller names are resolved through ``registry`` (the process
     default when omitted), or the legacy driver signature — a controller or
     controller list plus a database name.
+
+    Controller names of the form ``host:port`` select the *remote* driver
+    mode: instead of registry lookups, each name is dialled over TCP and
+    spoken to through the wire protocol (see :mod:`repro.net`) — same DB-API
+    surface, same ordered failover, but the controllers may live in other
+    processes or on other machines.  Mixing registry names and addresses in
+    one URL is rejected.
     """
     if isinstance(target, str):
         if database is not None:
@@ -72,6 +80,18 @@ def connect(
                 f" database argument {database!r}"
             )
         url = parse_url(target)
+        from repro.net.client import connect_remote, looks_like_address
+
+        remote = [looks_like_address(name) for name in url.controllers]
+        if any(remote):
+            if not all(remote):
+                raise ConfigurationError(
+                    f"cannot mix host:port addresses and registry names in one"
+                    f" URL: {', '.join(map(repr, url.controllers))}"
+                )
+            return connect_remote(
+                url.controllers, url.database, url.user or user, url.password or password
+            )
         controllers = (registry or default_registry).resolve_all(url.controllers)
         return driver_connect(
             controllers, url.database, url.user or user, url.password or password
@@ -111,6 +131,10 @@ class Cluster:
         self._vdb_names: Dict[str, str] = {}
         self._replicators: Dict[str, object] = {}
         self._transport = transport
+        #: controller name -> running ControllerServer (see start_servers())
+        self.servers: Dict[str, "object"] = {}
+        #: pools handed out by pool(); weakly referenced for statistics()
+        self._pools: "weakref.WeakSet" = weakref.WeakSet()
         if descriptor is not None:
             self._boot(descriptor)
 
@@ -330,7 +354,67 @@ class Cluster:
         from repro.cluster.pool import ConnectionPool
 
         factory = lambda: self.connect(target, user=user, password=password)  # noqa: E731
-        return ConnectionPool(factory=factory, **kwargs)
+        pool = ConnectionPool(factory=factory, **kwargs)
+        self._pools.add(pool)
+        return pool
+
+    # -- network front-ends --------------------------------------------------------------
+
+    def start_servers(self) -> Dict[str, Tuple[str, int]]:
+        """Start a TCP front-end for every controller with a ``listen:`` section.
+
+        Returns controller name -> bound ``(host, port)``; a ``listen`` with
+        ``port: 0`` shows its actual ephemeral port here.  Servers are
+        attached to their controllers, so :meth:`shutdown` (or a single
+        controller's ``shutdown()``) drains and stops them.  Calling this on
+        a cluster whose descriptor has no ``listen:`` sections is a no-op
+        returning an empty mapping.
+        """
+        from repro.net.server import ControllerServer
+
+        addresses: Dict[str, Tuple[str, int]] = {}
+        if self.descriptor is None:
+            return addresses
+        for spec in self.descriptor.controllers:
+            if spec.listen is None:
+                continue
+            controller = self.controller(spec.name)
+            server = self.servers.get(controller.name)
+            if server is None or not server.is_running:
+                server = ControllerServer(
+                    controller,
+                    host=spec.listen.host,
+                    port=spec.listen.port,
+                    max_connections=spec.listen.max_connections,
+                    idle_timeout=spec.listen.idle_timeout,
+                    backlog=spec.listen.backlog,
+                )
+                controller.attach_network_server(server)
+                server.start()
+                self.servers[controller.name] = server
+            addresses[controller.name] = server.address
+        return addresses
+
+    def remote_url(self, vdb_name: str) -> str:
+        """``cjdbc://host:port,.../db`` URL reaching ``vdb_name`` over TCP.
+
+        Requires :meth:`start_servers` to have been called; only controllers
+        hosting the database *and* running a server appear, in descriptor
+        (failover) order.
+        """
+        controllers = self.controllers_for(vdb_name)
+        authorities = [
+            self.servers[controller.name].url_authority
+            for controller in controllers
+            if controller.name in self.servers and self.servers[controller.name].is_running
+        ]
+        if not authorities:
+            raise ConfigurationError(
+                f"no running network server hosts {vdb_name!r};"
+                " call start_servers() first (and give controllers a listen: section)"
+            )
+        declared = self._vdb_names.get(vdb_name.lower(), vdb_name)
+        return f"cjdbc://{','.join(authorities)}/{declared}"
 
     # -- lifecycle / monitoring ----------------------------------------------------------
 
@@ -341,14 +425,24 @@ class Cluster:
                 controller.name: controller.statistics()
                 for controller in self.controllers.values()
             },
+            "pools": self.pool_statistics(),
         }
 
+    def pool_statistics(self) -> List[dict]:
+        """Statistics of every live pool created through :meth:`pool`.
+
+        Includes the checkout wait / exhaustion counters, so saturation of
+        the client-side pool layer is visible from the cluster facade (and
+        the admin console) without holding a reference to each pool.
+        """
+        return [pool.statistics() for pool in list(self._pools)]
+
     def shutdown(self) -> None:
-        """Stop all controllers, leave groups and drop registry entries."""
+        """Stop network servers and controllers, leave groups, drop registry entries."""
         for replica in self.replicas.values():
             replica.leave_group()
         for controller in self.controllers.values():
-            controller.shutdown()
+            controller.shutdown()  # stops any attached network server too
             # Only drop the registry entry if it is still ours: a later
             # cluster may have re-bound the name (latest registration wins).
             try:
@@ -357,6 +451,10 @@ class Cluster:
                 continue
             if registered is controller:
                 self.registry.unregister(controller.name)
+        for server in self.servers.values():
+            if server.is_running:  # e.g. attached to an already-shut controller
+                server.stop()
+        self.servers.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

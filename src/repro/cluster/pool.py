@@ -149,13 +149,22 @@ class ConnectionPool:
         # statistics
         self.checkouts = 0
         self.discarded = 0
+        #: checkouts that had to block waiting for a free slot
+        self.checkout_waits = 0
+        #: cumulative / worst time (s) spent blocked inside checkout()
+        self.checkout_wait_total_s = 0.0
+        self.checkout_wait_max_s = 0.0
+        #: checkouts that gave up with PoolExhaustedError
+        self.exhaustions = 0
 
     # -- pool surface --------------------------------------------------------------------
 
     def checkout(self, timeout: Optional[float] = None) -> PooledConnection:
         """Borrow a healthy connection, opening one if the pool allows it."""
         budget = self.timeout if timeout is None else timeout
-        deadline = time.monotonic() + budget
+        started = time.monotonic()
+        deadline = started + budget
+        waited = False
         with self._lock:
             while True:
                 if self._closed:
@@ -164,15 +173,22 @@ class ConnectionPool:
                     connection = self._idle.pop()
                     if self._is_healthy(connection):
                         self.checkouts += 1
+                        if waited:
+                            self._record_wait(started)
                         return PooledConnection(self, connection)
                     self._discard(connection)
                 if self._open < self.max_size:
                     self._open += 1
+                    if waited:
+                        self._record_wait(started)
                     break
                 # Wait on the *remaining* budget: a notify that loses the race
                 # to another borrower must not restart the clock.
+                waited = True
                 remaining = deadline - time.monotonic()
                 if remaining <= 0 or not self._lock.wait(timeout=remaining):
+                    self.exhaustions += 1
+                    self._record_wait(started)
                     raise PoolExhaustedError(
                         f"no connection available after {budget}s"
                         f" (max_size={self.max_size}, all checked out)"
@@ -239,9 +255,21 @@ class ConnectionPool:
                 "in_use": self._open - len(self._idle),
                 "checkouts": self.checkouts,
                 "discarded": self.discarded,
+                "checkout_waits": self.checkout_waits,
+                "checkout_wait_total_s": self.checkout_wait_total_s,
+                "checkout_wait_max_s": self.checkout_wait_max_s,
+                "exhaustions": self.exhaustions,
             }
 
     # -- internals -----------------------------------------------------------------------
+
+    def _record_wait(self, started: float) -> None:
+        # caller holds the lock
+        elapsed = time.monotonic() - started
+        self.checkout_waits += 1
+        self.checkout_wait_total_s += elapsed
+        if elapsed > self.checkout_wait_max_s:
+            self.checkout_wait_max_s = elapsed
 
     def _discard(self, connection: VirtualConnection) -> None:
         # caller holds the lock

@@ -40,8 +40,10 @@ class ClusterURL:
     def geturl(self) -> str:
         """Rebuild a canonical URL (credentials as query parameters).
 
-        Values are percent-encoded so the result always round-trips through
-        :func:`parse_url`, even with ``&``/``=``/``@`` in a password.
+        Every component is percent-encoded so the result always round-trips
+        through :func:`parse_url`: ``&``/``=``/``@`` in a password, ``,`` or
+        ``@`` or ``%`` in a controller name, ``/`` in a database name.  The
+        ``:`` of a ``host:port`` controller address is kept literal.
         """
         query = []
         if self.user:
@@ -53,7 +55,8 @@ class ClusterURL:
             for key, value in sorted(self.options.items())
         )
         suffix = ("?" + "&".join(query)) if query else ""
-        return f"{SCHEME}://{','.join(self.controllers)}/{quote(self.database, safe='')}{suffix}"
+        netloc = ",".join(quote(name, safe=":") for name in self.controllers)
+        return f"{SCHEME}://{netloc}/{quote(self.database, safe='')}{suffix}"
 
 
 def parse_url(url: str) -> ClusterURL:
@@ -88,7 +91,9 @@ def parse_url(url: str) -> ClusterURL:
         user, _, password = userinfo.partition(":")
         user, password = unquote(user), unquote(password)
 
-    controllers = tuple(name.strip() for name in netloc.split(","))
+    # Split on the raw text (an encoded %2C inside a name must not split),
+    # then decode each name — the inverse of geturl()'s per-name quoting.
+    controllers = tuple(unquote(name.strip()) for name in netloc.split(","))
     if not netloc or any(not name for name in controllers):
         raise ConfigurationError(
             f"invalid cluster URL {url!r}: empty controller name in {netloc!r}"

@@ -31,6 +31,8 @@ class Controller:
         self._virtual_databases: Dict[str, VirtualDatabase] = {}
         self._lock = threading.RLock()
         self._shutdown = False
+        #: TCP front-end serving this controller (see repro.net), or None
+        self.network_server = None
         #: JMX-like registry for monitoring and administration (Figure 1)
         self.mbean_registry = MBeanRegistry() if jmx_enabled else None
         if self.mbean_registry is not None:
@@ -89,9 +91,21 @@ class Controller:
     def is_shutdown(self) -> bool:
         return self._shutdown
 
+    def attach_network_server(self, server) -> None:
+        """Bind a :class:`repro.net.server.ControllerServer` to this controller.
+
+        The controller owns the server from here on: :meth:`shutdown` drains
+        and stops it, and :meth:`statistics` reports its counters under a
+        ``network`` key.
+        """
+        self.network_server = server
+
     def shutdown(self) -> None:
         """Stop accepting new work; used by fail-over tests and examples."""
         self._shutdown = True
+        server, self.network_server = self.network_server, None
+        if server is not None:
+            server.stop()
 
     def restart(self) -> None:
         self._shutdown = False
@@ -109,12 +123,16 @@ class Controller:
         for stats in per_vdb.values():
             for counter, value in stats.get("requests", {}).items():
                 requests[counter] = requests.get(counter, 0) + value
-        return {
+        stats = {
             "controller": self.name,
             "shutdown": self._shutdown,
             "requests": requests,
             "virtual_databases": per_vdb,
         }
+        server = self.network_server
+        if server is not None:
+            stats["network"] = server.statistics()
+        return stats
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Controller({self.name!r}, vdbs={self.virtual_database_names})"

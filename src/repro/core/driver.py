@@ -181,6 +181,15 @@ class VirtualConnection:
             except CJDBCError:
                 pass
         self._closed = True
+        # Remote controllers hold live sockets; release them.  In-process
+        # controllers have no per-connection resources and no such method.
+        for controller in self._controllers:
+            release = getattr(controller, "release_connection", None)
+            if release is not None:
+                try:
+                    release()
+                except CJDBCError:  # pragma: no cover - best-effort cleanup
+                    pass
 
     def cursor(self) -> "VirtualCursor":
         self._check_open()

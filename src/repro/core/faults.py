@@ -23,7 +23,11 @@ Fault kinds:
 * ``crash``   — put the backend in a crashed state: this operation and every
   later one fails until :meth:`FaultInjector.recover` is called;
 * ``hang``    — sleep ``latency_ms`` and then proceed (hang-then-recover: the
-  operation eventually succeeds, modelling a stalled-but-alive backend).
+  operation eventually succeeds, modelling a stalled-but-alive backend);
+* ``disconnect`` — raise :class:`ConnectionDropError`.  Meaningful on the
+  network front-end (:class:`repro.net.server.ControllerServer` consults an
+  injector before dispatching each client frame and severs the client socket
+  when this fires); on a backend injector it behaves like a transient error.
 
 Triggers (combinable; a rule fires when *all* its configured triggers
 agree):
@@ -59,11 +63,20 @@ from repro.errors import ConfigurationError, OperationalError
 FAULT_OPERATIONS = ("execute", "executemany", "begin", "commit", "rollback")
 
 #: supported fault kinds
-FAULT_KINDS = ("latency", "error", "crash", "hang")
+FAULT_KINDS = ("latency", "error", "crash", "hang", "disconnect")
 
 
 class InjectedFaultError(OperationalError):
     """Transient backend error raised by an ``error`` fault rule."""
+
+
+class ConnectionDropError(OperationalError):
+    """Raised by a ``disconnect`` fault rule: sever the client connection.
+
+    The network front-end catches this and closes the client socket without
+    an error frame — from the driver's point of view the controller just
+    died mid-session, which is exactly what the chaos suite wants to test.
+    """
 
 
 class BackendCrashedError(OperationalError):
@@ -259,6 +272,10 @@ class FaultInjector:
             raise InjectedFaultError(
                 fire.label or "injected transient error"
             )
+        if fire.kind == "disconnect":
+            raise ConnectionDropError(
+                fire.label or "injected connection drop"
+            )
         # latency and hang both sleep, then let the operation proceed;
         # the sleep happens outside the lock so concurrent operations on
         # other connections are not serialized by the injector
@@ -388,6 +405,7 @@ __all__ = [
     "FAULT_KINDS",
     "FAULT_OPERATIONS",
     "BackendCrashedError",
+    "ConnectionDropError",
     "FaultInjector",
     "FaultRule",
     "InjectedFaultError",

@@ -19,10 +19,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class AdminConsole:
-    """Programmatic administration console for one controller."""
+    """Programmatic administration console for one controller.
 
-    def __init__(self, controller: "Controller"):
+    When attached with the optional ``cluster`` facade, cluster-level views
+    (client-side connection pools) become available too.
+    """
+
+    def __init__(self, controller: "Controller", cluster=None):
         self.controller = controller
+        self.cluster = cluster
         self._commands: Dict[str, Callable[[List[str]], str]] = {
             "help": self._cmd_help,
             "show": self._cmd_show,
@@ -34,6 +39,8 @@ class AdminConsole:
             "interceptors": self._cmd_interceptors,
             "fault": self._cmd_fault,
             "resync": self._cmd_resync,
+            "net": self._cmd_net,
+            "pools": self._cmd_pools,
         }
 
     def execute(self, command_line: str) -> str:
@@ -65,7 +72,9 @@ class AdminConsole:
             "  fault <vdb> <backend> status|crash|recover|clear\n"
             "  fault <vdb> <backend> latency <ms> [probability]\n"
             "  fault <vdb> <backend> error [probability]\n"
-            "  resync <vdb> <backend>"
+            "  resync <vdb> <backend>\n"
+            "  net (TCP front-end status of this controller)\n"
+            "  pools (client-side connection pool statistics; needs a cluster)"
         )
 
     def _cmd_show(self, args: List[str]) -> str:
@@ -183,6 +192,20 @@ class AdminConsole:
         vdb = self.controller.get_virtual_database(args[0])
         replayed = vdb.resynchronize_backend(args[1])
         return f"backend {args[1]} resynchronized ({replayed} log entries replayed)"
+
+    def _cmd_net(self, args: List[str]) -> str:
+        server = self.controller.network_server
+        if server is None:
+            return "no network server attached to this controller"
+        return json.dumps(server.statistics(), indent=2, sort_keys=True, default=str)
+
+    def _cmd_pools(self, args: List[str]) -> str:
+        if self.cluster is None:
+            return "no cluster attached to this console (pools are a cluster-level view)"
+        stats = self.cluster.pool_statistics()
+        if not stats:
+            return "no connection pools created through this cluster"
+        return json.dumps(stats, indent=2, sort_keys=True, default=str)
 
     def _cmd_stats(self, args: List[str]) -> str:
         if not args:

@@ -135,5 +135,9 @@ class PoolExhaustedError(CJDBCError):
     """The client-side connection pool has no free connection left."""
 
 
+class ProtocolError(CJDBCError):
+    """Malformed or unexpected frame on the controller wire protocol."""
+
+
 class RateLimitExceededError(CJDBCError):
     """A login exceeded its request budget (``rate_limit`` interceptor)."""

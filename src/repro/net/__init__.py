@@ -1,0 +1,68 @@
+"""Network subsystem: the controller wire protocol, server and remote driver.
+
+The paper's deployment story (§2.3) is a JDBC driver talking to a controller
+over a socket.  This package makes that boundary literal for the Python
+reproduction:
+
+* :mod:`repro.net.protocol` — length-prefixed framed messages with a compact
+  binary/JSON-hybrid codec covering the full request API (execute / prepare /
+  execute_batch / begin / commit / rollback / close), error frames that
+  round-trip :mod:`repro.errors` types, and result-set frames that stream
+  rows in chunks;
+* :mod:`repro.net.server` — :class:`ControllerServer`, a thread-per-connection
+  TCP front-end over one :class:`repro.core.controller.Controller` with
+  per-connection session state, graceful drain, max-connection and
+  idle-timeout limits;
+* :mod:`repro.net.client` — the remote driver mode:
+  ``repro.connect("cjdbc://host:port,host2:port2/db")`` builds
+  :class:`RemoteController` handles that plug into the ordinary
+  :class:`repro.core.driver.VirtualConnection` failover machinery, so
+  controller failover and transparent re-prepare work identically in-process
+  and over the network.
+"""
+
+from repro.net.client import (
+    RemoteController,
+    RemoteVirtualDatabase,
+    connect_remote,
+    looks_like_address,
+    parse_address,
+)
+from repro.net.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameSocket,
+    MessageType,
+    decode_body,
+    decode_error,
+    decode_value,
+    encode_body,
+    encode_error,
+    encode_frame,
+    encode_value,
+    result_frames,
+    result_from_frames,
+)
+from repro.net.server import ControllerServer
+
+__all__ = [
+    "ControllerServer",
+    "FrameSocket",
+    "MAX_FRAME_BYTES",
+    "MessageType",
+    "PROTOCOL_VERSION",
+    "RemoteController",
+    "RemoteVirtualDatabase",
+    "connect_remote",
+    "decode_body",
+    "decode_error",
+    "decode_value",
+    "encode_body",
+    "encode_error",
+    "encode_frame",
+    "encode_value",
+    "looks_like_address",
+    "parse_address",
+    "result_frames",
+    "result_from_frames",
+]

@@ -1,0 +1,348 @@
+"""The controller wire protocol: framing, codec, error and result transport.
+
+Every message on the wire is one *frame*::
+
+    +----------------+------+-------------------------+
+    | length (4B BE) | type | body (compact JSON)     |
+    +----------------+------+-------------------------+
+
+``length`` counts the type byte plus the body, so an empty-body frame has
+length 1.  The body is a JSON object whose values pass through a small
+tagging codec (:func:`encode_value` / :func:`decode_value`) so that types
+JSON cannot carry natively — ``bytes``, ``datetime``/``date``/``time``,
+``Decimal`` — round-trip exactly; plain mappings are wrapped so a user value
+can never collide with a codec tag.  This binary-framing/JSON-body hybrid
+keeps the protocol debuggable (``tcpdump`` shows readable bodies) while
+staying compact and strictly delimited.
+
+Three message families:
+
+* request frames (client → server) cover the full request API of the
+  in-process driver: hello/auth, execute, prepare, execute-prepared,
+  execute-batch, begin/commit/rollback, statement close, ping, goodbye;
+* error frames round-trip the :mod:`repro.errors` hierarchy by class name,
+  so a :class:`~repro.errors.NoMoreBackendError` raised inside the
+  controller re-raises as the same type inside the remote client;
+* result frames stream a :class:`~repro.core.request.RequestResult` as a
+  header, zero or more row chunks, and an end marker, so large result sets
+  never require one giant frame.
+"""
+
+from __future__ import annotations
+
+import base64
+import datetime as _dt
+import json
+import socket
+import struct
+from decimal import Decimal
+from enum import IntEnum
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+
+import repro.errors as _errors
+from repro.core.request import RequestResult
+from repro.errors import DatabaseError, ProtocolError
+
+#: bump when the frame layout or message semantics change incompatibly
+PROTOCOL_VERSION = 1
+
+#: hard cap on one frame's payload; a peer announcing more is protocol abuse
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: rows per RESULT_ROWS chunk when streaming a result set
+RESULT_CHUNK_ROWS = 256
+
+_LENGTH = struct.Struct("!I")
+
+
+class MessageType(IntEnum):
+    """Frame type byte.  Client-originated below 0x20, server-originated above."""
+
+    HELLO = 0x01
+    EXECUTE = 0x02
+    PREPARE = 0x03
+    EXECUTE_PREPARED = 0x04
+    EXECUTE_BATCH = 0x05
+    BEGIN = 0x06
+    COMMIT = 0x07
+    ROLLBACK = 0x08
+    CLOSE_STATEMENT = 0x09
+    PING = 0x0A
+    GOODBYE = 0x0B
+
+    WELCOME = 0x20
+    OK = 0x21
+    ERROR = 0x22
+    PREPARED = 0x23
+    RESULT_HEADER = 0x24
+    RESULT_ROWS = 0x25
+    RESULT_END = 0x26
+
+
+class ConnectionClosed(ProtocolError):
+    """The peer closed the connection (cleanly or not) mid-conversation."""
+
+
+# ---------------------------------------------------------------------------
+# value codec
+# ---------------------------------------------------------------------------
+
+#: key marking a tagged value; real mappings are wrapped under tag "m"
+_TAG = "$"
+
+
+def encode_value(value: Any) -> Any:
+    """A JSON-representable encoding of one SQL value (or nested container)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, bytes):
+        return {_TAG: "b", "v": base64.b64encode(value).decode("ascii")}
+    if isinstance(value, _dt.datetime):
+        return {_TAG: "dt", "v": value.isoformat()}
+    if isinstance(value, _dt.date):
+        return {_TAG: "d", "v": value.isoformat()}
+    if isinstance(value, _dt.time):
+        return {_TAG: "t", "v": value.isoformat()}
+    if isinstance(value, Decimal):
+        return {_TAG: "n", "v": str(value)}
+    if isinstance(value, (list, tuple)):
+        return [encode_value(item) for item in value]
+    if isinstance(value, Mapping):
+        return {_TAG: "m", "v": {str(k): encode_value(v) for k, v in value.items()}}
+    raise ProtocolError(
+        f"cannot encode a {type(value).__name__} value on the wire: {value!r}"
+    )
+
+
+def decode_value(value: Any) -> Any:
+    """Invert :func:`encode_value`."""
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    if isinstance(value, dict):
+        tag = value.get(_TAG)
+        if tag == "b":
+            return base64.b64decode(value["v"])
+        if tag == "dt":
+            return _dt.datetime.fromisoformat(value["v"])
+        if tag == "d":
+            return _dt.date.fromisoformat(value["v"])
+        if tag == "t":
+            return _dt.time.fromisoformat(value["v"])
+        if tag == "n":
+            return Decimal(value["v"])
+        if tag == "m":
+            return {k: decode_value(v) for k, v in value["v"].items()}
+        raise ProtocolError(f"unknown value tag {tag!r} in frame body")
+    return value
+
+
+def encode_body(body: Mapping) -> bytes:
+    """Serialize a frame body (a mapping of fields) to compact JSON bytes."""
+    encoded = {str(key): encode_value(value) for key, value in body.items()}
+    return json.dumps(encoded, separators=(",", ":"), allow_nan=True).encode("utf-8")
+
+
+def decode_body(data: bytes) -> Dict[str, Any]:
+    try:
+        document = json.loads(data.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got {type(document).__name__}"
+        )
+    return {key: decode_value(value) for key, value in document.items()}
+
+
+# ---------------------------------------------------------------------------
+# framing
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(message_type: int, body: Optional[Mapping] = None) -> bytes:
+    """One complete frame as bytes: length prefix, type byte, JSON body."""
+    payload = bytes([int(message_type)]) + (encode_body(body) if body else b"{}")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the {MAX_FRAME_BYTES} byte cap"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_frame_payload(payload: bytes) -> Tuple[MessageType, Dict[str, Any]]:
+    """Decode the payload (type byte + body) of one frame."""
+    if not payload:
+        raise ProtocolError("empty frame payload")
+    try:
+        message_type = MessageType(payload[0])
+    except ValueError:
+        raise ProtocolError(f"unknown frame type byte 0x{payload[0]:02x}") from None
+    return message_type, decode_body(payload[1:])
+
+
+class FrameSocket:
+    """A socket speaking frames, with byte accounting for monitoring.
+
+    Both ends of the protocol use this wrapper: the server counts a
+    session's traffic through it and the remote driver uses it as its
+    transport.  ``recv`` takes an optional ``idle_callback`` invoked on each
+    socket timeout *between* frames (never mid-frame); whatever it raises
+    aborts the wait — the server uses this for idle-timeout and drain
+    handling without tearing down half-received frames.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.frames_in = 0
+        self.frames_out = 0
+
+    def send(self, message_type: int, body: Optional[Mapping] = None) -> None:
+        data = encode_frame(message_type, body)
+        self.sock.sendall(data)
+        self.bytes_out += len(data)
+        self.frames_out += 1
+
+    def _recv_exactly(
+        self,
+        count: int,
+        idle_callback: Optional[Callable[[], None]],
+        frame_started: bool,
+    ) -> bytes:
+        chunks: List[bytes] = []
+        received = 0
+        while received < count:
+            try:
+                data = self.sock.recv(count - received)
+            except socket.timeout:
+                # Only an *idle* connection (nothing of the frame received
+                # yet) may be interrupted; a half-received frame keeps
+                # waiting for its remainder.
+                if idle_callback is not None and not frame_started and not chunks:
+                    idle_callback()
+                continue
+            if not data:
+                raise ConnectionClosed("peer closed the connection")
+            chunks.append(data)
+            received += len(data)
+        return b"".join(chunks)
+
+    def recv(
+        self, idle_callback: Optional[Callable[[], None]] = None
+    ) -> Tuple[MessageType, Dict[str, Any]]:
+        header = self._recv_exactly(_LENGTH.size, idle_callback, frame_started=False)
+        (length,) = _LENGTH.unpack(header)
+        if length == 0 or length > MAX_FRAME_BYTES:
+            raise ProtocolError(f"invalid frame length {length}")
+        payload = self._recv_exactly(length, idle_callback, frame_started=True)
+        self.bytes_in += _LENGTH.size + length
+        self.frames_in += 1
+        return decode_frame_payload(payload)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - close failures are ignorable
+            pass
+
+
+# ---------------------------------------------------------------------------
+# error frames
+# ---------------------------------------------------------------------------
+
+
+def _error_registry() -> Dict[str, type]:
+    registry = {
+        name: obj
+        for name, obj in vars(_errors).items()
+        if isinstance(obj, type) and issubclass(obj, _errors.ReproError)
+    }
+    # injector errors live outside repro.errors but cross the wire too
+    from repro.core.faults import BackendCrashedError, InjectedFaultError
+
+    registry[InjectedFaultError.__name__] = InjectedFaultError
+    registry[BackendCrashedError.__name__] = BackendCrashedError
+    return registry
+
+
+_ERROR_TYPES = _error_registry()
+
+
+def encode_error(exc: BaseException) -> Dict[str, Any]:
+    """Error-frame body for ``exc``; unknown types degrade to DatabaseError."""
+    name = type(exc).__name__
+    if name not in _ERROR_TYPES:
+        name = DatabaseError.__name__
+    return {"error_type": name, "message": str(exc)}
+
+
+def decode_error(body: Mapping) -> Exception:
+    """Rebuild the typed exception an error frame carries."""
+    error_class = _ERROR_TYPES.get(str(body.get("error_type")), DatabaseError)
+    return error_class(str(body.get("message", "")))
+
+
+# ---------------------------------------------------------------------------
+# result frames
+# ---------------------------------------------------------------------------
+
+
+def result_frames(
+    result: RequestResult, chunk_rows: int = RESULT_CHUNK_ROWS
+) -> Iterator[Tuple[MessageType, Dict[str, Any]]]:
+    """Stream one result as (type, body) frames: header, row chunks, end."""
+    yield (
+        MessageType.RESULT_HEADER,
+        {
+            "columns": list(result.columns),
+            "update_count": result.update_count,
+            "backend_name": result.backend_name,
+            "backends_executed": result.backends_executed,
+            "from_cache": result.from_cache,
+            "transaction_id": result.transaction_id,
+        },
+    )
+    rows = result.rows
+    for start in range(0, len(rows), max(chunk_rows, 1)):
+        chunk = rows[start : start + chunk_rows]
+        yield (MessageType.RESULT_ROWS, {"rows": [list(row) for row in chunk]})
+    yield (MessageType.RESULT_END, {})
+
+
+def result_from_frames(
+    header: Mapping, row_chunks: Iterator[List[List[Any]]]
+) -> RequestResult:
+    """Assemble a :class:`RequestResult` from a header body and row chunks."""
+    rows: List[List[Any]] = []
+    for chunk in row_chunks:
+        rows.extend(list(row) for row in chunk)
+    return RequestResult(
+        columns=list(header.get("columns") or []),
+        rows=rows,
+        update_count=int(header.get("update_count", -1)),
+        backend_name=header.get("backend_name"),
+        backends_executed=int(header.get("backends_executed", 0)),
+        from_cache=bool(header.get("from_cache", False)),
+        transaction_id=header.get("transaction_id"),
+    )
+
+
+__all__ = [
+    "ConnectionClosed",
+    "FrameSocket",
+    "MAX_FRAME_BYTES",
+    "MessageType",
+    "PROTOCOL_VERSION",
+    "RESULT_CHUNK_ROWS",
+    "decode_body",
+    "decode_error",
+    "decode_frame_payload",
+    "decode_value",
+    "encode_body",
+    "encode_error",
+    "encode_frame",
+    "encode_value",
+    "result_frames",
+    "result_from_frames",
+]

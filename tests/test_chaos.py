@@ -100,3 +100,19 @@ class TestDigests:
         left.execute("INSERT INTO t VALUES (1, 'only-left')")
         problems = digest_mismatches({"l": left, "r": right})
         assert problems and "t" in problems[0]
+
+
+class TestRemoteDisconnectScenario:
+    def test_remote_failover_loses_no_acknowledged_write(self):
+        result = run_chaos_scenario("remote_disconnect_failover", seed=11, scale=0.5)
+        assert result.ok, result.violations
+        assert result.details["driver_failovers"] >= 1
+        assert result.details["fault_disconnects"] >= 1
+        assert result.details["writes_acknowledged"] >= 8
+
+    def test_remote_scenario_is_deterministic(self):
+        first = run_chaos_scenario("remote_disconnect_failover", seed=4, scale=0.4)
+        second = run_chaos_scenario("remote_disconnect_failover", seed=4, scale=0.4)
+        assert first.ok and second.ok
+        assert first.details["writes_acknowledged"] == second.details["writes_acknowledged"]
+        assert first.details["driver_failovers"] == second.details["driver_failovers"]

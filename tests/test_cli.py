@@ -214,3 +214,93 @@ class TestBenchHotpathCommand:
         )
         assert code == 1
         assert "BASELINE CHECK FAILED" in out.getvalue()
+
+
+class TestServeCommand:
+    DESCRIPTOR = {
+        "virtual_databases": [{"name": "servedb", "backends": ["se0", "se1"]}],
+        "controllers": [
+            {"name": "ctrl-x", "listen": {"port": 0, "max_connections": 8}},
+        ],
+    }
+
+    def _write_config(self, tmp_path):
+        import json
+
+        config = tmp_path / "cluster.json"
+        config.write_text(json.dumps(self.DESCRIPTOR))
+        return str(config)
+
+    def test_serve_registered_in_help(self):
+        parser = build_parser()
+        assert "serve" in parser.format_help()
+
+    def test_serve_for_a_duration(self, tmp_path):
+        out = io.StringIO()
+        code = main(
+            ["serve", "--config", self._write_config(tmp_path), "--duration", "0.2"],
+            stdout=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "listening ctrl-x 127.0.0.1 " in text
+        assert "url cjdbc://127.0.0.1:" in text
+        assert "ready" in text
+        assert "stopped" in text
+
+    def test_serve_accepts_clients_while_running(self, tmp_path):
+        import threading
+
+        import repro
+
+        out = io.StringIO()
+        config = self._write_config(tmp_path)
+        seen = {}
+
+        def client():
+            # wait for the serving thread to print its URL, then connect
+            deadline = __import__("time").monotonic() + 5.0
+            url = None
+            while __import__("time").monotonic() < deadline and url is None:
+                for line in out.getvalue().splitlines():
+                    if line.startswith("url "):
+                        url = line.split()[1]
+                        break
+            assert url is not None
+            connection = repro.connect(url)
+            connection.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+            connection.execute("INSERT INTO t (id) VALUES (1)")
+            seen["count"] = connection.execute("SELECT COUNT(*) FROM t").scalar()
+            connection.close()
+
+        thread = threading.Thread(target=client)
+        thread.start()
+        code = main(["serve", "--config", config, "--duration", "2.0"], stdout=out)
+        thread.join()
+        assert code == 0
+        assert seen["count"] == 1
+
+    def test_serve_without_listen_sections_errors(self, tmp_path):
+        import json
+
+        config = tmp_path / "nolisten.json"
+        config.write_text(
+            json.dumps(
+                {
+                    "virtual_databases": [{"name": "plaindb", "backends": ["pe0"]}],
+                    "controllers": [{"name": "plain-ctrl"}],
+                }
+            )
+        )
+        out = io.StringIO()
+        assert main(["serve", "--config", str(config)], stdout=out) == 1
+        assert "no controller in the descriptor has a 'listen:' section" in out.getvalue()
+
+    def test_check_config_reports_listen_sections(self, tmp_path):
+        import json
+
+        config = tmp_path / "cluster.json"
+        config.write_text(json.dumps(self.DESCRIPTOR))
+        out = io.StringIO()
+        assert main(["check-config", str(config)], stdout=out) == 0
+        assert "listen: ctrl-x on 127.0.0.1:0 (max 8 connections)" in out.getvalue()

@@ -225,3 +225,85 @@ class TestDescriptorValidation:
         descriptor = load_descriptor(minimal_descriptor())
         with pytest.raises(ConfigurationError, match="no virtual database 'ghost'.*mydb"):
             descriptor.virtual_database("ghost")
+
+
+class TestListenSection:
+    def _descriptor(self, listen):
+        return {
+            "virtual_databases": [{"name": "ldb", "backends": ["le0"]}],
+            "controllers": [{"name": "ctrl", "listen": listen}],
+        }
+
+    def test_listen_defaults(self):
+        from repro.cluster.descriptor import parse_descriptor
+
+        descriptor = parse_descriptor(self._descriptor({"port": 0}))
+        listen = descriptor.controllers[0].listen
+        assert listen.port == 0
+        assert listen.host == "127.0.0.1"
+        assert listen.max_connections == 64
+        assert listen.idle_timeout is None
+        assert listen.backlog == 128
+
+    def test_listen_full_form(self):
+        from repro.cluster.descriptor import parse_descriptor
+
+        descriptor = parse_descriptor(
+            self._descriptor(
+                {
+                    "port": 25322,
+                    "host": "0.0.0.0",
+                    "max_connections": 10,
+                    "idle_timeout": 30,
+                    "backlog": 5,
+                }
+            )
+        )
+        listen = descriptor.controllers[0].listen
+        assert (listen.host, listen.port) == ("0.0.0.0", 25322)
+        assert listen.max_connections == 10
+        assert listen.idle_timeout == 30.0
+        assert listen.backlog == 5
+
+    def test_controller_without_listen_is_in_process_only(self):
+        from repro.cluster.descriptor import parse_descriptor
+
+        document = self._descriptor({"port": 0})
+        del document["controllers"][0]["listen"]
+        assert parse_descriptor(document).controllers[0].listen is None
+
+    @pytest.mark.parametrize(
+        "listen, message",
+        [
+            ("yes", r"listen.*expected a mapping"),
+            ({}, "missing required key 'port'"),
+            ({"port": 70000}, "expected a TCP port number"),
+            ({"port": True}, "expected a TCP port number"),
+            ({"port": "25322"}, "expected a TCP port number"),
+            ({"port": 0, "idle_timeout": -1}, "positive number of seconds"),
+            ({"port": 0, "idle_timeout": True}, "positive number of seconds"),
+            ({"port": 0, "bogus": 1}, r"listen.*unknown key"),
+        ],
+    )
+    def test_malformed_listen_sections(self, listen, message):
+        from repro.cluster.descriptor import parse_descriptor
+
+        with pytest.raises(ConfigurationError, match=message):
+            parse_descriptor(self._descriptor(listen))
+
+    def test_duplicate_fixed_addresses_rejected(self):
+        from repro.cluster.descriptor import parse_descriptor
+
+        document = {
+            "virtual_databases": [{"name": "ldb", "backends": ["le0"]}],
+            "controllers": [
+                {"name": "a", "listen": {"port": 25322}},
+                {"name": "b", "listen": {"port": 25322}},
+            ],
+        }
+        with pytest.raises(ConfigurationError, match="both listen on 127.0.0.1:25322"):
+            parse_descriptor(document)
+        # ephemeral ports never collide
+        for controller in document["controllers"]:
+            controller["listen"]["port"] = 0
+        assert parse_descriptor(document).controllers[1].listen.port == 0

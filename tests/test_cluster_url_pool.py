@@ -230,3 +230,101 @@ class TestConnectionPool:
             ConnectionPool("cjdbc://c/db", max_size=0)
         with pytest.raises(InterfaceError, match="pool_size='lots' is not an integer"):
             ConnectionPool("cjdbc://c/db?pool_size=lots")
+
+
+# -- URL round-trip property (hypothesis) -------------------------------------------
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterURL
+
+# characters with reserved meaning somewhere in the URL grammar, plus benign ones
+_url_text = st.text(
+    alphabet=st.sampled_from(list("abcXYZ019:/@%,?&=#+ .-_")), min_size=1, max_size=12
+)
+_option_text = st.text(
+    alphabet=st.sampled_from(list("abcXYZ019:/@%,?&=#+ .-_")), max_size=12
+)
+
+
+class TestUrlRoundTripProperty:
+    @given(
+        controllers=st.lists(_url_text, min_size=1, max_size=3),
+        database=_url_text,
+        user=_option_text,
+        password=_option_text,
+        options=st.dictionaries(
+            st.text(alphabet=st.sampled_from(list("abcz019:/@%,&=#+._")), min_size=1, max_size=8),
+            _option_text,
+            max_size=3,
+        ),
+    )
+    def test_parse_of_geturl_is_identity(self, controllers, database, user, password, options):
+        # user/password query parameters shadow option keys of the same name
+        options.pop("user", None)
+        options.pop("password", None)
+        url = ClusterURL(
+            controllers=tuple(controllers),
+            database=database,
+            user=user,
+            password=password,
+            options=options,
+        )
+        assert parse_url(url.geturl()) == url
+
+    def test_reserved_characters_in_every_component(self):
+        url = ClusterURL(
+            controllers=("ctrl:25322", "we%ird,name@here"),
+            database="my/db",
+            user="app:user",
+            password="p@ss:w/o%rd",
+            options={"tag": "a=b&c"},
+        )
+        rebuilt = parse_url(url.geturl())
+        assert rebuilt == url
+
+
+class TestPoolCheckoutStats:
+    def test_wait_and_exhaustion_statistics(self, pool_cluster):
+        pool = pool_cluster.pool("pooldb", user="u", password="p", max_size=1, timeout=0.05)
+        handle = pool.checkout()
+        stats = pool.statistics()
+        assert stats["checkout_waits"] == 0
+        assert stats["exhaustions"] == 0
+
+        with pytest.raises(PoolExhaustedError):
+            pool.checkout()
+        stats = pool.statistics()
+        assert stats["exhaustions"] == 1
+        assert stats["checkout_waits"] == 1  # it waited (then gave up)
+        assert stats["checkout_wait_total_s"] >= 0.05
+        assert stats["checkout_wait_max_s"] >= 0.05
+
+        handle.release()
+        pool.checkout().release()  # a free slot: no further wait recorded
+        assert pool.statistics()["checkout_waits"] == 1
+
+    def test_wait_recorded_when_slot_frees_in_time(self, pool_cluster):
+        import threading
+
+        pool = pool_cluster.pool("pooldb", user="u", password="p", max_size=1, timeout=2.0)
+        handle = pool.checkout()
+        timer = threading.Timer(0.1, handle.release)
+        timer.start()
+        slow = pool.checkout()  # blocks until the timer releases the slot
+        timer.join()
+        slow.release()
+        stats = pool.statistics()
+        assert stats["checkout_waits"] == 1
+        assert stats["exhaustions"] == 0
+        assert stats["checkout_wait_max_s"] >= 0.05
+
+    def test_cluster_surfaces_pool_statistics(self, pool_cluster):
+        pool = pool_cluster.pool("pooldb", user="u", password="p", max_size=2)
+        pool.checkout().release()
+        all_stats = pool_cluster.pool_statistics()
+        assert len(all_stats) == 1
+        assert all_stats[0]["checkouts"] == 1
+        assert "exhaustions" in all_stats[0]
+        assert pool_cluster.statistics()["pools"] == all_stats

@@ -215,3 +215,51 @@ class TestAdminConsole:
         assert "unknown command" in console.execute("frobnicate")
         assert "commands:" in console.execute("help")
         assert console.execute("") == ""
+
+
+class TestConsoleNetworkViews:
+    def test_net_without_server(self):
+        controller, _vdb, _engines = make_cluster("netconsole")
+        console = AdminConsole(controller)
+        assert "no network server attached" in console.execute("net")
+
+    def test_net_reports_server_statistics(self):
+        import json as _json
+
+        from repro.net import ControllerServer
+
+        controller, _vdb, _engines = make_cluster("netconsole2")
+        server = ControllerServer(controller)
+        server.start()
+        try:
+            controller.attach_network_server(server)
+            stats = _json.loads(AdminConsole(controller).execute("net"))
+            assert stats["running"] is True
+            assert stats["connections_active"] == 0
+            assert "net" in AdminConsole(controller).execute("help")
+        finally:
+            controller.shutdown()
+
+    def test_pools_needs_a_cluster(self):
+        controller, _vdb, _engines = make_cluster("poolconsole")
+        assert "no cluster attached" in AdminConsole(controller).execute("pools")
+
+    def test_pools_reports_cluster_pool_statistics(self):
+        import json as _json
+
+        from repro.cluster import load_cluster
+
+        cluster = load_cluster(
+            {
+                "virtual_databases": [{"name": "pcdb", "backends": ["pce0"]}],
+                "controllers": [{"name": "pc-ctrl"}],
+            }
+        )
+        console = AdminConsole(cluster.controller("pc-ctrl"), cluster=cluster)
+        assert "no connection pools" in console.execute("pools")
+        pool = cluster.pool("pcdb", user="u", password="p", max_size=2)
+        pool.checkout().release()
+        stats = _json.loads(console.execute("pools"))
+        assert stats[0]["checkouts"] == 1
+        assert "exhaustions" in stats[0]
+        cluster.shutdown()

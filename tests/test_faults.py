@@ -321,3 +321,31 @@ class TestConsoleFaultCommands:
         assert console.execute("fault db b0 latency").startswith("usage:")
         assert console.execute("fault db b0 latency nan?").startswith("usage:")
         cluster.shutdown()
+
+
+class TestDisconnectFaultKind:
+    def test_disconnect_rule_raises_connection_drop(self):
+        from repro.core.faults import ConnectionDropError
+
+        injector = FaultInjector(seed=1)
+        injector.inject("disconnect", operations=("execute",), one_shot=True)
+        with pytest.raises(ConnectionDropError):
+            injector.invoke("execute", "SELECT 1")
+        # one-shot: the rule disarmed itself
+        injector.invoke("execute", "SELECT 1")
+
+    def test_disconnect_counts_in_statistics(self):
+        injector = FaultInjector(seed=1)
+        injector.inject("disconnect", after_n_ops=2)
+        injector.invoke("execute", "SELECT 1")
+        from repro.core.faults import ConnectionDropError
+
+        with pytest.raises(ConnectionDropError):
+            injector.invoke("execute", "SELECT 1")
+        assert injector.statistics()["injected_by_kind"]["disconnect"] >= 1
+
+    def test_disconnect_is_an_operational_error(self):
+        from repro.core.faults import ConnectionDropError
+        from repro.errors import OperationalError
+
+        assert issubclass(ConnectionDropError, OperationalError)

@@ -1,0 +1,252 @@
+"""Remote driver mode: the DB-API surface and failover over real sockets."""
+
+import json
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.core import Controller
+from repro.errors import (
+    ConfigurationError,
+    ControllerError,
+    DatabaseError,
+    InterfaceError,
+)
+from repro.net import ControllerServer, connect_remote, looks_like_address, parse_address
+from tests.conftest import make_cluster
+
+
+@pytest.fixture
+def served_pair():
+    """Two TCP front-ends (two controllers) sharing one virtual database."""
+    controller, vdb, engines = make_cluster("remotedb")
+    standby = Controller("remotedb-standby", register=False)
+    standby.add_virtual_database(vdb)
+    primary_server = ControllerServer(controller)
+    standby_server = ControllerServer(standby)
+    primary_server.start()
+    standby_server.start()
+    yield primary_server, standby_server, vdb, engines
+    primary_server.stop(drain=False)
+    standby_server.stop(drain=False)
+
+
+def remote_connect(*servers, database="remotedb"):
+    return connect_remote(
+        [server.url_authority for server in servers], database, "tester", "secret"
+    )
+
+
+class TestAddressParsing:
+    def test_looks_like_address(self):
+        assert looks_like_address("127.0.0.1:25322")
+        assert looks_like_address("db.example.com:7")
+        assert not looks_like_address("ctrl-a")
+        assert not looks_like_address(":1234")
+        assert not looks_like_address("host:")
+        assert not looks_like_address("host:port")
+
+    def test_parse_address_validates_port(self):
+        assert parse_address("localhost:25322") == ("localhost", 25322)
+        with pytest.raises(InterfaceError):
+            parse_address("localhost:99999")
+        with pytest.raises(InterfaceError):
+            parse_address("no-port-here")
+
+
+class TestRemoteDbApi:
+    def test_full_request_api_over_sockets(self, served_pair):
+        primary, _standby, _vdb, engines = served_pair
+        connection = remote_connect(primary)
+        connection.execute(
+            "CREATE TABLE inventory (id INT PRIMARY KEY, name VARCHAR(30), qty INT)"
+        )
+        cursor = connection.execute(
+            "INSERT INTO inventory (id, name, qty) VALUES (?, ?, ?)", (1, "bolts", 40)
+        )
+        assert cursor.rowcount == 1
+
+        statement = connection.prepare(
+            "INSERT INTO inventory (id, name, qty) VALUES (?, ?, ?)"
+        )
+        statement.execute((2, "nuts", 15))
+        statement.add_batch((3, "washers", 99))
+        statement.add_batch((4, "screws", 7))
+        statement.execute_batch()
+        assert statement.rowcount == 2
+
+        cursor = connection.cursor()
+        cursor.executemany(
+            "UPDATE inventory SET qty = qty + ? WHERE id = ?", [(1, 1), (2, 2)]
+        )
+        rows = connection.execute(
+            "SELECT id, name, qty FROM inventory ORDER BY id"
+        ).fetchall()
+        assert rows == [
+            (1, "bolts", 41),
+            (2, "nuts", 17),
+            (3, "washers", 99),
+            (4, "screws", 7),
+        ]
+        assert connection.execute("SELECT COUNT(*) FROM inventory").scalar() == 4
+        # the write replicated to every backend, same as in-process RAIDb-1
+        for engine in engines:
+            assert engine.execute("SELECT COUNT(*) FROM inventory").rows[0][0] == 4
+        connection.close()
+
+    def test_transactions_commit_and_rollback(self, served_pair):
+        primary, _standby, _vdb, _engines = served_pair
+        connection = remote_connect(primary)
+        connection.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        connection.autocommit = False
+        connection.execute("INSERT INTO t (id) VALUES (1)")
+        connection.rollback()
+        connection.execute("INSERT INTO t (id) VALUES (2)")
+        connection.commit()
+        connection.autocommit = True
+        assert connection.execute("SELECT id FROM t").fetchall() == [(2,)]
+        connection.close()
+
+    def test_close_releases_the_server_session(self, served_pair):
+        primary, _standby, _vdb, _engines = served_pair
+        connection = remote_connect(primary)
+        assert connection.execute("SELECT 1").scalar() == 1
+        assert primary.statistics()["connections_active"] == 1
+        connection.close()
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if primary.statistics()["connections_active"] == 0:
+                break
+            time.sleep(0.02)
+        assert primary.statistics()["connections_active"] == 0
+
+    def test_repro_connect_selects_remote_transport(self, served_pair):
+        primary, standby, _vdb, _engines = served_pair
+        url = (
+            f"cjdbc://{primary.url_authority},{standby.url_authority}/remotedb"
+            f"?user=tester&password=secret"
+        )
+        connection = repro.connect(url)
+        assert connection.execute("SELECT 40 + 2").scalar() == 42
+        connection.close()
+
+    def test_mixed_addresses_and_names_rejected(self):
+        with pytest.raises(ConfigurationError, match="cannot mix"):
+            repro.connect("cjdbc://127.0.0.1:25322,ctrl-b/db")
+
+
+class TestFailover:
+    def test_failover_to_second_controller_mid_session(self, served_pair):
+        primary, standby, _vdb, _engines = served_pair
+        connection = remote_connect(primary, standby)
+        connection.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        statement = connection.prepare("INSERT INTO t (id) VALUES (?)")
+        statement.execute((1,))
+
+        primary.kill()  # the primary's server dies mid-session
+
+        # the next execute fails over and the prepared statement is
+        # transparently re-prepared on the standby
+        statement.execute((2,))
+        assert connection.failovers == 1
+        assert connection.execute("SELECT id FROM t ORDER BY id").fetchall() == [
+            (1,),
+            (2,),
+        ]
+        connection.close()
+
+    def test_first_controller_unreachable_at_connect_time(self, served_pair):
+        _primary, standby, _vdb, _engines = served_pair
+        dead = "127.0.0.1:1"  # nothing listens on port 1
+        connection = connect_remote(
+            [dead, standby.url_authority], "remotedb", "tester", "secret", connect_timeout=0.5
+        )
+        assert connection.execute("SELECT 1").scalar() == 1
+        assert connection.failovers == 1
+        connection.close()
+
+    def test_failover_mid_transaction_aborts_it(self, served_pair):
+        primary, standby, _vdb, _engines = served_pair
+        connection = remote_connect(primary, standby)
+        connection.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        connection.autocommit = False
+        connection.execute("INSERT INTO t (id) VALUES (1)")
+        primary.kill()
+        with pytest.raises(DatabaseError, match="transaction aborted"):
+            connection.execute("INSERT INTO t (id) VALUES (2)")
+        # the aborted transaction's write is gone; the connection is usable
+        connection.autocommit = True
+        assert connection.execute("SELECT COUNT(*) FROM t").scalar() == 0
+        connection.close()
+
+    def test_all_controllers_down_raises_controller_error(self, served_pair):
+        primary, standby, _vdb, _engines = served_pair
+        connection = remote_connect(primary, standby)
+        assert connection.execute("SELECT 1").scalar() == 1
+        primary.kill()
+        standby.kill()
+        with pytest.raises(ControllerError):
+            connection.execute("SELECT 1")
+        connection.close()
+
+
+class TestServeSubprocess:
+    """End-to-end: a cluster served by ``repro serve`` in another process."""
+
+    DESCRIPTOR = {
+        "name": "spawned",
+        "virtual_databases": [
+            {
+                "name": "wiredb",
+                "replication": "raidb1",
+                "backends": [
+                    {"name": "b0", "engine": "spawned-e0"},
+                    {"name": "b1", "engine": "spawned-e1"},
+                ],
+            }
+        ],
+        "controllers": [{"name": "ctrl", "listen": {"port": 0}}],
+    }
+
+    def test_serve_and_query_from_another_process(self, tmp_path):
+        config = tmp_path / "cluster.json"
+        config.write_text(json.dumps(self.DESCRIPTOR))
+        env_root = Path(__file__).resolve().parent.parent
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--config", str(config)],
+            stdout=subprocess.PIPE,
+            text=True,
+            cwd=env_root,
+            env={"PYTHONPATH": str(env_root / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        try:
+            url = None
+            for line in server.stdout:
+                if line.startswith("url "):
+                    url = line.split()[1]
+                if line.strip() == "ready":
+                    break
+            assert url is not None, "serve never printed a remote url"
+
+            connection = repro.connect(url)
+            connection.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+            statement = connection.prepare("INSERT INTO t (id) VALUES (?)")
+            for value in (1, 2, 3):
+                statement.add_batch((value,))
+            statement.execute_batch()
+            assert connection.execute("SELECT COUNT(*) FROM t").scalar() == 3
+            connection.close()
+
+            server.send_signal(signal.SIGTERM)
+            assert server.wait(timeout=10) == 0
+            remainder = server.stdout.read()
+            assert "stopped" in remainder
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait(timeout=10)
