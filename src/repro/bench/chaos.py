@@ -237,6 +237,135 @@ def _wait_until(predicate: Callable[[], bool], timeout: float = 5.0) -> bool:
     return predicate()
 
 
+class _SocketGroupCluster:
+    """N controllers synchronized over real TCP group nodes, each with a TCP front-end.
+
+    The controller-crash scenarios' scaffolding: every controller gets its
+    own backend engine, its own :class:`SocketGroupTransport` node (fast
+    heartbeats so failure detection fits a smoke run) and its own
+    :class:`ControllerServer`, so killing one controller severs its clients
+    *and* its group membership at once — the multi-process §4.1 topology in
+    one process.
+    """
+
+    HEARTBEAT_INTERVAL = 0.05
+    HEARTBEAT_THRESHOLD = 3
+
+    def __init__(self, controllers: int = 3, label: Optional[str] = None):
+        self.label = label or f"chaosgrp{next(_LABELS)}"
+        self.db_name = f"{self.label}-db"
+        self.group_name = f"{self.label}-group"
+        self.engines: Dict[str, DatabaseEngine] = {}
+        self.nodes: Dict[str, object] = {}
+        self.replicas: Dict[str, object] = {}
+        self.controllers: Dict[str, object] = {}
+        self.servers: Dict[str, object] = {}
+        #: server dial addresses in creation order (the client failover list)
+        self.addresses: List[str] = []
+        for index in range(controllers):
+            self.add_controller(f"{self.label}-{chr(97 + index)}", state_transfer=index > 0)
+
+    def add_controller(self, name: str, state_transfer: bool = True) -> str:
+        """Boot one controller and join it to the group (live when peers run)."""
+        from repro.core.config import build_virtual_database
+        from repro.core.controller import Controller
+        from repro.distrib import DistributedVirtualDatabase
+        from repro.groupcomm import SocketGroupTransport
+        from repro.net.server import ControllerServer
+
+        peers = [node.address for node in self.nodes.values() if node.is_running]
+        engine = DatabaseEngine(f"{name}-engine")
+        config = VirtualDatabaseConfig(
+            name=self.db_name,
+            backends=[BackendConfig(name="b0", engine=engine)],
+            recovery_log="memory",
+        )
+        node = SocketGroupTransport(
+            peers=peers,
+            heartbeat_interval=self.HEARTBEAT_INTERVAL,
+            heartbeat_threshold=self.HEARTBEAT_THRESHOLD,
+            rpc_timeout=5.0,
+            name=name,
+        )
+        node.start()
+        replica = DistributedVirtualDatabase(
+            build_virtual_database(config), node, controller_name=name,
+            group_name=self.group_name,
+        )
+        replica.join_group(state_transfer=state_transfer)
+        controller = Controller(name, register=False)
+        controller.add_virtual_database(replica)
+        server = ControllerServer(controller)
+        address = "%s:%d" % server.start()
+        self.engines[name] = engine
+        self.nodes[name] = node
+        self.replicas[name] = replica
+        self.controllers[name] = controller
+        self.servers[name] = server
+        self.addresses.append(address)
+        return address
+
+    def sequencer_name(self) -> str:
+        """The controller whose node holds the group's sequencer role."""
+        def order(item):
+            host, _, port = item[1].address.rpartition(":")
+            return (host, int(port))
+
+        live = [item for item in self.nodes.items() if item[1].is_running]
+        return min(live, key=order)[0]
+
+    def kill_controller(self, name: str) -> None:
+        """Hard-crash one controller: front-end and group node, no goodbye."""
+        self.servers[name].stop(drain=False)
+        self.nodes[name].kill()
+
+    def forget_controller(self, name: str) -> None:
+        """Drop a killed controller's objects so the name can rejoin fresh."""
+        address = self.servers[name].url_authority
+        if address in self.addresses:
+            self.addresses.remove(address)
+        for registry in (self.engines, self.nodes, self.replicas, self.controllers, self.servers):
+            registry.pop(name, None)
+
+    def live_replicas(self) -> Dict[str, object]:
+        return {
+            name: replica
+            for name, replica in self.replicas.items()
+            if self.nodes[name].is_running
+        }
+
+    def live_engines(self) -> Dict[str, DatabaseEngine]:
+        return {
+            name: self.engines[name]
+            for name in self.replicas
+            if self.nodes[name].is_running
+        }
+
+    def check_acked(self, acked: Dict[int, str], violations: List[str]) -> None:
+        """Every acknowledged write must be on every surviving controller."""
+        for name, engine in self.live_engines().items():
+            rows = {row["k"]: row["v"] for row in engine.dump_table_rows("kv")}
+            for key, value in sorted(acked.items()):
+                if rows.get(key) != value:
+                    violations.append(
+                        f"committed write k={key} (v={value!r}) lost on surviving"
+                        f" controller {name!r} (found {rows.get(key)!r})"
+                    )
+
+    def shutdown(self) -> None:
+        for server in self.servers.values():
+            if server.is_running:
+                server.stop(drain=False)
+        for name, replica in self.replicas.items():
+            if self.nodes[name].is_running:
+                try:
+                    replica.close()
+                except CJDBCError:  # pragma: no cover - best-effort teardown
+                    pass
+        for node in self.nodes.values():
+            node.stop()
+
+
 # ---------------------------------------------------------------------------
 # scenarios
 # ---------------------------------------------------------------------------
@@ -710,6 +839,224 @@ def scenario_remote_disconnect_failover(seed: int, scale: float = 1.0) -> ChaosR
     return result
 
 
+def scenario_controller_crash_failover(seed: int, scale: float = 1.0) -> ChaosResult:
+    """The sequencer controller is killed mid-workload (§4.2 controller failure).
+
+    Three controllers replicate one virtual database over TCP group nodes.
+    A client with a :class:`RetryPolicy` writes through the remote driver;
+    halfway through, the controller currently holding the group's sequencer
+    role is hard-crashed (front-end and group node at once).  The survivors
+    must detect the crash, elect the next sequencer and converge to a
+    two-member view; the client must ride the crash on retries alone — and
+    at the end no acknowledged write may be missing and the survivors must
+    be digest-identical.  The workload is idempotent unique-key UPDATEs:
+    sequencer-crash multicast retries are at-least-once, and a duplicated
+    UPDATE is harmless where a duplicated INSERT would be an error.
+    """
+    from repro.core.retry import RetryPolicy
+    from repro.net.client import connect_remote
+
+    result = ChaosResult("controller_crash_failover", seed)
+    group = _SocketGroupCluster(controllers=3)
+    connection = None
+    try:
+        policy = RetryPolicy(
+            max_attempts=8, backoff=0.02, backoff_max=0.5, operation_timeout=15.0,
+            seed=seed,
+        )
+        # dial the sequencer's front-end first: killing it then exercises
+        # client failover and sequencer re-election in the same blow
+        sequencer = group.sequencer_name()
+        sequencer_address = group.servers[sequencer].url_authority
+        addresses = [sequencer_address] + [
+            address for address in group.addresses if address != sequencer_address
+        ]
+        connection = connect_remote(
+            addresses, group.db_name, "chaos", "chaos", retry_policy=policy
+        )
+        cursor = connection.cursor()
+        cursor.execute("CREATE TABLE kv (k INT PRIMARY KEY, v VARCHAR(40))")
+        keys = max(int(10 * scale), 6)
+        acked: Dict[int, str] = {}
+        for key in range(keys):
+            cursor.execute("INSERT INTO kv (k, v) VALUES (?, ?)", (key, f"seed-{key}"))
+            acked[key] = f"seed-{key}"
+        rng = Random(seed)
+        rounds = max(int(6 * scale), 3)
+        kill_at = max(rounds // 2, 1)
+        client_errors = 0
+        armed_at = None
+        for round_index in range(rounds):
+            if round_index == kill_at:
+                armed_at = time.monotonic()
+                group.kill_controller(sequencer)
+            for key in range(keys):
+                value = f"r{round_index}-{key}-{rng.randrange(1 << 30)}"
+                try:
+                    cursor.execute("UPDATE kv SET v = ? WHERE k = ?", (value, key))
+                except CJDBCError:
+                    client_errors += 1
+                    continue
+                acked[key] = value
+
+        survivors = set(group.live_replicas())
+        converged = _wait_until(
+            lambda: all(
+                set(replica.group_members) == survivors
+                for replica in group.live_replicas().values()
+            ),
+            timeout=10.0,
+        )
+        detected_after = time.monotonic() - armed_at if armed_at is not None else None
+        if not converged:
+            views = {
+                name: replica.group_members
+                for name, replica in group.live_replicas().items()
+            }
+            result.violations.append(
+                f"survivors never converged on the two-member view: {views}"
+            )
+        if sequencer in survivors:
+            result.violations.append("the killed sequencer still counts as live")
+        if client_errors:
+            result.violations.append(
+                f"{client_errors} write errors leaked to the client despite the"
+                " retry policy"
+            )
+        if connection.failovers < 1:
+            result.violations.append(
+                "killing the client's controller never made the driver fail over"
+            )
+        group.check_acked(acked, result.violations)
+        result.violations.extend(digest_mismatches(group.live_engines()))
+        new_sequencer = group.sequencer_name()
+        result.details.update(
+            {
+                "killed_sequencer": sequencer,
+                "new_sequencer": new_sequencer,
+                "writes_acknowledged": len(acked),
+                "driver_failovers": connection.failovers,
+                "driver_retries": connection.retries,
+                "view_convergence_s": round(detected_after, 3)
+                if detected_after is not None
+                else None,
+                "survivor_views": sorted(
+                    next(iter(group.live_replicas().values())).group_members
+                ),
+            }
+        )
+    finally:
+        if connection is not None and not connection.closed:
+            connection.close()
+        group.shutdown()
+    return result
+
+
+def scenario_controller_rejoin(seed: int, scale: float = 1.0) -> ChaosResult:
+    """A crashed controller rejoins the live group and catches up by state transfer.
+
+    Three controllers serve writes; the highest-addressed (never-sequencer)
+    one is killed and the survivors keep accepting writes it never saw.  The
+    controller then comes back — fresh engines, empty database, same name —
+    and joins with ``state_transfer=True``: a peer serves it a snapshot
+    under the write barrier, deliveries racing the snapshot are buffered and
+    replayed, and at the end all three controllers are digest-identical with
+    every acknowledged write present.
+    """
+    from repro.core.retry import RetryPolicy
+    from repro.net.client import connect_remote
+
+    result = ChaosResult("controller_rejoin", seed)
+    group = _SocketGroupCluster(controllers=3)
+    connection = None
+    try:
+        policy = RetryPolicy(max_attempts=6, backoff=0.02, backoff_max=0.5, seed=seed)
+        connection = connect_remote(
+            # all three front-ends: the victim may well be the client's first
+            # choice, in which case the retry policy rides its death too
+            list(group.addresses), group.db_name, "chaos", "chaos", retry_policy=policy
+        )
+        cursor = connection.cursor()
+        cursor.execute("CREATE TABLE kv (k INT PRIMARY KEY, v VARCHAR(40))")
+        keys = max(int(10 * scale), 6)
+        acked: Dict[int, str] = {}
+        for key in range(keys):
+            cursor.execute("INSERT INTO kv (k, v) VALUES (?, ?)", (key, f"seed-{key}"))
+            acked[key] = f"seed-{key}"
+
+        # kill the highest-addressed node: deterministically not the sequencer
+        def order(name):
+            host, _, port = group.nodes[name].address.rpartition(":")
+            return (host, int(port))
+
+        victim = max(group.nodes, key=order)
+        group.kill_controller(victim)
+        survivors = set(group.replicas) - {victim}
+        converged = _wait_until(
+            lambda: all(
+                set(group.replicas[name].group_members) == survivors
+                for name in survivors
+            ),
+            timeout=10.0,
+        )
+        if not converged:
+            result.violations.append("survivors never evicted the killed controller")
+
+        # writes the victim never saw — the rejoiner must recover them all
+        rng = Random(seed)
+        rounds = max(int(4 * scale), 2)
+        for round_index in range(rounds):
+            for key in range(keys):
+                value = f"gone-{round_index}-{key}-{rng.randrange(1 << 30)}"
+                cursor.execute("UPDATE kv SET v = ? WHERE k = ?", (value, key))
+                acked[key] = value
+
+        group.forget_controller(victim)
+        group.add_controller(victim, state_transfer=True)
+        rejoined = group.replicas[victim]
+        if rejoined.state_synced_from is None:
+            result.violations.append(
+                "the rejoined controller never state-transferred from a peer"
+            )
+        members_after = set(group.replicas)
+        if not _wait_until(
+            lambda: all(
+                set(replica.group_members) == members_after
+                for replica in group.live_replicas().values()
+            ),
+            timeout=10.0,
+        ):
+            result.violations.append("the group never converged on the rejoined view")
+
+        # post-rejoin writes must reach the rejoined controller too
+        for key in range(keys):
+            value = f"after-{key}-{rng.randrange(1 << 30)}"
+            cursor.execute("UPDATE kv SET v = ? WHERE k = ?", (value, key))
+            acked[key] = value
+
+        group.check_acked(acked, result.violations)
+        result.violations.extend(digest_mismatches(group.live_engines()))
+        result.details.update(
+            {
+                "victim": victim,
+                "state_synced_from": rejoined.state_synced_from,
+                "snapshot_sequence": rejoined.statistics()["distributed"][
+                    "last_applied_sequence"
+                ],
+                "writes_acknowledged": len(acked),
+                "transfers_served": {
+                    name: replica.state_transfers_served
+                    for name, replica in group.live_replicas().items()
+                },
+            }
+        )
+    finally:
+        if connection is not None and not connection.closed:
+            connection.close()
+        group.shutdown()
+    return result
+
+
 #: scenario name -> callable(seed, scale) -> ChaosResult
 CHAOS_SCENARIOS: Dict[str, Callable[[int, float], ChaosResult]] = {
     "crash_mid_transaction": scenario_crash_mid_transaction,
@@ -719,13 +1066,18 @@ CHAOS_SCENARIOS: Dict[str, Callable[[int, float], ChaosResult]] = {
     "crash_reintegration_under_writes": scenario_crash_reintegration_under_writes,
     "distributed_controller_backend_failure": scenario_distributed_controller_backend_failure,
     "remote_disconnect_failover": scenario_remote_disconnect_failover,
+    "controller_crash_failover": scenario_controller_crash_failover,
+    "controller_rejoin": scenario_controller_rejoin,
 }
 
-#: the three cheapest scenarios, run on every PR via the bench_smoke marker
+#: the cheapest scenarios, run on every PR via the bench_smoke marker
+#: (the controller-crash pair runs at reduced scale there — see the smoke tests)
 CHAOS_SMOKE_SCENARIOS = (
     "crash_mid_transaction",
     "crash_mid_batch",
     "transient_error_storm",
+    "controller_crash_failover",
+    "controller_rejoin",
 )
 
 

@@ -159,6 +159,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="serve for this long then exit cleanly (default: until SIGINT/SIGTERM)",
     )
+    serve.add_argument(
+        "--controller",
+        default=None,
+        metavar="NAME",
+        help="boot and serve only this controller of the descriptor (one process"
+        " per controller; grouped vdbs reconnect over their group: tcp addresses)",
+    )
     return parser
 
 
@@ -360,7 +367,7 @@ def _run_serve(args: argparse.Namespace, stdout) -> int:
     from repro.errors import ConfigurationError
 
     try:
-        cluster = load_cluster(args.config)
+        cluster = load_cluster(args.config, only_controller=args.controller)
         addresses = cluster.start_servers()
     except (ConfigurationError, OSError) as exc:
         print(f"error: {exc}", file=stdout)

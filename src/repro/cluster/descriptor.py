@@ -51,7 +51,8 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.core.cache.rules import RelaxationRule
 from repro.core.config import BackendConfig, VirtualDatabaseConfig
-from repro.errors import ConfigurationError
+from repro.core.retry import RetryPolicy
+from repro.errors import CJDBCError, ConfigurationError
 from repro.sql.engine import DatabaseEngine
 
 DescriptorSource = Union[Mapping, str, Path]
@@ -72,6 +73,8 @@ _VDB_KEYS = {
     "users",
     "transparent_authentication",
     "group_name",
+    "group",
+    "retry",
     "replication_map",
     "partition_map",
     "failure_detector",
@@ -82,6 +85,9 @@ _CACHE_KEYS = {"enabled", "granularity", "max_entries", "relaxation_rules"}
 _RULE_KEYS = {"staleness_seconds", "tables", "sql_pattern", "keep_on_write"}
 _CONTROLLER_KEYS = {"name", "virtual_databases", "listen"}
 _LISTEN_KEYS = {"host", "port", "max_connections", "idle_timeout", "backlog"}
+_GROUP_KEYS = {"transport", "heartbeat_interval", "heartbeat_threshold", "rpc_timeout", "members"}
+_GROUP_TRANSPORTS = {"inproc", "tcp"}
+_RETRY_KEYS = {"attempts", "backoff", "backoff_multiplier", "backoff_max", "jitter", "timeout", "seed"}
 
 
 # ---------------------------------------------------------------------------
@@ -100,6 +106,24 @@ class BackendSpec:
     pool_size: int = 10
     #: validated ``faults:`` section ({"seed": ..., "rules": [...]}) or None
     faults: Optional[Dict[str, Any]] = None
+
+
+@dataclass
+class GroupSpec:
+    """A grouped vdb's ``group:`` section: how its controllers communicate.
+
+    ``transport: "inproc"`` (the default) keeps the single-process shared
+    medium; ``"tcp"`` gives every controller its own socket group node
+    (sequencer-based total order, heartbeat failure detection).  ``members``
+    optionally pins controllers to fixed ``host:port`` group addresses —
+    controllers not listed bind an ephemeral port.
+    """
+
+    transport: str = "inproc"
+    heartbeat_interval: float = 0.5
+    heartbeat_threshold: int = 3
+    rpc_timeout: float = 10.0
+    members: Dict[str, str] = field(default_factory=dict)
 
 
 @dataclass
@@ -125,6 +149,10 @@ class VirtualDatabaseSpec:
     users: Dict[str, str] = field(default_factory=dict)
     transparent_authentication: bool = True
     group_name: Optional[str] = None
+    #: group-communication wiring of a horizontal vdb (None = inproc defaults)
+    group: Optional[GroupSpec] = None
+    #: client retry/backoff defaults for connections to this vdb
+    retry: Optional[RetryPolicy] = None
     replication_map: Dict[str, List[str]] = field(default_factory=dict)
     partition_map: Dict[str, str] = field(default_factory=dict)
     #: reads failing this many times on one backend disable it
@@ -439,6 +467,13 @@ def _parse_virtual_database(entry: Any, where: str) -> VirtualDatabaseSpec:
             "must be a non-empty group name (omit the key for a non-replicated vdb)",
         )
 
+    group = _parse_group(entry, where)
+    if group is not None and group_name is None:
+        _fail(
+            f"{where}.group",
+            "a group: section needs group_name (the vdb is not replicated without one)",
+        )
+
     parsing_cache_size = entry.get("parsing_cache_size", 1024)
     if (
         isinstance(parsing_cache_size, bool)
@@ -465,12 +500,72 @@ def _parse_virtual_database(entry: Any, where: str) -> VirtualDatabaseSpec:
         users=dict(users),
         transparent_authentication=_get_bool(entry, "transparent_authentication", where, True),
         group_name=group_name,
+        group=group,
+        retry=_parse_retry(entry, where),
         replication_map=replication_map,
         partition_map=partition_map,
         read_error_threshold=read_error_threshold,
         auto_resync=auto_resync,
         **_parse_cache(entry, where),
     )
+
+
+def _get_number(mapping: Mapping, key: str, where: str, default: float) -> float:
+    value = mapping.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)) or value <= 0:
+        _fail(f"{where}.{key}", f"expected a positive number of seconds, got {value!r}")
+    return float(value)
+
+
+def _parse_group(vdb: Mapping, where: str) -> Optional[GroupSpec]:
+    if "group" not in vdb:
+        return None
+    group = vdb["group"]
+    if not isinstance(group, Mapping):
+        _fail(f"{where}.group", f"expected a mapping, got {type(group).__name__}")
+    _check_keys(group, _GROUP_KEYS, f"{where}.group")
+    transport = _get_str(group, "transport", f"{where}.group", "inproc") or "inproc"
+    if transport not in _GROUP_TRANSPORTS:
+        _fail(
+            f"{where}.group.transport",
+            f"expected one of: {', '.join(sorted(_GROUP_TRANSPORTS))}, got {transport!r}",
+        )
+    members: Dict[str, str] = {}
+    for controller_name, address in _get_mapping(group, "members", f"{where}.group").items():
+        member_where = f"{where}.group.members.{controller_name}"
+        if not isinstance(controller_name, str) or not isinstance(address, str):
+            _fail(member_where, "expected controller-name -> 'host:port' strings")
+        host, _, port = address.rpartition(":")
+        if not host or not port.isdigit() or not 0 <= int(port) <= 65535:
+            _fail(member_where, f"expected a 'host:port' group address, got {address!r}")
+        members[controller_name] = address
+    if members and transport != "tcp":
+        _fail(
+            f"{where}.group.members",
+            "fixed member addresses only apply to the 'tcp' transport",
+        )
+    return GroupSpec(
+        transport=transport,
+        heartbeat_interval=_get_number(group, "heartbeat_interval", f"{where}.group", 0.5),
+        heartbeat_threshold=_get_int(group, "heartbeat_threshold", f"{where}.group", 3),
+        rpc_timeout=_get_number(group, "rpc_timeout", f"{where}.group", 10.0),
+        members=members,
+    )
+
+
+def _parse_retry(vdb: Mapping, where: str) -> Optional[RetryPolicy]:
+    if "retry" not in vdb:
+        return None
+    retry = vdb["retry"]
+    if not isinstance(retry, Mapping):
+        _fail(f"{where}.retry", f"expected a mapping, got {type(retry).__name__}")
+    _check_keys(retry, _RETRY_KEYS, f"{where}.retry")
+    try:
+        return RetryPolicy.from_options(
+            {f"retry_{key}": value for key, value in retry.items()}
+        ) or RetryPolicy()
+    except CJDBCError as exc:
+        _fail(f"{where}.retry", str(exc))
 
 
 def _parse_listen(entry: Mapping, where: str) -> Optional[ListenSpec]:
@@ -572,6 +667,20 @@ def parse_descriptor(document: Mapping) -> ClusterDescriptor:
                 f" listen on {listen.host}:{listen.port}",
             )
         bound[address] = controller.name
+
+    known_controllers = {controller.name.lower() for controller in controllers}
+    for index, spec in enumerate(specs):
+        if spec.group is None:
+            continue
+        unknown = sorted(
+            name for name in spec.group.members if name.lower() not in known_controllers
+        )
+        if unknown:
+            _fail(
+                f"descriptor.virtual_databases[{index}].group.members",
+                f"unknown controller{'s' if len(unknown) > 1 else ''}"
+                f" {', '.join(map(repr, unknown))}",
+            )
 
     hosted_anywhere = {
         vdb_name.lower() for controller in controllers for vdb_name in controller.virtual_databases

@@ -46,6 +46,7 @@ from repro.core.config import VirtualDatabaseConfig, build_virtual_database
 from repro.core.controller import Controller
 from repro.core.driver import VirtualConnection
 from repro.core.driver import connect as driver_connect
+from repro.core.retry import RetryPolicy
 from repro.core.virtualdb import VirtualDatabase
 from repro.errors import ConfigurationError, ControllerError
 from repro.sql.engine import DatabaseEngine
@@ -58,6 +59,7 @@ def connect(
     password: str = "",
     *,
     registry: Optional[ControllerRegistry] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> VirtualConnection:
     """Open a driver connection to a virtual database.
 
@@ -72,6 +74,10 @@ def connect(
     surface, same ordered failover, but the controllers may live in other
     processes or on other machines.  Mixing registry names and addresses in
     one URL is rejected.
+
+    ``retry_policy`` (a :class:`repro.core.retry.RetryPolicy`) upgrades
+    failover from a single rotation pass to bounded retries with backoff;
+    ``retry_*`` URL options build one when no explicit policy is given.
     """
     if isinstance(target, str):
         if database is not None:
@@ -82,6 +88,8 @@ def connect(
         url = parse_url(target)
         from repro.net.client import connect_remote, looks_like_address
 
+        if retry_policy is None:
+            retry_policy = RetryPolicy.from_options(url.options)
         remote = [looks_like_address(name) for name in url.controllers]
         if any(remote):
             if not all(remote):
@@ -90,17 +98,25 @@ def connect(
                     f" URL: {', '.join(map(repr, url.controllers))}"
                 )
             return connect_remote(
-                url.controllers, url.database, url.user or user, url.password or password
+                url.controllers,
+                url.database,
+                url.user or user,
+                url.password or password,
+                retry_policy=retry_policy,
             )
         controllers = (registry or default_registry).resolve_all(url.controllers)
         return driver_connect(
-            controllers, url.database, url.user or user, url.password or password
+            controllers,
+            url.database,
+            url.user or user,
+            url.password or password,
+            retry_policy=retry_policy,
         )
     if database is None:
         raise ConfigurationError(
             "connect(controllers, ...) needs a virtual database name"
         )
-    return driver_connect(target, database, user, password)
+    return driver_connect(target, database, user, password, retry_policy=retry_policy)
 
 
 class Cluster:
@@ -112,12 +128,16 @@ class Cluster:
         *,
         registry: Optional[ControllerRegistry] = None,
         transport=None,
+        only_controller: Optional[str] = None,
     ):
         if descriptor is not None and not isinstance(descriptor, ClusterDescriptor):
             descriptor = load_descriptor(descriptor)
         self.descriptor: Optional[ClusterDescriptor] = descriptor
         self.registry = registry if registry is not None else default_registry
         self.name = descriptor.name if descriptor is not None else "cluster"
+        #: boot only this controller of the descriptor (one process per
+        #: controller; tcp group sections wire the replicas back together)
+        self.only_controller = only_controller
         #: engine name -> in-memory engine backing one (shared) backend
         self.engines: Dict[str, DatabaseEngine] = {}
         self.controllers: Dict[str, Controller] = {}
@@ -129,8 +149,12 @@ class Cluster:
         self._hosting: Dict[str, List[str]] = {}
         #: lowercased vdb name -> the name as declared in the descriptor
         self._vdb_names: Dict[str, str] = {}
+        #: lowercased vdb name -> descriptor-declared client retry policy
+        self._retry_policies: Dict[str, RetryPolicy] = {}
         self._replicators: Dict[str, object] = {}
         self._transport = transport
+        #: controller name (lowercased) -> its socket group node (tcp groups)
+        self.group_nodes: Dict[str, object] = {}
         #: controller name -> running ControllerServer (see start_servers())
         self.servers: Dict[str, "object"] = {}
         #: pools handed out by pool(); weakly referenced for statistics()
@@ -172,14 +196,29 @@ class Cluster:
 
     def _boot(self, descriptor: ClusterDescriptor) -> None:
         specs = {spec.name.lower(): spec for spec in descriptor.virtual_databases}
+        controller_specs = descriptor.controllers
+        if self.only_controller is not None:
+            controller_specs = [
+                spec
+                for spec in descriptor.controllers
+                if spec.name.lower() == self.only_controller.lower()
+            ]
+            if not controller_specs:
+                known = ", ".join(sorted(spec.name for spec in descriptor.controllers))
+                raise ConfigurationError(
+                    f"descriptor has no controller {self.only_controller!r}"
+                    f" (controllers: {known})"
+                )
         # Shared (non-grouped) virtual databases are built once and attached
         # to every controller listing them — the budget-HA topology of §5.1.
         for spec in descriptor.virtual_databases:
+            if spec.retry is not None:
+                self._retry_policies[spec.name.lower()] = spec.retry
             if spec.group_name is None:
                 config = spec.to_config(self.engines)
                 self._virtual_databases[spec.name.lower()] = build_virtual_database(config)
 
-        for controller_spec in descriptor.controllers:
+        for controller_spec in controller_specs:
             controller = self._add_controller(controller_spec.name)
             for vdb_name in controller_spec.virtual_databases:
                 spec = specs[vdb_name.lower()]
@@ -202,21 +241,82 @@ class Cluster:
 
     def _add_replica(self, controller: Controller, spec) -> None:
         """Horizontal vdb: a private replica per controller, group-synchronised."""
-        from repro.distrib import ControllerReplicator
-        from repro.groupcomm.transport import GroupTransport
-
-        if self._transport is None:
-            self._transport = GroupTransport()
-        replicator = self._replicators.get(spec.group_name)
-        if replicator is None:
-            replicator = self._replicators[spec.group_name] = ControllerReplicator(
-                self._transport
-            )
         config = spec.to_config(self.engines, engine_prefix=f"{controller.name}/")
         local_vdb = build_virtual_database(config)
-        replica = replicator.add_replica(controller, local_vdb, replace_in_controller=False)
+        if spec.group is not None and spec.group.transport == "tcp":
+            replica = self._add_socket_replica(controller, spec, local_vdb)
+        else:
+            from repro.distrib import ControllerReplicator
+            from repro.groupcomm.transport import GroupTransport
+
+            if self._transport is None:
+                self._transport = GroupTransport()
+            replicator = self._replicators.get(spec.group_name)
+            if replicator is None:
+                replicator = self._replicators[spec.group_name] = ControllerReplicator(
+                    self._transport
+                )
+            replica = replicator.add_replica(
+                controller, local_vdb, replace_in_controller=False
+            )
         controller.add_virtual_database(replica)
         self.replicas[(controller.name, spec.name.lower())] = replica
+
+    def _add_socket_replica(self, controller: Controller, spec, local_vdb):
+        """TCP group: join through this controller's own socket group node.
+
+        Joining with state transfer is always requested; when the node turns
+        out to be the first group member it degrades to a plain join, and
+        when peers already run (another process booted first, or a
+        controller rejoins a live group) the replica synchronizes its
+        backends from one of them before serving.
+        """
+        from repro.distrib import DistributedVirtualDatabase
+
+        node = self._group_node(controller, spec.group)
+        replica = DistributedVirtualDatabase(
+            local_vdb, node, controller_name=controller.name, group_name=spec.group_name
+        )
+        replica.join_group(state_transfer=True)
+        return replica
+
+    def _group_node(self, controller: Controller, group):
+        """This controller's socket group node, created and started on first use."""
+        node = self.group_nodes.get(controller.name.lower())
+        if node is not None:
+            return node
+        from repro.groupcomm import SocketGroupTransport
+
+        address = next(
+            (
+                member_address
+                for name, member_address in group.members.items()
+                if name.lower() == controller.name.lower()
+            ),
+            "127.0.0.1:0",
+        )
+        host, _, port = address.rpartition(":")
+        peers = [
+            member_address
+            for name, member_address in group.members.items()
+            if name.lower() != controller.name.lower()
+        ]
+        peers += [
+            other.address for other in self.group_nodes.values()
+            if other.address not in peers
+        ]
+        node = SocketGroupTransport(
+            bind_host=host or "127.0.0.1",
+            bind_port=int(port),
+            peers=peers,
+            heartbeat_interval=group.heartbeat_interval,
+            heartbeat_threshold=group.heartbeat_threshold,
+            rpc_timeout=group.rpc_timeout,
+            name=controller.name,
+        )
+        node.start()
+        self.group_nodes[controller.name.lower()] = node
+        return node
 
     # -- lookups -------------------------------------------------------------------------
 
@@ -330,6 +430,8 @@ class Cluster:
         With a URL the controller names are resolved through this cluster's
         registry; with a bare name the connection lists every controller
         hosting the database, in descriptor order, for transparent failover.
+        The virtual database's descriptor ``retry:`` section (when present)
+        becomes the connection's retry policy.
         """
         if target is None:
             if len(self._hosting) != 1:
@@ -339,9 +441,26 @@ class Cluster:
                 )
             target = next(iter(self._hosting))
         if "://" in target:
-            return connect(target, user=user, password=password, registry=self.registry)
+            url = parse_url(target)
+            # retry_* URL options take precedence over the descriptor default
+            policy = RetryPolicy.from_options(url.options) or self._retry_policies.get(
+                url.database.lower()
+            )
+            return connect(
+                target,
+                user=user,
+                password=password,
+                registry=self.registry,
+                retry_policy=policy,
+            )
         controllers = self.controllers_for(target)
-        return driver_connect(controllers, target, user, password)
+        return driver_connect(
+            controllers,
+            target,
+            user,
+            password,
+            retry_policy=self._retry_policies.get(target.lower()),
+        )
 
     def url(self, vdb_name: str) -> str:
         """Canonical ``cjdbc://`` URL for one of this cluster's databases."""
@@ -376,7 +495,7 @@ class Cluster:
         if self.descriptor is None:
             return addresses
         for spec in self.descriptor.controllers:
-            if spec.listen is None:
+            if spec.listen is None or spec.name.lower() not in self.controllers:
                 continue
             controller = self.controller(spec.name)
             server = self.servers.get(controller.name)
@@ -440,7 +559,14 @@ class Cluster:
     def shutdown(self) -> None:
         """Stop network servers and controllers, leave groups, drop registry entries."""
         for replica in self.replicas.values():
-            replica.leave_group()
+            close = getattr(replica, "close", None)
+            if close is not None:
+                close()
+            else:  # pragma: no cover - every replica has close() today
+                replica.leave_group()
+        for node in self.group_nodes.values():
+            node.stop()
+        self.group_nodes.clear()
         for controller in self.controllers.values():
             controller.shutdown()  # stops any attached network server too
             # Only drop the registry entry if it is still ours: a later
@@ -468,6 +594,15 @@ def load_cluster(
     *,
     registry: Optional[ControllerRegistry] = None,
     transport=None,
+    only_controller: Optional[str] = None,
 ) -> Cluster:
-    """Boot a whole cluster from a descriptor mapping or JSON/TOML file."""
-    return Cluster(source, registry=registry, transport=transport)
+    """Boot a cluster from a descriptor mapping or JSON/TOML file.
+
+    ``only_controller`` boots just that controller of the descriptor — the
+    one-process-per-controller deployment mode, where each process runs
+    ``load_cluster(..., only_controller=<its name>)`` and grouped virtual
+    databases find each other over their ``group:`` (tcp) addresses.
+    """
+    return Cluster(
+        source, registry=registry, transport=transport, only_controller=only_controller
+    )

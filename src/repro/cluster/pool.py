@@ -103,9 +103,11 @@ class ConnectionPool:
     * both can also come from the URL itself (``?pool_size=4&pool_timeout=2``);
       explicit keyword arguments win over URL options;
     * every checkout health-checks the candidate connection (closed
-      connections are discarded, a reachable controller is required) so a
-      controller failure between checkin and checkout is survived
-      transparently as long as one controller of the URL is still up.
+      connections are discarded, a reachable controller is required, and a
+      remote session is ping-probed over the wire) so a controller failure
+      between checkin and checkout is survived transparently — the stale
+      connection is discarded and replaced, never handed out — as long as
+      one controller of the URL is still up.
     """
 
     DEFAULT_MAX_SIZE = 8
@@ -149,6 +151,8 @@ class ConnectionPool:
         # statistics
         self.checkouts = 0
         self.discarded = 0
+        #: idle connections found dead on checkout (controller failed in between)
+        self.stale_discards = 0
         #: checkouts that had to block waiting for a free slot
         self.checkout_waits = 0
         #: cumulative / worst time (s) spent blocked inside checkout()
@@ -255,6 +259,7 @@ class ConnectionPool:
                 "in_use": self._open - len(self._idle),
                 "checkouts": self.checkouts,
                 "discarded": self.discarded,
+                "stale_discards": self.stale_discards,
                 "checkout_waits": self.checkout_waits,
                 "checkout_wait_total_s": self.checkout_wait_total_s,
                 "checkout_wait_max_s": self.checkout_wait_max_s,
@@ -281,14 +286,27 @@ class ConnectionPool:
         except CJDBCError:  # pragma: no cover - close never raises today
             pass
 
-    @staticmethod
-    def _is_healthy(connection: VirtualConnection) -> bool:
-        """Health-on-checkout: open, and at least one controller reachable."""
+    def _is_healthy(self, connection: VirtualConnection) -> bool:
+        """Health-on-checkout: open, reachable, and (remote) answering pings.
+
+        A connection whose controller died while it sat idle looks fine
+        locally — the TCP session only reports the failure on the next
+        request.  Probing the session with a ``ping`` round trip (remote
+        virtual databases expose one; in-process ones don't need it) turns
+        that deferred failure into an immediate discard-and-replace, so
+        borrowers never receive a connection that fails its first statement.
+        The caller holds the pool lock.
+        """
         if connection.closed:
             return False
         try:
-            connection._virtual_database()
+            virtual_database = connection._virtual_database()
         except CJDBCError:
+            self.stale_discards += 1
+            return False
+        ping = getattr(virtual_database, "ping", None)
+        if callable(ping) and not ping():
+            self.stale_discards += 1
             return False
         return True
 

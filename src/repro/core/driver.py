@@ -26,10 +26,12 @@ controller and handed to the driver, so clients browse results locally.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.controller import Controller
 from repro.core.request import RequestResult
+from repro.core.retry import RetryPolicy
 from repro.core.virtualdb import VirtualDatabase
 from repro.errors import (
     CJDBCError,
@@ -49,28 +51,37 @@ def connect(
     database: Optional[str] = None,
     user: str = "",
     password: str = "",
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> "VirtualConnection":
     """Open a connection to a virtual database.
 
     ``controllers`` may be a single controller or an ordered list of
     controllers hosting the same (distributed) virtual database; the driver
     uses the first reachable one and transparently fails over to the others.
+    ``retry_policy`` tunes that failover (attempts, exponential backoff,
+    per-operation timeout); without one, each operation makes a single pass
+    over the controller list.
 
     A ``cjdbc://ctrl-a,ctrl-b/mydb?user=...&password=...`` URL is also
     accepted: its controller names are resolved through the default
-    controller registry (see :mod:`repro.cluster`).
+    controller registry (see :mod:`repro.cluster`) and ``retry_*`` URL
+    options build the policy.
     """
     if isinstance(controllers, str):
         from repro.cluster.facade import connect as facade_connect
 
-        return facade_connect(controllers, database, user, password)
+        return facade_connect(
+            controllers, database, user, password, retry_policy=retry_policy
+        )
     if isinstance(controllers, Controller):
         controllers = [controllers]
     if not controllers:
         raise InterfaceError("at least one controller is required")
     if database is None:
         raise InterfaceError("a virtual database name is required")
-    return VirtualConnection(list(controllers), database, user, password)
+    return VirtualConnection(
+        list(controllers), database, user, password, retry_policy=retry_policy
+    )
 
 
 class VirtualConnection:
@@ -82,6 +93,7 @@ class VirtualConnection:
         database: str,
         user: str,
         password: str,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self._controllers = controllers
         self.database = database
@@ -93,6 +105,9 @@ class VirtualConnection:
         self._transaction_id: Optional[int] = None
         self._controller_index = 0
         self.failovers = 0
+        self.retries = 0
+        self._retry_policy = retry_policy
+        self._retry_rng = retry_policy.rng() if retry_policy is not None else None
         # Validate credentials against the first reachable controller now, the
         # way the JDBC driver authenticates when the connection is opened.
         self._virtual_database().check_credentials(user, password)
@@ -232,13 +247,65 @@ class VirtualConnection:
         mid-request rotates to the next one; in-flight transactions cannot be
         transparently migrated (the paper's driver aborts them), so those
         surface an error instead of retrying.
+
+        Without a retry policy each operation makes a single pass over the
+        controller list.  With one, attempts continue (rotating controllers,
+        sleeping the policy's backoff between tries) until an attempt
+        succeeds, ``max_attempts`` is exhausted, or the per-operation
+        timeout expires — the window a restarting controller needs to come
+        back is covered by the later, longer delays.
         """
+        if self._retry_policy is None:
+            last_error: Optional[Exception] = None
+            for _attempt in range(len(self._controllers)):
+                virtual_database = self._virtual_database()
+                try:
+                    return operation(virtual_database)
+                except ControllerError as exc:
+                    last_error = exc
+                    with self._lock:
+                        self._controller_index = (self._controller_index + 1) % len(
+                            self._controllers
+                        )
+                        self.failovers += 1
+                    if transaction_id is not None:
+                        self._transaction_id = None
+                        raise DatabaseError(
+                            "controller failed during a transaction; transaction aborted"
+                        ) from exc
+            raise DatabaseError(f"all controllers failed: {last_error}")
+        return self._execute_with_retry(operation, transaction_id)
+
+    def _execute_with_retry(
+        self,
+        operation: Callable[[VirtualDatabase], RequestResult],
+        transaction_id: Optional[int],
+    ) -> RequestResult:
+        policy = self._retry_policy
+        deadline = (
+            time.monotonic() + policy.operation_timeout
+            if policy.operation_timeout is not None
+            else None
+        )
         last_error: Optional[Exception] = None
-        for _attempt in range(len(self._controllers)):
-            virtual_database = self._virtual_database()
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                delay = policy.delay(attempt, self._retry_rng)
+                if deadline is not None:
+                    delay = min(delay, max(0.0, deadline - time.monotonic()))
+                if delay > 0:
+                    time.sleep(delay)
+                with self._lock:
+                    self.retries += 1
             try:
+                # controller selection belongs inside the attempt: "no
+                # controller can serve" is retryable too — the controllers
+                # may be restarting
+                virtual_database = self._virtual_database()
                 return operation(virtual_database)
-            except ControllerError as exc:
+            except CJDBCError as exc:
+                if not RetryPolicy.is_retryable(exc):
+                    raise
                 last_error = exc
                 with self._lock:
                     self._controller_index = (self._controller_index + 1) % len(
@@ -250,7 +317,14 @@ class VirtualConnection:
                     raise DatabaseError(
                         "controller failed during a transaction; transaction aborted"
                     ) from exc
-        raise DatabaseError(f"all controllers failed: {last_error}")
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise DatabaseError(
+                        f"operation timed out after {policy.operation_timeout}s"
+                        f" ({attempt + 1} attempts): {last_error}"
+                    ) from exc
+        raise DatabaseError(
+            f"all {policy.max_attempts} attempts failed: {last_error}"
+        )
 
     def _run(self, sql: str, parameters: Sequence[Any]) -> RequestResult:
         self._check_open()

@@ -41,6 +41,7 @@ class AdminConsole:
             "resync": self._cmd_resync,
             "net": self._cmd_net,
             "pools": self._cmd_pools,
+            "group": self._cmd_group,
         }
 
     def execute(self, command_line: str) -> str:
@@ -74,7 +75,9 @@ class AdminConsole:
             "  fault <vdb> <backend> error [probability]\n"
             "  resync <vdb> <backend>\n"
             "  net (TCP front-end status of this controller)\n"
-            "  pools (client-side connection pool statistics; needs a cluster)"
+            "  pools (client-side connection pool statistics; needs a cluster)\n"
+            "  group <vdb> (membership view, sequencer and heartbeat status of a"
+            " distributed vdb)"
         )
 
     def _cmd_show(self, args: List[str]) -> str:
@@ -198,6 +201,18 @@ class AdminConsole:
         if server is None:
             return "no network server attached to this controller"
         return json.dumps(server.statistics(), indent=2, sort_keys=True, default=str)
+
+    def _cmd_group(self, args: List[str]) -> str:
+        if not args:
+            return "usage: group <vdb>"
+        vdb = self.controller.get_virtual_database(args[0])
+        group_status = getattr(vdb, "group_status", None)
+        if group_status is None:
+            return (
+                f"virtual database {args[0]!r} is not distributed"
+                " (no group communication attached)"
+            )
+        return json.dumps(group_status(), indent=2, sort_keys=True, default=str)
 
     def _cmd_pools(self, args: List[str]) -> str:
         if self.cluster is None:

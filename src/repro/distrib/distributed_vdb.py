@@ -24,15 +24,18 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.core.recovery.octopus import PortableDump
+from repro.core.recovery.recovery_log import LogEntry
 from repro.core.request import RequestResult, freeze_parameter_sets
 from repro.core.requestparser import RequestFactory
 from repro.core.virtualdb import VirtualDatabase
 from repro.errors import CJDBCError, GroupCommunicationError
 from repro.groupcomm.channel import GroupChannel
-from repro.groupcomm.message import GroupMessage, ViewChange
+from repro.groupcomm.message import GroupMessage, ViewChange, register_payload
 from repro.groupcomm.transport import GroupTransport
 
 
+@register_payload
 @dataclass
 class _WriteCommand:
     """Payload multicast for a write statement."""
@@ -46,7 +49,17 @@ class _WriteCommand:
     transaction_id: Optional[int] = None
     origin: str = ""
 
+    @classmethod
+    def from_wire(cls, fields: dict) -> "_WriteCommand":
+        # JSON turned the tuples into lists; freeze them back
+        fields["parameters"] = tuple(fields.get("parameters") or ())
+        fields["parameter_sets"] = freeze_parameter_sets(
+            fields.get("parameter_sets") or ()
+        )
+        return cls(**fields)
 
+
+@register_payload
 @dataclass
 class _BackendAdvertisement:
     """Backend configuration exchanged between controllers at join time."""
@@ -55,6 +68,41 @@ class _BackendAdvertisement:
     backends: List[dict] = field(default_factory=list)
 
 
+@register_payload
+@dataclass
+class _StateTransferRequest:
+    """Point-to-point request: a joining controller asks a peer for state."""
+
+    requester: str
+
+
+@register_payload
+@dataclass
+class _StateTransferSnapshot:
+    """A peer's reply to :class:`_StateTransferRequest`.
+
+    ``dump`` is a :class:`repro.core.recovery.octopus.PortableDump` JSON
+    document taken under the peer's write barrier; ``last_sequence`` is the
+    group sequence number of the last write applied before the dump, so the
+    joiner can discard buffered deliveries the snapshot already contains.
+    ``entries`` carries any recovery-log tail recorded after the dump's
+    checkpoint marker (JSON-encoded :class:`LogEntry` records).
+    """
+
+    peer: str
+    requester: str
+    dump: str = ""
+    last_sequence: int = 0
+    entries: tuple = ()
+    marker: str = ""
+
+    @classmethod
+    def from_wire(cls, fields: dict) -> "_StateTransferSnapshot":
+        fields["entries"] = tuple(fields.get("entries") or ())
+        return cls(**fields)
+
+
+@register_payload
 @dataclass
 class _BackendFailureEvent:
     """Multicast when a controller's failure detector disables a backend.
@@ -101,6 +149,20 @@ class DistributedVirtualDatabase:
         self.view_changes: List[ViewChange] = []
         #: backend failures reported by other controllers of the group
         self.peer_failures: List[dict] = []
+        #: serializes group write application against state transfer
+        self._apply_lock = threading.RLock()
+        #: guards the bootstrap buffer of deliveries received while syncing
+        self._sync_lock = threading.Lock()
+        self._syncing = False
+        self._sync_buffer: List[GroupMessage] = []
+        self._snapshot: Optional[_StateTransferSnapshot] = None
+        self._snapshot_event = threading.Event()
+        #: group sequence of the last write applied locally
+        self._last_applied_sequence = 0
+        #: snapshots served to joining controllers
+        self.state_transfers_served = 0
+        #: peer we bootstrapped our state from (None = started fresh)
+        self.state_synced_from: Optional[str] = None
         # multicast our own failure detector's disable events to the group
         detector = getattr(virtual_database, "failure_detector", None)
         if detector is not None:
@@ -108,9 +170,32 @@ class DistributedVirtualDatabase:
 
     # -- membership -----------------------------------------------------------------
 
-    def join_group(self) -> List[str]:
-        """Join the controller group and advertise our backend configuration."""
-        view = self.channel.connect(self.group_name)
+    def join_group(self, state_transfer: bool = False) -> List[str]:
+        """Join the controller group and advertise our backend configuration.
+
+        With ``state_transfer=True`` (a controller joining a group that has
+        been running without it) the replica first synchronizes its backends
+        from a peer: writes delivered while the snapshot is in flight are
+        buffered and replayed afterwards, so the replica converges to the
+        exact group state before serving clients (§4.1 recovery).
+        """
+        if state_transfer:
+            with self._sync_lock:
+                self._syncing = True
+                self._sync_buffer = []
+        try:
+            view = self.channel.connect(self.group_name)
+            peers = [name for name in view if name != self.controller_name]
+            if state_transfer and peers:
+                self._bootstrap_from_peers(peers)
+            else:
+                with self._sync_lock:
+                    self._syncing = False
+        except BaseException:
+            with self._sync_lock:
+                self._syncing = False
+                self._sync_buffer = []
+            raise
         advertisement = _BackendAdvertisement(
             controller=self.controller_name,
             backends=[backend.statistics() for backend in self.local.backends],
@@ -121,9 +206,41 @@ class DistributedVirtualDatabase:
     def leave_group(self) -> None:
         self.channel.disconnect()
 
+    def close(self) -> None:
+        """Detach from the group and the local failure detector."""
+        detector = getattr(self.local, "failure_detector", None)
+        if detector is not None:
+            try:
+                detector.remove_listener(self._on_local_backend_disabled)
+            except (ValueError, CJDBCError):  # pragma: no cover - best effort
+                pass
+        if self.channel.connected:
+            try:
+                self.leave_group()
+            except GroupCommunicationError:
+                pass
+
     @property
     def group_members(self) -> List[str]:
         return self.channel.members()
+
+    def group_status(self) -> dict:
+        """Group communication status (console ``group`` command)."""
+        transport = self.channel.transport
+        describe = getattr(transport, "describe", None)
+        status = {
+            "controller": self.controller_name,
+            "group": self.group_name,
+            "connected": self.channel.connected,
+            "members": self.group_members,
+            "view_changes": len(self.view_changes),
+            "last_applied_sequence": self._last_applied_sequence,
+            "state_transfers_served": self.state_transfers_served,
+            "state_synced_from": self.state_synced_from,
+        }
+        if describe is not None:
+            status["transport"] = describe()
+        return status
 
     # -- client entry points (same surface the driver uses on VirtualDatabase) -----------
 
@@ -135,6 +252,11 @@ class DistributedVirtualDatabase:
     def backends(self):
         """Backends of the local replica (used by nested-controller metadata)."""
         return self.local.backends
+
+    @property
+    def pipeline(self):
+        """The local replica's request pipeline (console/check-config surface)."""
+        return self.local.pipeline
 
     def get_backend(self, backend_name: str):
         return self.local.get_backend(backend_name)
@@ -244,8 +366,136 @@ class DistributedVirtualDatabase:
             "peer_backends": {peer: len(b) for peer, b in self.peer_backends.items()},
             "peer_failures": [dict(event) for event in self.peer_failures],
             "view_changes": len(self.view_changes),
+            "last_applied_sequence": self._last_applied_sequence,
+            "state_transfers_served": self.state_transfers_served,
+            "state_synced_from": self.state_synced_from,
         }
         return stats
+
+    # -- state transfer (joining-controller synchronization, §4.1) ----------------------
+
+    def _bootstrap_from_peers(self, peers: List[str]) -> None:
+        """Pull a snapshot from the first peer able to serve one."""
+        request = _StateTransferRequest(requester=self.controller_name)
+        last_error: Optional[Exception] = None
+        for peer in peers:
+            self._snapshot_event.clear()
+            self._snapshot = None
+            try:
+                self.channel.send_to(peer, request)
+            except GroupCommunicationError as exc:
+                last_error = exc
+                continue
+            if not self._snapshot_event.wait(timeout=30.0):
+                last_error = GroupCommunicationError(
+                    f"state transfer from {peer!r} timed out"
+                )
+                continue
+            snapshot = self._snapshot
+            self._snapshot = None
+            if snapshot is None or not snapshot.dump:
+                last_error = GroupCommunicationError(
+                    f"peer {peer!r} sent an empty state snapshot"
+                )
+                continue
+            self._restore_snapshot(snapshot)
+            return
+        self.channel.disconnect()
+        raise GroupCommunicationError(
+            f"controller {self.controller_name!r} could not synchronize state"
+            f" from any peer of group {self.group_name!r}: {last_error}"
+        )
+
+    def _serve_state_transfer(self, requester: str) -> None:
+        """Serve a consistent snapshot to a joining controller.
+
+        Runs under the write barrier (PR 5) so no write lands between the
+        checkpoint marker, the dump and the recorded group sequence: the
+        snapshot is an exact cut at ``last_sequence``.  The reply is sent
+        *after* every lock is released — sending while holding
+        ``_apply_lock`` can deadlock against an in-flight group delivery.
+        """
+        service = self.local.checkpointing_service
+        manager = self.local.request_manager
+        marker = service.next_checkpoint_name(
+            prefix=f"state-transfer-{self.controller_name}"
+        )
+        with self._apply_lock:
+            with manager.scheduler.write_barrier():
+                if service.recovery_log is not None:
+                    service.recovery_log.insert_checkpoint_marker(marker)
+                engine = None
+                for backend in self.local.backends:
+                    if backend.is_enabled:
+                        engine = self.local.backend_engine(backend.name)
+                        if engine is not None:
+                            break
+                if engine is None:
+                    raise GroupCommunicationError(
+                        f"controller {self.controller_name!r} has no enabled"
+                        " backend to snapshot for state transfer"
+                    )
+                dump = service.octopus.dump_engine(engine, dump_name=marker)
+                entries: List[str] = []
+                if service.recovery_log is not None:
+                    entries = [
+                        entry.to_json()
+                        for entry in service.recovery_log.entries_since_checkpoint(marker)
+                    ]
+                last_sequence = self._last_applied_sequence
+        snapshot = _StateTransferSnapshot(
+            peer=self.controller_name,
+            requester=requester,
+            dump=dump.to_json(),
+            last_sequence=last_sequence,
+            entries=tuple(entries),
+            marker=marker,
+        )
+        self.channel.send_to(requester, snapshot)
+        self.state_transfers_served += 1
+
+    def _restore_snapshot(self, snapshot: _StateTransferSnapshot) -> None:
+        """Load a peer snapshot into every local backend, then catch up."""
+        with self._apply_lock:
+            dump = PortableDump.from_json(snapshot.dump)
+            octopus = self.local.checkpointing_service.octopus
+            restored = []
+            for backend in self.local.backends:
+                engine = self.local.backend_engine(backend.name)
+                if engine is None:
+                    continue
+                octopus.restore_engine(dump, engine, truncate=True)
+                restored.append(backend)
+            # record the transfer point in our own recovery log so local
+            # backend re-integration has a baseline to replay from
+            recovery_log = self.local.checkpointing_service.recovery_log
+            if recovery_log is not None and snapshot.marker:
+                recovery_log.insert_checkpoint_marker(snapshot.marker)
+            tail = [LogEntry.from_json(text) for text in snapshot.entries]
+            if tail:
+                for backend in restored:
+                    if backend.is_enabled:
+                        self.local.request_manager.replay_log_entries(backend, tail)
+            self._last_applied_sequence = snapshot.last_sequence
+            self._finish_sync(snapshot)
+
+    def _finish_sync(self, snapshot: _StateTransferSnapshot) -> None:
+        """Drain writes buffered during the bootstrap; called under _apply_lock."""
+        while True:
+            with self._sync_lock:
+                if not self._sync_buffer:
+                    self._syncing = False
+                    break
+                buffered = self._sync_buffer
+                self._sync_buffer = []
+            for message in buffered:
+                sequence = message.sequence or 0
+                if sequence and sequence <= snapshot.last_sequence:
+                    continue  # the snapshot already contains this write
+                self._apply_command(message.payload)
+                if sequence:
+                    self._last_applied_sequence = sequence
+        self.state_synced_from = snapshot.peer
 
     # -- group delivery -----------------------------------------------------------------
 
@@ -291,6 +541,15 @@ class DistributedVirtualDatabase:
 
     def _on_message(self, message: GroupMessage) -> None:
         payload = message.payload
+        if isinstance(payload, _StateTransferRequest):
+            if payload.requester != self.controller_name:
+                self._serve_state_transfer(payload.requester)
+            return
+        if isinstance(payload, _StateTransferSnapshot):
+            if payload.requester == self.controller_name:
+                self._snapshot = payload
+                self._snapshot_event.set()
+            return
         if isinstance(payload, _BackendFailureEvent):
             if payload.controller != self.controller_name:
                 self.peer_failures.append(
@@ -323,7 +582,17 @@ class DistributedVirtualDatabase:
             return
         if not isinstance(payload, _WriteCommand):
             return
-        result = self._apply_command(payload)
+        with self._sync_lock:
+            if self._syncing:
+                # our snapshot bootstrap is in flight: buffer the write, the
+                # drain in _finish_sync decides (by sequence) whether the
+                # snapshot already contains it
+                self._sync_buffer.append(message)
+                return
+        with self._apply_lock:
+            result = self._apply_command(payload)
+            if message.sequence:
+                self._last_applied_sequence = message.sequence
         if payload.origin == self.controller_name and result is not None:
             with self._lock:
                 self._local_results[message.message_id] = result

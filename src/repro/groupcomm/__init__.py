@@ -7,12 +7,22 @@ groups:
 
 * :class:`GroupChannel` — join/leave a named group, send totally ordered
   multicasts, receive view-change notifications;
-* :class:`GroupTransport` — the shared medium implementing total order (a
-  sequencer), reliable delivery and failure injection for tests.
+* :class:`GroupTransport` — the shared in-process medium implementing total
+  order (a sequencer), reliable delivery and failure injection for tests;
+* :class:`SocketGroupTransport` — the same contract over real TCP sockets:
+  one node per controller process, sequencer-based total order, heartbeat
+  failure detection and view changes across processes.
 """
 
 from repro.groupcomm.channel import GroupChannel
 from repro.groupcomm.message import GroupMessage, ViewChange
+from repro.groupcomm.socket_transport import SocketGroupTransport
 from repro.groupcomm.transport import GroupTransport
 
-__all__ = ["GroupChannel", "GroupMessage", "GroupTransport", "ViewChange"]
+__all__ = [
+    "GroupChannel",
+    "GroupMessage",
+    "GroupTransport",
+    "SocketGroupTransport",
+    "ViewChange",
+]

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import threading
 from dataclasses import dataclass, field
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.errors import GroupCommunicationError
 
 _sequence = itertools.count(1)
 _sequence_lock = threading.Lock()
@@ -45,3 +48,51 @@ class ViewChange:
     joined: List[str] = field(default_factory=list)
     left: List[str] = field(default_factory=list)
     view_id: int = 0
+
+
+# ---------------------------------------------------------------------------
+# payload wire codec
+# ---------------------------------------------------------------------------
+#
+# The in-process transport hands payload objects around by reference; the
+# socket transport must serialize them.  Registered payload dataclasses
+# round-trip as ``{"@payload": <class name>, "fields": {...}}`` documents; a
+# class needing to restore non-JSON field types (tuples, nested tuples)
+# defines a ``from_wire(fields)`` classmethod.  Plain JSON-safe values pass
+# through untouched, so tests can multicast bare strings over either
+# transport.
+
+_WIRE_TAG = "@payload"
+
+#: class name -> registered payload dataclass
+_PAYLOAD_TYPES: Dict[str, type] = {}
+
+
+def register_payload(cls: type) -> type:
+    """Class decorator registering a payload dataclass for wire transport."""
+    _PAYLOAD_TYPES[cls.__name__] = cls
+    return cls
+
+
+def payload_to_wire(payload: Any) -> Any:
+    """Wire-safe document for ``payload`` (passthrough for plain values)."""
+    cls = type(payload)
+    if _PAYLOAD_TYPES.get(cls.__name__) is cls:
+        return {_WIRE_TAG: cls.__name__, "fields": dataclasses.asdict(payload)}
+    return payload
+
+
+def payload_from_wire(document: Any) -> Any:
+    """Invert :func:`payload_to_wire`."""
+    if isinstance(document, Mapping) and _WIRE_TAG in document:
+        cls = _PAYLOAD_TYPES.get(str(document[_WIRE_TAG]))
+        if cls is None:
+            raise GroupCommunicationError(
+                f"unknown group payload type {document[_WIRE_TAG]!r}"
+            )
+        fields = dict(document.get("fields") or {})
+        from_wire = getattr(cls, "from_wire", None)
+        if from_wire is not None:
+            return from_wire(fields)
+        return cls(**fields)
+    return document

@@ -164,6 +164,29 @@ class GroupTransport:
         self.messages_delivered += 1
         return message
 
+    # -- monitoring -------------------------------------------------------------------------
+
+    def describe(self) -> dict:
+        """Transport status for the console's ``group`` command."""
+        with self._lock:
+            groups = {
+                group: {
+                    "members": sorted(members),
+                    "view_id": self._view_ids.get(group, 0),
+                    "sequence": self._sequences.get(group, 0),
+                    # the in-process medium itself is the (only) sequencer
+                    "sequencer": self.name,
+                    "is_sequencer": True,
+                }
+                for group, members in self._groups.items()
+            }
+            return {
+                "transport": "inproc",
+                "groups": groups,
+                "messages_sent": self.messages_sent,
+                "messages_delivered": self.messages_delivered,
+            }
+
     # -- internals --------------------------------------------------------------------------
 
     def _notify_view_change(self, group: str, joined: List[str], left: List[str]) -> None:

@@ -295,6 +295,22 @@ class RemoteVirtualDatabase:
         except ControllerError:
             return False
 
+    def heartbeat(self) -> None:
+        """One-way liveness beacon: keeps the server's idle timeout at bay.
+
+        Unlike :meth:`ping` there is no reply to wait for, so a heartbeater
+        thread can beacon while this session sits between frames.
+        """
+        with self._lock:
+            if not self._alive:
+                raise ControllerError(
+                    f"connection to controller {self.controller.name} is closed"
+                )
+            try:
+                self.frames.send_heartbeat({})
+            except (ConnectionClosed, OSError) as exc:
+                raise self._dead(exc) from exc
+
     def close(self) -> None:
         """Say goodbye and drop the socket; the session cannot be reused."""
         with self._lock:
@@ -412,6 +428,7 @@ def connect_remote(
     user: str = "",
     password: str = "",
     connect_timeout: float = DEFAULT_CONNECT_TIMEOUT,
+    retry_policy=None,
 ):
     """Open a DB-API connection to controllers listening on TCP addresses.
 
@@ -420,6 +437,8 @@ def connect_remote(
     plain :class:`repro.core.driver.VirtualConnection`; every driver feature
     — transactions, prepared statements, batching, controller failover with
     transparent re-prepare — works identically to the in-process mode.
+    ``retry_policy`` (a :class:`repro.core.retry.RetryPolicy`) upgrades the
+    failover loop from one rotation pass to bounded retries with backoff.
     """
     from repro.core.driver import VirtualConnection
 
@@ -431,7 +450,9 @@ def connect_remote(
         RemoteController(address, database, user, password, connect_timeout)
         for address in addresses
     ]
-    return VirtualConnection(controllers, database, user, password)
+    return VirtualConnection(
+        controllers, database, user, password, retry_policy=retry_policy
+    )
 
 
 __all__ = [

@@ -35,6 +35,8 @@ import datetime as _dt
 import json
 import socket
 import struct
+import threading
+import time
 from decimal import Decimal
 from enum import IntEnum
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
@@ -69,6 +71,8 @@ class MessageType(IntEnum):
     CLOSE_STATEMENT = 0x09
     PING = 0x0A
     GOODBYE = 0x0B
+    #: one-way liveness beacon; absorbed inside FrameSocket.recv, never returned
+    HEARTBEAT = 0x0C
 
     WELCOME = 0x20
     OK = 0x21
@@ -77,6 +81,15 @@ class MessageType(IntEnum):
     RESULT_HEADER = 0x24
     RESULT_ROWS = 0x25
     RESULT_END = 0x26
+
+    # group-communication frames (controller <-> controller, repro.groupcomm)
+    GROUP_JOIN = 0x30
+    GROUP_LEAVE = 0x31
+    GROUP_MCAST = 0x32
+    GROUP_DELIVER = 0x33
+    GROUP_SEND = 0x34
+    GROUP_VIEW = 0x35
+    GROUP_SUSPECT = 0x36
 
 
 class ConnectionClosed(ProtocolError):
@@ -189,6 +202,13 @@ class FrameSocket:
     socket timeout *between* frames (never mid-frame); whatever it raises
     aborts the wait — the server uses this for idle-timeout and drain
     handling without tearing down half-received frames.
+
+    ``HEARTBEAT`` frames are pure liveness: ``recv`` absorbs them (updating
+    ``last_heartbeat_at`` and the optional ``on_heartbeat`` hook) and keeps
+    waiting for a real frame, so a heartbeating peer counts as alive for
+    idle-timeout purposes without ever surfacing in request/response flows.
+    Sends are serialized by a lock so a heartbeater thread can share the
+    socket with a request/response thread.
     """
 
     def __init__(self, sock: socket.socket):
@@ -197,12 +217,25 @@ class FrameSocket:
         self.bytes_out = 0
         self.frames_in = 0
         self.frames_out = 0
+        self.heartbeats_in = 0
+        self.heartbeats_out = 0
+        #: monotonic timestamp of the last HEARTBEAT absorbed (0.0 = never)
+        self.last_heartbeat_at = 0.0
+        #: optional callable(body) invoked for each absorbed HEARTBEAT
+        self.on_heartbeat: Optional[Callable[[Dict[str, Any]], None]] = None
+        self._send_lock = threading.Lock()
 
     def send(self, message_type: int, body: Optional[Mapping] = None) -> None:
         data = encode_frame(message_type, body)
-        self.sock.sendall(data)
+        with self._send_lock:
+            self.sock.sendall(data)
         self.bytes_out += len(data)
         self.frames_out += 1
+
+    def send_heartbeat(self, body: Optional[Mapping] = None) -> None:
+        """Send a one-way liveness beacon (no reply is expected)."""
+        self.send(MessageType.HEARTBEAT, body)
+        self.heartbeats_out += 1
 
     def _recv_exactly(
         self,
@@ -231,14 +264,26 @@ class FrameSocket:
     def recv(
         self, idle_callback: Optional[Callable[[], None]] = None
     ) -> Tuple[MessageType, Dict[str, Any]]:
-        header = self._recv_exactly(_LENGTH.size, idle_callback, frame_started=False)
-        (length,) = _LENGTH.unpack(header)
-        if length == 0 or length > MAX_FRAME_BYTES:
-            raise ProtocolError(f"invalid frame length {length}")
-        payload = self._recv_exactly(length, idle_callback, frame_started=True)
-        self.bytes_in += _LENGTH.size + length
-        self.frames_in += 1
-        return decode_frame_payload(payload)
+        while True:
+            header = self._recv_exactly(_LENGTH.size, idle_callback, frame_started=False)
+            (length,) = _LENGTH.unpack(header)
+            if length == 0 or length > MAX_FRAME_BYTES:
+                raise ProtocolError(f"invalid frame length {length}")
+            payload = self._recv_exactly(length, idle_callback, frame_started=True)
+            self.bytes_in += _LENGTH.size + length
+            self.frames_in += 1
+            message_type, body = decode_frame_payload(payload)
+            if message_type is MessageType.HEARTBEAT:
+                self.heartbeats_in += 1
+                self.last_heartbeat_at = time.monotonic()
+                callback = self.on_heartbeat
+                if callback is not None:
+                    try:
+                        callback(body)
+                    except Exception:  # liveness must never kill the reader
+                        pass
+                continue
+            return message_type, body
 
     def close(self) -> None:
         try:

@@ -408,9 +408,12 @@ class ControllerServer:
     def _idle_callback(self, session: _Session) -> None:
         if self._draining:
             raise _SessionDrained()
+        # heartbeats count as liveness: a client blocked on a long-running
+        # statement keeps the session alive by beaconing between frames
+        last_alive = max(session.last_activity, session.frames.last_heartbeat_at)
         if (
             self.idle_timeout is not None
-            and time.monotonic() - session.last_activity > self.idle_timeout
+            and time.monotonic() - last_alive > self.idle_timeout
         ):
             raise _SessionIdle()
 

@@ -1,8 +1,8 @@
 """Tier-1 runs of the chaos scenario harness.
 
-The three cheapest scenarios are additionally marked ``bench_smoke`` so the
-CI perf-gate job replays them on every PR (the satellite requirement of at
-least 3 tiny seeded failover scenarios per PR).
+The cheapest scenarios (including the controller-crash pair, at reduced
+scale) are additionally marked ``bench_smoke`` so the CI perf-gate job
+replays them on every PR.
 """
 
 import pytest
@@ -100,6 +100,26 @@ class TestDigests:
         left.execute("INSERT INTO t VALUES (1, 'only-left')")
         problems = digest_mismatches({"l": left, "r": right})
         assert problems and "t" in problems[0]
+
+
+class TestControllerCrashScenarios:
+    """The PR-7 pair: sequencer crash failover and live controller rejoin."""
+
+    @pytest.mark.parametrize("seed", [7, 11, 13])
+    def test_crash_failover_deterministic_across_seeds(self, seed):
+        result = run_chaos_scenario("controller_crash_failover", seed=seed, scale=0.4)
+        assert result.ok, result.violations
+        # the client rode the sequencer's death on retries alone
+        assert result.details["driver_failovers"] >= 1
+        assert result.details["new_sequencer"] != result.details["killed_sequencer"]
+        assert len(result.details["survivor_views"]) == 2
+
+    @pytest.mark.parametrize("seed", [7, 11, 13])
+    def test_rejoin_converges_via_state_transfer(self, seed):
+        result = run_chaos_scenario("controller_rejoin", seed=seed, scale=0.4)
+        assert result.ok, result.violations
+        assert result.details["state_synced_from"] is not None
+        assert sum(result.details["transfers_served"].values()) >= 1
 
 
 class TestRemoteDisconnectScenario:

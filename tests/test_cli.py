@@ -165,6 +165,26 @@ class TestConfigCommands:
         assert main(["check-config", str(disabled)], stdout=out) == 0
         assert "parsing cache: disabled" in out.getvalue()
 
+    def test_check_config_handles_grouped_vdbs(self, tmp_path):
+        # regression: the distributed replica wrapper must expose the
+        # pipeline the topology report prints
+        import json
+
+        config = tmp_path / "grouped.json"
+        config.write_text(
+            json.dumps(
+                {
+                    "virtual_databases": [
+                        {"name": "ccgdb", "group_name": "ccg", "backends": ["db"]}
+                    ],
+                    "controllers": [{"name": "ccg-a"}, {"name": "ccg-b"}],
+                }
+            )
+        )
+        out = io.StringIO()
+        assert main(["check-config", str(config)], stdout=out) == 0
+        assert out.getvalue().count("interceptors: metrics") == 2
+
     def test_check_config_rejects_bad_parsing_cache_size(self, tmp_path):
         path = tmp_path / "cluster.json"
         path.write_text(
@@ -295,6 +315,60 @@ class TestServeCommand:
         out = io.StringIO()
         assert main(["serve", "--config", str(config)], stdout=out) == 1
         assert "no controller in the descriptor has a 'listen:' section" in out.getvalue()
+
+    TWO_CONTROLLER_DESCRIPTOR = {
+        "virtual_databases": [
+            {
+                "name": "splitdb",
+                "group_name": "split",
+                "recovery_log": "memory",
+                "backends": ["sp0"],
+                "group": {"transport": "tcp", "heartbeat_interval": 0.05},
+            }
+        ],
+        "controllers": [
+            {"name": "split-a", "listen": {"port": 0}},
+            {"name": "split-b", "listen": {"port": 0}},
+        ],
+    }
+
+    def _write_two_controller_config(self, tmp_path):
+        import json
+
+        config = tmp_path / "split.json"
+        config.write_text(json.dumps(self.TWO_CONTROLLER_DESCRIPTOR))
+        return str(config)
+
+    def test_serve_only_one_controller_of_the_descriptor(self, tmp_path):
+        out = io.StringIO()
+        code = main(
+            [
+                "serve",
+                "--config", self._write_two_controller_config(tmp_path),
+                "--controller", "split-b",
+                "--duration", "0.2",
+            ],
+            stdout=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "listening split-b 127.0.0.1 " in text
+        assert "split-a" not in text.replace("split-ab", "")  # only split-b booted
+
+    def test_serve_unknown_controller_errors_with_known_names(self, tmp_path):
+        out = io.StringIO()
+        code = main(
+            [
+                "serve",
+                "--config", self._write_two_controller_config(tmp_path),
+                "--controller", "ghost",
+            ],
+            stdout=out,
+        )
+        assert code == 1
+        text = out.getvalue()
+        assert "error:" in text
+        assert "split-a" in text and "split-b" in text
 
     def test_check_config_reports_listen_sections(self, tmp_path):
         import json

@@ -227,6 +227,123 @@ class TestDescriptorValidation:
             descriptor.virtual_database("ghost")
 
 
+class TestGroupAndRetrySections:
+    """``group:`` (transport wiring) and ``retry:`` (client policy) sections."""
+
+    def _descriptor(self, group=None, retry=None, controllers=None):
+        vdb = {"name": "gdb", "backends": ["ge0"], "group_name": "g"}
+        if group is not None:
+            vdb["group"] = group
+        if retry is not None:
+            vdb["retry"] = retry
+        document = {"virtual_databases": [vdb]}
+        if controllers is not None:
+            document["controllers"] = controllers
+        return document
+
+    def test_group_defaults_to_inproc(self):
+        spec = parse_descriptor(self._descriptor(group={})).virtual_database("gdb")
+        assert spec.group.transport == "inproc"
+        assert spec.group.heartbeat_interval == 0.5
+        assert spec.group.heartbeat_threshold == 3
+        assert spec.group.rpc_timeout == 10.0
+        assert spec.group.members == {}
+
+    def test_absent_group_section_means_none(self):
+        spec = parse_descriptor(self._descriptor()).virtual_database("gdb")
+        assert spec.group is None
+        assert spec.retry is None
+
+    def test_tcp_group_with_fixed_members(self):
+        document = self._descriptor(
+            group={
+                "transport": "tcp",
+                "heartbeat_interval": 0.1,
+                "heartbeat_threshold": 5,
+                "rpc_timeout": 2.5,
+                "members": {"ca": "127.0.0.1:26001", "cb": "127.0.0.1:26002"},
+            },
+            controllers=[
+                {"name": "ca", "virtual_databases": ["gdb"]},
+                {"name": "cb", "virtual_databases": ["gdb"]},
+            ],
+        )
+        spec = parse_descriptor(document).virtual_database("gdb")
+        assert spec.group.transport == "tcp"
+        assert spec.group.heartbeat_interval == 0.1
+        assert spec.group.heartbeat_threshold == 5
+        assert spec.group.rpc_timeout == 2.5
+        assert spec.group.members == {
+            "ca": "127.0.0.1:26001",
+            "cb": "127.0.0.1:26002",
+        }
+
+    def test_retry_section_builds_a_policy(self):
+        document = self._descriptor(
+            retry={"attempts": 5, "backoff": 0.1, "timeout": 20, "seed": 3}
+        )
+        spec = parse_descriptor(document).virtual_database("gdb")
+        assert spec.retry.max_attempts == 5
+        assert spec.retry.backoff == 0.1
+        assert spec.retry.operation_timeout == 20.0
+        assert spec.retry.seed == 3
+
+    def test_empty_retry_section_means_defaults(self):
+        spec = parse_descriptor(self._descriptor(retry={})).virtual_database("gdb")
+        assert spec.retry is not None
+        assert spec.retry.max_attempts == 3
+
+    @pytest.mark.parametrize(
+        "group, message",
+        [
+            ("tcp", r"group: expected a mapping"),
+            ({"transport": "pigeon"}, r"group\.transport: expected one of"),
+            ({"bogus": 1}, r"group: unknown key"),
+            ({"heartbeat_interval": -1}, r"heartbeat_interval"),
+            ({"heartbeat_threshold": 0}, r"heartbeat_threshold"),
+            ({"members": {"ca": "127.0.0.1:26001"}},
+             r"members: fixed member addresses only apply to the 'tcp' transport"),
+            ({"transport": "tcp", "members": {"ca": "no-port"}},
+             r"members\.ca: expected a 'host:port' group address"),
+            ({"transport": "tcp", "members": {"ca": "h:99999"}},
+             r"members\.ca: expected a 'host:port' group address"),
+        ],
+    )
+    def test_malformed_group_sections(self, group, message):
+        with pytest.raises(ConfigurationError, match=message):
+            parse_descriptor(self._descriptor(group=group))
+
+    @pytest.mark.parametrize(
+        "retry, message",
+        [
+            ("fast", r"retry: expected a mapping"),
+            ({"bogus": 1}, r"retry: unknown key"),
+            ({"attempts": 0}, r"retry: .*max_attempts"),
+            ({"attempts": "lots"}, r"retry: invalid retry option"),
+            ({"jitter": 2}, r"retry: .*jitter"),
+        ],
+    )
+    def test_malformed_retry_sections(self, retry, message):
+        with pytest.raises(ConfigurationError, match=message):
+            parse_descriptor(self._descriptor(retry=retry))
+
+    def test_group_requires_group_name(self):
+        document = self._descriptor(group={"transport": "tcp"})
+        del document["virtual_databases"][0]["group_name"]
+        with pytest.raises(ConfigurationError, match="needs group_name"):
+            parse_descriptor(document)
+
+    def test_member_addresses_must_name_known_controllers(self):
+        document = self._descriptor(
+            group={"transport": "tcp", "members": {"ghost": "127.0.0.1:26001"}},
+            controllers=[{"name": "ca", "virtual_databases": ["gdb"]}],
+        )
+        with pytest.raises(
+            ConfigurationError, match=r"group\.members: unknown controller 'ghost'"
+        ):
+            parse_descriptor(document)
+
+
 class TestListenSection:
     def _descriptor(self, listen):
         return {

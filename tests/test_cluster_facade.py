@@ -234,6 +234,103 @@ class TestDescriptorBoot:
             cluster.virtual_database("hosted", controller="other-ctrl")
 
 
+def tcp_group_descriptor(suffix: str, retry=None) -> dict:
+    vdb = {
+        "name": f"tgdb{suffix}",
+        "group_name": f"tg-{suffix}",
+        "recovery_log": "memory",
+        "backends": ["db"],
+        "group": {
+            "transport": "tcp",
+            "heartbeat_interval": 0.05,
+            "rpc_timeout": 5.0,
+        },
+    }
+    if retry is not None:
+        vdb["retry"] = retry
+    return {
+        "name": f"tg-{suffix}",
+        "virtual_databases": [vdb],
+        "controllers": [{"name": f"tg-{suffix}-a"}, {"name": f"tg-{suffix}-b"}],
+    }
+
+
+class TestTcpGroupBoot:
+    """Descriptor-driven boot of grouped vdbs over the socket transport."""
+
+    def test_each_controller_gets_its_own_socket_node(self):
+        cluster = load_cluster(tcp_group_descriptor("nodes"))
+        try:
+            assert sorted(cluster.group_nodes) == ["tg-nodes-a", "tg-nodes-b"]
+            node_a = cluster.group_nodes["tg-nodes-a"]
+            node_b = cluster.group_nodes["tg-nodes-b"]
+            assert node_a is not node_b
+            assert node_a.address != node_b.address
+            # the second controller joined the first one's group over TCP
+            replica_b = cluster.replicas[("tg-nodes-b", "tgdbnodes")]
+            assert sorted(replica_b.group_members) == ["tg-nodes-a", "tg-nodes-b"]
+            assert replica_b.state_synced_from == "tg-nodes-a"
+        finally:
+            cluster.shutdown()
+
+    def test_writes_replicate_through_the_socket_group(self):
+        cluster = load_cluster(tcp_group_descriptor("wr"))
+        try:
+            connection = cluster.connect("tgdbwr")
+            connection.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+            connection.execute("INSERT INTO t VALUES (1), (2)")
+            assert cluster.engine("tg-wr-a/db").row_count("t") == 2
+            assert cluster.engine("tg-wr-b/db").row_count("t") == 2
+        finally:
+            cluster.shutdown()
+
+    def test_descriptor_retry_policy_reaches_connections(self):
+        cluster = load_cluster(
+            tcp_group_descriptor("rp", retry={"attempts": 5, "backoff": 0.01})
+        )
+        try:
+            connection = cluster.connect("tgdbrp")
+            assert connection._retry_policy.max_attempts == 5
+            # URL options win over the descriptor default
+            url_connection = repro.connect(
+                "cjdbc://tg-rp-a/tgdbrp?retry_attempts=2"
+            )
+            assert url_connection._retry_policy.max_attempts == 2
+        finally:
+            cluster.shutdown()
+
+    def test_shutdown_stops_every_group_node(self):
+        cluster = load_cluster(tcp_group_descriptor("down"))
+        nodes = list(cluster.group_nodes.values())
+        assert all(node.is_running for node in nodes)
+        cluster.shutdown()
+        assert not cluster.group_nodes
+        assert all(not node.is_running for node in nodes)
+
+
+class TestOnlyController:
+    """One-process-per-controller deployments boot a descriptor subset."""
+
+    def test_boots_only_the_named_controller(self):
+        cluster = load_cluster(ha_descriptor("only"), only_controller="ha-only-b")
+        assert list(cluster.controllers) == ["ha-only-b"]
+        # the single booted controller still serves its vdb
+        connection = cluster.connect("hadbonly", "app", "secret")
+        assert connection.execute("SELECT 1").scalar() == 1
+        cluster.shutdown()
+
+    def test_name_matching_is_case_insensitive(self):
+        cluster = load_cluster(ha_descriptor("case2"), only_controller="HA-CASE2-A")
+        assert list(cluster.controllers) == ["ha-case2-a"]
+        cluster.shutdown()
+
+    def test_unknown_controller_lists_known_names(self):
+        with pytest.raises(
+            ConfigurationError, match="ghost.*ha-ghosted-a.*ha-ghosted-b"
+        ):
+            load_cluster(ha_descriptor("ghosted"), only_controller="ghost")
+
+
 class TestProgrammaticAssembly:
     def test_from_configs_with_custom_engine(self):
         engine = DatabaseEngine("prog-engine")

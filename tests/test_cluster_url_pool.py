@@ -328,3 +328,77 @@ class TestPoolCheckoutStats:
         assert all_stats[0]["checkouts"] == 1
         assert "exhaustions" in all_stats[0]
         assert pool_cluster.statistics()["pools"] == all_stats
+
+
+class TestStaleConnectionDiscard:
+    """A controller dying while a connection idles in the pool must surface
+    as a silent discard-and-replace on the next checkout, never as a handed
+    out connection that fails its first statement."""
+
+    def test_remote_session_is_ping_probed_on_checkout(self):
+        from tests.conftest import make_cluster
+
+        from repro.cluster import ConnectionPool
+        from repro.net import ControllerServer, connect_remote
+
+        controller, _, _ = make_cluster("staledb")
+        server = ControllerServer(controller)
+        host, port = server.start()
+        address = f"{host}:{port}"
+        pool = ConnectionPool(
+            factory=lambda: connect_remote([address], "staledb", "u", "p"),
+            max_size=2,
+        )
+        handle = pool.checkout()
+        assert handle.execute("SELECT 1").scalar() == 1
+        handle.release()
+        assert pool.idle == 1
+        # the server dies while the connection sits idle in the pool
+        server.stop(drain=False)
+        with pytest.raises(Exception):  # only controller gone: factory fails too
+            pool.checkout()
+        stats = pool.statistics()
+        assert stats["stale_discards"] == 1
+        assert stats["discarded"] == 1
+        assert stats["idle"] == 0
+
+    def test_stale_discard_is_replaced_when_a_controller_remains(self):
+        """Same probe, but the factory can still reach a live front-end: the
+        borrower transparently gets a fresh working connection."""
+        from tests.conftest import make_cluster
+
+        from repro.cluster import ConnectionPool
+        from repro.core import Controller
+        from repro.net import ControllerServer, connect_remote
+
+        controller, vdb, _ = make_cluster("staledb2")
+        standby = Controller("staledb2-standby", register=False)
+        standby.add_virtual_database(vdb)
+        primary_server = ControllerServer(controller)
+        standby_server = ControllerServer(standby)
+        addresses = ["%s:%d" % primary_server.start()]
+        standby_address = "%s:%d" % standby_server.start()
+        try:
+            # dial order: the session under test talks to the primary only,
+            # while replacements opened later may use the standby as well
+            pool = ConnectionPool(
+                factory=lambda: connect_remote(
+                    addresses, "staledb2", "u", "p"
+                ),
+                max_size=2,
+            )
+            pool.checkout().release()
+            primary_server.stop(drain=False)
+            addresses.append(standby_address)
+            handle = pool.checkout()  # stale one discarded, fresh one opened
+            assert handle.execute("SELECT 1").scalar() == 1
+            handle.release()
+            assert pool.statistics()["stale_discards"] == 1
+        finally:
+            standby_server.stop(drain=False)
+
+    def test_in_process_connections_are_not_ping_probed(self, pool_cluster):
+        pool = pool_cluster.pool("pooldb", user="u", password="p", max_size=1)
+        pool.checkout().release()
+        pool.checkout().release()
+        assert pool.statistics()["stale_discards"] == 0

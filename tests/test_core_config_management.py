@@ -240,6 +240,32 @@ class TestConsoleNetworkViews:
         finally:
             controller.shutdown()
 
+    def test_group_usage_and_non_distributed_vdb(self):
+        controller, _vdb, _engines = make_cluster("grpconsole")
+        console = AdminConsole(controller)
+        assert console.execute("group") == "usage: group <vdb>"
+        assert "not distributed" in console.execute("group grpconsole")
+        assert "group" in console.execute("help")
+
+    def test_group_reports_membership_and_sequencer(self):
+        import json as _json
+
+        from repro.cluster import load_cluster
+
+        cluster = load_cluster(
+            {
+                "virtual_databases": [
+                    {"name": "gcdb", "group_name": "gc", "backends": ["db"]}
+                ],
+                "controllers": [{"name": "gc-a"}, {"name": "gc-b"}],
+            }
+        )
+        console = AdminConsole(cluster.controller("gc-a"))
+        status = _json.loads(console.execute("group gcdb"))
+        assert sorted(status["members"]) == ["gc-a", "gc-b"]
+        assert status["controller"] == "gc-a"
+        cluster.shutdown()
+
     def test_pools_needs_a_cluster(self):
         controller, _vdb, _engines = make_cluster("poolconsole")
         assert "no cluster attached" in AdminConsole(controller).execute("pools")

@@ -79,6 +79,85 @@ class TestReplicaLifecycle:
         assert counts == {15}
 
 
+class TestJoiningControllerStateTransfer:
+    """A controller joining a running group syncs its replica from a peer."""
+
+    def _make_replica(self, db_name, controller_name, transport):
+        controller, vdb, engines = make_cluster(db_name, backend_count=1)
+        controller.name = controller_name  # distinct names within one group
+        replica = DistributedVirtualDatabase(
+            vdb, transport, controller_name=controller_name
+        )
+        return replica, engines[0]
+
+    def test_late_joiner_catches_up_over_inproc_transport(self):
+        transport = GroupTransport()
+        replica_a, engine_a = self._make_replica("stx", "stx-a", transport)
+        replica_a.join_group()
+        replica_a.execute("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(10))")
+        for key in range(5):
+            replica_a.execute("INSERT INTO t VALUES (?, ?)", (key, f"v{key}"))
+
+        replica_b, engine_b = self._make_replica("stx", "stx-b", transport)
+        replica_b.join_group(state_transfer=True)
+        assert replica_b.state_synced_from == "stx-a"
+        assert replica_a.state_transfers_served == 1
+        assert engine_b.execute("SELECT COUNT(*) FROM t").scalar() == 5
+
+        # post-join writes flow both ways through the group
+        replica_b.execute("INSERT INTO t VALUES (100, 'late')")
+        assert engine_a.execute("SELECT COUNT(*) FROM t").scalar() == 6
+
+    def test_late_joiner_catches_up_over_tcp_transport(self):
+        from repro.groupcomm import SocketGroupTransport
+
+        node_a = SocketGroupTransport(
+            heartbeat_interval=0.05, heartbeat_threshold=3, rpc_timeout=5.0,
+            name="stx-tcp-a",
+        )
+        node_a.start()
+        node_b = SocketGroupTransport(
+            peers=[node_a.address], heartbeat_interval=0.05,
+            heartbeat_threshold=3, rpc_timeout=5.0, name="stx-tcp-b",
+        )
+        node_b.start()
+        try:
+            replica_a, _ = self._make_replica("stxtcp", "stx-tcp-a", node_a)
+            replica_a.join_group()
+            replica_a.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+            replica_a.execute("INSERT INTO t VALUES (1), (2), (3)")
+
+            replica_b, engine_b = self._make_replica("stxtcp", "stx-tcp-b", node_b)
+            replica_b.join_group(state_transfer=True)
+            assert replica_b.state_synced_from == "stx-tcp-a"
+            assert engine_b.execute("SELECT COUNT(*) FROM t").scalar() == 3
+            replica_a.execute("INSERT INTO t VALUES (4)")
+            assert engine_b.execute("SELECT COUNT(*) FROM t").scalar() == 4
+        finally:
+            node_a.stop()
+            node_b.stop()
+
+    def test_first_member_state_transfer_degrades_to_plain_join(self):
+        transport = GroupTransport()
+        replica, _ = self._make_replica("stxsolo", "stx-solo", transport)
+        replica.join_group(state_transfer=True)
+        assert replica.state_synced_from is None
+        assert replica.group_members == ["stx-solo"]
+
+    def test_group_status_reports_sync_provenance(self):
+        transport = GroupTransport()
+        replica_a, _ = self._make_replica("stxst", "stxst-a", transport)
+        replica_a.join_group()
+        replica_a.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        replica_b, _ = self._make_replica("stxst", "stxst-b", transport)
+        replica_b.join_group(state_transfer=True)
+        status = replica_b.group_status()
+        assert status["state_synced_from"] == "stxst-a"
+        assert sorted(status["members"]) == ["stxst-a", "stxst-b"]
+        status_a = replica_a.group_status()
+        assert status_a["state_transfers_served"] == 1
+
+
 class TestMixedTopology:
     def test_horizontal_plus_vertical(self):
         """Figure 5: replicated top-level controllers, each over its own nested subtree."""

@@ -1,66 +1,149 @@
-"""Tests for the group communication substrate (total order, membership, failures)."""
+"""Group communication tests, parameterized over both transports.
 
+Every contract test runs twice: once over the in-process medium
+(:class:`GroupTransport`) and once over real TCP group nodes
+(:class:`SocketGroupTransport`, one node per member on the loopback).  The
+two transports must be observably interchangeable — same membership
+semantics, same total order, same failure surface — because
+:class:`repro.distrib.DistributedVirtualDatabase` runs over either.
+"""
+
+import random
 import threading
+import time
 
 import pytest
 
 from repro.errors import GroupCommunicationError
-from repro.groupcomm import GroupChannel, GroupTransport
+from repro.groupcomm import GroupChannel, GroupTransport, SocketGroupTransport
 
 
-def make_member(transport, name, group="g"):
-    channel = GroupChannel(transport, name)
+def wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+class InProcessMedium:
+    """The shared single-process transport: one object serves every member."""
+
+    kind = "inproc"
+
+    def __init__(self):
+        self.transport = GroupTransport()
+
+    def transport_for(self, name):
+        return self.transport
+
+    def fail_member(self, name):
+        self.transport.fail_member(name)
+
+    def partition(self, sender, receiver):
+        self.transport.partition(sender, receiver)
+
+    def heal_partition(self, sender, receiver):
+        self.transport.heal_partition(sender, receiver)
+
+    def close(self):
+        pass
+
+
+class SocketMedium:
+    """One TCP group node per member, discovering each other over the loopback."""
+
+    kind = "socket"
+
+    def __init__(self):
+        self.nodes = []
+        self.by_name = {}
+
+    def transport_for(self, name):
+        peers = [node.address for node in self.nodes if node.is_running]
+        node = SocketGroupTransport(
+            peers=peers,
+            heartbeat_interval=0.05,
+            heartbeat_threshold=3,
+            rpc_timeout=5.0,
+            name=name,
+        )
+        node.start()
+        self.nodes.append(node)
+        self.by_name[name] = node
+        return node
+
+    def fail_member(self, name):
+        self.by_name[name].kill()
+
+    def partition(self, sender, receiver):
+        # delivery filtering happens on the receiving node
+        self.by_name[receiver].partition(sender, receiver)
+
+    def heal_partition(self, sender, receiver):
+        self.by_name[receiver].heal_partition(sender, receiver)
+
+    def close(self):
+        for node in self.nodes:
+            node.stop()
+
+
+@pytest.fixture(params=["inproc", "socket"])
+def medium(request):
+    medium = InProcessMedium() if request.param == "inproc" else SocketMedium()
+    yield medium
+    medium.close()
+
+
+def make_member(medium, name, group="g"):
+    channel = GroupChannel(medium.transport_for(name), name)
     received = []
-    channel.set_message_handler(lambda message: received.append(message))
+    channel.set_message_handler(received.append)
     views = []
-    channel.set_view_handler(lambda view: views.append(view))
+    channel.set_view_handler(views.append)
     channel.connect(group)
     return channel, received, views
 
 
 class TestMembership:
-    def test_join_and_members(self):
-        transport = GroupTransport()
-        a, _, _ = make_member(transport, "a")
-        b, _, _ = make_member(transport, "b")
+    def test_join_and_members(self, medium):
+        a, _, _ = make_member(medium, "a")
+        b, _, _ = make_member(medium, "b")
         assert a.members() == ["a", "b"]
         assert b.members() == ["a", "b"]
 
-    def test_duplicate_join_rejected(self):
-        transport = GroupTransport()
-        make_member(transport, "a")
+    def test_duplicate_join_rejected(self, medium):
+        make_member(medium, "a")
         with pytest.raises(GroupCommunicationError):
-            make_member(transport, "a")
+            make_member(medium, "a")
 
-    def test_leave_triggers_view_change(self):
-        transport = GroupTransport()
-        a, _, views_a = make_member(transport, "a")
-        b, _, _ = make_member(transport, "b")
+    def test_leave_triggers_view_change(self, medium):
+        a, _, views_a = make_member(medium, "a")
+        b, _, _ = make_member(medium, "b")
         b.disconnect()
-        assert a.members() == ["a"]
+        assert wait_until(lambda: a.members() == ["a"])
         assert views_a[-1].left == ["b"]
 
-    def test_fail_member(self):
-        transport = GroupTransport()
-        a, _, views_a = make_member(transport, "a")
-        make_member(transport, "b")
-        transport.fail_member("b")
-        assert a.members() == ["a"]
+    def test_fail_member_is_detected_and_evicted(self, medium):
+        a, _, views_a = make_member(medium, "a")
+        make_member(medium, "b")
+        medium.fail_member("b")
+        # sockets detect the silence through missed heartbeats, so poll
+        assert wait_until(lambda: a.members() == ["a"])
         assert views_a[-1].left == ["b"]
 
-    def test_double_connect_rejected(self):
-        transport = GroupTransport()
-        a, _, _ = make_member(transport, "a")
+    def test_double_connect_rejected(self, medium):
+        a, _, _ = make_member(medium, "a")
         with pytest.raises(GroupCommunicationError):
             a.connect("another")
 
 
 class TestTotalOrder:
-    def test_all_members_receive_in_same_order(self):
-        transport = GroupTransport()
-        a, received_a, _ = make_member(transport, "a")
-        b, received_b, _ = make_member(transport, "b")
-        c, received_c, _ = make_member(transport, "c")
+    def test_all_members_receive_in_same_order(self, medium):
+        a, received_a, _ = make_member(medium, "a")
+        b, received_b, _ = make_member(medium, "b")
+        c, received_c, _ = make_member(medium, "c")
         a.multicast("m1")
         b.multicast("m2")
         c.multicast("m3")
@@ -69,15 +152,13 @@ class TestTotalOrder:
         sequences = [m.sequence for m in received_a]
         assert sequences == sorted(sequences)
 
-    def test_sender_receives_its_own_message(self):
-        transport = GroupTransport()
-        a, received_a, _ = make_member(transport, "a")
+    def test_sender_receives_its_own_message(self, medium):
+        a, received_a, _ = make_member(medium, "a")
         a.multicast("hello")
         assert [m.payload for m in received_a] == ["hello"]
 
-    def test_concurrent_multicasts_are_totally_ordered(self):
-        transport = GroupTransport()
-        members = [make_member(transport, f"m{i}") for i in range(3)]
+    def test_concurrent_multicasts_are_totally_ordered(self, medium):
+        members = [make_member(medium, f"m{i}") for i in range(3)]
 
         def sender(channel, prefix):
             for i in range(20):
@@ -95,35 +176,145 @@ class TestTotalOrder:
         assert orders[0] == orders[1] == orders[2]
         assert len(orders[0]) == 60
 
-    def test_multicast_requires_membership(self):
-        transport = GroupTransport()
-        channel = GroupChannel(transport, "loner")
+    def test_multicast_requires_membership(self, medium):
+        channel = GroupChannel(medium.transport_for("loner"), "loner")
         with pytest.raises(GroupCommunicationError):
             channel.multicast("nope")
 
-    def test_point_to_point_send(self):
-        transport = GroupTransport()
-        a, received_a, _ = make_member(transport, "a")
-        b, received_b, _ = make_member(transport, "b")
+    def test_point_to_point_send(self, medium):
+        a, received_a, _ = make_member(medium, "a")
+        b, received_b, _ = make_member(medium, "b")
         a.send_to("b", {"kind": "state-transfer"})
-        assert received_b[-1].payload == {"kind": "state-transfer"}
+        assert wait_until(lambda: received_b and received_b[-1].payload == {"kind": "state-transfer"})
         assert received_a == []
 
-    def test_partition_drops_messages(self):
-        transport = GroupTransport()
-        a, _, _ = make_member(transport, "a")
-        b, received_b, _ = make_member(transport, "b")
-        transport.partition("a", "b")
+    def test_partition_drops_messages(self, medium):
+        a, _, _ = make_member(medium, "a")
+        b, received_b, _ = make_member(medium, "b")
+        medium.partition("a", "b")
         a.multicast("lost-for-b")
         assert received_b == []
-        transport.heal_partition("a", "b")
+        medium.heal_partition("a", "b")
         a.multicast("seen-by-b")
         assert [m.payload for m in received_b] == ["seen-by-b"]
 
-    def test_transport_statistics(self):
-        transport = GroupTransport()
-        a, _, _ = make_member(transport, "a")
-        make_member(transport, "b")
+    def test_transport_statistics(self, medium):
+        a, _, _ = make_member(medium, "a")
+        make_member(medium, "b")
         a.multicast("x")
-        assert transport.messages_sent == 1
-        assert transport.messages_delivered == 2  # delivered to both members
+        if medium.kind == "inproc":
+            assert medium.transport.messages_sent == 1
+            assert medium.transport.messages_delivered == 2  # both members
+        else:
+            assert medium.by_name["a"].messages_sent == 1
+            assert wait_until(
+                lambda: medium.by_name["a"].messages_delivered
+                + medium.by_name["b"].messages_delivered
+                == 2
+            )
+
+    def test_describe_reports_group_and_sequencer(self, medium):
+        a, _, _ = make_member(medium, "a")
+        make_member(medium, "b")
+        a.multicast("x")
+        status = a.transport.describe()
+        assert status["transport"] == ("inproc" if medium.kind == "inproc" else "tcp")
+        group = status["groups"]["g"]
+        assert sorted(group["members"]) == ["a", "b"]
+        assert group["sequence"] >= 1
+
+
+class TestSeededTotalOrderProperty:
+    """Seeded concurrent workloads must produce identical total orders.
+
+    The property the distributed vdb stands on: whatever the interleaving,
+    every member observes the same delivery sequence, each sender's own
+    messages stay in send order (senders block until delivery), and the
+    sequence numbers are strictly increasing.  Runs on both transports with
+    several seeds.
+    """
+
+    @pytest.mark.parametrize("seed", [3, 5, 9])
+    def test_identical_total_order_across_members(self, medium, seed):
+        members = [make_member(medium, f"m{i}") for i in range(3)]
+        rng = random.Random(seed)
+        plans = {
+            channel.member_name: [
+                f"{channel.member_name}:{i}:{rng.randrange(1 << 20)}" for i in range(12)
+            ]
+            for channel, _, _ in members
+        }
+
+        def sender(channel):
+            for payload in plans[channel.member_name]:
+                channel.multicast(payload)
+
+        threads = [
+            threading.Thread(target=sender, args=(channel,))
+            for channel, _, _ in members
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        orders = [[m.payload for m in received] for _, received, _ in members]
+        assert orders[0] == orders[1] == orders[2]
+        assert len(orders[0]) == 36
+        for channel, _, _ in members:
+            name = channel.member_name
+            own = [p for p in orders[0] if p.startswith(f"{name}:")]
+            assert own == plans[name]
+        sequences = [m.sequence for m in members[0][1]]
+        assert all(b > a for a, b in zip(sequences, sequences[1:]))
+
+
+class TestSocketFailureDetection:
+    """Socket-specific behaviour: crash detection, re-election, continuity."""
+
+    def test_sequencer_crash_elects_successor_and_numbering_continues(self):
+        medium = SocketMedium()
+        try:
+            members = [make_member(medium, name) for name in ("a", "b", "c")]
+            channels = {channel.member_name: channel for channel, _, _ in members}
+            channels["a"].multicast("before-crash")
+            last_sequence = members[0][1][-1].sequence
+
+            def order(node):
+                host, _, port = node.address.rpartition(":")
+                return (host, int(port))
+
+            sequencer_node = min(medium.nodes, key=order)
+            sequencer_name = sequencer_node.name
+            survivors = sorted(set(channels) - {sequencer_name})
+            sequencer_node.kill()
+            survivor_channels = [channels[name] for name in survivors]
+            assert wait_until(
+                lambda: all(
+                    channel.members() == survivors for channel in survivor_channels
+                ),
+                timeout=10.0,
+            )
+            message = survivor_channels[0].multicast("after-crash")
+            assert message.sequence > last_sequence
+            for name in survivors:
+                received = next(r for c, r, _ in members if c.member_name == name)
+                assert received[-1].payload == "after-crash"
+        finally:
+            medium.close()
+
+    def test_rpc_timeout_configured(self):
+        node = SocketGroupTransport(rpc_timeout=1.5, name="t")
+        assert node.rpc_timeout == 1.5
+
+    def test_killed_node_refuses_further_use(self):
+        medium = SocketMedium()
+        try:
+            make_member(medium, "a")
+            medium.fail_member("a")
+            node = medium.by_name["a"]
+            assert not node.is_running
+            with pytest.raises(GroupCommunicationError):
+                node.start()
+        finally:
+            medium.close()

@@ -1,0 +1,172 @@
+"""Client retry/backoff policy: the dataclass and the driver's retry loop."""
+
+import threading
+import time
+
+import pytest
+
+from tests.conftest import make_cluster
+
+from repro.core import Controller, connect
+from repro.core.retry import RetryPolicy
+from repro.errors import CJDBCError, ControllerError, DatabaseError
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+        assert policy.backoff == 0.05
+        assert policy.backoff_multiplier == 2.0
+        assert policy.operation_timeout is None
+
+    def test_delay_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(backoff=0.1, backoff_multiplier=2.0, backoff_max=0.35,
+                             jitter=0.0)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        # 0.4 would exceed the cap
+        assert policy.delay(3) == pytest.approx(0.35)
+        assert policy.delay(9) == pytest.approx(0.35)
+
+    def test_delay_zero_cases(self):
+        assert RetryPolicy().delay(0) == 0.0
+        assert RetryPolicy(backoff=0.0).delay(5) == 0.0
+
+    def test_jitter_is_seeded_and_bounded(self):
+        policy = RetryPolicy(backoff=0.1, jitter=0.5, seed=42)
+        first = [policy.delay(a, policy.rng()) for a in (1, 2, 3)]
+        second = [policy.delay(a, policy.rng()) for a in (1, 2, 3)]
+        assert first == second  # same seed, same jitter
+        for attempt, delay in zip((1, 2, 3), first):
+            base = min(0.1 * (2.0 ** (attempt - 1)), policy.backoff_max)
+            assert base * 0.5 <= delay <= base * 1.5
+
+    def test_only_controller_errors_are_retryable(self):
+        assert RetryPolicy.is_retryable(ControllerError("down"))
+        assert not RetryPolicy.is_retryable(DatabaseError("bad sql"))
+        assert not RetryPolicy.is_retryable(ValueError("nope"))
+
+    @pytest.mark.parametrize(
+        "kwargs, message",
+        [
+            ({"max_attempts": 0}, "max_attempts"),
+            ({"backoff": -0.1}, "negative"),
+            ({"backoff_max": -1.0}, "negative"),
+            ({"jitter": 1.5}, "jitter"),
+            ({"operation_timeout": 0}, "timeout"),
+        ],
+    )
+    def test_validation(self, kwargs, message):
+        with pytest.raises(CJDBCError, match=message):
+            RetryPolicy(**kwargs)
+
+    def test_from_options_absent_returns_none(self):
+        assert RetryPolicy.from_options({}) is None
+        assert RetryPolicy.from_options({"user": "app"}) is None
+
+    def test_from_options_parses_url_strings(self):
+        policy = RetryPolicy.from_options(
+            {
+                "retry_attempts": "5",
+                "retry_backoff": "0.1",
+                "retry_backoff_max": "1.5",
+                "retry_jitter": "0",
+                "retry_timeout": "30",
+                "retry_seed": "7",
+            }
+        )
+        assert policy.max_attempts == 5
+        assert policy.backoff == pytest.approx(0.1)
+        assert policy.backoff_max == pytest.approx(1.5)
+        assert policy.jitter == 0.0
+        assert policy.operation_timeout == pytest.approx(30.0)
+        assert policy.seed == 7
+
+    def test_from_options_partial_keeps_defaults(self):
+        policy = RetryPolicy.from_options({"retry_attempts": 4})
+        assert policy.max_attempts == 4
+        assert policy.backoff == RetryPolicy.backoff
+        assert policy.operation_timeout is None
+        # policies are always truthy so `from_options(...) or fallback` works
+        assert bool(policy)
+
+    def test_from_options_bad_value_raises(self):
+        with pytest.raises(CJDBCError, match="invalid retry option"):
+            RetryPolicy.from_options({"retry_attempts": "lots"})
+        with pytest.raises(CJDBCError, match="max_attempts"):
+            RetryPolicy.from_options({"retry_attempts": 0})
+
+
+def make_pair(label):
+    controller_a, vdb, engines = make_cluster(label, backend_count=1)
+    controller_b = Controller(f"{label}-standby")
+    controller_b.add_virtual_database(vdb)
+    return controller_a, controller_b, vdb, engines
+
+
+class TestDriverRetryLoop:
+    def test_retries_until_a_controller_comes_back(self):
+        controller_a, controller_b, _, engines = make_pair("retrydb")
+        policy = RetryPolicy(max_attempts=40, backoff=0.02, backoff_max=0.05,
+                             jitter=0.0, seed=1)
+        connection = connect([controller_a, controller_b], "retrydb", "u", "p",
+                             retry_policy=policy)
+        connection.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        controller_a.shutdown()
+        controller_b.shutdown()
+
+        def resurrect():
+            time.sleep(0.15)
+            controller_b.restart()
+
+        thread = threading.Thread(target=resurrect)
+        thread.start()
+        # the write blocks in the retry loop until controller_b restarts
+        connection.execute("INSERT INTO t VALUES (1)")
+        thread.join()
+        assert connection.retries >= 1
+        assert connection.failovers >= 1
+        assert engines[0].execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+    def test_attempts_exhausted_raises(self):
+        controller_a, controller_b, _, _ = make_pair("retrydb2")
+        policy = RetryPolicy(max_attempts=3, backoff=0.001, jitter=0.0)
+        connection = connect([controller_a, controller_b], "retrydb2", "u", "p",
+                             retry_policy=policy)
+        controller_a.shutdown()
+        controller_b.shutdown()
+        with pytest.raises(DatabaseError, match="all 3 attempts failed"):
+            connection.execute("SELECT 1")
+        assert connection.retries == 2  # first try is not a retry
+
+    def test_operation_timeout_bounds_the_loop(self):
+        controller_a, controller_b, _, _ = make_pair("retrydb3")
+        policy = RetryPolicy(max_attempts=10_000, backoff=0.02, backoff_max=0.05,
+                             jitter=0.0, operation_timeout=0.2)
+        connection = connect([controller_a, controller_b], "retrydb3", "u", "p",
+                             retry_policy=policy)
+        controller_a.shutdown()
+        controller_b.shutdown()
+        started = time.monotonic()
+        with pytest.raises(DatabaseError, match="timed out"):
+            connection.execute("SELECT 1")
+        assert time.monotonic() - started < 5.0
+
+    def test_non_retryable_errors_pass_straight_through(self):
+        controller_a, controller_b, _, _ = make_pair("retrydb4")
+        policy = RetryPolicy(max_attempts=50, backoff=0.01, jitter=0.0)
+        connection = connect([controller_a, controller_b], "retrydb4", "u", "p",
+                             retry_policy=policy)
+        with pytest.raises(CJDBCError):
+            connection.execute("SELECT * FROM missing_table")
+        assert connection.retries == 0
+
+    def test_without_policy_single_pass_failover_still_works(self):
+        controller_a, controller_b, _, engines = make_pair("retrydb5")
+        connection = connect([controller_a, controller_b], "retrydb5", "u", "p")
+        connection.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        controller_a.shutdown()
+        connection.execute("INSERT INTO t VALUES (1)")
+        assert connection.failovers >= 1
+        assert connection.retries == 0
