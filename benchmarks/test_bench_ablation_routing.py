@@ -1,0 +1,37 @@
+"""Ablation: cost-based query routing vs read-policy routing (RAIDb-2).
+
+The cost-based planner promotes the static cost-model service times into
+live per-backend EWMAs and routes each read to the cheapest capable
+backend.  This ablation runs the real middleware on two partial-replication
+layouts: a uniform layout where every table lives on every backend (the
+planner must not be slower than the lprf read policy) and a skewed TPC-W
+style layout where the co-located tables share a slow backend (the planner
+must route around it).  The committed ``BENCH_routing.json`` baseline is
+gated by ``tests/test_bench_smoke.py``.
+"""
+
+from __future__ import annotations
+
+from repro.bench import check_routing_baseline, run_routing_ablation
+
+
+def test_ablation_cost_based_routing(benchmark, once, capsys):
+    results = once(benchmark, run_routing_ablation)
+    with capsys.disabled():
+        print()
+        print("Cost-based routing vs lprf read policy (3 backends, RAIDb-2)")
+        for layout_name, layout in sorted(results["layouts"].items()):
+            print(
+                f"  {layout_name:8}: policy {layout['policy']['reads_per_second']:7.1f} r/s"
+                f"  cost {layout['cost']['reads_per_second']:7.1f} r/s"
+                f"  speedup {layout['cost_speedup']:.2f}x"
+                f"  (slow-backend share: policy"
+                f" {layout['policy']['slow_read_fraction']:.1%},"
+                f" cost {layout['cost']['slow_read_fraction']:.1%})"
+            )
+
+    assert check_routing_baseline(results) == []
+    skewed = results["layouts"]["skewed"]
+    # the lprf policy sees equal queue depths and keeps feeding the slow
+    # backend; the cost model avoids it except for exploration probes
+    assert skewed["cost"]["slow_read_fraction"] < skewed["policy"]["slow_read_fraction"]

@@ -5,8 +5,12 @@ RAIDb-2 partial replication: the read-mostly catalogue tables (item, author,
 customer, ...) are replicated everywhere, while the write-heavy ordering
 tables (orders, order_line, cc_xacts, shopping_cart*) live on two backends
 only.  The whole placement — including the replication map — is declarative
-descriptor data.  A shopping-mix session is then run through the middleware
-and the routing statistics show where reads and writes went.
+descriptor data.  Routing is cost-based: the query planner tracks live
+per-backend service times (EWMA per statement class) and routes each read to
+the cheapest capable backend, with scatter-gather enabled for multi-table
+reads over disjoint partitions.  A shopping-mix session is then run through
+the middleware, ``EXPLAIN ROUTE`` shows the plans behind the routing, and
+the statistics show where reads and writes went.
 
 Run with:  python examples/tpcw_partial_replication.py
 """
@@ -35,6 +39,10 @@ DESCRIPTOR = {
             "replication": "raidb2",
             "replication_map": REPLICATION_MAP,
             "load_balancing_policy": "lprf",
+            # cost-based routing: reads go to the cheapest capable backend
+            # (live EWMA service times x queue depth x pool pressure), and
+            # multi-table reads over disjoint partitions scatter-gather
+            "routing": {"policy": "cost", "scatter_gather": True},
             "backends": BACKENDS,
         }
     ],
@@ -68,13 +76,40 @@ def main() -> None:
     for _ in range(120):
         interactions.run(next(stream))
 
-    print("\nper-backend request counts (reads are balanced, writes follow placement):")
+    # EXPLAIN ROUTE: the driver-level prefix returns the route plan the
+    # planner would use, without executing the statement.
+    cursor = connection.cursor()
+    print("\nEXPLAIN ROUTE SELECT * FROM item WHERE i_id = 1")
+    cursor.execute("EXPLAIN ROUTE SELECT * FROM item WHERE i_id = 1")
+    for field, value in cursor.fetchall():
+        print(f"  {field:<18} {value}")
+
+    print("\nEXPLAIN ROUTE SELECT i_title, o_id FROM item, orders WHERE ...")
+    cursor.execute(
+        "EXPLAIN ROUTE SELECT item.i_title, orders.o_id FROM item, orders"
+        " WHERE item.i_id = orders.o_id ORDER BY orders.o_id"
+    )
+    for field, value in cursor.fetchall():
+        print(f"  {field:<18} {value}")
+
+    print("\nper-backend request counts (cost routing balances reads, writes follow placement):")
     for backend in virtual_database.backends:
         stats = backend.statistics()
+        ewma = ", ".join(
+            f"{cls}={ms:.2f}ms" for cls, ms in stats["service_time_ewma_ms"].items()
+        )
         print(
             f"  {backend.name}: {stats['total_reads']} reads, "
             f"{stats['total_writes']} writes, {stats['total_transactions']} transactions"
+            f" (service EWMA: {ewma})"
         )
+
+    planner_stats = virtual_database.request_manager.statistics()["planner"]
+    print(
+        f"\nplanner: {planner_stats['plans_built']} plans built,"
+        f" {planner_stats['plan_cache_hits']} template-cache hits,"
+        f" {planner_stats['invalidations']} invalidations"
+    )
 
     orders = [
         cluster.engine(name).execute("SELECT COUNT(*) FROM orders").scalar()

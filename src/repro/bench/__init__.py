@@ -18,16 +18,20 @@ from repro.bench.chaos import (
 )
 from repro.bench.harness import (
     HOTPATH_REGRESSION_TOLERANCE,
+    ROUTING_BENCH_VERSION,
     HotpathScenarioResult,
     OverheadResult,
     check_hotpath_baseline,
+    check_routing_baseline,
     run_hotpath_microbenchmark,
     run_loadbalancer_ablation,
     run_optimization_ablation,
     run_overhead_microbenchmark,
     run_rubis_cache_experiment,
+    run_routing_ablation,
     run_tpcw_scalability,
     write_hotpath_json,
+    write_routing_json,
 )
 from repro.bench.report import (
     format_hotpath_report,
@@ -40,9 +44,11 @@ __all__ = [
     "CHAOS_SMOKE_SCENARIOS",
     "ChaosResult",
     "HOTPATH_REGRESSION_TOLERANCE",
+    "ROUTING_BENCH_VERSION",
     "HotpathScenarioResult",
     "OverheadResult",
     "check_hotpath_baseline",
+    "check_routing_baseline",
     "format_chaos_report",
     "format_hotpath_report",
     "format_rubis_table",
@@ -53,8 +59,10 @@ __all__ = [
     "run_loadbalancer_ablation",
     "run_optimization_ablation",
     "run_overhead_microbenchmark",
+    "run_routing_ablation",
     "run_rubis_cache_experiment",
     "run_tpcw_scalability",
     "table_digests",
     "write_hotpath_json",
+    "write_routing_json",
 ]

@@ -233,6 +233,202 @@ def run_loadbalancer_ablation(
 
 
 # ---------------------------------------------------------------------------
+# Routing ablation: cost-based planner vs read-policy routing (RAIDb-2)
+# ---------------------------------------------------------------------------
+
+#: bumped when layouts or semantics change, so stale baselines fail loudly
+ROUTING_BENCH_VERSION = 1
+
+#: gates applied by check_routing_baseline to a committed run
+ROUTING_MIN_SKEWED_SPEEDUP = 1.3
+ROUTING_MIN_UNIFORM_SPEEDUP = 0.9
+
+
+def _build_routing_vdb(label: str, routing_policy: str, replication_map: Dict[str, list]):
+    configs = [
+        BackendConfig(name=f"backend{i}", engine=DatabaseEngine(f"routing-{label}-{i}"))
+        for i in range(3)
+    ]
+    cluster = Cluster.from_configs(
+        VirtualDatabaseConfig(
+            name="routingdb",
+            backends=configs,
+            replication="raidb2",
+            load_balancing_policy="lprf",
+            replication_map=replication_map,
+            routing_policy=routing_policy,
+            recovery_log="none",
+        ),
+        controller_name=f"routing-{label}",
+    )
+    return cluster.virtual_database("routingdb")
+
+
+def run_routing_ablation(
+    requests: int = 2400,
+    slow_latency_ms: float = 2.0,
+    warmup_requests: int = 100,
+) -> dict:
+    """Cost-based routing vs read-policy routing on two RAIDb-2 layouts.
+
+    Functional ablation (real middleware, real engines) behind the committed
+    ``BENCH_routing.json`` baseline:
+
+    * ``uniform`` — every table replicated on all three backends, no faults.
+      Cost-based routing must not be slower than the lprf read policy
+      (its estimates all tie, so it degenerates to the same choice).
+    * ``skewed`` — TPC-W-style partial replication (``item`` everywhere,
+      ``orders``/``order_line`` co-located on backend0+backend1) with a
+      ``slow_latency_ms`` fault armed on backend0.  The lprf policy sees
+      equal pending depths and keeps landing reads on the slow host; the
+      cost model learns its EWMA service time and avoids it except for the
+      periodic exploration probe, so cost-based routing must be at least
+      :data:`ROUTING_MIN_SKEWED_SPEEDUP` times faster.
+
+    Returns the document written to ``BENCH_routing.json``: per-layout
+    wall-clock seconds per routing mode, the cost/policy speedup and the
+    fraction of reads each mode sent to the slow backend.
+    """
+    all_backends = ["backend0", "backend1", "backend2"]
+    layouts = {
+        "uniform": {
+            "replication_map": {t: all_backends for t in ("item", "orders", "order_line")},
+            "slow_backend": None,
+        },
+        "skewed": {
+            "replication_map": {
+                "item": all_backends,
+                "orders": ["backend0", "backend1"],
+                "order_line": ["backend0", "backend1"],
+            },
+            "slow_backend": "backend0",
+        },
+    }
+    results: Dict[str, dict] = {}
+    for layout_name, layout in layouts.items():
+        layout_result: Dict[str, object] = {}
+        for routing_policy in ("policy", "cost"):
+            vdb = _build_routing_vdb(
+                f"{layout_name}-{routing_policy}", routing_policy, layout["replication_map"]
+            )
+            manager = vdb.request_manager
+            manager.execute("CREATE TABLE item (i_id INT PRIMARY KEY, i_title VARCHAR(32))")
+            manager.execute("CREATE TABLE orders (o_id INT PRIMARY KEY, o_total INT)")
+            manager.execute(
+                "CREATE TABLE order_line (ol_id INT PRIMARY KEY, ol_o_id INT, ol_qty INT)"
+            )
+            for key in range(100):
+                manager.execute(
+                    "INSERT INTO item (i_id, i_title) VALUES (?, ?)", (key, f"title-{key}")
+                )
+                manager.execute(
+                    "INSERT INTO orders (o_id, o_total) VALUES (?, ?)", (key, key * 10)
+                )
+            # arm the slow backend only after the setup writes: the ablation
+            # measures read routing, not broadcast writes
+            if layout["slow_backend"]:
+                vdb.fault_injector(layout["slow_backend"]).inject(
+                    "latency", latency_ms=slow_latency_ms, probability=1.0
+                )
+            # warm-up: let the cost model's EWMAs observe every backend (and
+            # keep the fair comparison — both modes get the same warm-up)
+            for key in range(warmup_requests):
+                manager.execute("SELECT o_total FROM orders WHERE o_id = ?", (key % 100,))
+            warmup_reads = {b.name: b.total_reads for b in vdb.backends}
+            seconds = _time_loop(
+                lambda i: manager.execute(
+                    "SELECT o_total FROM orders WHERE o_id = ?", (i % 100,)
+                ),
+                requests,
+            )
+            slow_name = layout["slow_backend"]
+            total_reads = sum(
+                backend.total_reads - warmup_reads[backend.name]
+                for backend in vdb.backends
+            )
+            slow_reads = (
+                vdb.get_backend(slow_name).total_reads - warmup_reads[slow_name]
+                if slow_name
+                else 0
+            )
+            layout_result[routing_policy] = {
+                "seconds": round(seconds, 6),
+                "reads_per_second": round(requests / seconds, 1) if seconds > 0 else 0.0,
+                "slow_read_fraction": (
+                    round(slow_reads / total_reads, 4) if total_reads else 0.0
+                ),
+            }
+        policy_seconds = layout_result["policy"]["seconds"]
+        cost_seconds = layout_result["cost"]["seconds"]
+        layout_result["cost_speedup"] = (
+            round(policy_seconds / cost_seconds, 2) if cost_seconds > 0 else 0.0
+        )
+        results[layout_name] = layout_result
+    return {
+        "benchmark": "routing",
+        "version": ROUTING_BENCH_VERSION,
+        "config": {
+            "requests": requests,
+            "slow_latency_ms": slow_latency_ms,
+            "warmup_requests": warmup_requests,
+        },
+        "layouts": results,
+    }
+
+
+def write_routing_json(results: dict, path: Union[str, Path]) -> Path:
+    """Write the routing-ablation results where the baseline gate finds them."""
+    path = Path(path)
+    path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def check_routing_baseline(
+    results: Union[dict, str, Path],
+    min_skewed_speedup: float = ROUTING_MIN_SKEWED_SPEEDUP,
+    min_uniform_speedup: float = ROUTING_MIN_UNIFORM_SPEEDUP,
+) -> List[str]:
+    """Gate a routing-ablation run (or the committed baseline document).
+
+    Returns human-readable problem messages; empty means the run shows
+    cost-based routing at least ``min_skewed_speedup`` times faster than the
+    read policy on the skewed layout and no worse than ``min_uniform_speedup``
+    of it on the uniform layout.
+    """
+    if not isinstance(results, dict):
+        results_path = Path(results)
+        if not results_path.exists():
+            return [f"routing baseline {str(results_path)!r} does not exist"]
+        try:
+            results = json.loads(results_path.read_text())
+        except json.JSONDecodeError as exc:
+            return [f"routing baseline {str(results_path)!r} is not valid JSON: {exc}"]
+    problems: List[str] = []
+    if results.get("version") != ROUTING_BENCH_VERSION:
+        problems.append(
+            f"routing baseline version {results.get('version')!r} does not match"
+            f" harness version {ROUTING_BENCH_VERSION!r}; regenerate the baseline"
+        )
+        return problems
+    layouts = results.get("layouts", {})
+    for layout_name, minimum in (
+        ("skewed", min_skewed_speedup),
+        ("uniform", min_uniform_speedup),
+    ):
+        layout = layouts.get(layout_name)
+        if layout is None:
+            problems.append(f"layout {layout_name!r} missing from routing results")
+            continue
+        speedup = layout.get("cost_speedup", 0.0)
+        if speedup < minimum:
+            problems.append(
+                f"layout {layout_name!r}: cost-based routing speedup {speedup:.2f}x"
+                f" is below the {minimum:.2f}x gate"
+            )
+    return problems
+
+
+# ---------------------------------------------------------------------------
 # Middleware overhead micro-benchmark (functional, wall clock)
 # ---------------------------------------------------------------------------
 

@@ -341,6 +341,19 @@ def _run_check_config(config_path: str, stdout) -> int:
                 f" (stages: {' -> '.join(vdb.pipeline.stage_names)})",
                 file=stdout,
             )
+            routing = spec.routing
+            if routing is not None:
+                weights = (
+                    "weights: "
+                    + ", ".join(f"{k}={v:g}" for k, v in sorted(routing.weights.items()))
+                    if routing.weights
+                    else "default weights"
+                )
+                print(
+                    f"      routing: {routing.policy} (scatter_gather:"
+                    f" {'on' if routing.scatter_gather else 'off'}; {weights})",
+                    file=stdout,
+                )
     for spec in cluster.descriptor.controllers:
         if spec.listen is not None:
             idle = (

@@ -32,6 +32,7 @@ from repro.cluster.descriptor import (
     BackendSpec,
     ClusterDescriptor,
     ControllerSpec,
+    RoutingSpec,
     VirtualDatabaseSpec,
     load_descriptor,
     parse_descriptor,
@@ -50,6 +51,7 @@ __all__ = [
     "ControllerRegistry",
     "ControllerSpec",
     "PooledConnection",
+    "RoutingSpec",
     "VirtualDatabaseSpec",
     "connect",
     "default_registry",

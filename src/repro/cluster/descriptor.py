@@ -75,6 +75,7 @@ _VDB_KEYS = {
     "group_name",
     "group",
     "retry",
+    "routing",
     "replication_map",
     "partition_map",
     "failure_detector",
@@ -88,6 +89,9 @@ _LISTEN_KEYS = {"host", "port", "max_connections", "idle_timeout", "backlog"}
 _GROUP_KEYS = {"transport", "heartbeat_interval", "heartbeat_threshold", "rpc_timeout", "members"}
 _GROUP_TRANSPORTS = {"inproc", "tcp"}
 _RETRY_KEYS = {"attempts", "backoff", "backoff_multiplier", "backoff_max", "jitter", "timeout", "seed"}
+_ROUTING_KEYS = {"policy", "scatter_gather", "weights"}
+_ROUTING_POLICIES = {"cost", "policy"}
+_ROUTING_WEIGHT_KEYS = {"pending", "pool", "service_time"}
 
 
 # ---------------------------------------------------------------------------
@@ -127,6 +131,26 @@ class GroupSpec:
 
 
 @dataclass
+class RoutingSpec:
+    """A vdb's ``routing:`` section: how reads pick among capable backends.
+
+    ``policy: "policy"`` (the default) keeps the classic behaviour — the
+    configured read policy (rr/wrr/lprf) picks from the capable set.
+    ``policy: "cost"`` routes each read to the cheapest capable backend by
+    live cost estimate (measured service time × queue depth × pool
+    pressure, weighted by ``weights``).  ``scatter_gather: true`` lets a
+    multi-table read over disjoint RAIDb-2 partitions scatter per-table
+    fragments and merge them on the controller instead of failing with
+    :class:`~repro.errors.NotReplicatedError`.
+    """
+
+    policy: str = "policy"
+    scatter_gather: bool = False
+    #: cost-formula weight overrides (pending / pool / service_time)
+    weights: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
 class VirtualDatabaseSpec:
     """One validated virtual database entry of a cluster descriptor."""
 
@@ -153,6 +177,8 @@ class VirtualDatabaseSpec:
     group: Optional[GroupSpec] = None
     #: client retry/backoff defaults for connections to this vdb
     retry: Optional[RetryPolicy] = None
+    #: query routing configuration (None = policy routing, no scatter-gather)
+    routing: Optional[RoutingSpec] = None
     replication_map: Dict[str, List[str]] = field(default_factory=dict)
     partition_map: Dict[str, str] = field(default_factory=dict)
     #: reads failing this many times on one backend disable it
@@ -214,6 +240,9 @@ class VirtualDatabaseSpec:
             partition_map=dict(self.partition_map),
             read_error_threshold=self.read_error_threshold,
             auto_resync=self.auto_resync,
+            routing_policy=self.routing.policy if self.routing else "policy",
+            routing_scatter_gather=bool(self.routing and self.routing.scatter_gather),
+            routing_weights=dict(self.routing.weights) if self.routing else {},
         )
 
 
@@ -502,6 +531,7 @@ def _parse_virtual_database(entry: Any, where: str) -> VirtualDatabaseSpec:
         group_name=group_name,
         group=group,
         retry=_parse_retry(entry, where),
+        routing=_parse_routing(entry, where),
         replication_map=replication_map,
         partition_map=partition_map,
         read_error_threshold=read_error_threshold,
@@ -550,6 +580,36 @@ def _parse_group(vdb: Mapping, where: str) -> Optional[GroupSpec]:
         heartbeat_threshold=_get_int(group, "heartbeat_threshold", f"{where}.group", 3),
         rpc_timeout=_get_number(group, "rpc_timeout", f"{where}.group", 10.0),
         members=members,
+    )
+
+
+def _parse_routing(vdb: Mapping, where: str) -> Optional[RoutingSpec]:
+    if "routing" not in vdb:
+        return None
+    routing = vdb["routing"]
+    if not isinstance(routing, Mapping):
+        _fail(f"{where}.routing", f"expected a mapping, got {type(routing).__name__}")
+    _check_keys(routing, _ROUTING_KEYS, f"{where}.routing")
+    policy = _get_str(routing, "policy", f"{where}.routing", "policy") or "policy"
+    if policy not in _ROUTING_POLICIES:
+        _fail(
+            f"{where}.routing.policy",
+            f"expected one of: {', '.join(sorted(_ROUTING_POLICIES))}, got {policy!r}",
+        )
+    weights_section = _get_mapping(routing, "weights", f"{where}.routing")
+    _check_keys(weights_section, _ROUTING_WEIGHT_KEYS, f"{where}.routing.weights")
+    weights: Dict[str, float] = {}
+    for key, value in weights_section.items():
+        weight_where = f"{where}.routing.weights.{key}"
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            _fail(weight_where, f"expected a number, got {value!r}")
+        if not 0 <= value <= 100:
+            _fail(weight_where, f"must be between 0 and 100, got {value!r}")
+        weights[key] = float(value)
+    return RoutingSpec(
+        policy=policy,
+        scatter_gather=_get_bool(routing, "scatter_gather", f"{where}.routing", False),
+        weights=weights,
     )
 
 

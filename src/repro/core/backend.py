@@ -14,6 +14,7 @@ least-pending-requests-first load balancer.
 from __future__ import annotations
 
 import threading
+import time
 from enum import Enum
 from typing import Callable, Dict, Iterable, List, Optional, Set
 
@@ -24,6 +25,7 @@ from repro.core.connection_manager import (
 from repro.core.faults import FaultInjector
 from repro.core.request import AbstractRequest, RequestResult
 from repro.errors import BackendError, DatabaseError
+from repro.planner.plan import BATCH, classify_statement
 
 
 class BackendState(Enum):
@@ -73,6 +75,9 @@ class DatabaseBackend:
         self.total_batched_statements = 0
         self.total_transactions_begun = 0
         self.failures = 0
+        #: EWMA of measured service time (seconds) keyed by planner
+        #: statement class — the live input behind cost-based routing
+        self._service_time_ewma: Dict[str, float] = {}
         self.last_known_checkpoint: Optional[str] = None
         #: optional deterministic fault source wrapped around the connection
         #: layer (chaos testing); None costs nothing on the hot path
@@ -198,6 +203,11 @@ class DatabaseBackend:
 
     # -- load metrics ---------------------------------------------------------------
 
+    #: smoothing factor for the per-class service-time EWMA; 0.2 lets a
+    #: changed backend (new load, injected latency) dominate the estimate
+    #: within roughly a dozen measurements without tracking per-request noise
+    SERVICE_TIME_EWMA_ALPHA = 0.2
+
     @property
     def pending_requests(self) -> int:
         with self._counters_lock:
@@ -212,9 +222,48 @@ class DatabaseBackend:
             else:
                 self.total_writes += 1
 
-    def _request_finished(self) -> None:
+    def _request_finished(
+        self,
+        statement_class: Optional[str] = None,
+        elapsed: Optional[float] = None,
+    ) -> None:
         with self._counters_lock:
             self._pending_requests = max(0, self._pending_requests - 1)
+            if statement_class is None or elapsed is None:
+                return
+            previous = self._service_time_ewma.get(statement_class)
+            if previous is None:
+                self._service_time_ewma[statement_class] = elapsed
+            else:
+                alpha = self.SERVICE_TIME_EWMA_ALPHA
+                self._service_time_ewma[statement_class] = (
+                    alpha * elapsed + (1.0 - alpha) * previous
+                )
+
+    @property
+    def service_time_ewma(self) -> Dict[str, float]:
+        """Per statement class EWMA of measured service time, in seconds."""
+        with self._counters_lock:
+            return dict(self._service_time_ewma)
+
+    def pool_pressure(self) -> float:
+        """Fraction of the connection pool currently checked out (0.0–1.0)."""
+        pool_size = getattr(self.connection_manager, "pool_size", 0)
+        if not pool_size:
+            return 0.0
+        checked_out = getattr(self.connection_manager, "_checked_out", 0)
+        return min(1.0, max(0, checked_out) / pool_size)
+
+    def planner_inputs(self) -> Dict[str, object]:
+        """The live signals the query planner's cost estimator consumes."""
+        with self._counters_lock:
+            ewma = dict(self._service_time_ewma)
+            pending = self._pending_requests
+        return {
+            "pending_requests": pending,
+            "pool_pressure": self.pool_pressure(),
+            "service_time_ewma": ewma,
+        }
 
     # -- execution --------------------------------------------------------------------
 
@@ -228,6 +277,8 @@ class DatabaseBackend:
         transaction begin.
         """
         self._request_started(request.is_read_only)
+        statement_class = classify_statement(request)
+        started = time.perf_counter()
         try:
             if request.transaction_id is None:
                 connection = self.connection_manager.get_connection()
@@ -241,7 +292,7 @@ class DatabaseBackend:
             self.failures += 1
             raise BackendError(f"backend {self.name!r}: {exc}") from exc
         finally:
-            self._request_finished()
+            self._request_finished(statement_class, time.perf_counter() - started)
 
     def execute_batch(self, request) -> RequestResult:
         """Execute every parameter set of a batch on a single connection.
@@ -255,6 +306,7 @@ class DatabaseBackend:
         client's rollback covers them.
         """
         self._request_started(is_read=False)
+        started = time.perf_counter()
         try:
             if request.transaction_id is None:
                 connection = self.connection_manager.get_connection()
@@ -268,7 +320,7 @@ class DatabaseBackend:
             self.failures += 1
             raise BackendError(f"backend {self.name!r}: {exc}") from exc
         finally:
-            self._request_finished()
+            self._request_finished(BATCH, time.perf_counter() - started)
 
     def _execute_batch_on(self, connection, request) -> RequestResult:
         # the native driver's executemany parses the template once and
@@ -423,6 +475,11 @@ class DatabaseBackend:
             "total_batched_statements": self.total_batched_statements,
             "total_transactions": self.total_transactions_begun,
             "failures": self.failures,
+            "pool_pressure": round(self.pool_pressure(), 4),
+            "service_time_ewma_ms": {
+                statement_class: round(seconds * 1000.0, 4)
+                for statement_class, seconds in sorted(self.service_time_ewma.items())
+            },
             "tables": sorted(self.tables),
             "last_known_checkpoint": self.last_known_checkpoint,
             "faults": (

@@ -42,6 +42,7 @@ from repro.core.scheduler import (
 )
 from repro.core.virtualdb import VirtualDatabase
 from repro.errors import ConfigurationError
+from repro.planner import ROUTING_POLICIES, RoutingConfig, RoutingWeights
 from repro.sql import dbapi
 from repro.sql.engine import DatabaseEngine
 from repro.sql.metadata import DatabaseMetaData
@@ -98,6 +99,14 @@ class VirtualDatabaseConfig:
     read_error_threshold: int = 3
     #: automatically re-integrate disabled backends from the recovery log
     auto_resync: bool = False
+    #: query routing: "policy" leaves read selection to the configured read
+    #: policy, "cost" routes each read to the cheapest capable backend
+    routing_policy: str = "policy"
+    #: allow multi-table reads over disjoint RAIDb-2 partitions to scatter
+    #: per-table fragments and merge them on the controller
+    routing_scatter_gather: bool = False
+    #: cost-formula weight overrides: service_time, pending, pool
+    routing_weights: Dict[str, float] = field(default_factory=dict)
 
 
 def build_virtual_database(config: VirtualDatabaseConfig) -> VirtualDatabase:
@@ -128,6 +137,7 @@ def build_virtual_database(config: VirtualDatabaseConfig) -> VirtualDatabase:
         recovery_log=recovery_log,
         request_factory=RequestFactory(parsing_cache_size=config.parsing_cache_size),
         lazy_transaction_begin=config.lazy_transaction_begin,
+        routing=_build_routing(config),
     )
     authentication = AuthenticationManager(transparent=config.transparent_authentication)
     for login, password in config.users.items():
@@ -188,6 +198,32 @@ def _build_backend(config: BackendConfig) -> DatabaseBackend:
     if config.faults:
         backend.set_fault_injector(build_fault_injector(config.faults))
     return backend
+
+
+def _build_routing(config: VirtualDatabaseConfig) -> RoutingConfig:
+    policy = config.routing_policy.lower()
+    if policy not in ROUTING_POLICIES:
+        raise ConfigurationError(
+            f"unknown routing policy {config.routing_policy!r}"
+            f" (expected one of: {', '.join(ROUTING_POLICIES)})"
+        )
+    weights = dict(config.routing_weights or {})
+    unknown = set(weights) - {"service_time", "pending", "pool"}
+    if unknown:
+        raise ConfigurationError(
+            f"unknown routing weight(s) {sorted(unknown)!r}"
+            f" (expected one of: pending, pool, service_time)"
+        )
+    defaults = RoutingWeights()
+    return RoutingConfig(
+        policy=policy,
+        scatter_gather=config.routing_scatter_gather,
+        weights=RoutingWeights(
+            pending=float(weights.get("pending", defaults.pending)),
+            pool=float(weights.get("pool", defaults.pool)),
+            service_time=float(weights.get("service_time", defaults.service_time)),
+        ),
+    )
 
 
 def _build_scheduler(name: str):

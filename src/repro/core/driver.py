@@ -328,6 +328,16 @@ class VirtualConnection:
 
     def _run(self, sql: str, parameters: Sequence[Any]) -> RequestResult:
         self._check_open()
+        stripped = sql.lstrip()
+        if stripped[:13].upper() == "EXPLAIN ROUTE":
+            # a planning-only request: nothing executes, so it joins no
+            # transaction and needs no demarcation
+            return self._execute_with_failover(
+                lambda virtual_database: self._explain_route(
+                    virtual_database, stripped[13:].strip()
+                ),
+                None,
+            )
         transaction_id = self._ensure_transaction()
         return self._execute_with_failover(
             lambda virtual_database: virtual_database.execute(
@@ -335,6 +345,17 @@ class VirtualConnection:
             ),
             transaction_id,
         )
+
+    def _explain_route(self, virtual_database, sql: str) -> RequestResult:
+        explain = getattr(virtual_database, "explain_route", None)
+        if explain is None:
+            raise DatabaseError(
+                "EXPLAIN ROUTE is not supported over this connection"
+                " (the remote protocol does not expose route planning)"
+            )
+        if not sql:
+            raise DatabaseError("EXPLAIN ROUTE needs a statement to plan")
+        return explain(sql, login=self.user)
 
     def _run_batch(
         self,

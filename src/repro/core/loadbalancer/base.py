@@ -62,6 +62,13 @@ class AbstractLoadBalancer:
         self._executor = ThreadPoolExecutor(
             max_workers=max_writer_threads, thread_name_prefix="cjdbc-writer"
         )
+        #: installed by the request manager; when a ``cost``-policy plan is
+        #: executed, reads are chosen by live cost instead of the read policy
+        self.cost_estimator = None
+        #: called (no arguments) whenever table placement changes
+        #: (``set_table_placement``, auto-placement of a created table); the
+        #: request manager plugs plan-cache invalidation in here
+        self.on_placement_change: Optional[Callable[[], None]] = None
         #: called with (backend, exception) whenever a backend fails a write;
         #: the request manager plugs backend disabling in here (paper §2.4.1)
         self.on_backend_failure: Optional[Callable[[DatabaseBackend, Exception], None]] = None
@@ -75,6 +82,9 @@ class AbstractLoadBalancer:
         self.batches_executed = 0
         #: reads transparently retried on another backend after a failure
         self.read_failovers = 0
+        #: reads whose backend was chosen by the cost estimator (plan policy
+        #: "cost") rather than the configured read policy
+        self.cost_routed_reads = 0
         #: write/batch/demarcation failures observed after the early-response
         #: threshold had already answered the client (still routed through
         #: on_backend_failure so the failure detector sees them)
@@ -96,15 +106,29 @@ class AbstractLoadBalancer:
     # -- reads ---------------------------------------------------------------------
 
     def execute_read_request(
-        self, request: AbstractRequest, backends: Sequence[DatabaseBackend]
+        self,
+        request: AbstractRequest,
+        backends: Sequence[DatabaseBackend],
+        plan=None,
     ) -> RequestResult:
-        """Route a read to one backend chosen by the policy.
+        """Route a read to one backend chosen by the policy (or the plan).
+
+        When the planner handed down a :class:`~repro.planner.plan.RoutePlan`,
+        its candidate set replaces placement re-derivation, and a ``cost``
+        policy plan selects by live cost estimate instead of the configured
+        read policy.  A stale plan (its backends all gone) falls back to
+        deriving candidates from scratch.
 
         Inside a transaction, reads stick to a backend that already hosts the
         transaction when possible so they observe the transaction's own
         uncommitted writes.
         """
-        candidates = self.read_candidates(request, backends)
+        candidates = None
+        if plan is not None:
+            names = plan.backend_name_set
+            candidates = [b for b in backends if b.is_enabled and b.name in names]
+        if not candidates:
+            candidates = self.read_candidates(request, backends)
         if not candidates:
             raise NoMoreBackendError(
                 f"no enabled backend hosts tables {list(request.tables)!r}"
@@ -116,7 +140,7 @@ class AbstractLoadBalancer:
                 candidates = bound
                 sticky = True
         while True:
-            backend = self.read_policy.choose(candidates)
+            backend = self._choose_read_backend(candidates, plan)
             try:
                 result = backend.execute_request(request)
             except Exception as exc:  # noqa: BLE001 - reported, then failed over
@@ -138,13 +162,45 @@ class AbstractLoadBalancer:
                 self.reads_executed += 1
             return result
 
+    def _choose_read_backend(
+        self, candidates: Sequence[DatabaseBackend], plan
+    ) -> DatabaseBackend:
+        if (
+            plan is not None
+            and plan.policy == "cost"
+            and self.cost_estimator is not None
+        ):
+            with self._stats_lock:
+                self.cost_routed_reads += 1
+            return self.cost_estimator.choose(plan.statement_class, candidates)
+        return self.read_policy.choose(candidates)
+
     # -- writes -----------------------------------------------------------------------
 
+    def _planned_targets(
+        self, plan, backends: Sequence[DatabaseBackend]
+    ) -> Optional[List[DatabaseBackend]]:
+        """The plan's broadcast set, restricted to still-enabled backends.
+
+        Returns None for plan-less calls and for stale plans (every planned
+        backend disabled or removed), letting the caller re-derive targets.
+        """
+        if plan is None:
+            return None
+        names = plan.backend_name_set
+        targets = [b for b in backends if b.is_enabled and b.name in names]
+        return targets or None
+
     def execute_write_request(
-        self, request: AbstractRequest, backends: Sequence[DatabaseBackend]
+        self,
+        request: AbstractRequest,
+        backends: Sequence[DatabaseBackend],
+        plan=None,
     ) -> WriteOutcome:
         """Broadcast a write to every backend hosting the written tables."""
-        targets = self.write_targets(request, backends)
+        targets = self._planned_targets(plan, backends)
+        if targets is None:
+            targets = self.write_targets(request, backends)
         if not targets:
             raise NoMoreBackendError(
                 f"no enabled backend hosts tables {list(request.tables)!r}"
@@ -155,7 +211,10 @@ class AbstractLoadBalancer:
         return outcome
 
     def execute_batch_request(
-        self, request: AbstractRequest, backends: Sequence[DatabaseBackend]
+        self,
+        request: AbstractRequest,
+        backends: Sequence[DatabaseBackend],
+        plan=None,
     ) -> WriteOutcome:
         """Broadcast a whole batch to every backend hosting the written tables.
 
@@ -164,7 +223,9 @@ class AbstractLoadBalancer:
         overhead (thread hop, connection checkout, counters) is paid once per
         backend per batch instead of once per row.
         """
-        targets = self.write_targets(request, backends)
+        targets = self._planned_targets(plan, backends)
+        if targets is None:
+            targets = self.write_targets(request, backends)
         if not targets:
             raise NoMoreBackendError(
                 f"no enabled backend hosts tables {list(request.tables)!r}"
@@ -288,6 +349,10 @@ class AbstractLoadBalancer:
     def enabled(backends: Sequence[DatabaseBackend]) -> List[DatabaseBackend]:
         return [backend for backend in backends if backend.is_enabled]
 
+    def placement_reason(self, request: AbstractRequest) -> str:
+        """One line for EXPLAIN describing why placement allows a candidate set."""
+        return f"{self.raidb_level} placement"
+
     def statistics(self) -> dict:
         return {
             "load_balancer": type(self).__name__,
@@ -298,6 +363,7 @@ class AbstractLoadBalancer:
             "writes_executed": self.writes_executed,
             "batches_executed": self.batches_executed,
             "read_failovers": self.read_failovers,
+            "cost_routed_reads": self.cost_routed_reads,
             "late_failures": self.late_failures,
         }
 

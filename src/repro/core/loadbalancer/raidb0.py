@@ -31,6 +31,16 @@ class RAIDb0LoadBalancer(AbstractLoadBalancer):
 
     def set_table_placement(self, table: str, backend_name: str) -> None:
         self.partition_map[table.lower()] = backend_name
+        if self.on_placement_change is not None:
+            self.on_placement_change()
+
+    def placement_reason(self, request: AbstractRequest) -> str:
+        if not request.tables:
+            return "RAIDb-0 partitioning: table-less statement runs anywhere"
+        return (
+            "RAIDb-0 partitioning: partition hosting"
+            f" {', '.join(request.tables)}"
+        )
 
     def read_candidates(
         self, request: AbstractRequest, backends: Sequence[DatabaseBackend]
@@ -65,6 +75,8 @@ class RAIDb0LoadBalancer(AbstractLoadBalancer):
                 if enabled:
                     chosen = min(enabled, key=lambda b: len(b.tables))
                     self.partition_map[request.tables[0].lower()] = chosen.name
+                    if self.on_placement_change is not None:
+                        self.on_placement_change()
                     return [chosen]
                 return []
         targets = [b for b in enabled if b.has_any_table(request.tables)]

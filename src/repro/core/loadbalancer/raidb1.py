@@ -31,3 +31,6 @@ class RAIDb1LoadBalancer(AbstractLoadBalancer):
         self, request: AbstractRequest, backends: Sequence[DatabaseBackend]
     ) -> List[DatabaseBackend]:
         return self.enabled(backends)
+
+    def placement_reason(self, request: AbstractRequest) -> str:
+        return "RAIDb-1 full replication: any enabled backend holds every table"

@@ -44,6 +44,8 @@ class RAIDb2LoadBalancer(AbstractLoadBalancer):
 
     def set_table_placement(self, table: str, backend_names: Iterable[str]) -> None:
         self.replication_map[table.lower()] = set(backend_names)
+        if self.on_placement_change is not None:
+            self.on_placement_change()
 
     def backends_for_table(self, table: str) -> Optional[set]:
         """Placement for ``table``: exact name first, then ``prefix%`` patterns.
@@ -52,15 +54,25 @@ class RAIDb2LoadBalancer(AbstractLoadBalancer):
         tables — typically the TPC-W best-seller temporary tables — on a
         fixed subset of backends, which is exactly how the paper "limits the
         temporary table creation to 2 backends" under partial replication.
+
+        When several patterns match (``tpcw_%`` and ``tpcw_bestseller_%``),
+        the *longest* matching prefix wins — the most specific placement —
+        independent of the map's insertion order.
         """
         key = table.lower()
         exact = self.replication_map.get(key)
         if exact is not None:
             return exact
+        best: Optional[set] = None
+        best_length = -1
         for pattern, backends in self.replication_map.items():
-            if pattern.endswith("%") and key.startswith(pattern[:-1]):
-                return backends
-        return None
+            if not pattern.endswith("%"):
+                continue
+            prefix = pattern[:-1]
+            if key.startswith(prefix) and len(prefix) > best_length:
+                best = backends
+                best_length = len(prefix)
+        return best
 
     # -- candidate selection ---------------------------------------------------------
 
@@ -88,6 +100,14 @@ class RAIDb2LoadBalancer(AbstractLoadBalancer):
             return self._ddl_targets(request, enabled)
         targets = [b for b in enabled if b.has_any_table(request.tables)]
         return targets
+
+    def placement_reason(self, request: AbstractRequest) -> str:
+        if not request.tables:
+            return "RAIDb-2 partial replication: table-less statement runs anywhere"
+        return (
+            "RAIDb-2 partial replication: co-located read over"
+            f" {', '.join(request.tables)}"
+        )
 
     def _ddl_targets(
         self, request: AbstractRequest, enabled: List[DatabaseBackend]

@@ -28,3 +28,6 @@ class SingleDBLoadBalancer(AbstractLoadBalancer):
         self, request: AbstractRequest, backends: Sequence[DatabaseBackend]
     ) -> List[DatabaseBackend]:
         return self.enabled(backends)[:1]
+
+    def placement_reason(self, request: AbstractRequest) -> str:
+        return "SingleDB: every request routes to the only backend"

@@ -36,6 +36,7 @@ class AdminConsole:
             "checkpoint": self._cmd_checkpoint,
             "recover": self._cmd_recover,
             "stats": self._cmd_stats,
+            "explain": self._cmd_explain,
             "interceptors": self._cmd_interceptors,
             "fault": self._cmd_fault,
             "resync": self._cmd_resync,
@@ -69,6 +70,7 @@ class AdminConsole:
             "  checkpoint <vdb> <backend> [<name>]\n"
             "  recover <vdb> <backend> [<checkpoint>]\n"
             "  stats <vdb>\n"
+            "  explain <vdb> <sql> (route plan: chosen backend(s), costs, merge)\n"
             "  interceptors <vdb>\n"
             "  fault <vdb> <backend> status|crash|recover|clear\n"
             "  fault <vdb> <backend> latency <ms> [probability]\n"
@@ -221,6 +223,17 @@ class AdminConsole:
         if not stats:
             return "no connection pools created through this cluster"
         return json.dumps(stats, indent=2, sort_keys=True, default=str)
+
+    def _cmd_explain(self, args: List[str]) -> str:
+        if len(args) < 2:
+            return "usage: explain <vdb> <sql>"
+        vdb = self.controller.get_virtual_database(args[0])
+        # the command line was whitespace-split; the SQL is everything after
+        # the vdb name
+        sql = " ".join(args[1:])
+        result = vdb.explain_route(sql)
+        width = max(len(row[0]) for row in result.rows)
+        return "\n".join(f"{field:<{width}}  {value}" for field, value in result.rows)
 
     def _cmd_stats(self, args: List[str]) -> str:
         if not args:

@@ -11,7 +11,7 @@ before/after hooks, observe the context, or short-circuit execution.
 Stage order (a stage that does not apply to a request category is a no-op)::
 
     classify ─ authenticate ─ schedule ─ cache-lookup ─ transaction
-        ─ recovery-log ─ cache-invalidate ─ load-balance
+        ─ recovery-log ─ cache-invalidate ─ plan ─ load-balance
 
 * **classify** derives the request category (read/write/batch/begin/
   commit/rollback) and validates transaction demarcation;
@@ -29,9 +29,13 @@ Stage order (a stage that does not apply to a request category is a no-op)::
   backend, so recovery can replay them;
 * **cache-invalidate** runs result-cache invalidation after a successful
   write;
-* **load-balance** is the terminal stage: it hands the request to the load
-  balancer (reads and writes) or broadcasts demarcation to the
-  participating backends.
+* **plan** asks the query planner for the request's
+  :class:`~repro.planner.plan.RoutePlan` (template-cached, so repeated
+  statement shapes skip planning);
+* **load-balance** is the terminal stage: it executes the route plan — one
+  backend for reads (scatter-gather for multi-table reads over disjoint
+  RAIDb-2 partitions), broadcast for writes — or broadcasts demarcation to
+  the participating backends.
 
 The chain is *compiled once* — each stage contributes a closure wrapping the
 next — so steady-state execution allocates nothing beyond the context
@@ -77,6 +81,7 @@ from repro.core.request import (
     WriteRequest,
 )
 from repro.errors import CJDBCError, ConfigurationError, RateLimitExceededError
+from repro.planner.plan import SCATTER_GATHER
 
 #: request categories flowed through the pipeline (string constants rather
 #: than an Enum: identity comparison on interned strings is the hot path)
@@ -140,6 +145,8 @@ class RequestContext:
     requested_transaction_id: Optional[int] = None
     #: name of the stage or interceptor that ended execution early
     short_circuited_by: Optional[str] = None
+    #: RoutePlan built by the plan stage (reads/writes/batches only)
+    route_plan = None
     #: per-stage seconds, populated only when the pipeline is timed
     stage_timings: Optional[Dict[str, float]] = None
     _data: Optional[Dict[str, Any]] = None
@@ -379,6 +386,29 @@ class CacheInvalidateStage(Stage):
         return cache_invalidate
 
 
+class PlanStage(Stage):
+    """Build (or fetch from the template cache) the request's route plan.
+
+    Runs only for the categories the planner routes — reads, writes and
+    batches; transaction demarcation goes straight to the balancer.  Cache
+    hits never reach this stage (the cache-lookup stage short-circuits
+    above it), so warm-cache reads pay no planning cost at all.
+    """
+
+    name = "plan"
+
+    def compile(self, manager, proceed: Handler) -> Handler:
+        def plan(context: RequestContext) -> None:
+            category = context.category
+            if category is READ or category is WRITE or category is BATCH:
+                planner = manager.planner
+                if planner is not None:
+                    context.route_plan = planner.plan_for_request(context.request)
+            proceed(context)
+
+        return plan
+
+
 class LoadBalanceStage(Stage):
     """Terminal stage: execute on the backends through the load balancer."""
 
@@ -388,9 +418,13 @@ class LoadBalanceStage(Stage):
         def load_balance(context: RequestContext) -> None:
             category = context.category
             if category is READ:
-                result = manager.load_balancer.execute_read_request(
-                    context.request, manager._backends
-                )
+                plan = context.route_plan
+                if plan is not None and plan.kind == SCATTER_GATHER:
+                    result = manager.scatter_executor.execute(context.request, plan)
+                else:
+                    result = manager.load_balancer.execute_read_request(
+                        context.request, manager._backends, plan
+                    )
                 manager._note_transaction_participant(context.request)
                 context.backend_name = result.backend_name
                 context.result = result
@@ -418,6 +452,7 @@ def default_stages(authentication_manager=None) -> List[Stage]:
         TransactionStage(),
         RecoveryLogStage(),
         CacheInvalidateStage(),
+        PlanStage(),
         LoadBalanceStage(),
     ]
 
@@ -431,6 +466,7 @@ _DEFAULT_STAGE_CLASSES = (
     TransactionStage,
     RecoveryLogStage,
     CacheInvalidateStage,
+    PlanStage,
     LoadBalanceStage,
 )
 
@@ -470,10 +506,16 @@ def _compile_fused_read(manager, chain: Handler) -> Handler:
                     context.result = cached
                     return
                 context.cache_verdict = "miss"
+            # plan
+            plan = manager.planner.plan_for_request(request)
+            context.route_plan = plan
             # load balance
-            result = manager.load_balancer.execute_read_request(
-                request, manager._backends
-            )
+            if plan.kind == SCATTER_GATHER:
+                result = manager.scatter_executor.execute(request, plan)
+            else:
+                result = manager.load_balancer.execute_read_request(
+                    request, manager._backends, plan
+                )
             manager._note_transaction_participant(request)
             context.backend_name = result.backend_name
             if cacheable:
@@ -1168,6 +1210,7 @@ __all__ = [
     "LoadBalanceStage",
     "MetricsInterceptor",
     "Pipeline",
+    "PlanStage",
     "RateLimitInterceptor",
     "RequestContext",
     "RecoveryLogStage",

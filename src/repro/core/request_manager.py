@@ -56,6 +56,12 @@ from repro.core.request import (
 from repro.core.requestparser import ParsedTemplate, RequestFactory
 from repro.core.scheduler import AbstractScheduler, OptimisticTransactionLevelScheduler
 from repro.errors import CJDBCError
+from repro.planner import (
+    QueryPlanner,
+    RoutePlan,
+    RoutingConfig,
+    ScatterGatherExecutor,
+)
 
 
 class PreparedStatementHandle:
@@ -153,6 +159,7 @@ class RequestManager:
         request_factory: Optional[RequestFactory] = None,
         lazy_transaction_begin: bool = True,
         interceptors: Sequence[InterceptorSpec] = (),
+        routing: Optional[RoutingConfig] = None,
     ):
         from repro.core.loadbalancer import RAIDb1LoadBalancer  # avoid import cycle
 
@@ -180,6 +187,12 @@ class RequestManager:
         self._transaction_ids = itertools.count(1)
         self.load_balancer.on_backend_failure = self._handle_backend_failure
         self.load_balancer.on_backend_read_failure = self._handle_backend_read_failure
+        #: the query planner turning each read/write into an explicit
+        #: RoutePlan before load balancing (the pipeline's ``plan`` stage)
+        self.planner = QueryPlanner(self, routing or RoutingConfig())
+        self.scatter_executor = ScatterGatherExecutor(self)
+        self.load_balancer.cost_estimator = self.planner.cost_estimator
+        self.load_balancer.on_placement_change = self.planner.invalidate
         #: optional listener invoked with the disabled backend (used by the
         #: virtual database to log and by tests to observe failover)
         self.on_backend_disabled: Optional[Callable[[DatabaseBackend, Exception], None]] = None
@@ -246,6 +259,11 @@ class RequestManager:
         with self._snapshot_lock:
             self._backends_version += 1
             self._enabled_snapshot = None
+        # cached route plans pin candidate sets against a membership version;
+        # getattr guards the state-listener path during construction
+        planner = getattr(self, "planner", None)
+        if planner is not None:
+            planner.invalidate()
 
     def enabled_backends(self) -> List[DatabaseBackend]:
         with self._snapshot_lock:
@@ -305,6 +323,16 @@ class RequestManager:
         """Parse ``sql`` once and return a reusable statement handle."""
         return PreparedStatementHandle(self, sql, self.request_factory.get_template(sql))
 
+    def explain(self, sql: str, login: str = "") -> RoutePlan:
+        """Plan ``sql`` against live placement and costs without executing it.
+
+        Powers the console ``explain`` command and the driver's ``EXPLAIN
+        ROUTE`` prefix; always builds a fresh plan (bypassing the template
+        plan cache) so the output reflects this instant's estimates.
+        """
+        request = self.request_factory.create_request(sql, login=login)
+        return self.planner.explain(request)
+
     def execute_batch(
         self,
         sql: str,
@@ -327,11 +355,15 @@ class RequestManager:
 
     def _execute_write_on_backends(self, context: RequestContext) -> RequestResult:
         request = context.request
-        outcome = self.load_balancer.execute_write_request(request, self._backends)
+        outcome = self.load_balancer.execute_write_request(
+            request, self._backends, context.route_plan
+        )
         if request.alters_schema:
             for backend in self.enabled_backends():
                 if backend.name in outcome.successes:
                     backend.note_ddl(request)
+            # the schema just changed under every cached plan
+            self.planner.invalidate()
         self._note_transaction_participant(request)
         result = outcome.result
         result.backends_executed = outcome.backends_executed
@@ -340,7 +372,9 @@ class RequestManager:
 
     def _execute_batch_on_backends(self, context: RequestContext) -> RequestResult:
         request: BatchWriteRequest = context.request
-        outcome = self.load_balancer.execute_batch_request(request, self._backends)
+        outcome = self.load_balancer.execute_batch_request(
+            request, self._backends, context.route_plan
+        )
         self._note_transaction_participant(request)
         result = outcome.result
         result.backends_executed = outcome.backends_executed
@@ -558,6 +592,8 @@ class RequestManager:
             "active_transactions": len(self.active_transactions),
             "scheduler": self.scheduler.statistics(),
             "load_balancer": self.load_balancer.statistics(),
+            "planner": self.planner.statistics(),
+            "scatter_gather": self.scatter_executor.statistics(),
             "backends": [backend.statistics() for backend in self._backends],
         }
         if self.failure_detector is not None:

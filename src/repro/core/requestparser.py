@@ -53,7 +53,13 @@ class ParsedTemplate:
     instantiated from this template.
     """
 
-    __slots__ = ("request_class", "sql", "tables", "needs_macro_rewrite")
+    __slots__ = (
+        "request_class",
+        "sql",
+        "tables",
+        "needs_macro_rewrite",
+        "cached_plan",
+    )
 
     def __init__(
         self,
@@ -66,6 +72,10 @@ class ParsedTemplate:
         self.sql = sql
         self.tables = tables
         self.needs_macro_rewrite = needs_macro_rewrite
+        #: ``(planner, version, RoutePlan)`` stamped by the query planner;
+        #: re-executions of this statement shape skip planning while the
+        #: planner's version counter stands still
+        self.cached_plan = None
 
     @property
     def is_write(self) -> bool:
@@ -100,7 +110,7 @@ class ParsedTemplate:
         macros_rewritten = False
         if self.needs_macro_rewrite:
             sql, macros_rewritten = rewrite_macros(sql)
-        return self.request_class(
+        request = self.request_class(
             sql=sql,
             tables=self.tables,
             macros_rewritten=macros_rewritten,
@@ -108,6 +118,9 @@ class ParsedTemplate:
             login=login,
             transaction_id=transaction_id,
         )
+        # back-link for the query planner's per-template plan cache
+        request.template = self
+        return request
 
     def instantiate_batch(
         self,
@@ -129,7 +142,7 @@ class ParsedTemplate:
         macros_rewritten = False
         if self.needs_macro_rewrite:
             sql, macros_rewritten = rewrite_macros(sql)
-        return BatchWriteRequest(
+        request = BatchWriteRequest(
             sql=sql,
             tables=self.tables,
             macros_rewritten=macros_rewritten,
@@ -137,6 +150,8 @@ class ParsedTemplate:
             login=login,
             transaction_id=transaction_id,
         )
+        request.template = self
+        return request
 
 
 @dataclass

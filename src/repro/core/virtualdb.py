@@ -251,6 +251,18 @@ class VirtualDatabase:
             sql, parameters, login=login, transaction_id=transaction_id
         )
 
+    def explain_route(self, sql: str, login: str = "") -> RequestResult:
+        """Plan ``sql`` without executing it, as a tabular result.
+
+        Backs the driver's ``EXPLAIN ROUTE <sql>`` prefix and the console
+        ``explain`` command: two columns (``property``, ``value``) listing
+        the plan kind, chosen backend(s), per-candidate cost estimates and
+        — for scatter-gather reads — the merge strategy and fragments.
+        """
+        plan = self.request_manager.explain(sql, login=login)
+        rows = [list(row) for row in plan.explain_rows()]
+        return RequestResult(columns=["property", "value"], rows=rows, update_count=-1)
+
     def prepare(self, sql: str):
         """Parse ``sql`` once; the handle's executions skip classification.
 

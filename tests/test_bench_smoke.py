@@ -15,19 +15,24 @@ from pathlib import Path
 import pytest
 
 from repro.bench import (
+    ROUTING_BENCH_VERSION,
     check_hotpath_baseline,
+    check_routing_baseline,
     format_hotpath_report,
     run_hotpath_microbenchmark,
     run_loadbalancer_ablation,
     run_optimization_ablation,
     run_overhead_microbenchmark,
+    run_routing_ablation,
     run_rubis_cache_experiment,
     run_tpcw_scalability,
     write_hotpath_json,
+    write_routing_json,
 )
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_PATH = REPO_ROOT / "BENCH_hotpath.json"
+ROUTING_BASELINE_PATH = REPO_ROOT / "BENCH_routing.json"
 
 pytestmark = pytest.mark.bench_smoke
 
@@ -160,3 +165,52 @@ class TestHotpathBaselineGate:
         baseline["scenarios"]["ghost_scenario"] = {"ops_per_second": 1000.0}
         problems = check_hotpath_baseline(results, baseline)
         assert any("ghost_scenario" in problem for problem in problems)
+
+
+class TestRoutingBaselineGate:
+    def test_committed_routing_baseline_passes_gates(self):
+        """The committed routing ablation must show cost-based routing winning.
+
+        Gate: on the skewed TPC-W partial layout (one slow co-located
+        backend) cost-based routing is >= 1.3x faster than the lprf read
+        policy, and on the uniform layout it is no slower than 0.9x.
+        """
+        assert ROUTING_BASELINE_PATH.exists(), "BENCH_routing.json baseline not committed"
+        assert check_routing_baseline(ROUTING_BASELINE_PATH) == []
+        baseline = json.loads(ROUTING_BASELINE_PATH.read_text())
+        assert baseline["version"] == ROUTING_BENCH_VERSION
+        skewed = baseline["layouts"]["skewed"]
+        # the read policy keeps landing half its reads on the slow backend;
+        # the cost model must learn to avoid it (exploration probes only)
+        assert skewed["policy"]["slow_read_fraction"] > 0.3
+        assert skewed["cost"]["slow_read_fraction"] < 0.15
+
+    def test_routing_ablation_smoke_live(self, tmp_path):
+        """A small live run routes around the slow backend (looser gates)."""
+        results = run_routing_ablation(requests=400, slow_latency_ms=3.0)
+        assert set(results["layouts"]) == {"uniform", "skewed"}
+        # looser than the committed gates: tiny run, noisy timings
+        skewed = results["layouts"]["skewed"]
+        assert skewed["cost_speedup"] >= 1.2
+        assert skewed["cost"]["slow_read_fraction"] < skewed["policy"]["slow_read_fraction"]
+        assert results["layouts"]["uniform"]["cost_speedup"] >= 0.7
+        baseline_file = write_routing_json(results, tmp_path / "routing.json")
+        assert check_routing_baseline(
+            baseline_file, min_skewed_speedup=1.2, min_uniform_speedup=0.7
+        ) == []
+
+    def test_check_routing_baseline_fails_loudly(self, tmp_path):
+        assert check_routing_baseline(tmp_path / "missing.json") != []
+        assert any(
+            "version" in problem
+            for problem in check_routing_baseline({"version": -1, "layouts": {}})
+        )
+        degraded = {
+            "version": ROUTING_BENCH_VERSION,
+            "layouts": {
+                "uniform": {"cost_speedup": 1.0},
+                "skewed": {"cost_speedup": 1.1},
+            },
+        }
+        problems = check_routing_baseline(degraded)
+        assert any("skewed" in problem and "1.30x gate" in problem for problem in problems)

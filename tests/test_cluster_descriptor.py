@@ -424,3 +424,62 @@ class TestListenSection:
         for controller in document["controllers"]:
             controller["listen"]["port"] = 0
         assert parse_descriptor(document).controllers[1].listen.port == 0
+
+
+class TestRoutingSection:
+    """``routing:`` section: cost-based planner policy, validated like group/retry."""
+
+    def _descriptor(self, routing=None):
+        vdb = {"name": "rdb", "backends": ["re0", "re1"]}
+        if routing is not None:
+            vdb["routing"] = routing
+        return {"virtual_databases": [vdb]}
+
+    def test_absent_routing_section_means_none(self):
+        spec = parse_descriptor(self._descriptor()).virtual_database("rdb")
+        assert spec.routing is None
+        config = spec.to_config({})
+        assert config.routing_policy == "policy"
+        assert config.routing_scatter_gather is False
+        assert config.routing_weights == {}
+
+    def test_empty_routing_section_means_defaults(self):
+        spec = parse_descriptor(self._descriptor(routing={})).virtual_database("rdb")
+        assert spec.routing is not None
+        assert spec.routing.policy == "policy"
+        assert spec.routing.scatter_gather is False
+        assert spec.routing.weights == {}
+
+    def test_routing_section_flows_to_the_built_planner(self):
+        cluster = load_cluster(
+            self._descriptor(
+                routing={
+                    "policy": "cost",
+                    "scatter_gather": True,
+                    "weights": {"pending": 2.0, "pool": 0.25},
+                }
+            )
+        )
+        planner = cluster.virtual_database("rdb").request_manager.planner
+        assert planner.config.policy == "cost"
+        assert planner.config.scatter_gather is True
+        assert planner.config.weights.pending == 2.0
+        assert planner.config.weights.pool == 0.25
+        # unspecified weights keep their defaults
+        assert planner.config.weights.service_time == 1.0
+
+    @pytest.mark.parametrize(
+        "routing, message",
+        [
+            ("cost", r"routing: expected a mapping"),
+            ({"policy": "fastest"}, r"routing\.policy: expected one of: cost, policy"),
+            ({"bogus": 1}, r"routing: unknown key 'bogus'"),
+            ({"weights": {"bogus": 1}}, r"routing\.weights: unknown key 'bogus'"),
+            ({"weights": {"pending": "x"}}, r"routing\.weights\.pending: expected a number"),
+            ({"weights": {"pool": -1}}, r"routing\.weights\.pool: must be between 0 and 100"),
+            ({"weights": {"pool": 101}}, r"routing\.weights\.pool: must be between 0 and 100"),
+        ],
+    )
+    def test_malformed_routing_sections(self, routing, message):
+        with pytest.raises(ConfigurationError, match=message):
+            parse_descriptor(self._descriptor(routing))
