@@ -33,6 +33,13 @@ from repro.bench.harness import (
     write_hotpath_json,
     write_routing_json,
 )
+from repro.bench.scheduler_bench import (
+    SCHEDULER_BENCH_VERSION,
+    SCHEDULER_MIN_CONTENDED_READ_SPEEDUP,
+    check_scheduler_baseline,
+    run_scheduler_ablation,
+    write_scheduler_json,
+)
 from repro.bench.report import (
     format_hotpath_report,
     format_rubis_table,
@@ -45,10 +52,13 @@ __all__ = [
     "ChaosResult",
     "HOTPATH_REGRESSION_TOLERANCE",
     "ROUTING_BENCH_VERSION",
+    "SCHEDULER_BENCH_VERSION",
+    "SCHEDULER_MIN_CONTENDED_READ_SPEEDUP",
     "HotpathScenarioResult",
     "OverheadResult",
     "check_hotpath_baseline",
     "check_routing_baseline",
+    "check_scheduler_baseline",
     "format_chaos_report",
     "format_hotpath_report",
     "format_rubis_table",
@@ -61,8 +71,10 @@ __all__ = [
     "run_overhead_microbenchmark",
     "run_routing_ablation",
     "run_rubis_cache_experiment",
+    "run_scheduler_ablation",
     "run_tpcw_scalability",
     "table_digests",
     "write_hotpath_json",
     "write_routing_json",
+    "write_scheduler_json",
 ]

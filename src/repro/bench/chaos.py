@@ -1057,6 +1057,44 @@ def scenario_controller_rejoin(seed: int, scale: float = 1.0) -> ChaosResult:
     return result
 
 
+def scenario_scheduler_isolation_mix(seed: int, scale: float = 1.0) -> ChaosResult:
+    """A random multi-client mix must leave every ordered scheduler converged.
+
+    Runs the isolation exerciser's random workload (reads, autocommit
+    updates, and per-client transactions) under each write-ordering
+    scheduler variant and asserts the replicas converge with no client
+    errors or unexpected aborts left over.  The passthrough scheduler runs
+    too, but only to *record* whether it diverged — no ordering, no
+    convergence promise — which is the property the ordered variants are
+    being checked against.
+    """
+    # imported here: repro.isolation imports digest helpers from this module
+    from repro.isolation import run_random_mix
+
+    result = ChaosResult("scheduler_isolation_mix", seed)
+    ordered = ("optimistic", "pessimistic", "table_lock", "mvcc")
+    for scheduler in ordered:
+        mix = run_random_mix(scheduler, seed=seed, scale=scale)
+        if mix["client_errors"]:
+            result.violations.append(
+                f"{scheduler}: {mix['client_errors']} client errors during the mix"
+            )
+        if mix["divergences"]:
+            result.violations.append(
+                f"{scheduler}: replicas diverged: {mix['divergences']}"
+            )
+        result.details[scheduler] = {
+            "operations": mix["operations"],
+            "serialization_aborts": mix["serialization_aborts"],
+        }
+    passthrough = run_random_mix("passthrough", seed=seed, scale=scale)
+    result.details["passthrough"] = {
+        "operations": passthrough["operations"],
+        "diverged_tables": sorted(passthrough["divergences"]),
+    }
+    return result
+
+
 #: scenario name -> callable(seed, scale) -> ChaosResult
 CHAOS_SCENARIOS: Dict[str, Callable[[int, float], ChaosResult]] = {
     "crash_mid_transaction": scenario_crash_mid_transaction,
@@ -1068,6 +1106,7 @@ CHAOS_SCENARIOS: Dict[str, Callable[[int, float], ChaosResult]] = {
     "remote_disconnect_failover": scenario_remote_disconnect_failover,
     "controller_crash_failover": scenario_controller_crash_failover,
     "controller_rejoin": scenario_controller_rejoin,
+    "scheduler_isolation_mix": scenario_scheduler_isolation_mix,
 }
 
 #: the cheapest scenarios, run on every PR via the bench_smoke marker

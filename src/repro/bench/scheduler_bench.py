@@ -1,0 +1,317 @@
+"""Scheduler contention ablation (CCBench-style read/write mix × skew grid).
+
+Each cell of the grid runs the same seeded workload against a fresh
+two-backend RAIDb-1 cluster, once per scheduler variant: dedicated
+*reader* threads loop point reads while dedicated *writer* threads loop
+autocommit updates for a fixed duration, each picking a table by the cell's
+skew (``uniform`` over all tables, or ``hot`` with 80% of operations on
+``t0``).  A small latency fault on one backend makes every write hold its
+scheduler ticket for a realistic broadcast time, so the variants'
+contention behaviour (do readers wait? at what granularity?) dominates
+the measurement instead of in-memory statement cost.  Dedicated readers
+are the point of the design: their completion rate measures read blocking
+directly, instead of being diluted by the same thread queueing on writes.
+
+The committed ``BENCH_scheduler.json`` baseline is gated by
+:func:`check_scheduler_baseline`: in the contended cell (half the clients
+writing, hot skew) the MVCC scheduler's read throughput must stay at
+least :data:`SCHEDULER_MIN_CONTENDED_READ_SPEEDUP` times the pessimistic
+scheduler's — the whole point of non-blocking reads.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from pathlib import Path
+from random import Random
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.cluster import Cluster
+from repro.cluster.registry import ControllerRegistry
+from repro.core import BackendConfig, VirtualDatabaseConfig
+from repro.core.scheduler import canonical_scheduler_name
+from repro.errors import CJDBCError
+from repro.sql import DatabaseEngine
+
+#: bumped when the workload or document layout changes, so stale baselines
+#: fail loudly instead of gating the wrong numbers
+SCHEDULER_BENCH_VERSION = 1
+
+#: contended-cell gate: mvcc read throughput vs pessimistic
+SCHEDULER_MIN_CONTENDED_READ_SPEEDUP = 1.3
+
+#: the cell the speedup gate reads (half the clients writing a hot table
+#: is where blocking readers hurts most)
+_CONTENDED_CELL = "r2w2_hot"
+
+_SCHEDULERS = ("passthrough", "optimistic", "pessimistic", "table_lock", "mvcc")
+_TABLES = 4
+_ROWS_PER_TABLE = 32
+
+_LABELS = itertools.count(1)
+
+
+def _run_cell(
+    scheduler: str,
+    readers: int,
+    writers: int,
+    skew: str,
+    duration: float,
+    write_latency_ms: float,
+    seed: int,
+) -> dict:
+    label = f"schedbench{next(_LABELS)}"
+    engines = {f"b{i}": DatabaseEngine(f"{label}-b{i}") for i in range(2)}
+    config = VirtualDatabaseConfig(
+        name=label,
+        backends=[
+            BackendConfig(name=name, engine=engine) for name, engine in engines.items()
+        ],
+        replication="raidb1",
+        load_balancing_policy="rr",
+        wait_for_completion="all",
+        scheduler=scheduler,
+        recovery_log="none",
+    )
+    cluster = Cluster.from_configs(
+        config, controller_name=label, registry=ControllerRegistry()
+    )
+    try:
+        vdb = cluster.virtual_database(label)
+        manager = vdb.request_manager
+        for table in range(_TABLES):
+            manager.execute(f"CREATE TABLE t{table} (k INT PRIMARY KEY, v VARCHAR(40))")
+            for key in range(_ROWS_PER_TABLE):
+                manager.execute(
+                    f"INSERT INTO t{table} (k, v) VALUES (?, ?)", (key, f"seed-{key}")
+                )
+        # writes hold their ticket for a realistic broadcast time; reads are
+        # untouched (match_sql), so the schedulers' blocking behaviour is
+        # what the cell measures
+        vdb.fault_injector("b0").inject(
+            "latency",
+            latency_ms=write_latency_ms,
+            match_sql="UPDATE",
+            operations=("execute",),
+        )
+        clients = readers + writers
+        reads = [0] * clients
+        writes = [0] * clients
+        errors = [0] * clients
+        barrier = threading.Barrier(clients + 1)
+        deadline: List[float] = []
+
+        def pick_table(rng: Random) -> str:
+            if skew == "hot" and rng.random() < 0.8:
+                return "t0"
+            return f"t{rng.randrange(_TABLES)}"
+
+        def reader(index: int) -> None:
+            rng = Random(seed * 100 + index)
+            barrier.wait()
+            while time.monotonic() < deadline[0]:
+                table = pick_table(rng)
+                key = rng.randrange(_ROWS_PER_TABLE)
+                try:
+                    manager.execute(f"SELECT v FROM {table} WHERE k = ?", (key,))
+                    reads[index] += 1
+                except CJDBCError:
+                    errors[index] += 1
+
+        def writer(index: int) -> None:
+            rng = Random(seed * 100 + index)
+            barrier.wait()
+            while time.monotonic() < deadline[0]:
+                table = pick_table(rng)
+                key = rng.randrange(_ROWS_PER_TABLE)
+                try:
+                    manager.execute(
+                        f"UPDATE {table} SET v = ? WHERE k = ?", (f"c{index}", key)
+                    )
+                    writes[index] += 1
+                except CJDBCError:
+                    errors[index] += 1
+
+        threads = [
+            threading.Thread(target=reader, args=(index,)) for index in range(readers)
+        ] + [
+            threading.Thread(target=writer, args=(readers + index,))
+            for index in range(writers)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        deadline.append(time.monotonic() + duration)
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        stats = manager.scheduler.statistics()
+        total_reads, total_writes = sum(reads), sum(writes)
+        total = total_reads + total_writes
+        cell = {
+            "readers": readers,
+            "writers": writers,
+            "operations": total,
+            "reads": total_reads,
+            "writes": total_writes,
+            "errors": sum(errors),
+            "seconds": round(elapsed, 6),
+            "ops_per_second": round(total / elapsed, 1) if elapsed > 0 else 0.0,
+            "read_ops_per_second": round(total_reads / elapsed, 1)
+            if elapsed > 0
+            else 0.0,
+            "write_ops_per_second": round(total_writes / elapsed, 1)
+            if elapsed > 0
+            else 0.0,
+            "read_wait": stats["read_wait"],
+            "write_wait": stats["write_wait"],
+        }
+        for extra in ("table_lock", "mvcc"):
+            if extra in stats:
+                cell[extra] = stats[extra]
+        return cell
+    finally:
+        cluster.shutdown()
+
+
+def run_scheduler_ablation(
+    schedulers: Optional[Sequence[str]] = None,
+    mixes: Sequence[Sequence[int]] = ((3, 1), (2, 2)),
+    skews: Sequence[str] = ("uniform", "hot"),
+    duration: float = 0.5,
+    write_latency_ms: float = 2.0,
+    seed: int = 7,
+) -> dict:
+    """Run the read/write-mix × skew grid for every scheduler variant.
+
+    ``mixes`` is a sequence of ``(readers, writers)`` thread splits; each
+    combined with each skew makes one cell (named ``r{readers}w{writers}_
+    {skew}``).  Returns the document committed as ``BENCH_scheduler.json``:
+    per-scheduler throughput and wait accounting for every cell, plus the
+    contended-cell read-throughput speedup of mvcc over pessimistic that
+    the baseline gate checks.
+    """
+    selected = [
+        canonical_scheduler_name(name) for name in (schedulers or _SCHEDULERS)
+    ]
+    cells: Dict[str, Dict[str, dict]] = {}
+    for readers, writers in mixes:
+        for skew in skews:
+            cell_name = f"r{readers}w{writers}_{skew}"
+            cells[cell_name] = {
+                scheduler: _run_cell(
+                    scheduler,
+                    readers,
+                    writers,
+                    skew,
+                    duration=duration,
+                    write_latency_ms=write_latency_ms,
+                    seed=seed,
+                )
+                for scheduler in selected
+            }
+    results = {
+        "benchmark": "scheduler",
+        "version": SCHEDULER_BENCH_VERSION,
+        "config": {
+            "schedulers": selected,
+            "mixes": [list(mix) for mix in mixes],
+            "skews": list(skews),
+            "duration": duration,
+            "write_latency_ms": write_latency_ms,
+            "seed": seed,
+            "tables": _TABLES,
+            "rows_per_table": _ROWS_PER_TABLE,
+        },
+        "cells": cells,
+    }
+    contended = cells.get(_CONTENDED_CELL, {})
+    if "mvcc" in contended and "pessimistic" in contended:
+        blocking = contended["pessimistic"]["read_ops_per_second"]
+        results["contended_read_speedup"] = (
+            round(contended["mvcc"]["read_ops_per_second"] / blocking, 2)
+            if blocking > 0
+            else 0.0
+        )
+    return results
+
+
+def write_scheduler_json(results: dict, path: Union[str, Path]) -> Path:
+    """Write the ablation results where the baseline gate finds them."""
+    path = Path(path)
+    path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def check_scheduler_baseline(
+    results: Union[dict, str, Path],
+    min_contended_read_speedup: float = SCHEDULER_MIN_CONTENDED_READ_SPEEDUP,
+) -> List[str]:
+    """Gate a scheduler-ablation run (or the committed baseline document).
+
+    Returns human-readable problem messages; empty means every expected
+    cell is present with real traffic and mvcc's contended read throughput
+    clears the gate over pessimistic.
+    """
+    if not isinstance(results, dict):
+        results_path = Path(results)
+        if not results_path.exists():
+            return [f"scheduler baseline {str(results_path)!r} does not exist"]
+        try:
+            results = json.loads(results_path.read_text())
+        except json.JSONDecodeError as exc:
+            return [f"scheduler baseline {str(results_path)!r} is not valid JSON: {exc}"]
+    problems: List[str] = []
+    if results.get("version") != SCHEDULER_BENCH_VERSION:
+        problems.append(
+            f"scheduler baseline version {results.get('version')!r} does not match"
+            f" harness version {SCHEDULER_BENCH_VERSION!r}; regenerate the baseline"
+        )
+        return problems
+    cells = results.get("cells", {})
+    expected = set(results.get("config", {}).get("schedulers", _SCHEDULERS))
+    for cell_name, per_scheduler in sorted(cells.items()):
+        missing = expected - set(per_scheduler)
+        if missing:
+            problems.append(
+                f"cell {cell_name!r} is missing scheduler(s):"
+                f" {', '.join(sorted(missing))}"
+            )
+        for scheduler, cell in sorted(per_scheduler.items()):
+            if cell.get("operations", 0) <= 0:
+                problems.append(
+                    f"cell {cell_name!r} ran no operations under {scheduler!r}"
+                )
+            if cell.get("errors", 0):
+                problems.append(
+                    f"cell {cell_name!r} leaked {cell['errors']} client errors"
+                    f" under {scheduler!r}"
+                )
+    if _CONTENDED_CELL not in cells:
+        problems.append(f"contended cell {_CONTENDED_CELL!r} missing from results")
+        return problems
+    speedup = results.get("contended_read_speedup")
+    if speedup is None:
+        problems.append(
+            "contended_read_speedup missing (mvcc or pessimistic not benchmarked)"
+        )
+    elif speedup < min_contended_read_speedup:
+        problems.append(
+            f"contended read speedup {speedup:.2f}x (mvcc vs pessimistic in"
+            f" {_CONTENDED_CELL!r}) is below the"
+            f" {min_contended_read_speedup:.2f}x gate"
+        )
+    return problems
+
+
+__all__ = [
+    "SCHEDULER_BENCH_VERSION",
+    "SCHEDULER_MIN_CONTENDED_READ_SPEEDUP",
+    "check_scheduler_baseline",
+    "run_scheduler_ablation",
+    "write_scheduler_json",
+]

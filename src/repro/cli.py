@@ -82,6 +82,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", dest="list_scenarios", help="list scenarios and exit"
     )
 
+    isolation = subparsers.add_parser(
+        "isolation",
+        help="run the isolation exerciser: seeded anomaly probes against live"
+        " clusters, reported as a scheduler×anomaly observed/prevented matrix",
+    )
+    isolation.add_argument(
+        "--scheduler",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="scheduler to probe (may be repeated; default: all five variants)",
+    )
+    isolation.add_argument("--seed", type=int, default=7, help="interleaving seed")
+    isolation.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="scale the probe windows and operation counts (use < 1 for a quick run)",
+    )
+    isolation.add_argument(
+        "--json", action="store_true", dest="as_json", help="print the raw matrix as JSON"
+    )
+
     hotpath = subparsers.add_parser(
         "bench-hotpath",
         help="controller hot-path micro-benchmark (parsing cache, cached reads,"
@@ -254,6 +277,24 @@ def _run_chaos(args: argparse.Namespace, stdout) -> int:
     return 0 if all(result.ok for result in results) else 1
 
 
+def _run_isolation(args: argparse.Namespace, stdout) -> int:
+    import json
+
+    from repro.errors import CJDBCError
+    from repro.isolation import format_isolation_matrix, run_isolation_matrix
+
+    try:
+        matrix = run_isolation_matrix(args.scheduler, seed=args.seed, scale=args.scale)
+    except CJDBCError as exc:
+        print(f"error: {exc}", file=stdout)
+        return 2
+    if args.as_json:
+        print(json.dumps(matrix, indent=2, sort_keys=True), file=stdout)
+    else:
+        print(format_isolation_matrix(matrix), file=stdout)
+    return 0
+
+
 def _run_overhead() -> str:
     result = run_overhead_microbenchmark()
     return (
@@ -312,6 +353,7 @@ def _build_config_console(config_path: str, controller_name: Optional[str]):
 
 def _run_check_config(config_path: str, stdout) -> int:
     from repro.cluster import load_cluster
+    from repro.core.scheduler import describe_scheduler
     from repro.errors import ConfigurationError
 
     try:
@@ -339,6 +381,10 @@ def _run_check_config(config_path: str, stdout) -> int:
             print(
                 f"      interceptors: {', '.join(chain) if chain else 'none'}"
                 f" (stages: {' -> '.join(vdb.pipeline.stage_names)})",
+                file=stdout,
+            )
+            print(
+                f"      scheduler: {describe_scheduler(spec.scheduler)}",
                 file=stdout,
             )
             routing = spec.routing
@@ -474,6 +520,8 @@ def main(argv: Optional[List[str]] = None, stdout=None) -> int:
         return _run_bench_hotpath(args, stdout)
     if args.command == "chaos":
         return _run_chaos(args, stdout)
+    if args.command == "isolation":
+        return _run_isolation(args, stdout)
     if args.command == "console":
         return _run_console(args, stdout=stdout)
     if args.command == "check-config":

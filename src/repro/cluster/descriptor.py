@@ -92,6 +92,7 @@ _RETRY_KEYS = {"attempts", "backoff", "backoff_multiplier", "backoff_max", "jitt
 _ROUTING_KEYS = {"policy", "scatter_gather", "weights"}
 _ROUTING_POLICIES = {"cost", "policy"}
 _ROUTING_WEIGHT_KEYS = {"pending", "pool", "service_time"}
+_SCHEDULER_KEYS = {"name", "lock_timeout", "conflict_policy"}
 
 
 # ---------------------------------------------------------------------------
@@ -159,7 +160,10 @@ class VirtualDatabaseSpec:
     replication: str = "raidb1"
     load_balancing_policy: str = "lprf"
     wait_for_completion: str = "all"
-    scheduler: str = "optimistic"
+    #: scheduler name (passthrough | optimistic | pessimistic | table_lock |
+    #: mvcc) or a validated options mapping ({"name": ..., "lock_timeout": ...,
+    #: "conflict_policy": ...})
+    scheduler: Union[str, Dict[str, Any]] = "optimistic"
     lazy_transaction_begin: bool = True
     cache_enabled: bool = False
     cache_granularity: str = "table"
@@ -224,7 +228,9 @@ class VirtualDatabaseSpec:
             replication=self.replication,
             load_balancing_policy=self.load_balancing_policy,
             wait_for_completion=self.wait_for_completion,
-            scheduler=self.scheduler,
+            scheduler=dict(self.scheduler)
+            if isinstance(self.scheduler, dict)
+            else self.scheduler,
             lazy_transaction_begin=self.lazy_transaction_begin,
             cache_enabled=self.cache_enabled,
             cache_granularity=self.cache_granularity,
@@ -521,7 +527,7 @@ def _parse_virtual_database(entry: Any, where: str) -> VirtualDatabaseSpec:
         replication=_get_str(entry, "replication", where, "raidb1"),
         load_balancing_policy=_get_str(entry, "load_balancing_policy", where, "lprf"),
         wait_for_completion=_get_str(entry, "wait_for_completion", where, "all"),
-        scheduler=_get_str(entry, "scheduler", where, "optimistic"),
+        scheduler=_parse_scheduler(entry, where),
         lazy_transaction_begin=_get_bool(entry, "lazy_transaction_begin", where, True),
         recovery_log=_get_str(entry, "recovery_log", where, "memory"),
         parsing_cache_size=parsing_cache_size,
@@ -581,6 +587,35 @@ def _parse_group(vdb: Mapping, where: str) -> Optional[GroupSpec]:
         rpc_timeout=_get_number(group, "rpc_timeout", f"{where}.group", 10.0),
         members=members,
     )
+
+
+def _parse_scheduler(vdb: Mapping, where: str) -> Union[str, Dict[str, Any]]:
+    """Validate the ``scheduler:`` knob — a plain name or an options mapping.
+
+    Both forms are validated through the scheduler factory so the descriptor
+    rejects exactly what :func:`repro.core.scheduler.build_scheduler` would
+    (unknown names, unknown option keys, options applied to the wrong
+    variant), with the descriptor path prefixed to the message.
+    """
+    from repro.core.scheduler import build_scheduler
+
+    if "scheduler" not in vdb:
+        return "optimistic"
+    value = vdb["scheduler"]
+    if isinstance(value, Mapping):
+        _check_keys(value, _SCHEDULER_KEYS, f"{where}.scheduler")
+        value = dict(value)
+    elif not isinstance(value, str):
+        _fail(
+            f"{where}.scheduler",
+            f"expected a scheduler name or an options mapping,"
+            f" got {type(value).__name__}",
+        )
+    try:
+        build_scheduler(value)
+    except ConfigurationError as exc:
+        _fail(f"{where}.scheduler", str(exc))
+    return value
 
 
 def _parse_routing(vdb: Mapping, where: str) -> Optional[RoutingSpec]:

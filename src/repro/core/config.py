@@ -35,11 +35,7 @@ from repro.core.loadbalancer import (
 from repro.core.recovery.recovery_log import FileRecoveryLog, MemoryRecoveryLog
 from repro.core.request_manager import RequestManager
 from repro.core.requestparser import RequestFactory
-from repro.core.scheduler import (
-    OptimisticTransactionLevelScheduler,
-    PassThroughScheduler,
-    PessimisticTransactionLevelScheduler,
-)
+from repro.core.scheduler import build_scheduler
 from repro.core.virtualdb import VirtualDatabase
 from repro.errors import ConfigurationError
 from repro.planner import ROUTING_POLICIES, RoutingConfig, RoutingWeights
@@ -76,7 +72,9 @@ class VirtualDatabaseConfig:
     replication: str = "raidb1"            # single | raidb0 | raidb1 | raidb2
     load_balancing_policy: str = "lprf"    # rr | wrr | lprf
     wait_for_completion: str = "all"       # first | majority | all
-    scheduler: str = "optimistic"          # passthrough | optimistic | pessimistic
+    #: scheduler name (passthrough | optimistic | pessimistic | table_lock |
+    #: mvcc) or an options mapping ({"name": "table_lock", "lock_timeout": 2})
+    scheduler: Any = "optimistic"
     lazy_transaction_begin: bool = True
     cache_enabled: bool = False
     cache_granularity: str = "table"       # database | table | column
@@ -226,15 +224,8 @@ def _build_routing(config: VirtualDatabaseConfig) -> RoutingConfig:
     )
 
 
-def _build_scheduler(name: str):
-    lowered = name.lower()
-    if lowered in ("passthrough", "pass_through", "singledb"):
-        return PassThroughScheduler()
-    if lowered == "optimistic":
-        return OptimisticTransactionLevelScheduler()
-    if lowered == "pessimistic":
-        return PessimisticTransactionLevelScheduler()
-    raise ConfigurationError(f"unknown scheduler {name!r}")
+def _build_scheduler(spec):
+    return build_scheduler(spec)
 
 
 def _build_load_balancer(config: VirtualDatabaseConfig):

@@ -36,6 +36,7 @@ class AdminConsole:
             "checkpoint": self._cmd_checkpoint,
             "recover": self._cmd_recover,
             "stats": self._cmd_stats,
+            "scheduler": self._cmd_scheduler,
             "explain": self._cmd_explain,
             "interceptors": self._cmd_interceptors,
             "fault": self._cmd_fault,
@@ -70,6 +71,8 @@ class AdminConsole:
             "  checkpoint <vdb> <backend> [<name>]\n"
             "  recover <vdb> <backend> [<checkpoint>]\n"
             "  stats <vdb>\n"
+            "  scheduler <vdb> (scheduler variant, wait accounting,"
+            " lock/conflict counters)\n"
             "  explain <vdb> <sql> (route plan: chosen backend(s), costs, merge)\n"
             "  interceptors <vdb>\n"
             "  fault <vdb> <backend> status|crash|recover|clear\n"
@@ -240,3 +243,12 @@ class AdminConsole:
             return json.dumps(self.controller.statistics(), indent=2, default=str)
         vdb = self.controller.get_virtual_database(args[0])
         return json.dumps(vdb.statistics(), indent=2, default=str)
+
+    def _cmd_scheduler(self, args: List[str]) -> str:
+        if not args:
+            return "usage: scheduler <vdb>"
+        vdb = self.controller.get_virtual_database(args[0])
+        scheduler = vdb.request_manager.scheduler
+        return json.dumps(
+            scheduler.statistics(), indent=2, sort_keys=True, default=str
+        )

@@ -205,6 +205,8 @@ class RequestManager:
         self.transactions_started = 0
         self.transactions_committed = 0
         self.transactions_aborted = 0
+        #: transactions re-run by run_in_transaction after an MVCC conflict
+        self.serialization_retries = 0
         self.batches_executed = 0
         self.statements_batched = 0
         #: bucket label -> number of batches whose size fell in the bucket
@@ -463,6 +465,62 @@ class RequestManager:
         request = RollbackRequest(sql="rollback", login=login, transaction_id=transaction_id)
         self.pipeline.execute(RequestContext(request, manager=self))
 
+    def run_in_transaction(
+        self,
+        operation: Callable[[int], object],
+        login: str = "",
+        retry_policy=None,
+    ):
+        """Run ``operation(transaction_id)`` inside a transaction, retrying
+        serialization conflicts.
+
+        The MVCC scheduler aborts first-committer-wins losers with
+        :class:`~repro.errors.SerializationConflictError` *before* the
+        conflicting statement or commit reaches any backend, so the whole
+        transaction can safely be rolled back and re-run.  ``retry_policy``
+        (a :class:`~repro.core.retry.RetryPolicy`; a default one is used when
+        omitted) bounds the attempts and paces them with its backoff/jitter
+        schedule.  Conflicts under other schedulers simply never occur, so
+        the operation runs exactly once there.
+        """
+        import time as _time
+
+        from repro.core.retry import RetryPolicy
+        from repro.errors import SerializationConflictError
+
+        policy = retry_policy or RetryPolicy()
+        rng = policy.rng()
+        last_exc: Optional[Exception] = None
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                _time.sleep(policy.delay(attempt, rng))
+                with self._stats_lock:
+                    self.serialization_retries += 1
+            transaction_id = self.begin(login=login)
+            try:
+                outcome = operation(transaction_id)
+            except SerializationConflictError as exc:
+                last_exc = exc
+                self._rollback_quietly(transaction_id, login)
+                continue
+            except BaseException:
+                self._rollback_quietly(transaction_id, login)
+                raise
+            try:
+                self.commit(transaction_id, login=login)
+            except SerializationConflictError as exc:
+                last_exc = exc
+                self._rollback_quietly(transaction_id, login)
+                continue
+            return outcome
+        raise last_exc
+
+    def _rollback_quietly(self, transaction_id: int, login: str) -> None:
+        try:
+            self.rollback(transaction_id, login=login)
+        except CJDBCError:
+            pass
+
     def _register_transaction(
         self, login: str, transaction_id: Optional[int] = None
     ) -> int:
@@ -589,6 +647,7 @@ class RequestManager:
             "transactions_started": self.transactions_started,
             "transactions_committed": self.transactions_committed,
             "transactions_aborted": self.transactions_aborted,
+            "serialization_retries": self.serialization_retries,
             "active_transactions": len(self.active_transactions),
             "scheduler": self.scheduler.statistics(),
             "load_balancer": self.load_balancer.statistics(),

@@ -6,11 +6,14 @@ tunable per connection: how many attempts, how long to back off between
 them (exponential with jitter, capped), and an overall per-operation
 timeout after which the driver gives up even if attempts remain.
 
-Only *controller* failures (:class:`repro.errors.ControllerError` — the
-controller is unreachable, dead, or cannot serve the database) are
-retryable.  Database errors (bad SQL, constraint violations) and protocol
-errors are not: retrying them would at best repeat the failure and at worst
-double-apply a write.
+Two error families are retryable: *controller* failures
+(:class:`repro.errors.ControllerError` — the controller is unreachable,
+dead, or cannot serve the database) and *serialization conflicts*
+(:class:`repro.errors.SerializationConflictError` — the MVCC scheduler
+aborted the transaction before the conflicting statement reached any
+backend, so re-running it is safe).  Other database errors (bad SQL,
+constraint violations) and protocol errors are not: retrying them would at
+best repeat the failure and at worst double-apply a write.
 
 Policies are plain frozen dataclasses so they can live in cluster
 descriptors and URL options:
@@ -24,7 +27,7 @@ import random
 from dataclasses import dataclass
 from typing import Any, Mapping, Optional
 
-from repro.errors import CJDBCError, ControllerError
+from repro.errors import CJDBCError, ControllerError, SerializationConflictError
 
 #: URL option / descriptor keys understood by :meth:`RetryPolicy.from_options`
 _OPTION_KEYS = (
@@ -71,8 +74,8 @@ class RetryPolicy:
 
     @staticmethod
     def is_retryable(exc: BaseException) -> bool:
-        """Only controller failures are safe and useful to retry."""
-        return isinstance(exc, ControllerError)
+        """Controller failures and serialization conflicts are safe to retry."""
+        return isinstance(exc, (ControllerError, SerializationConflictError))
 
     def rng(self) -> random.Random:
         """A jitter RNG for one connection's lifetime."""

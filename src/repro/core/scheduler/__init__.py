@@ -1,15 +1,27 @@
 """Request schedulers (paper §2.4.1).
 
 The scheduler decides when a request may proceed and guarantees that all
-backends see updates, commits and aborts in the same order.  Three
-implementations are provided, matching the C-JDBC distribution:
+backends see updates, commits and aborts in the same order.  Five
+implementations are provided — the three matching the C-JDBC distribution
+plus two finer-grained variants:
 
 * :class:`PassThroughScheduler` — no synchronisation, for single-backend
   virtual databases;
 * :class:`OptimisticTransactionLevelScheduler` — writes are serialised with
   respect to each other but reads never block;
 * :class:`PessimisticTransactionLevelScheduler` — writes are exclusive even
-  with respect to reads (reads wait while a write is in flight).
+  with respect to reads (reads wait while a write is in flight), with
+  writer preference so a reader stream cannot starve a writer;
+* :class:`TableLockScheduler` — shared/exclusive locks per parsed table
+  with deadlock-free ordered acquisition: writes on disjoint tables run
+  concurrently, reads block only on tables being written;
+* :class:`MVCCScheduler` — snapshot-style: reads never block and are
+  stamped with the committed version they logically read at, writes stay
+  totally ordered, and first-committer-wins validation aborts conflicting
+  transactions with :class:`~repro.errors.SerializationConflictError`.
+
+:func:`build_scheduler` turns the ``scheduler:`` configuration knob (a name
+or an options mapping) into an instance.
 """
 
 from repro.core.scheduler.base import (
@@ -19,6 +31,14 @@ from repro.core.scheduler.base import (
     PessimisticTransactionLevelScheduler,
     SchedulerTicket,
 )
+from repro.core.scheduler.factory import (
+    SCHEDULER_NAMES,
+    build_scheduler,
+    canonical_scheduler_name,
+    describe_scheduler,
+)
+from repro.core.scheduler.locking import TableLockScheduler
+from repro.core.scheduler.mvcc import CONFLICT_POLICIES, MVCCScheduler
 
 __all__ = [
     "AbstractScheduler",
@@ -26,4 +46,11 @@ __all__ = [
     "PassThroughScheduler",
     "OptimisticTransactionLevelScheduler",
     "PessimisticTransactionLevelScheduler",
+    "TableLockScheduler",
+    "MVCCScheduler",
+    "CONFLICT_POLICIES",
+    "SCHEDULER_NAMES",
+    "build_scheduler",
+    "canonical_scheduler_name",
+    "describe_scheduler",
 ]

@@ -1,0 +1,188 @@
+"""Table-level locking scheduler: shared/exclusive locks per parsed table.
+
+The coarse §2.4.1 schedulers serialize *all* writes on one virtual-database
+mutex.  :class:`TableLockScheduler` narrows the conflict window to the
+tables a request actually touches (the request parser fills
+``request.tables``):
+
+* a read takes a **shared** lock on each of its tables;
+* a write takes a shared lock on the global key ``"*"`` and then an
+  **exclusive** lock on each of its tables — writes on disjoint tables
+  proceed concurrently, writes on the same table are serialized (so every
+  backend still applies conflicting writes in the same order);
+* a commit/abort (no parsed tables) takes only the shared global lock;
+* the :meth:`~AbstractScheduler.write_barrier` takes the global key
+  **exclusively**: it drains every in-flight write and excludes new ones,
+  while reads — which never touch the global key — keep flowing.
+
+Deadlock freedom comes from ordered acquisition: every caller locks the
+global key first and then its tables in sorted name order, so no cycle of
+waiters can form.  Lock keys are recomputed from the request at release
+time, which keeps the scheduler stateless about in-flight tickets.
+
+A waiting exclusive locker blocks *new* shared lockers on its key (writer
+preference per table, and the mechanism by which a pending barrier stops
+admitting writes).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.request import AbstractRequest
+from repro.core.scheduler.base import AbstractScheduler
+from repro.errors import LockTimeoutError
+
+#: the pseudo-table every write shares and the barrier takes exclusively;
+#: sorts before any real (alphanumeric) table name, preserving ordered
+#: acquisition
+_GLOBAL = "*"
+
+#: (lock key, exclusive?) pairs, in acquisition order
+_LockPlan = Tuple[Tuple[str, bool], ...]
+
+
+class _LockEntry:
+    """Reader/writer state of one lock key."""
+
+    __slots__ = ("readers", "writer", "waiting_exclusive")
+
+    def __init__(self):
+        self.readers = 0
+        self.writer = False
+        self.waiting_exclusive = 0
+
+    @property
+    def idle(self) -> bool:
+        return not self.readers and not self.writer and not self.waiting_exclusive
+
+
+class TableLockScheduler(AbstractScheduler):
+    """Shared/exclusive table locks with deadlock-free ordered acquisition."""
+
+    def __init__(self, lock_timeout: Optional[float] = None):
+        super().__init__()
+        if lock_timeout is not None and lock_timeout <= 0:
+            raise ValueError(f"lock_timeout must be positive, got {lock_timeout!r}")
+        #: seconds one request may wait for its whole lock plan (None = forever)
+        self.lock_timeout = lock_timeout
+        self._condition = threading.Condition()
+        self._locks: Dict[str, _LockEntry] = {}
+        self.lock_waits = 0
+        self.lock_timeouts = 0
+
+    # -- lock plans --------------------------------------------------------------
+
+    @staticmethod
+    def _tables(request: AbstractRequest) -> Sequence[str]:
+        return sorted({table.lower() for table in (request.tables or ())})
+
+    def _read_plan(self, request: AbstractRequest) -> _LockPlan:
+        return tuple((table, False) for table in self._tables(request))
+
+    def _write_plan(self, request: Optional[AbstractRequest]) -> _LockPlan:
+        if request is None:  # write barrier
+            return ((_GLOBAL, True),)
+        tables = self._tables(request)
+        if not tables:  # commit/abort or unparsed write
+            return ((_GLOBAL, False),)
+        return ((_GLOBAL, False),) + tuple((table, True) for table in tables)
+
+    # -- acquisition -------------------------------------------------------------
+
+    def _acquire_plan(self, plan: _LockPlan) -> None:
+        if not plan:
+            return
+        deadline = (
+            None if self.lock_timeout is None else time.monotonic() + self.lock_timeout
+        )
+        blocked = False
+        acquired = []
+        with self._condition:
+            try:
+                for key, exclusive in plan:
+                    entry = self._locks.setdefault(key, _LockEntry())
+                    if exclusive:
+                        entry.waiting_exclusive += 1
+                        try:
+                            while entry.writer or entry.readers:
+                                blocked = True
+                                self._wait(deadline, key)
+                        finally:
+                            entry.waiting_exclusive -= 1
+                        entry.writer = True
+                    else:
+                        while entry.writer or entry.waiting_exclusive:
+                            blocked = True
+                            self._wait(deadline, key)
+                        entry.readers += 1
+                    acquired.append((key, exclusive))
+            except Exception:
+                self._release_held(acquired)
+                self._condition.notify_all()
+                raise
+            if blocked:
+                self.lock_waits += 1
+
+    def _wait(self, deadline: Optional[float], key: str) -> None:
+        """One bounded wait on the condition; raises on a passed deadline."""
+        if deadline is None:
+            self._condition.wait()
+            return
+        remaining = deadline - time.monotonic()
+        if remaining <= 0 or not self._condition.wait(timeout=remaining):
+            if deadline - time.monotonic() <= 0:
+                self.lock_timeouts += 1
+                raise LockTimeoutError(
+                    f"table lock on {key!r} not acquired within"
+                    f" {self.lock_timeout}s"
+                )
+
+    def _release_plan(self, plan: _LockPlan) -> None:
+        if not plan:
+            return
+        with self._condition:
+            self._release_held(plan)
+            self._condition.notify_all()
+
+    def _release_held(self, held) -> None:
+        """Release (key, exclusive) pairs; caller holds the condition."""
+        for key, exclusive in held:
+            entry = self._locks.get(key)
+            if entry is None:
+                continue
+            if exclusive:
+                entry.writer = False
+            else:
+                entry.readers = max(0, entry.readers - 1)
+            if entry.idle:
+                del self._locks[key]
+
+    # -- scheduler hooks ---------------------------------------------------------
+
+    def _acquire_read(self, request: AbstractRequest) -> None:
+        self._acquire_plan(self._read_plan(request))
+
+    def _acquire_write(self, request: Optional[AbstractRequest]) -> None:
+        self._acquire_plan(self._write_plan(request))
+
+    def _release_read(self, request: AbstractRequest) -> None:
+        self._release_plan(self._read_plan(request))
+
+    def _release_write(self, request: Optional[AbstractRequest]) -> None:
+        self._release_plan(self._write_plan(request))
+
+    # -- statistics --------------------------------------------------------------
+
+    def statistics(self) -> dict:
+        stats = super().statistics()
+        with self._condition:
+            stats["table_lock"] = {
+                "lock_timeout": self.lock_timeout,
+                "lock_waits": self.lock_waits,
+                "lock_timeouts": self.lock_timeouts,
+                "locked_tables": len(self._locks),
+            }
+        return stats

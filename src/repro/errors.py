@@ -141,3 +141,15 @@ class ProtocolError(CJDBCError):
 
 class RateLimitExceededError(CJDBCError):
     """A login exceeded its request budget (``rate_limit`` interceptor)."""
+
+
+class SerializationConflictError(CJDBCError):
+    """An MVCC scheduler aborted a transaction on a write-write conflict.
+
+    Raised by the snapshot scheduler's first-committer-wins validation when
+    a transaction writes a table that another transaction committed after
+    this one took its snapshot.  The losing transaction performed no new
+    work (the conflicting statement is rejected before it reaches any
+    backend), so the client can roll back and retry the whole transaction;
+    :meth:`repro.core.retry.RetryPolicy.is_retryable` treats it as safe.
+    """

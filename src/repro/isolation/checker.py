@@ -1,0 +1,205 @@
+"""Observed-history recording and anomaly classification (HISTEX-style).
+
+The exerciser (:mod:`repro.isolation.exerciser`) drives seeded multi-client
+interleavings against a live cluster and records every operation it issues
+into a :class:`History`: who did it, what it was, when it started and
+finished, and what value came back.  The functions here classify those
+histories after the fact — the checker never touches the cluster, so the
+same classification runs identically over a recorded history regardless of
+which scheduler produced it.
+
+Anomalies are defined at the *replication* level, where the middleware
+schedulers actually differ (each in-memory backend already runs strict
+two-phase locking internally):
+
+* a **dirty read** is a read that returned a write's new value before that
+  write was acknowledged on every replica;
+* a **non-repeatable read** shows up as a *backward transition*: one client
+  reads the new value, then reads the old one again because its next read
+  landed on a replica the write had not reached yet;
+* a **lost update** is detected structurally (replica digests diverge after
+  two updates applied in different orders), so it needs no history check.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+@dataclass
+class HistoryEvent:
+    """One operation observed during an interleaving."""
+
+    client: str
+    kind: str                 # read | write | begin | commit | rollback | error
+    started: float            # monotonic seconds
+    finished: float
+    table: Optional[str] = None
+    key: Optional[object] = None
+    value: Optional[object] = None
+    details: Dict[str, object] = field(default_factory=dict)
+
+
+class History:
+    """Thread-safe recorder for the events of one interleaving."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._events: List[HistoryEvent] = []
+
+    def add(
+        self,
+        client: str,
+        kind: str,
+        started: float,
+        finished: float,
+        table: Optional[str] = None,
+        key: Optional[object] = None,
+        value: Optional[object] = None,
+        **details: object,
+    ) -> HistoryEvent:
+        event = HistoryEvent(
+            client=client,
+            kind=kind,
+            started=started,
+            finished=finished,
+            table=table,
+            key=key,
+            value=value,
+            details=dict(details),
+        )
+        with self._lock:
+            self._events.append(event)
+        return event
+
+    @property
+    def events(self) -> List[HistoryEvent]:
+        """Events sorted by start time (stable for identical timestamps)."""
+        with self._lock:
+            return sorted(self._events, key=lambda event: event.started)
+
+    def reads(
+        self, table: Optional[str] = None, key: Optional[object] = None
+    ) -> List[HistoryEvent]:
+        return [
+            event
+            for event in self.events
+            if event.kind == "read"
+            and (table is None or event.table == table)
+            and (key is None or event.key == key)
+        ]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+# ---------------------------------------------------------------------------
+# classification
+# ---------------------------------------------------------------------------
+
+
+def dirty_reads(
+    history: History,
+    table: str,
+    key: object,
+    value: object,
+    acked_at: float,
+    margin: float,
+) -> List[HistoryEvent]:
+    """Reads that returned ``value`` well before the write of it was acked.
+
+    ``margin`` guards the classification against clock skew between the
+    reader recording its finish time and the writer recording the ack: only
+    reads that finished more than ``margin`` seconds before the ack count.
+    """
+    return [
+        event
+        for event in history.reads(table, key)
+        if event.value == value and event.finished < acked_at - margin
+    ]
+
+
+def backward_transitions(
+    history: History,
+    client: str,
+    table: str,
+    key: object,
+    ranks: Mapping[object, int],
+) -> int:
+    """Consecutive read pairs by one client where the value went *backward*.
+
+    ``ranks`` orders the values in time (old value rank 0, new value rank
+    1); a client that reads the new value and then the old one again has
+    observed a non-repeatable read at the replication level.
+    """
+    reads = [
+        event
+        for event in history.reads(table, key)
+        if event.client == client and event.value in ranks
+    ]
+    return sum(
+        1
+        for previous, current in zip(reads, reads[1:])
+        if ranks[current.value] < ranks[previous.value]
+    )
+
+
+def cell(status: str, mechanism: Optional[str] = None, **details: object) -> dict:
+    """One scheduler×anomaly matrix cell: observed/prevented plus evidence."""
+    if status not in ("observed", "prevented"):
+        raise ValueError(f"unknown cell status {status!r}")
+    result: Dict[str, object] = {"status": status}
+    if mechanism is not None:
+        result["mechanism"] = mechanism
+    result.update(details)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# reporting
+# ---------------------------------------------------------------------------
+
+
+def format_isolation_matrix(matrix: Mapping[str, object]) -> str:
+    """Render the scheduler×anomaly matrix as an aligned text table."""
+    schedulers: Mapping[str, Mapping[str, dict]] = matrix["schedulers"]
+    anomalies: Sequence[str] = matrix.get("anomalies") or sorted(
+        {anomaly for cells in schedulers.values() for anomaly in cells}
+    )
+    names = list(schedulers)
+    anomaly_width = max([len("anomaly")] + [len(a) for a in anomalies])
+    widths = {
+        name: max(len(name), *(len(schedulers[name][a]["status"]) for a in anomalies))
+        if anomalies
+        else len(name)
+        for name in names
+    }
+    header = f"{'anomaly':<{anomaly_width}}"
+    for name in names:
+        header += f"  {name:<{widths[name]}}"
+    lines = [
+        f"scheduler × anomaly matrix (seed {matrix.get('seed')})",
+        "=" * len(header),
+        header,
+        "-" * len(header),
+    ]
+    for anomaly in anomalies:
+        line = f"{anomaly:<{anomaly_width}}"
+        for name in names:
+            status = schedulers[name][anomaly]["status"]
+            line += f"  {status:<{widths[name]}}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+__all__ = [
+    "History",
+    "HistoryEvent",
+    "backward_transitions",
+    "cell",
+    "dirty_reads",
+    "format_isolation_matrix",
+]

@@ -16,23 +16,30 @@ import pytest
 
 from repro.bench import (
     ROUTING_BENCH_VERSION,
+    SCHEDULER_BENCH_VERSION,
     check_hotpath_baseline,
     check_routing_baseline,
+    check_scheduler_baseline,
     format_hotpath_report,
+    run_chaos_scenario,
     run_hotpath_microbenchmark,
     run_loadbalancer_ablation,
     run_optimization_ablation,
     run_overhead_microbenchmark,
     run_routing_ablation,
     run_rubis_cache_experiment,
+    run_scheduler_ablation,
     run_tpcw_scalability,
     write_hotpath_json,
     write_routing_json,
+    write_scheduler_json,
 )
+from repro.isolation import run_isolation_matrix
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_PATH = REPO_ROOT / "BENCH_hotpath.json"
 ROUTING_BASELINE_PATH = REPO_ROOT / "BENCH_routing.json"
+SCHEDULER_BASELINE_PATH = REPO_ROOT / "BENCH_scheduler.json"
 
 pytestmark = pytest.mark.bench_smoke
 
@@ -214,3 +221,93 @@ class TestRoutingBaselineGate:
         }
         problems = check_routing_baseline(degraded)
         assert any("skewed" in problem and "1.30x gate" in problem for problem in problems)
+
+
+class TestSchedulerBaselineGate:
+    def test_committed_scheduler_baseline_passes_gates(self):
+        """The committed contention ablation must show MVCC reads winning.
+
+        Gate: in the contended cell (half the clients writing, hot skew)
+        the MVCC scheduler's read throughput is >= 1.3x the pessimistic
+        scheduler's, with every cell populated and error-free.
+        """
+        assert (
+            SCHEDULER_BASELINE_PATH.exists()
+        ), "BENCH_scheduler.json baseline not committed"
+        assert check_scheduler_baseline(SCHEDULER_BASELINE_PATH) == []
+        baseline = json.loads(SCHEDULER_BASELINE_PATH.read_text())
+        assert baseline["version"] == SCHEDULER_BENCH_VERSION
+        assert baseline["contended_read_speedup"] >= 1.3
+        cells = baseline["cells"]
+        # table-lock granularity: reads collapse only when the writes hit
+        # the same hot table the readers are on
+        table_lock_uniform = cells["r2w2_uniform"]["table_lock"]["read_ops_per_second"]
+        table_lock_hot = cells["r2w2_hot"]["table_lock"]["read_ops_per_second"]
+        assert table_lock_uniform > table_lock_hot
+        # non-blocking-read schedulers never record a blocked read
+        for scheduler in ("passthrough", "optimistic", "mvcc"):
+            for cell in (cells["r2w2_hot"], cells["r3w1_hot"]):
+                assert cell[scheduler]["read_wait"]["count"] == 0
+
+    def test_scheduler_ablation_smoke_live(self, tmp_path):
+        """A tiny live run of the contended cell keeps the gate direction."""
+        results = run_scheduler_ablation(
+            schedulers=("pessimistic", "mvcc"),
+            mixes=((2, 2),),
+            skews=("hot",),
+            duration=0.15,
+        )
+        # looser than the committed gate: tiny run, noisy timings
+        assert results["contended_read_speedup"] >= 1.0
+        baseline_file = write_scheduler_json(results, tmp_path / "scheduler.json")
+        assert (
+            check_scheduler_baseline(baseline_file, min_contended_read_speedup=1.0)
+            == []
+        )
+
+    def test_check_scheduler_baseline_fails_loudly(self, tmp_path):
+        assert check_scheduler_baseline(tmp_path / "missing.json") != []
+        assert any(
+            "version" in problem
+            for problem in check_scheduler_baseline({"version": -1, "cells": {}})
+        )
+        degraded = {
+            "version": SCHEDULER_BENCH_VERSION,
+            "config": {"schedulers": ["pessimistic", "mvcc"]},
+            "cells": {
+                "r2w2_hot": {
+                    "pessimistic": {"operations": 10, "errors": 0},
+                    "mvcc": {"operations": 10, "errors": 2},
+                }
+            },
+            "contended_read_speedup": 1.1,
+        }
+        problems = check_scheduler_baseline(degraded)
+        assert any("1.30x gate" in problem for problem in problems)
+        assert any("client errors" in problem for problem in problems)
+        incomplete = {
+            "version": SCHEDULER_BENCH_VERSION,
+            "config": {"schedulers": ["pessimistic", "mvcc"]},
+            "cells": {"r2w2_hot": {"mvcc": {"operations": 10, "errors": 0}}},
+        }
+        problems = check_scheduler_baseline(incomplete)
+        assert any("missing scheduler" in problem for problem in problems)
+        assert any("contended_read_speedup" in problem for problem in problems)
+
+
+class TestIsolationSmoke:
+    def test_scheduler_isolation_mix_scenario(self):
+        """Every ordered scheduler survives the random mix converged."""
+        result = run_chaos_scenario("scheduler_isolation_mix", seed=7, scale=0.3)
+        assert result.violations == []
+        assert result.details["mvcc"]["operations"] > 0
+        assert "diverged_tables" in result.details["passthrough"]
+
+    def test_isolation_matrix_smoke(self):
+        """The acceptance pair of the matrix holds at reduced scale."""
+        matrix = run_isolation_matrix(["passthrough", "pessimistic"], scale=0.4)
+        lost_update = {
+            name: cells["lost_update"]["status"]
+            for name, cells in matrix["schedulers"].items()
+        }
+        assert lost_update == {"passthrough": "observed", "pessimistic": "prevented"}

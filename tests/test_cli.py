@@ -101,6 +101,14 @@ class TestConsoleCommand:
         assert code == 2
         assert "--controller requires --config" in out.getvalue()
 
+    def test_console_scheduler_command(self):
+        out = io.StringIO()
+        code = main(["console", "--execute", "scheduler demodb"], stdout=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "read_wait" in text and "write_wait" in text
+        assert "Scheduler" in text  # the variant's class name
+
 
 class TestConfigCommands:
     DESCRIPTOR = (
@@ -184,6 +192,34 @@ class TestConfigCommands:
         out = io.StringIO()
         assert main(["check-config", str(config)], stdout=out) == 0
         assert out.getvalue().count("interceptors: metrics") == 2
+
+    def test_check_config_reports_scheduler(self, tmp_path):
+        path = tmp_path / "cluster.json"
+        path.write_text(
+            '{"virtual_databases": [{"name": "clidb", "backends": ["b0", "b1"],'
+            ' "scheduler": {"name": "table_lock", "lock_timeout": 2.0}}]}'
+        )
+        out = io.StringIO()
+        assert main(["check-config", str(path)], stdout=out) == 0
+        assert "scheduler: table_lock (lock_timeout: 2.0)" in out.getvalue()
+
+        default = tmp_path / "default.json"
+        default.write_text(
+            '{"virtual_databases": [{"name": "clidb2", "backends": ["b0"]}]}'
+        )
+        out = io.StringIO()
+        assert main(["check-config", str(default)], stdout=out) == 0
+        assert "scheduler: optimistic" in out.getvalue()
+
+    def test_check_config_rejects_unknown_scheduler(self, tmp_path):
+        path = tmp_path / "cluster.json"
+        path.write_text(
+            '{"virtual_databases": [{"name": "clidb", "backends": ["b0"],'
+            ' "scheduler": "fifo"}]}'
+        )
+        out = io.StringIO()
+        assert main(["check-config", str(path)], stdout=out) == 1
+        assert "scheduler" in out.getvalue()
 
     def test_check_config_rejects_bad_parsing_cache_size(self, tmp_path):
         path = tmp_path / "cluster.json"

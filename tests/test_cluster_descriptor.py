@@ -483,3 +483,66 @@ class TestRoutingSection:
     def test_malformed_routing_sections(self, routing, message):
         with pytest.raises(ConfigurationError, match=message):
             parse_descriptor(self._descriptor(routing))
+
+
+class TestSchedulerSection:
+    """``scheduler:`` knob: name or options mapping, validated at parse time."""
+
+    def _descriptor(self, scheduler=None):
+        vdb = {"name": "sdb", "backends": ["se0", "se1"]}
+        if scheduler is not None:
+            vdb["scheduler"] = scheduler
+        return {"virtual_databases": [vdb]}
+
+    def test_absent_scheduler_defaults_to_optimistic(self):
+        spec = parse_descriptor(self._descriptor()).virtual_database("sdb")
+        assert spec.scheduler == "optimistic"
+
+    def test_scheduler_name_flows_to_the_built_scheduler(self):
+        from repro.core.scheduler import MVCCScheduler, TableLockScheduler
+
+        cluster = load_cluster(self._descriptor(scheduler="mvcc"))
+        scheduler = cluster.virtual_database("sdb").request_manager.scheduler
+        assert isinstance(scheduler, MVCCScheduler)
+        cluster = load_cluster(
+            self._descriptor(scheduler={"name": "table_lock", "lock_timeout": 1.5})
+        )
+        scheduler = cluster.virtual_database("sdb").request_manager.scheduler
+        assert isinstance(scheduler, TableLockScheduler)
+        assert scheduler.lock_timeout == 1.5
+
+    def test_scheduler_mapping_options_flow_through(self):
+        cluster = load_cluster(
+            self._descriptor(scheduler={"name": "mvcc", "conflict_policy": "detect_only"})
+        )
+        scheduler = cluster.virtual_database("sdb").request_manager.scheduler
+        assert scheduler.conflict_policy == "detect_only"
+
+    def test_aliases_are_accepted(self):
+        spec = parse_descriptor(
+            self._descriptor(scheduler="snapshot")
+        ).virtual_database("sdb")
+        assert spec.scheduler == "snapshot"
+
+    @pytest.mark.parametrize(
+        "scheduler, message",
+        [
+            ("fifo", r"scheduler: unknown scheduler 'fifo'"),
+            (17, r"scheduler: expected a scheduler name or an options mapping"),
+            ({"lock_timeout": 1.0}, r"scheduler: .*needs a 'name' key"),
+            ({"name": "mvcc", "lock_timeout": 1.0}, r"lock_timeout only applies"),
+            (
+                {"name": "table_lock", "conflict_policy": "detect_only"},
+                r"conflict_policy only applies",
+            ),
+            ({"name": "table_lock", "granularity": "row"}, r"scheduler: unknown key"),
+            ({"name": "table_lock", "lock_timeout": -2}, r"lock_timeout must be"),
+            (
+                {"name": "mvcc", "conflict_policy": "last_write_wins"},
+                r"unknown conflict_policy",
+            ),
+        ],
+    )
+    def test_malformed_scheduler_sections(self, scheduler, message):
+        with pytest.raises(ConfigurationError, match=message):
+            parse_descriptor(self._descriptor(scheduler))

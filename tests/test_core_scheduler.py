@@ -7,9 +7,11 @@ import pytest
 
 from repro.core.request import SelectRequest, WriteRequest
 from repro.core.scheduler import (
+    MVCCScheduler,
     OptimisticTransactionLevelScheduler,
     PassThroughScheduler,
     PessimisticTransactionLevelScheduler,
+    TableLockScheduler,
 )
 
 
@@ -25,6 +27,8 @@ ALL_SCHEDULERS = [
     PassThroughScheduler,
     OptimisticTransactionLevelScheduler,
     PessimisticTransactionLevelScheduler,
+    TableLockScheduler,
+    MVCCScheduler,
 ]
 
 
@@ -76,7 +80,14 @@ class TestCommonBehaviour:
 class TestWriteSerialization:
     @pytest.mark.parametrize(
         "scheduler_class",
-        [OptimisticTransactionLevelScheduler, PessimisticTransactionLevelScheduler],
+        [
+            OptimisticTransactionLevelScheduler,
+            PessimisticTransactionLevelScheduler,
+            # mvcc keeps the single write mutex; table_lock serializes only
+            # same-table writes — here every write touches table "t"
+            TableLockScheduler,
+            MVCCScheduler,
+        ],
     )
     def test_only_one_write_in_progress(self, scheduler_class):
         """Paper §2.4.1: a single update/commit/abort in progress at any time."""
